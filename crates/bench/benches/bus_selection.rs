@@ -1,0 +1,31 @@
+//! Benchmarks 4-qubit bus selection (paper Algorithm 2): the weighted
+//! filtered-weight heuristic against random selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qpd_core::{place_qubits, select_buses_maximal, select_buses_random, select_buses_weighted};
+use qpd_profile::CouplingProfile;
+
+fn bench_bus_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus_selection");
+    group.sample_size(30);
+    for name in ["misex1_241", "qft_16", "rd84_142"] {
+        let circuit = qpd_benchmarks::build(name).expect("benchmark");
+        let profile = CouplingProfile::of(&circuit);
+        let coords = place_qubits(&profile);
+        group.bench_function(format!("weighted/{name}"), |b| {
+            b.iter(|| select_buses_weighted(black_box(&coords), black_box(&profile), usize::MAX))
+        });
+        group.bench_function(format!("random/{name}"), |b| {
+            b.iter(|| select_buses_random(black_box(&coords), 4, 7))
+        });
+        group.bench_function(format!("maximal/{name}"), |b| {
+            b.iter(|| select_buses_maximal(black_box(&coords)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bus_selection);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Benchmarks the full design flow (profile -> layout -> buses ->
+//! frequencies) per workload, the end-to-end cost a user pays per chip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qpd_core::DesignFlow;
+use qpd_profile::CouplingProfile;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_flow");
+    group.sample_size(10);
+    for name in ["sym6_145", "z4_268", "adr4_197"] {
+        let circuit = qpd_benchmarks::build(name).expect("benchmark");
+        let profile = CouplingProfile::of(&circuit);
+        let flow = DesignFlow::new().with_allocation_trials(500);
+        group.bench_function(format!("design/{name}"), |b| {
+            b.iter(|| flow.design(black_box(&profile)).expect("designable"))
+        });
+        group.bench_function(format!("series/{name}"), |b| {
+            b.iter(|| flow.design_series(black_box(&profile)).expect("designable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

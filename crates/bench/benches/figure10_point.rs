@@ -1,0 +1,23 @@
+//! Benchmarks producing one complete Figure 10 subfigure (all five
+//! configurations, quick Monte Carlo settings) — the unit of work behind
+//! the paper's headline plot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qpd_eval::runner::{run_benchmark, EvalSettings};
+
+fn bench_figure10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure10");
+    group.sample_size(10);
+    let settings = EvalSettings::quick();
+    for name in ["sym6_145", "dc1_220"] {
+        group.bench_function(name, |b| {
+            b.iter(|| run_benchmark(black_box(name), black_box(&settings)).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure10);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks frequency allocation (paper Algorithm 3) at several
+//! local-simulation budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qpd_core::{place_qubits, FrequencyAllocator};
+use qpd_profile::CouplingProfile;
+use qpd_topology::Architecture;
+
+fn designed_topology(name: &str) -> Architecture {
+    let circuit = qpd_benchmarks::build(name).expect("benchmark");
+    let profile = CouplingProfile::of(&circuit);
+    let coords = place_qubits(&profile);
+    let mut b = Architecture::builder(name);
+    b.qubits(coords);
+    b.build().expect("valid layout")
+}
+
+fn bench_freq_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("freq_allocation");
+    group.sample_size(10);
+    for name in ["sym6_145", "dc1_220", "rd84_142"] {
+        let arch = designed_topology(name);
+        for trials in [200usize, 1_000] {
+            let allocator = FrequencyAllocator::new().with_trials(trials);
+            group.bench_function(format!("{name}/trials{trials}"), |b| {
+                b.iter(|| allocator.allocate(black_box(&arch)))
+            });
+        }
+    }
+    group.finish();
+
+    // Ablation (DESIGN.md / EXPERIMENTS.md): the paper's single-pass
+    // Algorithm 3 versus the iterated refinement this crate defaults to.
+    let mut group = c.benchmark_group("freq_allocation_ablation");
+    group.sample_size(10);
+    let arch = designed_topology("rd84_142");
+    for sweeps in [0usize, 2, 8] {
+        let allocator =
+            FrequencyAllocator::new().with_trials(1_000).with_refinement_sweeps(sweeps);
+        group.bench_function(format!("rd84_142/sweeps{sweeps}"), |b| {
+            b.iter(|| allocator.allocate(black_box(&arch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_freq_allocation);
+criterion_main!(benches);

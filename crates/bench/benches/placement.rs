@@ -1,0 +1,21 @@
+//! Benchmarks layout design (paper Algorithm 1) on every workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qpd_core::place_qubits;
+use qpd_profile::CouplingProfile;
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(20);
+    for spec in &qpd_benchmarks::ALL {
+        let circuit = qpd_benchmarks::build(spec.name).expect("benchmark");
+        let profile = CouplingProfile::of(&circuit);
+        group.bench_function(spec.name, |b| b.iter(|| place_qubits(black_box(&profile))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

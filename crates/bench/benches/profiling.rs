@@ -1,0 +1,33 @@
+//! Benchmarks the program profiler (paper §3): cost of extracting the
+//! coupling strength matrix and degree list from each workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use qpd_profile::{CouplingProfile, PatternReport, TemporalProfile};
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(20);
+    for name in ["qft_16", "misex1_241", "UCCSD_ansatz_8", "ising_model_16"] {
+        let circuit = qpd_benchmarks::build(name).expect("benchmark");
+        group.bench_function(format!("coupling/{name}"), |b| {
+            b.iter(|| CouplingProfile::of(black_box(&circuit)))
+        });
+        let profile = CouplingProfile::of(&circuit);
+        group.bench_function(format!("patterns/{name}"), |b| {
+            b.iter_batched(
+                || profile.clone(),
+                |p| PatternReport::of(black_box(&p)),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("temporal/{name}"), |b| {
+            b.iter(|| TemporalProfile::of(black_box(&circuit), 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

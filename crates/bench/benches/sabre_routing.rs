@@ -1,0 +1,29 @@
+//! Benchmarks SABRE routing (the performance-metric engine) against the
+//! greedy baseline router on representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qpd_mapping::{GreedyRouter, SabreRouter};
+use qpd_topology::{ibm, BusMode};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    let chip = ibm::ibm_20q_4x5(BusMode::MaxFourQubit);
+    for name in ["qft_16", "rd84_142", "cm152a_212", "ising_model_16"] {
+        let circuit = qpd_benchmarks::build(name).expect("benchmark");
+        let sabre = SabreRouter::new(&chip);
+        group.bench_function(format!("sabre/{name}"), |b| {
+            b.iter(|| sabre.route(black_box(&circuit)).expect("routable"))
+        });
+        let greedy = GreedyRouter::new(&chip);
+        group.bench_function(format!("greedy/{name}"), |b| {
+            b.iter(|| greedy.route(black_box(&circuit)).expect("routable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmarks the Monte Carlo yield simulator (paper §4.3.1) at the
+//! paper's 10,000-trial setting on the four IBM baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qpd_topology::ibm;
+use qpd_yield::{CollisionChecker, YieldSimulator};
+
+fn bench_yield(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yield");
+    group.sample_size(10);
+    for arch in ibm::all_baselines() {
+        let sim = YieldSimulator::new().with_trials(10_000);
+        group.bench_function(format!("mc10k/{}", arch.name()), |b| {
+            b.iter(|| sim.estimate(black_box(&arch)).expect("plan attached"))
+        });
+        let checker = CollisionChecker::new(&arch);
+        let freqs: Vec<f64> =
+            arch.frequencies().expect("plan attached").as_slice().to_vec();
+        group.bench_function(format!("check/{}", arch.name()), |b| {
+            b.iter(|| checker.has_collision(black_box(&freqs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_yield);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmarks for the QPD workspace; see the `benches/` directory.

@@ -1,0 +1,227 @@
+//! Reversible arithmetic building blocks: ripple-carry adders, a
+//! population counter, and a multiplexer — the circuit families behind
+//! the RevLib arithmetic benchmarks.
+
+use qpd_circuit::{Circuit, Gate, Qubit};
+
+/// The VBE ripple-carry adder (Vedral–Barenco–Ekert 1996) on `n`-bit
+/// operands: computes `b <- a + b` with `b` widened by one high bit.
+///
+/// Line layout: `a[0..n]`, then `b[0..n+1]` (little-endian, `b[n]`
+/// receives the carry-out), then carry scratch `c[0..n]` restored to 0.
+/// Total `3n + 1` lines — 13 for `n = 4`, matching RevLib's `adr4`.
+pub fn vbe_adder(n: usize) -> Circuit {
+    assert!(n >= 1, "adder needs at least 1 bit");
+    let mut c = Circuit::new(3 * n + 1);
+    let a = |i: usize| Qubit::from(i);
+    let b = |i: usize| Qubit::from(n + i); // b[0..=n]
+    let carry = |i: usize| Qubit::from(2 * n + 1 + i); // c[0..n]
+
+    let maj_carry = |circ: &mut Circuit, ci: Qubit, ai: Qubit, bi: Qubit, co: Qubit| {
+        circ.push(Gate::Ccx, &[ai, bi, co]).expect("valid");
+        circ.push(Gate::Cx, &[ai, bi]).expect("valid");
+        circ.push(Gate::Ccx, &[ci, bi, co]).expect("valid");
+    };
+    let maj_carry_inv = |circ: &mut Circuit, ci: Qubit, ai: Qubit, bi: Qubit, co: Qubit| {
+        circ.push(Gate::Ccx, &[ci, bi, co]).expect("valid");
+        circ.push(Gate::Cx, &[ai, bi]).expect("valid");
+        circ.push(Gate::Ccx, &[ai, bi, co]).expect("valid");
+    };
+    let sum = |circ: &mut Circuit, ci: Qubit, ai: Qubit, bi: Qubit| {
+        circ.push(Gate::Cx, &[ai, bi]).expect("valid");
+        circ.push(Gate::Cx, &[ci, bi]).expect("valid");
+    };
+
+    for i in 0..n - 1 {
+        maj_carry(&mut c, carry(i), a(i), b(i), carry(i + 1));
+    }
+    maj_carry(&mut c, carry(n - 1), a(n - 1), b(n - 1), b(n));
+    c.cx(a(n - 1), b(n - 1));
+    sum(&mut c, carry(n - 1), a(n - 1), b(n - 1));
+    for i in (0..n - 1).rev() {
+        maj_carry_inv(&mut c, carry(i), a(i), b(i), carry(i + 1));
+        sum(&mut c, carry(i), a(i), b(i));
+    }
+    c
+}
+
+/// The Cuccaro ripple-carry adder (CDKM 2004) on `n`-bit operands:
+/// computes `b <- a + b` in place.
+///
+/// Line layout: `cin`, then `b[0..n]`, then `a[0..n]`, then `cout`, then
+/// `spare_lines` idle lines. Total `2n + 2 + spare_lines`.
+pub fn cuccaro_adder(n: usize, spare_lines: usize) -> Circuit {
+    assert!(n >= 1, "adder needs at least 1 bit");
+    let mut c = Circuit::new(2 * n + 2 + spare_lines);
+    let cin = Qubit::from(0usize);
+    let b = |i: usize| Qubit::from(1 + i);
+    let a = |i: usize| Qubit::from(1 + n + i);
+    let cout = Qubit::from(1 + 2 * n);
+
+    let maj = |circ: &mut Circuit, x: Qubit, y: Qubit, z: Qubit| {
+        circ.push(Gate::Cx, &[z, y]).expect("valid");
+        circ.push(Gate::Cx, &[z, x]).expect("valid");
+        circ.push(Gate::Ccx, &[x, y, z]).expect("valid");
+    };
+    let uma = |circ: &mut Circuit, x: Qubit, y: Qubit, z: Qubit| {
+        circ.push(Gate::Ccx, &[x, y, z]).expect("valid");
+        circ.push(Gate::Cx, &[z, x]).expect("valid");
+        circ.push(Gate::Cx, &[x, y]).expect("valid");
+    };
+
+    maj(&mut c, cin, b(0), a(0));
+    for i in 1..n {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(n - 1), cout);
+    for i in (1..n).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, cin, b(0), a(0));
+    c
+}
+
+/// A population counter: adds the popcount of `num_inputs` input bits
+/// into a `counter_bits`-wide accumulator via controlled increments.
+///
+/// Line layout: inputs `0..num_inputs`, counter
+/// `num_inputs..num_inputs+counter_bits` (little-endian), then
+/// `spare_lines` idle lines. RevLib's `rd84` (8 inputs, 4-bit count, 15
+/// lines) is `popcount_counter(8, 4, 3)`.
+///
+/// # Panics
+///
+/// Panics if the counter is too narrow to hold `num_inputs`.
+pub fn popcount_counter(num_inputs: usize, counter_bits: usize, spare_lines: usize) -> Circuit {
+    assert!(
+        (1usize << counter_bits) > num_inputs,
+        "counter too narrow for the input count"
+    );
+    let mut c = Circuit::new(num_inputs + counter_bits + spare_lines);
+    let input = |i: usize| Qubit::from(i);
+    let counter = |k: usize| Qubit::from(num_inputs + k);
+    for i in 0..num_inputs {
+        // Controlled increment: ripple from the top so carries are
+        // consumed before the bits they depend on flip.
+        for k in (1..counter_bits).rev() {
+            let mut operands = vec![input(i)];
+            operands.extend((0..k).map(counter));
+            operands.push(counter(k));
+            let gate = match operands.len() {
+                2 => Gate::Cx,
+                3 => Gate::Ccx,
+                _ => Gate::Mcx,
+            };
+            c.push(gate, &operands).expect("valid");
+        }
+        c.cx(input(i), counter(0));
+    }
+    c
+}
+
+/// An 8-to-1 multiplexer: `out ^= data[sel]`.
+///
+/// Line layout: selects `0..3`, data `3..11`, output `11`. 12 lines,
+/// matching RevLib's `cm152a`.
+pub fn mux8() -> Circuit {
+    let mut c = Circuit::new(12);
+    let sel = |k: usize| Qubit::from(k);
+    let data = |i: usize| Qubit::from(3 + i);
+    let out = Qubit::from(11usize);
+    for i in 0..8usize {
+        let negatives: Vec<Qubit> =
+            (0..3).filter(|&k| i >> k & 1 == 0).map(sel).collect();
+        for &q in &negatives {
+            c.push(Gate::X, &[q]).expect("valid");
+        }
+        c.push(Gate::Mcx, &[sel(0), sel(1), sel(2), data(i), out]).expect("valid");
+        for &q in &negatives {
+            c.push(Gate::X, &[q]).expect("valid");
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpd_circuit::decompose::lower_mcx;
+    use qpd_circuit::sim::apply_reversible;
+
+    #[test]
+    fn vbe_adder_is_correct_exhaustively() {
+        let n = 4;
+        let circuit = vbe_adder(n);
+        assert_eq!(circuit.num_qubits(), 13);
+        for a in 0..16u128 {
+            for b in 0..16u128 {
+                let input = a | (b << 4);
+                let out = apply_reversible(&circuit, input).unwrap();
+                let a_out = out & 0xf;
+                let b_out = out >> 4 & 0x1f;
+                let carries = out >> 9 & 0xf;
+                assert_eq!(a_out, a, "a must be preserved");
+                assert_eq!(b_out, a + b, "sum of {a}+{b}");
+                assert_eq!(carries, 0, "carry lines must be restored");
+            }
+        }
+    }
+
+    #[test]
+    fn cuccaro_adder_is_correct_exhaustively() {
+        let n = 5;
+        let circuit = cuccaro_adder(n, 1);
+        assert_eq!(circuit.num_qubits(), 13);
+        for a in 0..32u128 {
+            for b in 0..32u128 {
+                for cin in 0..2u128 {
+                    let input = cin | (b << 1) | (a << 6);
+                    let out = apply_reversible(&circuit, input).unwrap();
+                    let b_out = out >> 1 & 0x1f;
+                    let a_out = out >> 6 & 0x1f;
+                    let cout = out >> 11 & 1;
+                    let total = a + b + cin;
+                    assert_eq!(b_out, total & 0x1f, "{a}+{b}+{cin}");
+                    assert_eq!(cout, total >> 5, "carry of {a}+{b}+{cin}");
+                    assert_eq!(a_out, a, "a must be preserved");
+                    assert_eq!(out & 1, cin, "cin must be preserved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_counts_exhaustively() {
+        let circuit = popcount_counter(8, 4, 3);
+        assert_eq!(circuit.num_qubits(), 15);
+        let lowered = lower_mcx(&circuit).unwrap();
+        for x in 0..256u128 {
+            let out = apply_reversible(&lowered, x).unwrap();
+            let count = out >> 8 & 0xf;
+            assert_eq!(count, x.count_ones() as u128, "popcount({x:#b})");
+            assert_eq!(out & 0xff, x, "inputs preserved");
+            assert_eq!(out >> 12, 0, "spares untouched");
+        }
+    }
+
+    #[test]
+    fn mux8_selects_exhaustively() {
+        let circuit = mux8();
+        let lowered = lower_mcx(&circuit).unwrap();
+        for sel in 0..8u128 {
+            for data in 0..256u128 {
+                let input = sel | (data << 3);
+                let out = apply_reversible(&lowered, input).unwrap();
+                let expected = data >> sel & 1;
+                assert_eq!(out >> 11 & 1, expected, "sel={sel} data={data:#b}");
+                assert_eq!(out & 0x7ff, input, "inputs preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn adders_reject_zero_width() {
+        assert!(std::panic::catch_unwind(|| vbe_adder(0)).is_err());
+        assert!(std::panic::catch_unwind(|| cuccaro_adder(0, 0)).is_err());
+    }
+}

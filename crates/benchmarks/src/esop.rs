@@ -1,0 +1,171 @@
+//! ESOP (exclusive sum-of-products) cube lists with mixed polarity and
+//! their synthesis into MCT networks.
+//!
+//! PLA-style RevLib benchmarks (misex1 and friends) are cube lists: each
+//! cube is a product of positive/negative literals feeding one or more
+//! outputs via XOR accumulation. Negative literals are realized by
+//! conjugating the control with X gates.
+
+use qpd_circuit::{Circuit, Gate, Qubit};
+
+/// One ESOP cube: a product term over the inputs, xored onto a set of
+/// outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cube {
+    /// Inputs that appear as positive literals.
+    pub positive: u32,
+    /// Inputs that appear as negative (complemented) literals.
+    pub negative: u32,
+    /// Output lines (bit `k` = output `k`) receiving this product.
+    pub outputs: u32,
+}
+
+impl Cube {
+    /// Whether the cube's product evaluates to 1 on input `x`.
+    pub fn matches(&self, x: u32) -> bool {
+        (x & self.positive) == self.positive && (x & self.negative) == 0
+    }
+}
+
+/// A PLA-style function: input count, output count, cube list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EsopFunction {
+    /// Number of input lines.
+    pub num_inputs: usize,
+    /// Number of output lines.
+    pub num_outputs: usize,
+    /// The cube list.
+    pub cubes: Vec<Cube>,
+}
+
+impl EsopFunction {
+    /// Evaluates output `k` on input `x`.
+    pub fn eval(&self, k: usize, x: u32) -> bool {
+        self.cubes
+            .iter()
+            .filter(|c| c.outputs >> k & 1 == 1 && c.matches(x))
+            .count()
+            % 2
+            == 1
+    }
+
+    /// Synthesizes the cube list into an MCT network. Inputs occupy lines
+    /// `0..num_inputs`, outputs the following `num_outputs` lines, plus
+    /// `extra_lines` idle lines for ancilla borrowing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cube references an input `>= num_inputs`, an output
+    /// `>= num_outputs`, or uses a literal both positively and
+    /// negatively.
+    pub fn synthesize(&self, extra_lines: usize) -> Circuit {
+        let n = self.num_inputs;
+        let mut circuit = Circuit::new(n + self.num_outputs + extra_lines);
+        for cube in &self.cubes {
+            assert_eq!(cube.positive & cube.negative, 0, "contradictory literal polarity");
+            assert!(
+                (cube.positive | cube.negative) >> n == 0,
+                "cube references input out of range"
+            );
+            assert!(
+                cube.outputs >> self.num_outputs == 0,
+                "cube references output out of range"
+            );
+            let controls: Vec<Qubit> = (0..n)
+                .filter(|i| (cube.positive | cube.negative) >> i & 1 == 1)
+                .map(Qubit::from)
+                .collect();
+            let negatives: Vec<Qubit> =
+                (0..n).filter(|i| cube.negative >> i & 1 == 1).map(Qubit::from).collect();
+            for &q in &negatives {
+                circuit.push(Gate::X, &[q]).expect("valid");
+            }
+            for k in 0..self.num_outputs {
+                if cube.outputs >> k & 1 == 0 {
+                    continue;
+                }
+                let target = Qubit::from(n + k);
+                if controls.is_empty() {
+                    circuit.push(Gate::X, &[target]).expect("valid");
+                } else {
+                    let mut operands = controls.clone();
+                    operands.push(target);
+                    let gate = match operands.len() {
+                        2 => Gate::Cx,
+                        3 => Gate::Ccx,
+                        _ => Gate::Mcx,
+                    };
+                    circuit.push(gate, &operands).expect("valid");
+                }
+            }
+            for &q in &negatives {
+                circuit.push(Gate::X, &[q]).expect("valid");
+            }
+        }
+        circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpd_circuit::sim::apply_reversible;
+
+    fn demo() -> EsopFunction {
+        EsopFunction {
+            num_inputs: 3,
+            num_outputs: 2,
+            cubes: vec![
+                // out0 ^= x0 & !x1 ; out1 ^= x0 & x2 ; both ^= !x2
+                Cube { positive: 0b001, negative: 0b010, outputs: 0b01 },
+                Cube { positive: 0b101, negative: 0, outputs: 0b10 },
+                Cube { positive: 0, negative: 0b100, outputs: 0b11 },
+            ],
+        }
+    }
+
+    #[test]
+    fn cube_matching() {
+        let c = Cube { positive: 0b001, negative: 0b010, outputs: 1 };
+        assert!(c.matches(0b001));
+        assert!(c.matches(0b101));
+        assert!(!c.matches(0b011));
+        assert!(!c.matches(0b000));
+    }
+
+    #[test]
+    fn eval_xors_cubes() {
+        let f = demo();
+        // x = 0b001: cube0 matches (out0), cube2 matches (both) ->
+        // out0 = 1^1 = 0, out1 = 1.
+        assert!(!f.eval(0, 0b001));
+        assert!(f.eval(1, 0b001));
+    }
+
+    #[test]
+    fn synthesis_matches_eval_exhaustively() {
+        let f = demo();
+        let circuit = f.synthesize(1);
+        assert_eq!(circuit.num_qubits(), 6);
+        for x in 0..8u32 {
+            let out = apply_reversible(&circuit, x as u128).unwrap();
+            for k in 0..2 {
+                let bit = out >> (3 + k) & 1;
+                assert_eq!(bit == 1, f.eval(k, x), "x={x} out{k}");
+            }
+            // Inputs restored (negative-literal X conjugation undone).
+            assert_eq!(out & 0b111, x as u128);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "polarity")]
+    fn contradictory_cube_panics() {
+        let f = EsopFunction {
+            num_inputs: 2,
+            num_outputs: 1,
+            cubes: vec![Cube { positive: 0b01, negative: 0b01, outputs: 1 }],
+        };
+        f.synthesize(0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Extra workload generators beyond the paper's evaluation set, used by
+//! examples and tests: GHZ state preparation, Bernstein–Vazirani, and a
+//! QAOA MaxCut ansatz. Each has a distinctive coupling pattern (star,
+//! hub, and problem-graph respectively) that exercises the design flow
+//! differently from the twelve paper benchmarks.
+
+use std::f64::consts::FRAC_PI_2;
+
+use qpd_circuit::Circuit;
+
+/// GHZ state preparation over `n` qubits: `H` then a CNOT chain.
+/// Coupling pattern: a chain with unit weights.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one qubit");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q as u32, (q + 1) as u32);
+    }
+    c.measure_all();
+    c
+}
+
+/// Bernstein–Vazirani for an `n`-bit hidden string (bit `i` of
+/// `secret`): every set bit contributes one CNOT into the oracle qubit.
+/// Coupling pattern: a star centered on the last qubit.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 64`.
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Circuit {
+    assert!(n > 0 && n <= 64, "1..=64 data qubits");
+    let mut c = Circuit::new(n + 1);
+    let oracle = n as u32;
+    // |-> on the oracle qubit, |+> on the data qubits.
+    c.x(oracle).h(oracle);
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    for q in 0..n {
+        if secret >> q & 1 == 1 {
+            c.cx(q as u32, oracle);
+        }
+    }
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    for q in 0..n as u32 {
+        c.measure(q);
+    }
+    c
+}
+
+/// A `p`-layer QAOA MaxCut ansatz over the given undirected edges.
+/// Coupling pattern: exactly the problem graph, weighted by `2p` CNOTs
+/// per edge after decomposition.
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is `>= n`, an edge is a self-loop, or
+/// `p == 0`.
+pub fn qaoa_maxcut(n: usize, edges: &[(usize, usize)], p: usize) -> Circuit {
+    assert!(p > 0, "need at least one layer");
+    let mut c = Circuit::new(n);
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    for layer in 0..p {
+        let gamma = 0.4 + 0.1 * layer as f64;
+        let beta = FRAC_PI_2 * (layer as f64 + 1.0) / (p as f64 + 1.0);
+        for &(a, b) in edges {
+            assert!(a < n && b < n && a != b, "invalid edge ({a}, {b})");
+            c.rzz(gamma, a as u32, b as u32);
+        }
+        for q in 0..n as u32 {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpd_circuit::decompose::decompose_to_native;
+    use qpd_circuit::sim::StateVector;
+    use qpd_profile::{patterns, CouplingProfile, PatternShape};
+
+    #[test]
+    fn ghz_prepares_the_ghz_state() {
+        let mut c = ghz(4);
+        // Strip measurements for simulation.
+        let unitary: Circuit = {
+            let mut u = Circuit::new(4);
+            for inst in c.iter().filter(|i| i.gate().is_unitary()) {
+                u.push_instruction(inst.clone()).unwrap();
+            }
+            u
+        };
+        let sv = StateVector::from_circuit(&unitary).unwrap();
+        assert!((sv.probability(0b0000) - 0.5).abs() < 1e-9);
+        assert!((sv.probability(0b1111) - 0.5).abs() < 1e-9);
+        // And its coupling pattern is a chain.
+        c.measure_all();
+        let profile = CouplingProfile::of(&c);
+        assert!(matches!(patterns::detect_shape(&profile), PatternShape::Chain(_)));
+    }
+
+    #[test]
+    fn bv_measures_the_secret() {
+        let secret = 0b1011u64;
+        let c = bernstein_vazirani(4, secret);
+        let unitary: Circuit = {
+            let mut u = Circuit::new(5);
+            for inst in c.iter().filter(|i| i.gate().is_unitary()) {
+                u.push_instruction(inst.clone()).unwrap();
+            }
+            u
+        };
+        let sv = StateVector::from_circuit(&unitary).unwrap();
+        // The data register collapses deterministically to the secret;
+        // oracle qubit remains in |->: probability mass sits on
+        // secret + oracle in {0, 1}.
+        let p = sv.probability(secret as usize) + sv.probability(secret as usize | 1 << 4);
+        assert!((p - 1.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn bv_coupling_is_a_star_on_the_oracle() {
+        let c = bernstein_vazirani(6, 0b111111);
+        let profile = CouplingProfile::of(&c);
+        for q in 0..6 {
+            assert_eq!(profile.strength(q, 6), 1);
+        }
+        assert_eq!(profile.degree(6), 6);
+        assert!(!patterns::hubs(&profile).is_empty());
+    }
+
+    #[test]
+    fn qaoa_couples_exactly_the_problem_graph() {
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3)];
+        let c = decompose_to_native(&qaoa_maxcut(4, &edges, 3)).unwrap();
+        let profile = CouplingProfile::of(&c);
+        for &(a, b) in &edges {
+            assert_eq!(profile.strength(a, b), 6, "2 CNOTs x 3 layers per edge");
+        }
+        assert_eq!(profile.strength(0, 3), 0);
+    }
+
+    #[test]
+    fn generators_validate_input() {
+        assert!(std::panic::catch_unwind(|| ghz(0)).is_err());
+        assert!(std::panic::catch_unwind(|| qaoa_maxcut(2, &[(0, 0)], 1)).is_err());
+        assert!(std::panic::catch_unwind(|| qaoa_maxcut(2, &[(0, 1)], 0)).is_err());
+        assert!(std::panic::catch_unwind(|| bernstein_vazirani(0, 0)).is_err());
+    }
+}

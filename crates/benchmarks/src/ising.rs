@@ -1,0 +1,72 @@
+//! Trotterized 1D transverse-field Ising model simulation.
+
+use qpd_circuit::Circuit;
+
+/// An `n`-qubit, `steps`-step Trotterized Ising evolution: each step
+/// applies a ZZ interaction on every nearest-neighbor chain pair plus a
+/// transverse X rotation per site. The logical coupling graph is a pure
+/// chain — the paper's special case (§5.3.1) where the design flow emits
+/// a single architecture and the mapper finds a perfect initial mapping.
+///
+/// Returned at the `rzz` level; lower with
+/// [`qpd_circuit::decompose::decompose_to_native`].
+pub fn ising_model(n: usize, steps: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q as u32);
+    }
+    for step in 0..steps {
+        let theta = 0.3 + 0.01 * step as f64; // evolving coupling angle
+        for q in 0..n.saturating_sub(1) {
+            c.rzz(theta, q as u32, (q + 1) as u32);
+        }
+        for q in 0..n {
+            c.rx(0.17, q as u32);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpd_circuit::decompose::decompose_to_native;
+    use qpd_profile::patterns as shape;
+    use qpd_profile::{CouplingProfile, PatternShape};
+
+    #[test]
+    fn coupling_is_a_chain() {
+        let native = decompose_to_native(&ising_model(8, 3)).unwrap();
+        let profile = CouplingProfile::of(&native);
+        match shape::detect_shape(&profile) {
+            PatternShape::Chain(order) => {
+                assert!(order == (0..8).collect::<Vec<_>>() || order == (0..8).rev().collect::<Vec<_>>());
+            }
+            other => panic!("expected chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_weights_are_uniform() {
+        let steps = 5;
+        let native = decompose_to_native(&ising_model(6, steps)).unwrap();
+        let profile = CouplingProfile::of(&native);
+        for q in 0..5 {
+            assert_eq!(profile.strength(q, q + 1), 2 * steps as u32);
+        }
+    }
+
+    #[test]
+    fn gate_count_structure() {
+        let c = ising_model(16, 13);
+        // Per step: 15 rzz + 16 rx; plus 16 h and 16 measures.
+        assert_eq!(c.len(), 16 + 13 * (15 + 16) + 16);
+    }
+
+    #[test]
+    fn single_qubit_chain_degenerates() {
+        let c = ising_model(1, 2);
+        assert_eq!(CouplingProfile::of(&c).total_two_qubit_gates(), 0);
+    }
+}

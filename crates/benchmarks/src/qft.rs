@@ -1,0 +1,79 @@
+//! The quantum Fourier transform workload.
+
+use std::f64::consts::PI;
+
+use qpd_circuit::Circuit;
+
+/// An `n`-qubit QFT: a Hadamard on each qubit followed by controlled
+/// phase rotations between every qubit pair (the final qubit-reversal
+/// SWAP network is omitted, matching the evaluation benchmark: the paper
+/// notes "the number of two-qubit gates between arbitrary two logical
+/// qubits is always two in qft" — one `cu1` = two CNOTs, §5.4.2).
+///
+/// The circuit is returned at the `cu1` level; callers lower it with
+/// [`qpd_circuit::decompose::decompose_to_native`].
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.h(i as u32);
+        for j in (i + 1)..n {
+            let angle = PI / (1u64 << (j - i)) as f64;
+            c.cp(angle, j as u32, i as u32);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpd_circuit::decompose::decompose_to_native;
+    use qpd_circuit::sim::StateVector;
+    use qpd_profile::CouplingProfile;
+
+    #[test]
+    fn pair_coupling_is_uniform_two() {
+        let native = decompose_to_native(&qft(6)).unwrap();
+        let profile = CouplingProfile::of(&native);
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                assert_eq!(profile.strength(a, b), 2, "pair ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_counts() {
+        let c = qft(16);
+        // 16 H + C(16,2) controlled phases.
+        assert_eq!(c.len(), 16 + 120);
+        let native = decompose_to_native(&c).unwrap();
+        assert_eq!(native.two_qubit_gate_count(), 240);
+    }
+
+    #[test]
+    fn qft_of_zero_state_is_uniform() {
+        let native = decompose_to_native(&qft(4)).unwrap();
+        let sv = StateVector::from_circuit(&native).unwrap();
+        let expected = 1.0 / 16.0;
+        for idx in 0..16 {
+            assert!((sv.probability(idx) - expected).abs() < 1e-9, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn qft_of_basis_state_has_correct_phases() {
+        // QFT|1> amplitudes: (1/sqrt(N)) * exp(2 pi i k / N) in the
+        // bit-reversed output order (we omit the swap network, so compare
+        // against the swapless definition).
+        let n = 3;
+        let mut c = Circuit::new(n);
+        c.x(0);
+        c.compose(&qft(n)).unwrap();
+        let native = decompose_to_native(&c).unwrap();
+        let sv = StateVector::from_circuit(&native).unwrap();
+        for idx in 0..8 {
+            assert!((sv.probability(idx) - 1.0 / 8.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! The circuit container: an ordered list of validated instructions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::qubit::Qubit;
+
+/// One gate application: a [`Gate`] plus its qubit operands.
+///
+/// Instructions are validated on construction: operand count must match the
+/// gate arity and operands must be pairwise distinct.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    gate: Gate,
+    qubits: Vec<Qubit>,
+}
+
+impl Instruction {
+    /// Creates a validated instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WrongArity`] if the operand count does not
+    /// match the gate, and [`CircuitError::DuplicateOperand`] if a qubit
+    /// repeats.
+    pub fn new(gate: Gate, qubits: Vec<Qubit>) -> Result<Self, CircuitError> {
+        let arity = gate.arity();
+        if !arity.accepts(qubits.len()) {
+            return Err(CircuitError::WrongArity {
+                gate: gate.name(),
+                expected: arity,
+                actual: qubits.len(),
+            });
+        }
+        for (i, q) in qubits.iter().enumerate() {
+            if qubits[..i].contains(q) {
+                return Err(CircuitError::DuplicateOperand { qubit: q.raw() });
+            }
+        }
+        Ok(Instruction { gate, qubits })
+    }
+
+    /// The gate being applied.
+    pub fn gate(&self) -> &Gate {
+        &self.gate
+    }
+
+    /// The qubit operands, in gate order (controls first, target last).
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.qubits
+    }
+
+    /// Whether this is a unitary acting on exactly two qubits.
+    pub fn is_two_qubit(&self) -> bool {
+        self.gate.is_unitary() && self.qubits.len() == 2
+    }
+
+    /// For a two-qubit instruction, the operand pair `(first, second)`.
+    pub fn qubit_pair(&self) -> Option<(Qubit, Qubit)> {
+        if self.qubits.len() == 2 {
+            Some((self.qubits[0], self.qubits[1]))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ops: Vec<String> = self.qubits.iter().map(|q| q.to_string()).collect();
+        write!(f, "{} {}", self.gate, ops.join(","))
+    }
+}
+
+/// A quantum circuit over `num_qubits` logical qubits.
+///
+/// The circuit is an ordered list of [`Instruction`]s. Classical bits are
+/// not modeled: measurements record only the measured qubit, which is all
+/// the architecture design flow needs (paper §3 ignores measurement when
+/// profiling).
+///
+/// ```
+/// use qpd_circuit::Circuit;
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0).cx(0, 1).cx(1, 2).measure_all();
+/// assert_eq!(c.num_qubits(), 3);
+/// assert_eq!(c.two_qubit_gate_count(), 2);
+/// assert_eq!(c.depth(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit { num_qubits, instructions: Vec::new() }
+    }
+
+    /// Number of logical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of instructions (including barriers and measurements).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the circuit contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    /// Appends a validated instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operand is out of range, repeated, or the
+    /// operand count does not match the gate arity.
+    pub fn push(&mut self, gate: Gate, qubits: &[Qubit]) -> Result<(), CircuitError> {
+        for q in qubits {
+            if q.index() >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q.raw(),
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        let inst = Instruction::new(gate, qubits.to_vec())?;
+        self.instructions.push(inst);
+        Ok(())
+    }
+
+    /// Appends a pre-validated instruction, re-checking qubit ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if the instruction
+    /// references qubits this circuit does not have.
+    pub fn push_instruction(&mut self, inst: Instruction) -> Result<(), CircuitError> {
+        for q in inst.qubits() {
+            if q.index() >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q.raw(),
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        self.instructions.push(inst);
+        Ok(())
+    }
+
+    fn must_push(&mut self, gate: Gate, qubits: &[Qubit]) -> &mut Self {
+        self.push(gate, qubits).expect("invalid builder call");
+        self
+    }
+
+    /// Appends every instruction of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `other` uses qubits outside this circuit.
+    pub fn compose(&mut self, other: &Circuit) -> Result<(), CircuitError> {
+        for inst in other.iter() {
+            self.push_instruction(inst.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Returns a circuit with the instruction order reversed.
+    ///
+    /// Used by SABRE-style reverse traversal; note this reverses order only
+    /// and does not invert gates.
+    pub fn reversed(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            instructions: self.instructions.iter().rev().cloned().collect(),
+        }
+    }
+
+    /// Returns the adjoint circuit: inverse gates in reverse order, so
+    /// that `c` followed by `c.inverse()` is the identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WrongArity`]-free; fails with
+    /// [`CircuitError::NotInvertible`] if the circuit contains
+    /// measurement or reset.
+    pub fn inverse(&self) -> Result<Circuit, CircuitError> {
+        let mut out = Circuit::new(self.num_qubits);
+        for inst in self.instructions.iter().rev() {
+            let gate = inst.gate().inverse().ok_or(CircuitError::NotInvertible {
+                gate: inst.gate().name(),
+            })?;
+            out.push(gate, inst.qubits())?;
+        }
+        Ok(out)
+    }
+
+    /// Relabels qubits: qubit `i` becomes `perm[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidPermutation`] unless `perm` is a
+    /// permutation of `0..num_qubits`.
+    pub fn remap(&self, perm: &[u32]) -> Result<Circuit, CircuitError> {
+        if perm.len() != self.num_qubits {
+            return Err(CircuitError::InvalidPermutation {
+                reason: format!("length {} != {} qubits", perm.len(), self.num_qubits),
+            });
+        }
+        let mut seen = vec![false; self.num_qubits];
+        for &p in perm {
+            let idx = p as usize;
+            if idx >= self.num_qubits {
+                return Err(CircuitError::InvalidPermutation {
+                    reason: format!("image {idx} out of range"),
+                });
+            }
+            if seen[idx] {
+                return Err(CircuitError::InvalidPermutation {
+                    reason: format!("image {idx} repeated"),
+                });
+            }
+            seen[idx] = true;
+        }
+        let mut out = Circuit::new(self.num_qubits);
+        for inst in self.iter() {
+            let qubits: Vec<Qubit> =
+                inst.qubits().iter().map(|q| Qubit::new(perm[q.index()])).collect();
+            out.push(inst.gate().clone(), &qubits)?;
+        }
+        Ok(out)
+    }
+
+    // --- statistics -------------------------------------------------------
+
+    /// Total number of gates, excluding barriers.
+    ///
+    /// This is the paper's performance metric input: "total post-mapping
+    /// gate count" (§5.1) counts every operation executed on hardware.
+    pub fn gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| !matches!(i.gate(), Gate::Barrier)).count()
+    }
+
+    /// Number of two-qubit unitary gates.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.is_two_qubit()).count()
+    }
+
+    /// Number of single-qubit unitary gates.
+    pub fn single_qubit_gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.gate().is_single_qubit()).count()
+    }
+
+    /// Gate histogram keyed by canonical gate name.
+    pub fn counts_by_name(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for inst in &self.instructions {
+            *counts.entry(inst.gate().name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Circuit depth: the length of the longest qubit-line dependency
+    /// chain. Barriers synchronize their operands but do not add depth.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        for inst in &self.instructions {
+            let max = inst.qubits().iter().map(|q| level[q.index()]).max().unwrap_or(0);
+            let next = if matches!(inst.gate(), Gate::Barrier) { max } else { max + 1 };
+            for q in inst.qubits() {
+                level[q.index()] = next;
+            }
+        }
+        level.into_iter().max().unwrap_or(0)
+    }
+
+    /// Iterates over the operand pairs of all two-qubit unitary gates, in
+    /// circuit order. This is the stream the profiler consumes.
+    pub fn two_qubit_pairs(&self) -> impl Iterator<Item = (Qubit, Qubit)> + '_ {
+        self.instructions.iter().filter_map(|i| if i.is_two_qubit() { i.qubit_pair() } else { None })
+    }
+
+    /// The highest qubit index actually used, plus one (0 for an empty
+    /// circuit).
+    pub fn used_qubits(&self) -> usize {
+        self.instructions
+            .iter()
+            .flat_map(|i| i.qubits())
+            .map(|q| q.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    // --- builder conveniences --------------------------------------------
+    //
+    // These panic on invalid input, which keeps construction of known-good
+    // circuits (tests, generators) readable. Use `push` for fallible
+    // construction from untrusted data.
+
+    /// Applies a Hadamard gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range (as do all builder conveniences below).
+    pub fn h(&mut self, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::H, &[q.into()])
+    }
+
+    /// Applies a Pauli-X gate.
+    pub fn x(&mut self, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::X, &[q.into()])
+    }
+
+    /// Applies a Pauli-Y gate.
+    pub fn y(&mut self, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Y, &[q.into()])
+    }
+
+    /// Applies a Pauli-Z gate.
+    pub fn z(&mut self, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Z, &[q.into()])
+    }
+
+    /// Applies an S gate.
+    pub fn s(&mut self, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::S, &[q.into()])
+    }
+
+    /// Applies an S-dagger gate.
+    pub fn sdg(&mut self, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Sdg, &[q.into()])
+    }
+
+    /// Applies a T gate.
+    pub fn t(&mut self, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::T, &[q.into()])
+    }
+
+    /// Applies a T-dagger gate.
+    pub fn tdg(&mut self, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Tdg, &[q.into()])
+    }
+
+    /// Applies an X-rotation.
+    pub fn rx(&mut self, theta: f64, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Rx(theta), &[q.into()])
+    }
+
+    /// Applies a Y-rotation.
+    pub fn ry(&mut self, theta: f64, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Ry(theta), &[q.into()])
+    }
+
+    /// Applies a Z-rotation.
+    pub fn rz(&mut self, theta: f64, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Rz(theta), &[q.into()])
+    }
+
+    /// Applies a phase gate `u1(lambda)`.
+    pub fn p(&mut self, lambda: f64, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::P(lambda), &[q.into()])
+    }
+
+    /// Applies a generic single-qubit unitary `u3`.
+    pub fn u(&mut self, theta: f64, phi: f64, lambda: f64, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::U(theta, phi, lambda), &[q.into()])
+    }
+
+    /// Applies a CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: impl Into<Qubit>, target: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Cx, &[control.into(), target.into()])
+    }
+
+    /// Applies a controlled-Z.
+    pub fn cz(&mut self, a: impl Into<Qubit>, b: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Cz, &[a.into(), b.into()])
+    }
+
+    /// Applies a controlled phase rotation `cu1(lambda)`.
+    pub fn cp(&mut self, lambda: f64, control: impl Into<Qubit>, target: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Cp(lambda), &[control.into(), target.into()])
+    }
+
+    /// Applies a controlled Z-rotation.
+    pub fn crz(&mut self, theta: f64, control: impl Into<Qubit>, target: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Crz(theta), &[control.into(), target.into()])
+    }
+
+    /// Applies an Ising ZZ rotation.
+    pub fn rzz(&mut self, theta: f64, a: impl Into<Qubit>, b: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Rzz(theta), &[a.into(), b.into()])
+    }
+
+    /// Applies a SWAP.
+    pub fn swap(&mut self, a: impl Into<Qubit>, b: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Swap, &[a.into(), b.into()])
+    }
+
+    /// Applies a Toffoli with controls `c0`, `c1` and target `t`.
+    pub fn ccx(&mut self, c0: impl Into<Qubit>, c1: impl Into<Qubit>, t: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Ccx, &[c0.into(), c1.into(), t.into()])
+    }
+
+    /// Applies a multi-controlled NOT (controls then target).
+    pub fn mcx(&mut self, controls: &[u32], target: u32) -> &mut Self {
+        let mut qubits: Vec<Qubit> = controls.iter().map(|&c| Qubit::new(c)).collect();
+        qubits.push(Qubit::new(target));
+        self.must_push(Gate::Mcx, &qubits)
+    }
+
+    /// Measures one qubit.
+    pub fn measure(&mut self, q: impl Into<Qubit>) -> &mut Self {
+        self.must_push(Gate::Measure, &[q.into()])
+    }
+
+    /// Measures every qubit.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits {
+            self.must_push(Gate::Measure, &[Qubit::from(q)]);
+        }
+        self
+    }
+
+    /// Inserts a barrier over every qubit.
+    pub fn barrier_all(&mut self) -> &mut Self {
+        let qubits: Vec<Qubit> = (0..self.num_qubits).map(Qubit::from).collect();
+        self.must_push(Gate::Barrier, &qubits)
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+impl Extend<Instruction> for Circuit {
+    /// Extends the circuit with instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instruction references a qubit out of range; use
+    /// [`Circuit::push_instruction`] for fallible insertion.
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        for inst in iter {
+            self.push_instruction(inst).expect("instruction out of range in extend");
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits, {} instructions:", self.num_qubits, self.len())?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_range() {
+        let mut c = Circuit::new(2);
+        let err = c.push(Gate::H, &[Qubit::new(2)]).unwrap_err();
+        assert_eq!(err, CircuitError::QubitOutOfRange { qubit: 2, num_qubits: 2 });
+    }
+
+    #[test]
+    fn push_validates_duplicates() {
+        let mut c = Circuit::new(2);
+        let err = c.push(Gate::Cx, &[Qubit::new(1), Qubit::new(1)]).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateOperand { qubit: 1 });
+    }
+
+    #[test]
+    fn push_validates_arity() {
+        let mut c = Circuit::new(3);
+        let err = c.push(Gate::Cx, &[Qubit::new(0)]).unwrap_err();
+        assert!(matches!(err, CircuitError::WrongArity { gate: "cx", .. }));
+    }
+
+    #[test]
+    fn builder_chain_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2).barrier_all().measure_all();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.gate_count(), 7); // barrier excluded
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.single_qubit_gate_count(), 2);
+        assert_eq!(c.counts_by_name()["cx"], 2);
+        assert_eq!(c.counts_by_name()["measure"], 3);
+    }
+
+    #[test]
+    fn depth_tracks_longest_line() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).cx(0, 1).cx(1, 2);
+        assert_eq!(c.depth(), 3);
+        // Barriers do not add depth but do synchronize.
+        let mut c = Circuit::new(2);
+        c.h(0).barrier_all().h(1);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn two_qubit_pairs_in_order() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).h(2).cz(2, 0);
+        let pairs: Vec<_> = c.two_qubit_pairs().collect();
+        assert_eq!(pairs, vec![(Qubit::new(0), Qubit::new(1)), (Qubit::new(2), Qubit::new(0))]);
+    }
+
+    #[test]
+    fn remap_relabels() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        let remapped = c.remap(&[2, 0, 1]).unwrap();
+        let pairs: Vec<_> = remapped.two_qubit_pairs().collect();
+        assert_eq!(pairs, vec![(Qubit::new(2), Qubit::new(0)), (Qubit::new(0), Qubit::new(1))]);
+    }
+
+    #[test]
+    fn remap_rejects_non_bijections() {
+        let c = Circuit::new(2);
+        assert!(c.remap(&[0]).is_err());
+        assert!(c.remap(&[0, 0]).is_err());
+        assert!(c.remap(&[0, 5]).is_err());
+    }
+
+    #[test]
+    fn reversed_reverses_order() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let r = c.reversed();
+        assert_eq!(r.instructions()[0].gate().name(), "cx");
+        assert_eq!(r.instructions()[1].gate().name(), "h");
+    }
+
+    #[test]
+    fn inverse_undoes_unitary_circuits() {
+        use crate::sim::StateVector;
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).u(0.3, -0.7, 1.1, 2).cp(0.9, 1, 2).t(0).swap(0, 2);
+        let mut round_trip = c.clone();
+        round_trip.compose(&c.inverse().unwrap()).unwrap();
+        let sv = StateVector::from_circuit(&round_trip).unwrap();
+        let id = StateVector::new(3).unwrap();
+        assert!(sv.approx_eq_global_phase(&id, 1e-9));
+    }
+
+    #[test]
+    fn inverse_rejects_measurement() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        assert_eq!(
+            c.inverse().unwrap_err(),
+            CircuitError::NotInvertible { gate: "measure" }
+        );
+    }
+
+    #[test]
+    fn compose_appends() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.compose(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        let big = {
+            let mut c = Circuit::new(3);
+            c.cx(0, 2);
+            c
+        };
+        let mut small = Circuit::new(2);
+        assert!(small.compose(&big).is_err());
+    }
+
+    #[test]
+    fn used_qubits_ignores_unused_tail() {
+        let mut c = Circuit::new(10);
+        c.cx(0, 3);
+        assert_eq!(c.used_qubits(), 4);
+        assert_eq!(Circuit::new(5).used_qubits(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Error types for circuit construction and OpenQASM processing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::Arity;
+
+/// Error constructing or transforming a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit index outside the circuit.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: u32,
+        /// Number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// The same qubit appeared twice among one gate's operands.
+    DuplicateOperand {
+        /// The repeated qubit index.
+        qubit: u32,
+    },
+    /// A gate received the wrong number of operands.
+    WrongArity {
+        /// Gate name.
+        gate: &'static str,
+        /// Operands the gate accepts.
+        expected: Arity,
+        /// Operands actually provided.
+        actual: usize,
+    },
+    /// A qubit permutation passed to `remap` was not a bijection on the
+    /// circuit's qubits.
+    InvalidPermutation {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A decomposition required scratch qubits the circuit does not have.
+    NotEnoughAncillas {
+        /// Gate being decomposed.
+        gate: &'static str,
+        /// Scratch qubits required.
+        needed: usize,
+        /// Scratch qubits available.
+        available: usize,
+    },
+    /// The circuit cannot be inverted because it contains a non-unitary
+    /// operation.
+    NotInvertible {
+        /// The offending gate.
+        gate: &'static str,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit q{qubit} out of range for circuit with {num_qubits} qubits")
+            }
+            CircuitError::DuplicateOperand { qubit } => {
+                write!(f, "qubit q{qubit} used twice in one instruction")
+            }
+            CircuitError::WrongArity { gate, expected, actual } => {
+                write!(f, "gate `{gate}` takes {expected} operand(s), got {actual}")
+            }
+            CircuitError::InvalidPermutation { reason } => {
+                write!(f, "invalid qubit permutation: {reason}")
+            }
+            CircuitError::NotEnoughAncillas { gate, needed, available } => {
+                write!(
+                    f,
+                    "decomposing `{gate}` needs {needed} scratch qubit(s), only {available} available"
+                )
+            }
+            CircuitError::NotInvertible { gate } => {
+                write!(f, "cannot invert a circuit containing `{gate}`")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// Error lexing, parsing, elaborating, or emitting OpenQASM 2.0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QasmError {
+    line: usize,
+    col: usize,
+    message: String,
+}
+
+impl QasmError {
+    /// Creates an error pinned to a source location (1-based line/column;
+    /// `0, 0` for errors without a location, e.g. emission errors).
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        QasmError { line, col, message: message.into() }
+    }
+
+    /// 1-based source line, or 0 when the error has no location.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based source column, or 0 when the error has no location.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// Explanation of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "qasm error: {}", self.message)
+        } else {
+            write!(f, "qasm error at {}:{}: {}", self.line, self.col, self.message)
+        }
+    }
+}
+
+impl Error for QasmError {}
+
+impl From<CircuitError> for QasmError {
+    fn from(err: CircuitError) -> Self {
+        QasmError::new(0, 0, err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = CircuitError::QubitOutOfRange { qubit: 9, num_qubits: 4 };
+        assert_eq!(e.to_string(), "qubit q9 out of range for circuit with 4 qubits");
+        let e = CircuitError::WrongArity { gate: "cx", expected: Arity::Fixed(2), actual: 3 };
+        assert_eq!(e.to_string(), "gate `cx` takes exactly 2 operand(s), got 3");
+    }
+
+    #[test]
+    fn qasm_error_carries_location() {
+        let e = QasmError::new(3, 14, "unexpected token");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.col(), 14);
+        assert!(e.to_string().contains("3:14"));
+        let e = QasmError::new(0, 0, "no measure target");
+        assert!(!e.to_string().contains("0:0"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CircuitError>();
+        assert_err::<QasmError>();
+    }
+}

@@ -1,0 +1,350 @@
+//! The gate set understood by the QPD toolchain.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of qubit operands a [`Gate`] accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arity {
+    /// Exactly this many operands.
+    Fixed(usize),
+    /// At least this many operands (variadic gates such as
+    /// [`Gate::Mcx`] and [`Gate::Barrier`]).
+    AtLeast(usize),
+}
+
+impl Arity {
+    /// Whether `count` operands satisfy this arity.
+    pub fn accepts(self, count: usize) -> bool {
+        match self {
+            Arity::Fixed(n) => count == n,
+            Arity::AtLeast(n) => count >= n,
+        }
+    }
+}
+
+impl fmt::Display for Arity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arity::Fixed(n) => write!(f, "exactly {n}"),
+            Arity::AtLeast(n) => write!(f, "at least {n}"),
+        }
+    }
+}
+
+/// A quantum gate (or non-unitary operation).
+///
+/// The set covers the OpenQASM 2.0 `qelib1.inc` standard library plus the
+/// multi-controlled NOT ([`Gate::Mcx`]) produced by reversible-logic
+/// synthesis. Parameterized variants carry their angles in radians.
+///
+/// Two-qubit controlled gates list the control(s) first and the target
+/// last in their operand order; [`Gate::Mcx`] takes `n >= 1` controls
+/// followed by one target.
+///
+/// ```
+/// use qpd_circuit::{Arity, Gate};
+///
+/// assert_eq!(Gate::Cx.arity(), Arity::Fixed(2));
+/// assert!(Gate::Mcx.arity().accepts(5));
+/// assert!(Gate::Rz(0.5).is_unitary());
+/// assert!(!Gate::Measure.is_unitary());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate `S = sqrt(Z)`.
+    S,
+    /// Conjugate phase gate.
+    Sdg,
+    /// `T = sqrt(S)`.
+    T,
+    /// Conjugate T gate.
+    Tdg,
+    /// `sqrt(X)`.
+    Sx,
+    /// Conjugate `sqrt(X)`.
+    Sxdg,
+    /// Rotation about the X axis.
+    Rx(f64),
+    /// Rotation about the Y axis.
+    Ry(f64),
+    /// Rotation about the Z axis.
+    Rz(f64),
+    /// Phase rotation `diag(1, e^{i * lambda})` (QASM `u1`).
+    P(f64),
+    /// Generic single-qubit unitary `U(theta, phi, lambda)` (QASM `u3`).
+    U(f64, f64, f64),
+    /// Controlled-NOT (control, target).
+    Cx,
+    /// Controlled-Y.
+    Cy,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled-Hadamard.
+    Ch,
+    /// Swap of two qubits.
+    Swap,
+    /// Controlled phase rotation (QASM `cu1`).
+    Cp(f64),
+    /// Controlled Z-rotation.
+    Crz(f64),
+    /// Controlled generic unitary (QASM `cu3`).
+    Cu3(f64, f64, f64),
+    /// Ising ZZ interaction `exp(-i theta/2 Z x Z)`.
+    Rzz(f64),
+    /// Toffoli (two controls, one target).
+    Ccx,
+    /// Controlled swap (Fredkin).
+    Cswap,
+    /// Multi-controlled NOT: `n >= 1` controls then one target.
+    Mcx,
+    /// Projective measurement in the computational basis.
+    Measure,
+    /// Reset to `|0>`.
+    Reset,
+    /// Scheduling barrier across its operands.
+    Barrier,
+}
+
+impl Gate {
+    /// Canonical lowercase name, matching the OpenQASM spelling where one
+    /// exists.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Sx => "sx",
+            Gate::Sxdg => "sxdg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::P(_) => "u1",
+            Gate::U(..) => "u3",
+            Gate::Cx => "cx",
+            Gate::Cy => "cy",
+            Gate::Cz => "cz",
+            Gate::Ch => "ch",
+            Gate::Swap => "swap",
+            Gate::Cp(_) => "cu1",
+            Gate::Crz(_) => "crz",
+            Gate::Cu3(..) => "cu3",
+            Gate::Rzz(_) => "rzz",
+            Gate::Ccx => "ccx",
+            Gate::Cswap => "cswap",
+            Gate::Mcx => "mcx",
+            Gate::Measure => "measure",
+            Gate::Reset => "reset",
+            Gate::Barrier => "barrier",
+        }
+    }
+
+    /// How many qubit operands this gate takes.
+    pub fn arity(&self) -> Arity {
+        match self {
+            Gate::I
+            | Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Sx
+            | Gate::Sxdg
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::P(_)
+            | Gate::U(..)
+            | Gate::Measure
+            | Gate::Reset => Arity::Fixed(1),
+            Gate::Cx
+            | Gate::Cy
+            | Gate::Cz
+            | Gate::Ch
+            | Gate::Swap
+            | Gate::Cp(_)
+            | Gate::Crz(_)
+            | Gate::Cu3(..)
+            | Gate::Rzz(_) => Arity::Fixed(2),
+            Gate::Ccx | Gate::Cswap => Arity::Fixed(3),
+            Gate::Mcx => Arity::AtLeast(2),
+            Gate::Barrier => Arity::AtLeast(1),
+        }
+    }
+
+    /// Whether the gate implements a unitary transformation (as opposed to
+    /// measurement, reset, or a barrier directive).
+    pub fn is_unitary(&self) -> bool {
+        !matches!(self, Gate::Measure | Gate::Reset | Gate::Barrier)
+    }
+
+    /// Whether the gate is a unitary acting on exactly two qubits.
+    ///
+    /// This is the class of gates that the architecture-design profiler
+    /// cares about (paper §3): they require a physical qubit connection.
+    pub fn is_two_qubit(&self) -> bool {
+        self.is_unitary() && self.arity() == Arity::Fixed(2)
+    }
+
+    /// Whether the gate is a unitary on a single qubit.
+    pub fn is_single_qubit(&self) -> bool {
+        self.is_unitary() && self.arity() == Arity::Fixed(1)
+    }
+
+    /// The rotation/phase parameters carried by the gate, in radians.
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::P(a) | Gate::Cp(a) | Gate::Crz(a)
+            | Gate::Rzz(a) => vec![a],
+            Gate::U(a, b, c) | Gate::Cu3(a, b, c) => vec![a, b, c],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether the gate is already in the `{CX, single-qubit}` basis
+    /// natively supported by the modeled hardware (paper §2.1).
+    pub fn is_native(&self) -> bool {
+        match self {
+            Gate::Cx => true,
+            g => g.is_single_qubit() || matches!(g, Gate::Measure | Gate::Reset | Gate::Barrier),
+        }
+    }
+
+    /// The inverse (adjoint) gate, for unitary gates.
+    ///
+    /// Returns `None` for measurement and reset; barriers are their own
+    /// inverse (they carry no unitary action).
+    pub fn inverse(&self) -> Option<Gate> {
+        Some(match *self {
+            Gate::I => Gate::I,
+            Gate::H => Gate::H,
+            Gate::X => Gate::X,
+            Gate::Y => Gate::Y,
+            Gate::Z => Gate::Z,
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Sx => Gate::Sxdg,
+            Gate::Sxdg => Gate::Sx,
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::P(l) => Gate::P(-l),
+            // U(t, p, l)^dagger = U(-t, -l, -p).
+            Gate::U(t, p, l) => Gate::U(-t, -l, -p),
+            Gate::Cx => Gate::Cx,
+            Gate::Cy => Gate::Cy,
+            Gate::Cz => Gate::Cz,
+            Gate::Ch => Gate::Ch,
+            Gate::Swap => Gate::Swap,
+            Gate::Cp(l) => Gate::Cp(-l),
+            Gate::Crz(t) => Gate::Crz(-t),
+            Gate::Cu3(t, p, l) => Gate::Cu3(-t, -l, -p),
+            Gate::Rzz(t) => Gate::Rzz(-t),
+            Gate::Ccx => Gate::Ccx,
+            Gate::Cswap => Gate::Cswap,
+            Gate::Mcx => Gate::Mcx,
+            Gate::Barrier => Gate::Barrier,
+            Gate::Measure | Gate::Reset => return None,
+        })
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
+            write!(f, "{}({})", self.name(), rendered.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_accepts() {
+        assert!(Arity::Fixed(2).accepts(2));
+        assert!(!Arity::Fixed(2).accepts(3));
+        assert!(Arity::AtLeast(2).accepts(2));
+        assert!(Arity::AtLeast(2).accepts(9));
+        assert!(!Arity::AtLeast(2).accepts(1));
+    }
+
+    #[test]
+    fn two_qubit_classification() {
+        assert!(Gate::Cx.is_two_qubit());
+        assert!(Gate::Cz.is_two_qubit());
+        assert!(Gate::Rzz(0.1).is_two_qubit());
+        assert!(!Gate::Ccx.is_two_qubit());
+        assert!(!Gate::H.is_two_qubit());
+        assert!(!Gate::Barrier.is_two_qubit());
+        assert!(!Gate::Measure.is_two_qubit());
+    }
+
+    #[test]
+    fn native_basis() {
+        assert!(Gate::Cx.is_native());
+        assert!(Gate::U(0.1, 0.2, 0.3).is_native());
+        assert!(Gate::Measure.is_native());
+        assert!(!Gate::Cz.is_native());
+        assert!(!Gate::Ccx.is_native());
+        assert!(!Gate::Swap.is_native());
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        assert_eq!(Gate::U(1.0, 2.0, 3.0).params(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(Gate::Rz(0.25).params(), vec![0.25]);
+        assert!(Gate::Cx.params().is_empty());
+    }
+
+    #[test]
+    fn display_includes_params() {
+        assert_eq!(Gate::Cx.to_string(), "cx");
+        assert_eq!(Gate::Rz(0.5).to_string(), "rz(0.5)");
+    }
+
+    #[test]
+    fn inverses_pair_up() {
+        assert_eq!(Gate::S.inverse(), Some(Gate::Sdg));
+        assert_eq!(Gate::Sdg.inverse(), Some(Gate::S));
+        assert_eq!(Gate::Rz(0.5).inverse(), Some(Gate::Rz(-0.5)));
+        assert_eq!(Gate::U(1.0, 2.0, 3.0).inverse(), Some(Gate::U(-1.0, -3.0, -2.0)));
+        assert_eq!(Gate::Cx.inverse(), Some(Gate::Cx));
+        assert_eq!(Gate::Measure.inverse(), None);
+        assert_eq!(Gate::Reset.inverse(), None);
+    }
+
+    #[test]
+    fn names_are_qasm_spellings() {
+        assert_eq!(Gate::P(0.1).name(), "u1");
+        assert_eq!(Gate::U(0.1, 0.2, 0.3).name(), "u3");
+        assert_eq!(Gate::Cp(0.1).name(), "cu1");
+    }
+}

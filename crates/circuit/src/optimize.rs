@@ -1,0 +1,269 @@
+//! Peephole circuit optimization.
+//!
+//! Decomposition and routing leave easy savings behind: adjacent
+//! self-inverse pairs (`CX; CX`, `H; H`), rotation chains
+//! (`Rz(a); Rz(b)` -> `Rz(a+b)`), and identity rotations. This pass
+//! removes them. It is deliberately local — it never reorders gates —
+//! so it preserves the per-line gate order that routing verification
+//! depends on, and it only shrinks circuits.
+//!
+//! The paper's gate-count metric uses unoptimized post-mapping circuits;
+//! the experiment harness therefore does not run this pass. It exists
+//! for downstream users of the library (and is exercised in tests
+//! against the reference simulator).
+
+use crate::circuit::{Circuit, Instruction};
+use crate::gate::Gate;
+
+/// Angle below which a rotation is considered the identity.
+const EPS: f64 = 1e-12;
+
+/// Whether two instructions are adjacent inverses that cancel exactly.
+fn cancels(a: &Instruction, b: &Instruction) -> bool {
+    if a.qubits() != b.qubits() {
+        return false;
+    }
+    matches!(
+        (a.gate(), b.gate()),
+        (Gate::H, Gate::H)
+            | (Gate::X, Gate::X)
+            | (Gate::Y, Gate::Y)
+            | (Gate::Z, Gate::Z)
+            | (Gate::Cx, Gate::Cx)
+            | (Gate::Cy, Gate::Cy)
+            | (Gate::Cz, Gate::Cz)
+            | (Gate::Swap, Gate::Swap)
+            | (Gate::Ccx, Gate::Ccx)
+            | (Gate::Cswap, Gate::Cswap)
+            | (Gate::S, Gate::Sdg)
+            | (Gate::Sdg, Gate::S)
+            | (Gate::T, Gate::Tdg)
+            | (Gate::Tdg, Gate::T)
+            | (Gate::Sx, Gate::Sxdg)
+            | (Gate::Sxdg, Gate::Sx)
+    )
+}
+
+/// Merges two same-axis rotations on identical operands, if possible.
+fn merge(a: &Instruction, b: &Instruction) -> Option<Instruction> {
+    if a.qubits() != b.qubits() {
+        return None;
+    }
+    let gate = match (a.gate(), b.gate()) {
+        (Gate::Rx(x), Gate::Rx(y)) => Gate::Rx(x + y),
+        (Gate::Ry(x), Gate::Ry(y)) => Gate::Ry(x + y),
+        (Gate::Rz(x), Gate::Rz(y)) => Gate::Rz(x + y),
+        (Gate::P(x), Gate::P(y)) => Gate::P(x + y),
+        (Gate::Cp(x), Gate::Cp(y)) => Gate::Cp(x + y),
+        (Gate::Crz(x), Gate::Crz(y)) => Gate::Crz(x + y),
+        (Gate::Rzz(x), Gate::Rzz(y)) => Gate::Rzz(x + y),
+        _ => return None,
+    };
+    Some(Instruction::new(gate, a.qubits().to_vec()).expect("operands already validated"))
+}
+
+/// Whether the instruction is an identity rotation (or an explicit `id`).
+fn is_identity(inst: &Instruction) -> bool {
+    match inst.gate() {
+        Gate::I => true,
+        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::P(t) | Gate::Cp(t) | Gate::Crz(t)
+        | Gate::Rzz(t) => t.abs() < EPS,
+        _ => false,
+    }
+}
+
+/// Runs the peephole pass to a fixed point: cancels adjacent inverse
+/// pairs, merges same-axis rotations, and drops identity rotations.
+/// "Adjacent" means consecutive *on the instruction's qubit line(s)*
+/// with no intervening gate sharing a qubit, so independent gates on
+/// other qubits do not block cancellation.
+pub fn peephole(circuit: &Circuit) -> Circuit {
+    let mut work: Vec<Option<Instruction>> = circuit.iter().cloned().map(Some).collect();
+    let num_qubits = circuit.num_qubits();
+
+    loop {
+        let mut changed = false;
+        // last_on_line[q] = index into `work` of the latest live gate
+        // touching qubit q.
+        let mut last_on_line: Vec<Option<usize>> = vec![None; num_qubits];
+        for idx in 0..work.len() {
+            let Some(inst) = work[idx].clone() else { continue };
+            if is_identity(&inst) {
+                work[idx] = None;
+                changed = true;
+                continue;
+            }
+            // The candidate predecessor must be the previous gate on
+            // *every* operand line.
+            let preds: Vec<Option<usize>> =
+                inst.qubits().iter().map(|q| last_on_line[q.index()]).collect();
+            let same_pred = preds.first().copied().flatten().filter(|&p| {
+                preds.iter().all(|&x| x == Some(p))
+            });
+            let mut consumed = false;
+            if let Some(p) = same_pred {
+                let prev = work[p].clone().expect("live predecessor");
+                if cancels(&prev, &inst) {
+                    // Both vanish; restore the line pointers of the
+                    // predecessor's own predecessors lazily by rescanning
+                    // on the next outer iteration.
+                    work[p] = None;
+                    work[idx] = None;
+                    changed = true;
+                    consumed = true;
+                } else if let Some(merged) = merge(&prev, &inst) {
+                    work[p] = None;
+                    work[idx] = Some(merged.clone());
+                    changed = true;
+                    if is_identity(&merged) {
+                        work[idx] = None;
+                        consumed = true;
+                    }
+                }
+            }
+            if !consumed {
+                if let Some(live) = &work[idx] {
+                    for q in live.qubits() {
+                        last_on_line[q.index()] = Some(idx);
+                    }
+                } else {
+                    // Cancelled pair: clear stale line pointers to the
+                    // predecessor.
+                    for (q, &pred) in inst.qubits().iter().zip(&preds) {
+                        if last_on_line[q.index()] == pred {
+                            last_on_line[q.index()] = None;
+                        }
+                    }
+                }
+            } else {
+                for (q, &pred) in inst.qubits().iter().zip(&preds) {
+                    if last_on_line[q.index()] == pred || last_on_line[q.index()] == Some(idx) {
+                        last_on_line[q.index()] = None;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Circuit::new(num_qubits);
+    for inst in work.into_iter().flatten() {
+        out.push_instruction(inst).expect("instructions were valid");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose_to_native;
+    use crate::random::{random_circuit, RandomCircuitSpec};
+    use crate::sim::StateVector;
+
+    #[test]
+    fn cancels_adjacent_cx_pairs() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1).h(0);
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].gate().name(), "h");
+    }
+
+    #[test]
+    fn independent_gates_do_not_block() {
+        // A gate on another qubit between the pair must not prevent
+        // cancellation.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).h(2).cx(0, 1);
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].gate().name(), "h");
+    }
+
+    #[test]
+    fn interleaved_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(1).cx(0, 1);
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 3, "h on the target must block");
+    }
+
+    #[test]
+    fn merges_rotations() {
+        let mut c = Circuit::new(1);
+        c.rz(0.25, 0).rz(0.5, 0);
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].gate().params(), vec![0.75]);
+    }
+
+    #[test]
+    fn merged_identity_vanishes() {
+        let mut c = Circuit::new(1);
+        c.rz(0.4, 0).rz(-0.4, 0);
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn drops_identity_rotations() {
+        let mut c = Circuit::new(2);
+        c.rx(0.0, 0).cp(0.0, 0, 1).h(1);
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 1);
+    }
+
+    #[test]
+    fn cascades_to_fixed_point() {
+        // h h around a cancelling cx pair: everything vanishes, but only
+        // after the inner pair goes first.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).cx(0, 1).h(0);
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn s_sdg_and_t_tdg_cancel() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0).t(0).tdg(0);
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn preserves_semantics_on_random_circuits() {
+        for seed in 0..10 {
+            let c = random_circuit(&RandomCircuitSpec {
+                num_qubits: 5,
+                num_gates: 80,
+                two_qubit_fraction: 0.4,
+                seed,
+            });
+            let opt = peephole(&c);
+            assert!(opt.len() <= c.len());
+            let a = StateVector::from_circuit(&c).unwrap();
+            let b = StateVector::from_circuit(&opt).unwrap();
+            assert!(a.approx_eq_global_phase(&b, 1e-9), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn preserves_semantics_on_decomposed_benchmark_like_circuit() {
+        let mut c = Circuit::new(5);
+        c.ccx(0, 1, 2).ccx(0, 1, 2).mcx(&[0, 1, 2], 3).h(4);
+        let native = decompose_to_native(&c).unwrap();
+        let opt = peephole(&native);
+        assert!(opt.len() < native.len(), "toffoli pair should shrink");
+        let a = StateVector::from_circuit(&native).unwrap();
+        let b = StateVector::from_circuit(&opt).unwrap();
+        assert!(a.approx_eq_global_phase(&b, 1e-9));
+    }
+
+    #[test]
+    fn measure_and_barrier_are_untouched() {
+        let mut c = Circuit::new(2);
+        c.measure(0).barrier_all().measure(1);
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 3);
+    }
+}

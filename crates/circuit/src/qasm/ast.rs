@@ -1,0 +1,251 @@
+//! Abstract syntax tree for OpenQASM 2.0.
+
+use std::fmt;
+
+/// A parsed OpenQASM 2.0 program: the version header plus a statement list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Declared version (always `2.0` for accepted programs).
+    pub version: (u32, u32),
+    /// Top-level statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+/// Reference to a whole register or one element of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterRef {
+    /// Register name.
+    pub name: String,
+    /// `Some(i)` for `name[i]`, `None` for the whole register.
+    pub index: Option<usize>,
+    /// Source line (for error reporting during elaboration).
+    pub line: usize,
+    /// Source column.
+    pub col: usize,
+}
+
+impl fmt::Display for RegisterRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}[{}]", self.name, i),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// A top-level or gate-body statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `include "file";` — recorded but only `qelib1.inc` has meaning.
+    Include {
+        /// Included file name.
+        file: String,
+        /// Source line.
+        line: usize,
+    },
+    /// `qreg name[size];`
+    QregDecl {
+        /// Register name.
+        name: String,
+        /// Number of qubits.
+        size: usize,
+        /// Source line.
+        line: usize,
+    },
+    /// `creg name[size];`
+    CregDecl {
+        /// Register name.
+        name: String,
+        /// Number of bits.
+        size: usize,
+        /// Source line.
+        line: usize,
+    },
+    /// `gate name(params) args { body }`
+    GateDef {
+        /// Gate name.
+        name: String,
+        /// Formal parameter names.
+        params: Vec<String>,
+        /// Formal qubit argument names.
+        args: Vec<String>,
+        /// Body statements (applications and barriers over formals).
+        body: Vec<Statement>,
+        /// Source line.
+        line: usize,
+    },
+    /// `opaque name(params) args;`
+    OpaqueDecl {
+        /// Gate name.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+    /// Application of a gate: `name(exprs) operands;`
+    Apply {
+        /// Gate name as written (`U` and `CX` builtins included).
+        name: String,
+        /// Actual parameter expressions.
+        params: Vec<Expr>,
+        /// Qubit operands.
+        operands: Vec<RegisterRef>,
+        /// Source line.
+        line: usize,
+        /// Source column.
+        col: usize,
+    },
+    /// `measure src -> dst;`
+    Measure {
+        /// Measured qubit(s).
+        src: RegisterRef,
+        /// Classical destination (validated, then discarded).
+        dst: RegisterRef,
+        /// Source line.
+        line: usize,
+    },
+    /// `reset target;`
+    Reset {
+        /// Reset qubit(s).
+        target: RegisterRef,
+        /// Source line.
+        line: usize,
+    },
+    /// `barrier operands;`
+    Barrier {
+        /// Barrier operands.
+        operands: Vec<RegisterRef>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// A parameter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// The constant pi.
+    Pi,
+    /// A gate-definition formal parameter.
+    Ident(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Builtin function call (`sin`, `cos`, `tan`, `exp`, `ln`, `sqrt`).
+    Call {
+        /// Function name.
+        func: String,
+        /// Argument.
+        arg: Box<Expr>,
+    },
+}
+
+/// Binary operator in a parameter expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Exponentiation (`^`).
+    Pow,
+}
+
+impl Expr {
+    /// Evaluates the expression with the given parameter bindings.
+    ///
+    /// Returns `None` if an identifier is unbound or a function is unknown.
+    pub fn eval(&self, bindings: &[(String, f64)]) -> Option<f64> {
+        match self {
+            Expr::Number(v) => Some(*v),
+            Expr::Pi => Some(std::f64::consts::PI),
+            Expr::Ident(name) => {
+                bindings.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+            }
+            Expr::Neg(inner) => inner.eval(bindings).map(|v| -v),
+            Expr::Binary { op, lhs, rhs } => {
+                let l = lhs.eval(bindings)?;
+                let r = rhs.eval(bindings)?;
+                Some(match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => l / r,
+                    BinOp::Pow => l.powf(r),
+                })
+            }
+            Expr::Call { func, arg } => {
+                let v = arg.eval(bindings)?;
+                Some(match func.as_str() {
+                    "sin" => v.sin(),
+                    "cos" => v.cos(),
+                    "tan" => v.tan(),
+                    "exp" => v.exp(),
+                    "ln" => v.ln(),
+                    "sqrt" => v.sqrt(),
+                    _ => return None,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_eval() {
+        let e = Expr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(Expr::Pi),
+            rhs: Box::new(Expr::Number(2.0)),
+        };
+        assert!((e.eval(&[]).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expr_bindings() {
+        let e = Expr::Neg(Box::new(Expr::Ident("theta".into())));
+        assert_eq!(e.eval(&[("theta".into(), 0.5)]), Some(-0.5));
+        assert_eq!(e.eval(&[]), None);
+    }
+
+    #[test]
+    fn expr_functions() {
+        let e = Expr::Call { func: "cos".into(), arg: Box::new(Expr::Number(0.0)) };
+        assert_eq!(e.eval(&[]), Some(1.0));
+        let bad = Expr::Call { func: "sinh".into(), arg: Box::new(Expr::Number(0.0)) };
+        assert_eq!(bad.eval(&[]), None);
+    }
+
+    #[test]
+    fn register_ref_display() {
+        let r = RegisterRef { name: "q".into(), index: Some(2), line: 1, col: 1 };
+        assert_eq!(r.to_string(), "q[2]");
+        let r = RegisterRef { name: "q".into(), index: None, line: 1, col: 1 };
+        assert_eq!(r.to_string(), "q");
+    }
+
+    #[test]
+    fn pow_evaluates() {
+        let e = Expr::Binary {
+            op: BinOp::Pow,
+            lhs: Box::new(Expr::Number(2.0)),
+            rhs: Box::new(Expr::Number(10.0)),
+        };
+        assert_eq!(e.eval(&[]), Some(1024.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! OpenQASM 2.0 emission.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::error::QasmError;
+use crate::gate::Gate;
+
+/// Serializes a circuit as OpenQASM 2.0 targeting the (Qiskit-extended)
+/// `qelib1.inc` gate library.
+///
+/// The circuit's qubits become a single register `q[n]`; if measurements
+/// are present a classical register `c[n]` is declared and `measure q[i]
+/// -> c[i]` emitted.
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] if the circuit contains a gate with no QASM
+/// spelling ([`Gate::Mcx`] — lower it first with
+/// [`crate::decompose::lower_mcx`]).
+///
+/// ```
+/// use qpd_circuit::Circuit;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let qasm = qpd_circuit::qasm::to_qasm(&c)?;
+/// assert!(qasm.contains("cx q[0], q[1];"));
+/// let back = qpd_circuit::qasm::parse(&qasm)?;
+/// assert_eq!(back, c);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let n = circuit.num_qubits();
+    let _ = writeln!(out, "qreg q[{n}];");
+    if circuit.iter().any(|i| matches!(i.gate(), Gate::Measure)) {
+        let _ = writeln!(out, "creg c[{n}];");
+    }
+    for inst in circuit.iter() {
+        let qubits: Vec<String> =
+            inst.qubits().iter().map(|q| format!("q[{}]", q.index())).collect();
+        match inst.gate() {
+            Gate::Mcx => {
+                return Err(QasmError::new(
+                    0,
+                    0,
+                    "`mcx` has no qelib1 spelling; lower it with decompose::lower_mcx first",
+                ));
+            }
+            Gate::Measure => {
+                let q = inst.qubits()[0].index();
+                let _ = writeln!(out, "measure q[{q}] -> c[{q}];");
+            }
+            Gate::Barrier => {
+                let _ = writeln!(out, "barrier {};", qubits.join(", "));
+            }
+            Gate::Reset => {
+                let _ = writeln!(out, "reset {};", qubits[0]);
+            }
+            g => {
+                let params = g.params();
+                if params.is_empty() {
+                    let _ = writeln!(out, "{} {};", g.name(), qubits.join(", "));
+                } else {
+                    let rendered: Vec<String> = params.iter().map(|p| format_param(*p)).collect();
+                    let _ = writeln!(out, "{}({}) {};", g.name(), rendered.join(", "), qubits.join(", "));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Formats an angle with enough digits to round-trip exactly through the
+/// parser.
+fn format_param(v: f64) -> String {
+    // `{:?}` on f64 produces the shortest representation that round-trips.
+    let s = format!("{v:?}");
+    // Ensure the token lexes as a real, not an integer.
+    if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm::parse;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccx(0, 1, 2).rz(0.1234567890123, 2).barrier_all().measure_all();
+        let qasm = to_qasm(&c).unwrap();
+        let back = parse(&qasm).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn roundtrip_parameterized() {
+        let mut c = Circuit::new(2);
+        c.u(0.1, -0.2, 3.0, 0).cp(std::f64::consts::PI, 0, 1).rzz(1e-9, 0, 1);
+        let qasm = to_qasm(&c).unwrap();
+        let back = parse(&qasm).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn mcx_is_rejected() {
+        let mut c = Circuit::new(4);
+        c.mcx(&[0, 1, 2], 3);
+        let err = to_qasm(&c).unwrap_err();
+        assert!(err.to_string().contains("mcx"));
+    }
+
+    #[test]
+    fn no_creg_without_measure() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let qasm = to_qasm(&c).unwrap();
+        assert!(!qasm.contains("creg"));
+    }
+
+    #[test]
+    fn param_formatting_roundtrips_integers() {
+        assert_eq!(format_param(2.0), "2.0");
+        assert_eq!(format_param(0.5), "0.5");
+    }
+}

@@ -1,0 +1,379 @@
+//! Hand-written lexer for OpenQASM 2.0.
+
+use crate::error::QasmError;
+
+/// Kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Floating-point literal.
+    Real(f64),
+    /// Non-negative integer literal.
+    Int(u64),
+    /// String literal (without quotes).
+    Str(String),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Real(v) => format!("real `{v}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source position (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Streaming lexer over QASM source text.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    /// Lexes the entire input into a token vector (ending with
+    /// [`TokenKind::Eof`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QasmError`] on malformed numbers, unterminated strings,
+    /// or unexpected characters.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, QasmError> {
+        let mut tokens = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            tokens.push(tok);
+            if eof {
+                return Ok(tokens);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, QasmError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let make = |kind| Token { kind, line, col };
+        let Some(b) = self.peek() else {
+            return Ok(make(TokenKind::Eof));
+        };
+        match b {
+            b';' => {
+                self.bump();
+                Ok(make(TokenKind::Semicolon))
+            }
+            b',' => {
+                self.bump();
+                Ok(make(TokenKind::Comma))
+            }
+            b'(' => {
+                self.bump();
+                Ok(make(TokenKind::LParen))
+            }
+            b')' => {
+                self.bump();
+                Ok(make(TokenKind::RParen))
+            }
+            b'{' => {
+                self.bump();
+                Ok(make(TokenKind::LBrace))
+            }
+            b'}' => {
+                self.bump();
+                Ok(make(TokenKind::RBrace))
+            }
+            b'[' => {
+                self.bump();
+                Ok(make(TokenKind::LBracket))
+            }
+            b']' => {
+                self.bump();
+                Ok(make(TokenKind::RBracket))
+            }
+            b'+' => {
+                self.bump();
+                Ok(make(TokenKind::Plus))
+            }
+            b'*' => {
+                self.bump();
+                Ok(make(TokenKind::Star))
+            }
+            b'/' => {
+                self.bump();
+                Ok(make(TokenKind::Slash))
+            }
+            b'^' => {
+                self.bump();
+                Ok(make(TokenKind::Caret))
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Ok(make(TokenKind::Arrow))
+                } else {
+                    Ok(make(TokenKind::Minus))
+                }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(make(TokenKind::EqEq))
+                } else {
+                    Err(QasmError::new(line, col, "expected `==`"))
+                }
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(c) => s.push(c as char),
+                        None => {
+                            return Err(QasmError::new(line, col, "unterminated string literal"))
+                        }
+                    }
+                }
+                Ok(make(TokenKind::Str(s)))
+            }
+            b'0'..=b'9' | b'.' => self.lex_number(line, col),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(make(TokenKind::Ident(s)))
+            }
+            other => Err(QasmError::new(
+                line,
+                col,
+                format!("unexpected character `{}`", other as char),
+            )),
+        }
+    }
+
+    fn lex_number(&mut self, line: usize, col: usize) -> Result<Token, QasmError> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !saw_dot && !saw_exp => {
+                    saw_dot = true;
+                    self.bump();
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        if saw_dot || saw_exp {
+            text.parse::<f64>()
+                .map(|v| Token { kind: TokenKind::Real(v), line, col })
+                .map_err(|_| QasmError::new(line, col, format!("malformed real `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(|v| Token { kind: TokenKind::Int(v), line, col })
+                .map_err(|_| QasmError::new(line, col, format!("malformed integer `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("qreg q[5];");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("qreg".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(5),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("3")[0], TokenKind::Int(3));
+        assert_eq!(kinds("3.5")[0], TokenKind::Real(3.5));
+        assert_eq!(kinds("1e-3")[0], TokenKind::Real(1e-3));
+        assert_eq!(kinds(".5")[0], TokenKind::Real(0.5));
+    }
+
+    #[test]
+    fn arrow_and_minus() {
+        assert_eq!(kinds("a -> b"), vec![
+            TokenKind::Ident("a".into()),
+            TokenKind::Arrow,
+            TokenKind::Ident("b".into()),
+            TokenKind::Eof,
+        ]);
+        assert_eq!(kinds("-1")[0], TokenKind::Minus);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("h q; // apply hadamard\ncx q, r;");
+        assert!(ks.contains(&TokenKind::Ident("cx".into())));
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(kinds("include \"qelib1.inc\";")[1], TokenKind::Str("qelib1.inc".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("include \"oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn position_tracking() {
+        let toks = Lexer::new("h q;\ncx a, b;").tokenize().unwrap();
+        let cx = toks.iter().find(|t| t.kind == TokenKind::Ident("cx".into())).unwrap();
+        assert_eq!((cx.line, cx.col), (2, 1));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = Lexer::new("h q; @").tokenize().unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+}

@@ -1,0 +1,38 @@
+//! OpenQASM 2.0 support.
+//!
+//! Supports the language subset used by real circuit dumps (Qiskit,
+//! RevLib-derived benchmarks, ScaffCC output): register declarations,
+//! the `qelib1.inc` standard gate library (treated as built in), custom
+//! `gate` definitions (expanded at application), broadcast semantics,
+//! `measure`, `reset`, and `barrier`. Classical control (`if`) and
+//! `opaque` gate applications are rejected with a clear error, since the
+//! architecture design flow has no use for them.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let source = r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[3];
+//!     creg c[3];
+//!     h q[0];
+//!     cx q[0], q[1];
+//!     ccx q[0], q[1], q[2];
+//!     measure q -> c;
+//! "#;
+//! let circuit = qpd_circuit::qasm::parse(source)?;
+//! assert_eq!(circuit.num_qubits(), 3);
+//! assert_eq!(circuit.counts_by_name()["measure"], 3);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod emit;
+mod lexer;
+mod parser;
+
+pub use ast::{Expr, Program, RegisterRef, Statement};
+pub use emit::to_qasm;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse, parse_program, elaborate};

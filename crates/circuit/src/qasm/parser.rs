@@ -1,0 +1,1018 @@
+//! Recursive-descent parser and elaborator for OpenQASM 2.0.
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::error::QasmError;
+use crate::gate::Gate;
+use crate::qubit::Qubit;
+
+use super::ast::{BinOp, Expr, Program, RegisterRef, Statement};
+use super::lexer::{Lexer, Token, TokenKind};
+
+/// Parses QASM source directly into a [`Circuit`].
+///
+/// Equivalent to [`parse_program`] followed by [`elaborate`].
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] with source location on any lexical, syntactic,
+/// or semantic problem.
+pub fn parse(source: &str) -> Result<Circuit, QasmError> {
+    elaborate(&parse_program(source)?)
+}
+
+/// Parses QASM source into an AST without elaborating it.
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] on lexical or syntactic problems.
+pub fn parse_program(source: &str) -> Result<Program, QasmError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, QasmError> {
+        let t = self.bump();
+        if &t.kind == kind {
+            Ok(t)
+        } else {
+            Err(QasmError::new(
+                t.line,
+                t.col,
+                format!("expected {}, found {}", kind.describe(), t.kind.describe()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, usize, usize), QasmError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Ident(s) => Ok((s, t.line, t.col)),
+            other => Err(QasmError::new(
+                t.line,
+                t.col,
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<usize, QasmError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Int(v) => Ok(v as usize),
+            other => Err(QasmError::new(
+                t.line,
+                t.col,
+                format!("expected integer, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, QasmError> {
+        // Header: OPENQASM 2.0;
+        let (kw, line, col) = self.expect_ident()?;
+        if kw != "OPENQASM" {
+            return Err(QasmError::new(line, col, "file must start with `OPENQASM 2.0;`"));
+        }
+        let t = self.bump();
+        let version = match t.kind {
+            TokenKind::Real(v) if (v - 2.0).abs() < 1e-9 => (2, 0),
+            TokenKind::Real(v) => {
+                return Err(QasmError::new(
+                    t.line,
+                    t.col,
+                    format!("unsupported OPENQASM version {v}; only 2.0 is supported"),
+                ))
+            }
+            other => {
+                return Err(QasmError::new(
+                    t.line,
+                    t.col,
+                    format!("expected version number, found {}", other.describe()),
+                ))
+            }
+        };
+        self.expect(&TokenKind::Semicolon)?;
+
+        let mut statements = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            statements.push(self.statement(false)?);
+        }
+        Ok(Program { version, statements })
+    }
+
+    fn statement(&mut self, in_gate_body: bool) -> Result<Statement, QasmError> {
+        let t = self.peek().clone();
+        let TokenKind::Ident(ref word) = t.kind else {
+            return Err(QasmError::new(
+                t.line,
+                t.col,
+                format!("expected statement, found {}", t.kind.describe()),
+            ));
+        };
+        match word.as_str() {
+            "include" if !in_gate_body => {
+                self.bump();
+                let tok = self.bump();
+                let TokenKind::Str(file) = tok.kind else {
+                    return Err(QasmError::new(tok.line, tok.col, "expected file name string"));
+                };
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Include { file, line: t.line })
+            }
+            "qreg" | "creg" if !in_gate_body => {
+                let is_q = word == "qreg";
+                self.bump();
+                let (name, ..) = self.expect_ident()?;
+                self.expect(&TokenKind::LBracket)?;
+                let size = self.expect_int()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semicolon)?;
+                if is_q {
+                    Ok(Statement::QregDecl { name, size, line: t.line })
+                } else {
+                    Ok(Statement::CregDecl { name, size, line: t.line })
+                }
+            }
+            "gate" if !in_gate_body => self.gate_def(t.line),
+            "opaque" if !in_gate_body => {
+                self.bump();
+                let (name, ..) = self.expect_ident()?;
+                // Skip (params) and args up to `;`.
+                while self.peek().kind != TokenKind::Semicolon
+                    && self.peek().kind != TokenKind::Eof
+                {
+                    self.bump();
+                }
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::OpaqueDecl { name, line: t.line })
+            }
+            "measure" if !in_gate_body => {
+                self.bump();
+                let src = self.register_ref()?;
+                self.expect(&TokenKind::Arrow)?;
+                let dst = self.register_ref()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Measure { src, dst, line: t.line })
+            }
+            "reset" if !in_gate_body => {
+                self.bump();
+                let target = self.register_ref()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Reset { target, line: t.line })
+            }
+            "barrier" => {
+                self.bump();
+                let operands = self.operand_list()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Barrier { operands, line: t.line })
+            }
+            "if" => Err(QasmError::new(
+                t.line,
+                t.col,
+                "classically controlled operations (`if`) are not supported",
+            )),
+            _ => {
+                // Gate application: name [(params)] operands ;
+                let (name, line, col) = self.expect_ident()?;
+                let mut params = Vec::new();
+                if self.peek().kind == TokenKind::LParen {
+                    self.bump();
+                    if self.peek().kind != TokenKind::RParen {
+                        loop {
+                            params.push(self.expr()?);
+                            if self.peek().kind == TokenKind::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                let operands = self.operand_list()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Apply { name, params, operands, line, col })
+            }
+        }
+    }
+
+    fn gate_def(&mut self, line: usize) -> Result<Statement, QasmError> {
+        self.bump(); // `gate`
+        let (name, ..) = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    let (p, ..) = self.expect_ident()?;
+                    params.push(p);
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let mut args = Vec::new();
+        loop {
+            let (a, ..) = self.expect_ident()?;
+            args.push(a);
+            if self.peek().kind == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                let t = self.peek();
+                return Err(QasmError::new(t.line, t.col, "unterminated gate body"));
+            }
+            body.push(self.statement(true)?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Statement::GateDef { name, params, args, body, line })
+    }
+
+    fn operand_list(&mut self) -> Result<Vec<RegisterRef>, QasmError> {
+        let mut operands = vec![self.register_ref()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            operands.push(self.register_ref()?);
+        }
+        Ok(operands)
+    }
+
+    fn register_ref(&mut self) -> Result<RegisterRef, QasmError> {
+        let (name, line, col) = self.expect_ident()?;
+        let index = if self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            let idx = self.expect_int()?;
+            self.expect(&TokenKind::RBracket)?;
+            Some(idx)
+        } else {
+            None
+        };
+        Ok(RegisterRef { name, index, line, col })
+    }
+
+    // Expression grammar: expr := term (('+'|'-') term)*
+    //                     term := factor (('*'|'/') factor)*
+    //                     factor := unary ('^' factor)?
+    //                     unary := '-' unary | atom
+    fn expr(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, QasmError> {
+        let base = self.unary()?;
+        if self.peek().kind == TokenKind::Caret {
+            self.bump();
+            let exp = self.factor()?; // right-associative
+            Ok(Expr::Binary { op: BinOp::Pow, lhs: Box::new(base), rhs: Box::new(exp) })
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, QasmError> {
+        if self.peek().kind == TokenKind::Minus {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Real(v) => Ok(Expr::Number(v)),
+            TokenKind::Int(v) => Ok(Expr::Number(v as f64)),
+            TokenKind::Ident(name) if name == "pi" => Ok(Expr::Pi),
+            TokenKind::Ident(name) => {
+                if self.peek().kind == TokenKind::LParen {
+                    self.bump();
+                    let arg = self.expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call { func: name, arg: Box::new(arg) })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::LParen => {
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(QasmError::new(
+                t.line,
+                t.col,
+                format!("expected expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+// --- elaboration ----------------------------------------------------------
+
+struct GateDefInfo<'a> {
+    params: &'a [String],
+    args: &'a [String],
+    body: &'a [Statement],
+}
+
+struct Elaborator<'a> {
+    qregs: HashMap<String, (usize, usize)>, // name -> (offset, size)
+    qreg_order: Vec<String>,
+    cregs: HashMap<String, usize>,          // name -> size
+    defs: HashMap<String, GateDefInfo<'a>>,
+    opaques: HashMap<String, usize>, // name -> decl line
+    num_qubits: usize,
+}
+
+/// What an operand resolved to.
+enum Operand {
+    Single(Qubit),
+    Whole(Vec<Qubit>),
+}
+
+/// Elaborates a parsed [`Program`] into a flat [`Circuit`].
+///
+/// Quantum registers are laid out contiguously in declaration order.
+/// Classical registers are validated and then discarded (measurements
+/// record only the measured qubit).
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] on undeclared registers, out-of-range indices,
+/// arity mismatches, broadcast size mismatches, applications of opaque
+/// gates, or unknown gate names.
+pub fn elaborate(program: &Program) -> Result<Circuit, QasmError> {
+    let mut el = Elaborator {
+        qregs: HashMap::new(),
+        qreg_order: Vec::new(),
+        cregs: HashMap::new(),
+        defs: HashMap::new(),
+        opaques: HashMap::new(),
+        num_qubits: 0,
+    };
+
+    // Pass 1: declarations.
+    for stmt in &program.statements {
+        match stmt {
+            Statement::QregDecl { name, size, line } => {
+                if el.qregs.contains_key(name) {
+                    return Err(QasmError::new(*line, 0, format!("qreg `{name}` redeclared")));
+                }
+                el.qregs.insert(name.clone(), (el.num_qubits, *size));
+                el.qreg_order.push(name.clone());
+                el.num_qubits += size;
+            }
+            Statement::CregDecl { name, size, line } => {
+                if el.cregs.contains_key(name) {
+                    return Err(QasmError::new(*line, 0, format!("creg `{name}` redeclared")));
+                }
+                el.cregs.insert(name.clone(), *size);
+            }
+            Statement::GateDef { name, params, args, body, .. } => {
+                el.defs.insert(
+                    name.clone(),
+                    GateDefInfo { params, args, body },
+                );
+            }
+            Statement::OpaqueDecl { name, line } => {
+                el.opaques.insert(name.clone(), *line);
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2: executable statements.
+    let mut circuit = Circuit::new(el.num_qubits);
+    for stmt in &program.statements {
+        el.exec(stmt, &mut circuit)?;
+    }
+    Ok(circuit)
+}
+
+impl<'a> Elaborator<'a> {
+    fn exec(&self, stmt: &Statement, circuit: &mut Circuit) -> Result<(), QasmError> {
+        match stmt {
+            Statement::Include { .. }
+            | Statement::QregDecl { .. }
+            | Statement::CregDecl { .. }
+            | Statement::GateDef { .. }
+            | Statement::OpaqueDecl { .. } => Ok(()),
+            Statement::Apply { name, params, operands, line, col } => {
+                let values = params
+                    .iter()
+                    .map(|e| {
+                        e.eval(&[]).ok_or_else(|| {
+                            QasmError::new(*line, *col, "unbound identifier in parameter")
+                        })
+                    })
+                    .collect::<Result<Vec<f64>, QasmError>>()?;
+                let resolved = operands
+                    .iter()
+                    .map(|r| self.resolve_qubit(r))
+                    .collect::<Result<Vec<Operand>, QasmError>>()?;
+                for group in broadcast(&resolved, *line, *col)? {
+                    self.apply_gate(name, &values, &group, circuit, *line, *col, 0)?;
+                }
+                Ok(())
+            }
+            Statement::Measure { src, dst, line } => {
+                let src_ops = self.resolve_qubit(src)?;
+                self.check_creg(dst, *line)?;
+                // Broadcast widths must agree: `measure q -> c` needs
+                // |q| == |c|; a whole register cannot measure into one bit.
+                let src_width = match &src_ops {
+                    Operand::Single(_) => 1,
+                    Operand::Whole(qs) => qs.len(),
+                };
+                let dst_width = match dst.index {
+                    Some(_) => 1,
+                    None => self.cregs[&dst.name],
+                };
+                if src_width != dst_width {
+                    return Err(QasmError::new(
+                        *line,
+                        dst.col,
+                        format!(
+                            "measure width mismatch: {src_width} qubit(s) into {dst_width} bit(s)"
+                        ),
+                    ));
+                }
+                let groups = broadcast(std::slice::from_ref(&src_ops), *line, 0)?;
+                for g in groups {
+                    circuit.push(Gate::Measure, &g).map_err(QasmError::from)?;
+                }
+                Ok(())
+            }
+            Statement::Reset { target, line } => {
+                let ops = self.resolve_qubit(target)?;
+                for g in broadcast(std::slice::from_ref(&ops), *line, 0)? {
+                    circuit.push(Gate::Reset, &g).map_err(QasmError::from)?;
+                }
+                Ok(())
+            }
+            Statement::Barrier { operands, line: _ } => {
+                let mut qubits = Vec::new();
+                for r in operands {
+                    match self.resolve_qubit(r)? {
+                        Operand::Single(q) => qubits.push(q),
+                        Operand::Whole(qs) => qubits.extend(qs),
+                    }
+                }
+                circuit.push(Gate::Barrier, &qubits).map_err(QasmError::from)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn check_creg(&self, r: &RegisterRef, line: usize) -> Result<(), QasmError> {
+        let Some(size) = self.cregs.get(&r.name) else {
+            return Err(QasmError::new(line, r.col, format!("creg `{}` not declared", r.name)));
+        };
+        if let Some(i) = r.index {
+            if i >= *size {
+                return Err(QasmError::new(
+                    line,
+                    r.col,
+                    format!("index {i} out of range for creg `{}` of size {size}", r.name),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_qubit(&self, r: &RegisterRef) -> Result<Operand, QasmError> {
+        let Some(&(offset, size)) = self.qregs.get(&r.name) else {
+            return Err(QasmError::new(
+                r.line,
+                r.col,
+                format!("qreg `{}` not declared", r.name),
+            ));
+        };
+        match r.index {
+            Some(i) if i >= size => Err(QasmError::new(
+                r.line,
+                r.col,
+                format!("index {i} out of range for qreg `{}` of size {size}", r.name),
+            )),
+            Some(i) => Ok(Operand::Single(Qubit::from(offset + i))),
+            None => Ok(Operand::Whole((offset..offset + size).map(Qubit::from).collect())),
+        }
+    }
+
+    /// Applies a (possibly user-defined) gate to concrete qubits.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_gate(
+        &self,
+        name: &str,
+        params: &[f64],
+        qubits: &[Qubit],
+        circuit: &mut Circuit,
+        line: usize,
+        col: usize,
+        depth: usize,
+    ) -> Result<(), QasmError> {
+        if depth > 64 {
+            return Err(QasmError::new(line, col, format!("gate `{name}` expands too deeply")));
+        }
+        // User definitions shadow the builtin library.
+        if let Some(def) = self.defs.get(name) {
+            if def.params.len() != params.len() {
+                return Err(QasmError::new(
+                    line,
+                    col,
+                    format!(
+                        "gate `{name}` takes {} parameter(s), got {}",
+                        def.params.len(),
+                        params.len()
+                    ),
+                ));
+            }
+            if def.args.len() != qubits.len() {
+                return Err(QasmError::new(
+                    line,
+                    col,
+                    format!(
+                        "gate `{name}` takes {} qubit(s), got {}",
+                        def.args.len(),
+                        qubits.len()
+                    ),
+                ));
+            }
+            let bindings: Vec<(String, f64)> =
+                def.params.iter().cloned().zip(params.iter().copied()).collect();
+            for stmt in def.body {
+                match stmt {
+                    Statement::Apply { name: inner, params: ps, operands, line: l, col: c } => {
+                        let values = ps
+                            .iter()
+                            .map(|e| {
+                                e.eval(&bindings).ok_or_else(|| {
+                                    QasmError::new(
+                                        *l,
+                                        *c,
+                                        "unbound identifier in gate body parameter",
+                                    )
+                                })
+                            })
+                            .collect::<Result<Vec<f64>, QasmError>>()?;
+                        let mapped = operands
+                            .iter()
+                            .map(|r| {
+                                if r.index.is_some() {
+                                    return Err(QasmError::new(
+                                        *l,
+                                        r.col,
+                                        "indexing is not allowed inside gate bodies",
+                                    ));
+                                }
+                                def.args
+                                    .iter()
+                                    .position(|a| a == &r.name)
+                                    .map(|i| qubits[i])
+                                    .ok_or_else(|| {
+                                        QasmError::new(
+                                            *l,
+                                            r.col,
+                                            format!("unknown formal argument `{}`", r.name),
+                                        )
+                                    })
+                            })
+                            .collect::<Result<Vec<Qubit>, QasmError>>()?;
+                        self.apply_gate(inner, &values, &mapped, circuit, *l, *c, depth + 1)?;
+                    }
+                    Statement::Barrier { operands, line: l } => {
+                        let mapped = operands
+                            .iter()
+                            .map(|r| {
+                                def.args
+                                    .iter()
+                                    .position(|a| a == &r.name)
+                                    .map(|i| qubits[i])
+                                    .ok_or_else(|| {
+                                        QasmError::new(
+                                            *l,
+                                            r.col,
+                                            format!("unknown formal argument `{}`", r.name),
+                                        )
+                                    })
+                            })
+                            .collect::<Result<Vec<Qubit>, QasmError>>()?;
+                        circuit.push(Gate::Barrier, &mapped).map_err(QasmError::from)?;
+                    }
+                    other => {
+                        return Err(QasmError::new(
+                            line,
+                            col,
+                            format!("unsupported statement in gate body: {other:?}"),
+                        ))
+                    }
+                }
+            }
+            return Ok(());
+        }
+        if let Some(decl_line) = self.opaques.get(name) {
+            return Err(QasmError::new(
+                line,
+                col,
+                format!("cannot apply opaque gate `{name}` (declared at line {decl_line})"),
+            ));
+        }
+        let gate = builtin_gate(name, params, qubits.len(), line, col)?;
+        circuit.push(gate, qubits).map_err(QasmError::from)?;
+        Ok(())
+    }
+}
+
+/// Expands broadcast semantics: whole-register operands apply the gate
+/// element-wise; all whole-register operands must have equal length.
+fn broadcast(operands: &[Operand], line: usize, col: usize) -> Result<Vec<Vec<Qubit>>, QasmError> {
+    let mut width: Option<usize> = None;
+    for op in operands {
+        if let Operand::Whole(qs) = op {
+            match width {
+                None => width = Some(qs.len()),
+                Some(w) if w != qs.len() => {
+                    return Err(QasmError::new(
+                        line,
+                        col,
+                        format!("register broadcast size mismatch: {} vs {}", w, qs.len()),
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
+    let width = width.unwrap_or(1);
+    let mut out = Vec::with_capacity(width);
+    for i in 0..width {
+        let group: Vec<Qubit> = operands
+            .iter()
+            .map(|op| match op {
+                Operand::Single(q) => *q,
+                Operand::Whole(qs) => qs[i],
+            })
+            .collect();
+        out.push(group);
+    }
+    Ok(out)
+}
+
+/// Maps a builtin gate name (the QASM primitives plus the qelib1 library
+/// and Qiskit's common extensions) to a [`Gate`].
+fn builtin_gate(
+    name: &str,
+    params: &[f64],
+    operand_count: usize,
+    line: usize,
+    col: usize,
+) -> Result<Gate, QasmError> {
+    use std::f64::consts::FRAC_PI_2;
+    let param_err = |expected: usize| {
+        QasmError::new(
+            line,
+            col,
+            format!("gate `{name}` takes {expected} parameter(s), got {}", params.len()),
+        )
+    };
+    let check = |expected: usize| -> Result<(), QasmError> {
+        if params.len() == expected {
+            Ok(())
+        } else {
+            Err(param_err(expected))
+        }
+    };
+    let gate = match name {
+        "U" | "u3" | "u" => {
+            check(3)?;
+            Gate::U(params[0], params[1], params[2])
+        }
+        "u2" => {
+            check(2)?;
+            Gate::U(FRAC_PI_2, params[0], params[1])
+        }
+        "u1" | "p" | "phase" => {
+            check(1)?;
+            Gate::P(params[0])
+        }
+        "CX" | "cx" | "cnot" => {
+            check(0)?;
+            Gate::Cx
+        }
+        "id" | "i" => {
+            check(0)?;
+            Gate::I
+        }
+        "x" => {
+            check(0)?;
+            Gate::X
+        }
+        "y" => {
+            check(0)?;
+            Gate::Y
+        }
+        "z" => {
+            check(0)?;
+            Gate::Z
+        }
+        "h" => {
+            check(0)?;
+            Gate::H
+        }
+        "s" => {
+            check(0)?;
+            Gate::S
+        }
+        "sdg" => {
+            check(0)?;
+            Gate::Sdg
+        }
+        "t" => {
+            check(0)?;
+            Gate::T
+        }
+        "tdg" => {
+            check(0)?;
+            Gate::Tdg
+        }
+        "sx" => {
+            check(0)?;
+            Gate::Sx
+        }
+        "sxdg" => {
+            check(0)?;
+            Gate::Sxdg
+        }
+        "rx" => {
+            check(1)?;
+            Gate::Rx(params[0])
+        }
+        "ry" => {
+            check(1)?;
+            Gate::Ry(params[0])
+        }
+        "rz" => {
+            check(1)?;
+            Gate::Rz(params[0])
+        }
+        "cz" => {
+            check(0)?;
+            Gate::Cz
+        }
+        "cy" => {
+            check(0)?;
+            Gate::Cy
+        }
+        "ch" => {
+            check(0)?;
+            Gate::Ch
+        }
+        "swap" => {
+            check(0)?;
+            Gate::Swap
+        }
+        "cu1" | "cp" => {
+            check(1)?;
+            Gate::Cp(params[0])
+        }
+        "crz" => {
+            check(1)?;
+            Gate::Crz(params[0])
+        }
+        "cu3" => {
+            check(3)?;
+            Gate::Cu3(params[0], params[1], params[2])
+        }
+        "rzz" => {
+            check(1)?;
+            Gate::Rzz(params[0])
+        }
+        "ccx" | "toffoli" => {
+            check(0)?;
+            Gate::Ccx
+        }
+        "cswap" | "fredkin" => {
+            check(0)?;
+            Gate::Cswap
+        }
+        "mcx" => {
+            check(0)?;
+            Gate::Mcx
+        }
+        _ => {
+            return Err(QasmError::new(line, col, format!("unknown gate `{name}`")));
+        }
+    };
+    // Arity errors surface through Instruction validation, but catching the
+    // obvious case here gives a located error message.
+    if !gate.arity().accepts(operand_count) {
+        return Err(QasmError::new(
+            line,
+            col,
+            format!(
+                "gate `{name}` takes {} operand(s), got {operand_count}",
+                gate.arity()
+            ),
+        ));
+    }
+    Ok(gate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_program() {
+        let c = parse("OPENQASM 2.0; qreg q[2]; h q[0]; cx q[0], q[1];").unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn version_is_checked() {
+        assert!(parse("OPENQASM 3.0; qreg q[1];").is_err());
+        assert!(parse("qreg q[1];").is_err());
+    }
+
+    #[test]
+    fn broadcast_single_register() {
+        let c = parse("OPENQASM 2.0; qreg q[3]; h q;").unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|i| i.gate().name() == "h"));
+    }
+
+    #[test]
+    fn broadcast_two_registers() {
+        let c = parse("OPENQASM 2.0; qreg a[2]; qreg b[2]; cx a, b;").unwrap();
+        assert_eq!(c.len(), 2);
+        let pairs: Vec<_> = c.two_qubit_pairs().collect();
+        assert_eq!(pairs[0], (Qubit::new(0), Qubit::new(2)));
+        assert_eq!(pairs[1], (Qubit::new(1), Qubit::new(3)));
+    }
+
+    #[test]
+    fn broadcast_mixed() {
+        let c = parse("OPENQASM 2.0; qreg a[1]; qreg b[3]; cx a[0], b;").unwrap();
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn broadcast_mismatch_is_error() {
+        let err = parse("OPENQASM 2.0; qreg a[2]; qreg b[3]; cx a, b;").unwrap_err();
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn measure_with_creg() {
+        let c = parse("OPENQASM 2.0; qreg q[2]; creg c[2]; measure q -> c;").unwrap();
+        assert_eq!(c.counts_by_name()["measure"], 2);
+        assert!(parse("OPENQASM 2.0; qreg q[2]; creg c[1]; measure q -> c;").is_err());
+        assert!(parse("OPENQASM 2.0; qreg q[2]; measure q[0] -> c[0];").is_err());
+    }
+
+    #[test]
+    fn custom_gate_definition_expands() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            gate majority a, b, c { cx c, b; cx c, a; ccx a, b, c; }
+            qreg q[3];
+            majority q[0], q[1], q[2];
+        "#;
+        let c = parse(src).unwrap();
+        let names: Vec<_> = c.iter().map(|i| i.gate().name()).collect();
+        assert_eq!(names, vec!["cx", "cx", "ccx"]);
+    }
+
+    #[test]
+    fn parameterized_gate_definition() {
+        let src = r#"
+            OPENQASM 2.0;
+            gate twist(theta) a, b { rz(theta/2) a; cx a, b; rz(-theta/2) b; }
+            qreg q[2];
+            twist(pi) q[0], q[1];
+        "#;
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 3);
+        let p = c.instructions()[0].gate().params()[0];
+        assert!((p - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        let p = c.instructions()[2].gate().params()[0];
+        assert!((p + std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let c = parse("OPENQASM 2.0; qreg q[1]; rz(1+2*3) q[0];").unwrap();
+        assert_eq!(c.instructions()[0].gate().params()[0], 7.0);
+        let c = parse("OPENQASM 2.0; qreg q[1]; rz(-pi/4) q[0];").unwrap();
+        assert!((c.instructions()[0].gate().params()[0] + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        let c = parse("OPENQASM 2.0; qreg q[1]; rz(2^3^1) q[0];").unwrap(); // right assoc
+        assert_eq!(c.instructions()[0].gate().params()[0], 8.0);
+        let c = parse("OPENQASM 2.0; qreg q[1]; rz(cos(0)) q[0];").unwrap();
+        assert_eq!(c.instructions()[0].gate().params()[0], 1.0);
+    }
+
+    #[test]
+    fn opaque_gate_rejected_on_use() {
+        let src = "OPENQASM 2.0; opaque magic a, b; qreg q[2]; magic q[0], q[1];";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("opaque"));
+    }
+
+    #[test]
+    fn if_is_rejected() {
+        let src = "OPENQASM 2.0; qreg q[1]; creg c[1]; if (c==1) x q[0];";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("if"));
+    }
+
+    #[test]
+    fn unknown_gate_is_located() {
+        let err = parse("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];").unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn out_of_range_index() {
+        let err = parse("OPENQASM 2.0; qreg q[2]; h q[2];").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn multiple_qregs_are_laid_out_in_order() {
+        let c = parse("OPENQASM 2.0; qreg a[2]; qreg b[2]; cx a[1], b[0];").unwrap();
+        let pairs: Vec<_> = c.two_qubit_pairs().collect();
+        assert_eq!(pairs, vec![(Qubit::new(1), Qubit::new(2))]);
+    }
+
+    #[test]
+    fn barrier_over_registers() {
+        let c = parse("OPENQASM 2.0; qreg q[2]; qreg r[1]; barrier q, r;").unwrap();
+        assert_eq!(c.instructions()[0].qubits().len(), 3);
+    }
+
+    #[test]
+    fn u2_maps_to_u3() {
+        let c = parse("OPENQASM 2.0; qreg q[1]; u2(0, pi) q[0];").unwrap();
+        assert_eq!(c.instructions()[0].gate().name(), "u3");
+    }
+
+    #[test]
+    fn gate_shadowing_builtin() {
+        // A user-defined `h` takes precedence over the builtin.
+        let src = "OPENQASM 2.0; gate h a { x a; } qreg q[1]; h q[0];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.instructions()[0].gate().name(), "x");
+    }
+}

@@ -1,0 +1,99 @@
+//! Logical qubit handles.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A logical qubit in a [`Circuit`](crate::Circuit), identified by its index.
+///
+/// `Qubit` is a zero-cost newtype over `u32`; it exists so that qubit
+/// indices cannot be confused with gate counts, coordinates or other
+/// integers flying around the design flow.
+///
+/// ```
+/// use qpd_circuit::Qubit;
+///
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(Qubit::from(3u32), q);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Qubit(u32);
+
+impl Qubit {
+    /// Creates a qubit handle for the given index.
+    pub const fn new(index: u32) -> Self {
+        Qubit(index)
+    }
+
+    /// The index of this qubit, usable to address vectors of per-qubit data.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(index: u32) -> Self {
+        Qubit(index)
+    }
+}
+
+impl From<usize> for Qubit {
+    /// Converts an index to a qubit handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`; circuits that large are not
+    /// representable.
+    fn from(index: usize) -> Self {
+        Qubit(u32::try_from(index).expect("qubit index exceeds u32::MAX"))
+    }
+}
+
+impl From<i32> for Qubit {
+    /// Converts an index to a qubit handle, so that builder calls can use
+    /// bare integer literals (`circuit.h(0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is negative.
+    fn from(index: i32) -> Self {
+        Qubit(u32::try_from(index).expect("qubit index must be non-negative"))
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Qubit::new(7), Qubit::from(7u32));
+        assert_eq!(Qubit::new(7), Qubit::from(7usize));
+        assert_eq!(Qubit::new(7).index(), 7);
+        assert_eq!(Qubit::new(7).raw(), 7);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Qubit::new(12).to_string(), "q12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Qubit::new(1) < Qubit::new(2));
+        assert_eq!(Qubit::default(), Qubit::new(0));
+    }
+}

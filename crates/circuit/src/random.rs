@@ -1,0 +1,119 @@
+//! Seeded random circuit generation for tests and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::qubit::Qubit;
+
+/// Configuration for [`random_circuit`].
+#[derive(Debug, Clone)]
+pub struct RandomCircuitSpec {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Number of gates to draw.
+    pub num_gates: usize,
+    /// Probability that a drawn gate is a two-qubit gate (CX).
+    pub two_qubit_fraction: f64,
+    /// RNG seed; equal seeds give equal circuits.
+    pub seed: u64,
+}
+
+impl Default for RandomCircuitSpec {
+    fn default() -> Self {
+        RandomCircuitSpec { num_qubits: 5, num_gates: 50, two_qubit_fraction: 0.4, seed: 0 }
+    }
+}
+
+/// Generates a random circuit of single-qubit rotations and CNOTs.
+///
+/// The output is deterministic in the spec (including the seed), making it
+/// safe for golden tests and criterion benchmarks.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2` while `two_qubit_fraction > 0`, or if
+/// `two_qubit_fraction` is outside `[0, 1]`.
+pub fn random_circuit(spec: &RandomCircuitSpec) -> Circuit {
+    assert!(
+        (0.0..=1.0).contains(&spec.two_qubit_fraction),
+        "two_qubit_fraction must be within [0, 1]"
+    );
+    assert!(
+        spec.num_qubits >= 2 || spec.two_qubit_fraction == 0.0,
+        "two-qubit gates need at least 2 qubits"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut c = Circuit::new(spec.num_qubits);
+    for _ in 0..spec.num_gates {
+        if rng.gen_bool(spec.two_qubit_fraction) {
+            let a = rng.gen_range(0..spec.num_qubits);
+            let mut b = rng.gen_range(0..spec.num_qubits - 1);
+            if b >= a {
+                b += 1;
+            }
+            c.push(Gate::Cx, &[Qubit::from(a), Qubit::from(b)]).expect("valid random cx");
+        } else {
+            let q = Qubit::from(rng.gen_range(0..spec.num_qubits));
+            let gate = match rng.gen_range(0..4) {
+                0 => Gate::H,
+                1 => Gate::Rx(rng.gen_range(-3.2..3.2)),
+                2 => Gate::Ry(rng.gen_range(-3.2..3.2)),
+                _ => Gate::Rz(rng.gen_range(-3.2..3.2)),
+            };
+            c.push(gate, &[q]).expect("valid random 1q gate");
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let spec = RandomCircuitSpec { seed: 42, ..Default::default() };
+        assert_eq!(random_circuit(&spec), random_circuit(&spec));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_circuit(&RandomCircuitSpec { seed: 1, ..Default::default() });
+        let b = random_circuit(&RandomCircuitSpec { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_gate_count_and_width() {
+        let spec = RandomCircuitSpec { num_qubits: 7, num_gates: 123, ..Default::default() };
+        let c = random_circuit(&spec);
+        assert_eq!(c.num_qubits(), 7);
+        assert_eq!(c.len(), 123);
+    }
+
+    #[test]
+    fn pure_single_qubit_circuit() {
+        let spec = RandomCircuitSpec {
+            num_qubits: 1,
+            num_gates: 10,
+            two_qubit_fraction: 0.0,
+            seed: 3,
+        };
+        let c = random_circuit(&spec);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    fn two_qubit_fraction_one() {
+        let spec = RandomCircuitSpec {
+            num_qubits: 4,
+            num_gates: 30,
+            two_qubit_fraction: 1.0,
+            seed: 9,
+        };
+        let c = random_circuit(&spec);
+        assert_eq!(c.two_qubit_gate_count(), 30);
+    }
+}

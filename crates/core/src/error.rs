@@ -1,0 +1,56 @@
+//! Error type for the design flow.
+
+use std::error::Error;
+use std::fmt;
+
+use qpd_topology::TopologyError;
+
+/// Error running the architecture design flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DesignError {
+    /// The profiled program has no qubits, so there is nothing to design.
+    EmptyProgram,
+    /// A generated architecture failed validation — indicates a bug in a
+    /// subroutine, surfaced rather than panicking.
+    InvalidArchitecture(TopologyError),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::EmptyProgram => write!(f, "cannot design a chip for a 0-qubit program"),
+            DesignError::InvalidArchitecture(e) => {
+                write!(f, "design flow produced an invalid architecture: {e}")
+            }
+        }
+    }
+}
+
+impl Error for DesignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DesignError::InvalidArchitecture(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for DesignError {
+    fn from(e: TopologyError) -> Self {
+        DesignError::InvalidArchitecture(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DesignError::EmptyProgram;
+        assert!(e.to_string().contains("0-qubit"));
+        let e: DesignError = TopologyError::Empty.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,310 @@
+//! Frequency allocation (paper Algorithm 3).
+
+use std::collections::VecDeque;
+
+use qpd_topology::{Architecture, FrequencyPlan, ALLOWED_BAND_GHZ};
+use qpd_yield::{CollisionParams, FabricationModel, LocalYieldEvaluator};
+
+/// Center-out breadth-first frequency allocator.
+///
+/// Starting from the qubit nearest the layout's geometric center (which
+/// tends to have the most connections and hence the most collision
+/// exposure), assign the band midpoint; then walk the coupling graph in
+/// BFS order, and for each newly reached qubit evaluate every candidate
+/// frequency by Monte Carlo yield *within the qubit's local region*
+/// (distance <= 2, already-assigned qubits only), assigning the argmax.
+///
+/// Candidates default to the paper's grid: 5.00, 5.01, ..., 5.34 GHz
+/// (10 MHz accuracy). Ties prefer the candidate nearest the band
+/// midpoint, then the lower frequency, making allocation deterministic.
+#[derive(Debug, Clone)]
+pub struct FrequencyAllocator {
+    candidates: Vec<f64>,
+    trials: usize,
+    model: FabricationModel,
+    params: CollisionParams,
+    seed: u64,
+    refinement_sweeps: usize,
+}
+
+impl Default for FrequencyAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrequencyAllocator {
+    /// An allocator with 35 candidates at 10 MHz steps and local
+    /// simulations at `sigma = 30 MHz` (the paper's grid), plus up to
+    /// eight refinement sweeps (they stop early at a fixed point).
+    pub fn new() -> Self {
+        let (lo, hi) = ALLOWED_BAND_GHZ;
+        let steps = ((hi - lo) / 0.01).round() as usize;
+        let candidates = (0..=steps).map(|i| lo + 0.01 * i as f64).collect();
+        FrequencyAllocator {
+            candidates,
+            trials: 4_000,
+            model: FabricationModel::default(),
+            params: CollisionParams::default(),
+            seed: 0,
+            refinement_sweeps: 8,
+        }
+    }
+
+    /// Sets the number of refinement sweeps after the center-out pass.
+    ///
+    /// Each sweep revisits every qubit (in the original BFS order) and
+    /// re-runs the candidate search with *all* other qubits assigned —
+    /// the same local-yield primitive as Algorithm 3, iterated to
+    /// relieve the greedy pass's myopia. The paper's §6 ("Optimizing
+    /// Frequency Allocation") points exactly at this direction; zero
+    /// sweeps reproduce the paper's single-pass algorithm.
+    pub fn with_refinement_sweeps(mut self, sweeps: usize) -> Self {
+        self.refinement_sweeps = sweeps;
+        self
+    }
+
+    /// Overrides the candidate frequency list (GHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn with_candidates(mut self, candidates: Vec<f64>) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate frequency");
+        self.candidates = candidates;
+        self
+    }
+
+    /// Sets the local-simulation trial count (trade accuracy for speed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the assumed fabrication precision in GHz.
+    pub fn with_sigma_ghz(mut self, sigma_ghz: f64) -> Self {
+        self.model = FabricationModel::new(sigma_ghz);
+        self
+    }
+
+    /// Sets the collision parameters.
+    pub fn with_params(mut self, params: CollisionParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the RNG seed for the local Monte Carlo evaluations.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The candidate frequencies in GHz.
+    pub fn candidates(&self) -> &[f64] {
+        &self.candidates
+    }
+
+    /// Allocates a frequency for every qubit of `arch`.
+    pub fn allocate(&self, arch: &Architecture) -> FrequencyPlan {
+        let n = arch.num_qubits();
+        let (lo, hi) = ALLOWED_BAND_GHZ;
+        let mid = (lo + hi) / 2.0;
+        let evaluator =
+            LocalYieldEvaluator::new(self.trials, self.model, self.params, self.seed);
+        let mut assigned: Vec<Option<f64>> = vec![None; n];
+
+        // Seed the BFS at the central qubit with the band midpoint, per
+        // Algorithm 3 line 1.
+        let center = arch.center_qubit();
+        assigned[center] = Some(self.snap_to_candidate(mid));
+
+        let mut queue = VecDeque::from([center]);
+        let mut enqueued = vec![false; n];
+        enqueued[center] = true;
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        while let Some(q) = queue.pop_front() {
+            order.push(q);
+            for &nb in arch.neighbors(q) {
+                if !enqueued[nb] {
+                    enqueued[nb] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        // Disconnected architectures (not produced by the flow, but legal
+        // inputs): append stragglers in index order.
+        order.extend((0..n).filter(|&q| !enqueued[q]));
+
+        for &q in order.iter().skip(1) {
+            let counts = evaluator.evaluate_candidates(arch, &assigned, q, &self.candidates);
+            assigned[q] = Some(self.candidates[self.argmax(&counts)]);
+        }
+
+        // Refinement sweeps: re-optimize each qubit with full context.
+        for sweep in 0..self.refinement_sweeps {
+            let sweep_evaluator = LocalYieldEvaluator::new(
+                self.trials,
+                self.model,
+                self.params,
+                self.seed ^ (0xa076_1d64_78bd_642fu64.wrapping_mul(sweep as u64 + 1)),
+            );
+            let mut changed = false;
+            for &q in &order {
+                let current = assigned[q].take().expect("assigned in first pass");
+                let counts =
+                    sweep_evaluator.evaluate_candidates(arch, &assigned, q, &self.candidates);
+                let best = self.candidates[self.argmax(&counts)];
+                if (best - current).abs() > 1e-12 {
+                    changed = true;
+                }
+                assigned[q] = Some(best);
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        FrequencyPlan::new(assigned.into_iter().map(|f| f.expect("all assigned")).collect())
+    }
+
+    fn argmax(&self, counts: &[u64]) -> usize {
+        let mut best = 0usize;
+        for i in 1..self.candidates.len() {
+            if self.candidate_beats(counts, i, best) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Whether candidate `i` beats candidate `best` under the
+    /// deterministic tie-break (higher count, then nearer the band
+    /// midpoint, then lower frequency).
+    fn candidate_beats(&self, counts: &[u64], i: usize, best: usize) -> bool {
+        let (lo, hi) = ALLOWED_BAND_GHZ;
+        let mid = (lo + hi) / 2.0;
+        if counts[i] != counts[best] {
+            return counts[i] > counts[best];
+        }
+        let di = (self.candidates[i] - mid).abs();
+        let db = (self.candidates[best] - mid).abs();
+        if (di - db).abs() > 1e-12 {
+            return di < db;
+        }
+        self.candidates[i] < self.candidates[best]
+    }
+
+    /// The candidate closest to `target` (the seed must also come from
+    /// the candidate grid so hardware only needs the advertised
+    /// accuracy).
+    fn snap_to_candidate(&self, target: f64) -> f64 {
+        *self
+            .candidates
+            .iter()
+            .min_by(|a, b| (*a - target).abs().total_cmp(&(*b - target).abs()))
+            .expect("candidates non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpd_topology::Architecture;
+    use qpd_yield::YieldSimulator;
+
+    fn line(n: i32) -> Architecture {
+        let mut b = Architecture::builder(format!("line{n}"));
+        for c in 0..n {
+            b.qubit(0, c);
+        }
+        b.build().unwrap()
+    }
+
+    fn fast_allocator() -> FrequencyAllocator {
+        FrequencyAllocator::new().with_trials(300)
+    }
+
+    #[test]
+    fn all_qubits_assigned_in_band() {
+        let arch = line(6);
+        let plan = fast_allocator().allocate(&arch);
+        assert_eq!(plan.len(), 6);
+        assert!(plan.check_band().is_ok());
+    }
+
+    #[test]
+    fn center_gets_band_midpoint() {
+        let arch = line(5);
+        let plan = fast_allocator().allocate(&arch);
+        let center = arch.center_qubit();
+        assert!((plan.ghz(center) - 5.17).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbors_are_not_degenerate() {
+        // The allocator must avoid condition-1 collisions between
+        // neighbors at design time.
+        let arch = line(8);
+        let plan = fast_allocator().allocate(&arch);
+        for &(a, b) in arch.coupling_edges() {
+            let d = (plan.ghz(a) - plan.ghz(b)).abs();
+            assert!(d > 0.017, "neighbors {a},{b} nearly degenerate: {d}");
+        }
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let arch = line(6);
+        let a = fast_allocator().allocate(&arch);
+        let b = fast_allocator().allocate(&arch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn beats_degenerate_plan_on_yield() {
+        let arch = line(5);
+        let optimized = fast_allocator().allocate(&arch);
+        let sim = YieldSimulator::new().with_trials(3_000).with_seed(3);
+        let y_opt = sim.estimate_with_frequencies(&arch, optimized.as_slice()).rate();
+        let y_flat = sim.estimate_with_frequencies(&arch, &[5.17; 5]).rate();
+        assert!(y_opt > y_flat, "optimized {y_opt} should beat flat {y_flat}");
+    }
+
+    #[test]
+    fn custom_candidates_are_respected() {
+        let arch = line(3);
+        let allocator =
+            fast_allocator().with_candidates(vec![5.05, 5.15, 5.25]).with_trials(200);
+        let plan = allocator.allocate(&arch);
+        for q in 0..3 {
+            let f = plan.ghz(q);
+            assert!(
+                [5.05, 5.15, 5.25].iter().any(|&c| (c - f).abs() < 1e-12),
+                "frequency {f} not from the candidate grid"
+            );
+        }
+    }
+
+    #[test]
+    fn single_qubit_architecture() {
+        let arch = line(1);
+        let plan = fast_allocator().allocate(&arch);
+        assert_eq!(plan.len(), 1);
+        assert!((plan.ghz(0) - 5.17).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_architecture_still_fully_assigned() {
+        let mut b = Architecture::builder("disc");
+        b.qubit(0, 0).qubit(0, 1).qubit(5, 5);
+        let arch = b.build().unwrap();
+        let plan = fast_allocator().allocate(&arch);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.check_band().is_ok());
+    }
+}

@@ -1,0 +1,62 @@
+//! Pareto-front extraction for (performance, yield) points.
+
+/// Indices of the Pareto-optimal points among `(performance, yield)`
+/// pairs where **larger is better on both axes** (the paper plots
+/// normalized reciprocal gate count against yield rate, Figure 10).
+///
+/// A point is Pareto-optimal when no other point is at least as good on
+/// both axes and strictly better on one. Returned indices are in input
+/// order.
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            let (pi, yi) = points[i];
+            !points.iter().enumerate().any(|(j, &(pj, yj))| {
+                j != i && pj >= pi && yj >= yi && (pj > pi || yj > yi)
+            })
+        })
+        .collect()
+}
+
+/// Whether point `a` (performance, yield) dominates point `b`: at least
+/// as good on both axes and strictly better on one.
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 >= b.0 && a.1 >= b.1 && (a.0 > b.0 || a.1 > b.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_of_staircase() {
+        // A descending staircase: every point is optimal.
+        let pts = vec![(1.0, 0.9), (2.0, 0.5), (3.0, 0.1)];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let pts = vec![(1.0, 0.9), (2.0, 0.95), (0.5, 0.5)];
+        assert_eq!(pareto_front(&pts), vec![1]);
+    }
+
+    #[test]
+    fn duplicates_both_survive() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates((2.0, 0.5), (1.0, 0.5)));
+        assert!(dominates((2.0, 0.6), (1.0, 0.5)));
+        assert!(!dominates((2.0, 0.4), (1.0, 0.5)));
+        assert!(!dominates((1.0, 0.5), (1.0, 0.5)));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

@@ -1,0 +1,395 @@
+//! The end-to-end design flow (paper Figure 1).
+
+use qpd_profile::CouplingProfile;
+use qpd_topology::{five_frequency_plan, Architecture, FrequencyPlan, Square};
+
+use crate::bus::{select_buses_random, select_buses_weighted};
+use crate::error::DesignError;
+use crate::freq::FrequencyAllocator;
+use crate::placement::place_qubits;
+
+/// How the flow assigns qubit frequencies (paper §5.2's configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrequencyStrategy {
+    /// Algorithm 3: center-out local-yield search (`eff-full`).
+    Optimized,
+    /// IBM's 5-frequency lattice pattern (`eff-5-freq`,
+    /// `eff-layout-only`).
+    FiveFrequency,
+}
+
+/// How the flow selects 4-qubit bus squares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusStrategy {
+    /// Algorithm 2: filtered cross-coupling weight (`eff-full`).
+    Weighted,
+    /// Uniform random selection under the prohibited condition
+    /// (`eff-rd-bus`).
+    Random {
+        /// Seed for the random square choice.
+        seed: u64,
+    },
+}
+
+/// The composed design flow: profile in, architecture (series) out.
+#[derive(Debug, Clone)]
+pub struct DesignFlow {
+    bus_strategy: BusStrategy,
+    frequency: FrequencyStrategy,
+    max_buses: Option<usize>,
+    auxiliary_qubits: usize,
+    allocation_trials: usize,
+    allocation_sweeps: usize,
+    allocation_seed: u64,
+    sigma_ghz: f64,
+    name_prefix: String,
+}
+
+impl Default for DesignFlow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DesignFlow {
+    /// The paper's full flow: weighted bus selection and optimized
+    /// frequency allocation, with no cap on the number of 4-qubit buses.
+    pub fn new() -> Self {
+        DesignFlow {
+            bus_strategy: BusStrategy::Weighted,
+            frequency: FrequencyStrategy::Optimized,
+            max_buses: None,
+            auxiliary_qubits: 0,
+            allocation_trials: 4_000,
+            allocation_sweeps: 8,
+            allocation_seed: 0,
+            sigma_ghz: qpd_yield::FabricationModel::PAPER_SIGMA_GHZ,
+            name_prefix: "eff".into(),
+        }
+    }
+
+    /// Sets the bus selection strategy.
+    pub fn with_bus_strategy(mut self, strategy: BusStrategy) -> Self {
+        self.bus_strategy = strategy;
+        self
+    }
+
+    /// Sets the frequency strategy.
+    pub fn with_frequency_strategy(mut self, strategy: FrequencyStrategy) -> Self {
+        self.frequency = strategy;
+        self
+    }
+
+    /// Caps the number of 4-qubit buses (`None` = as many as beneficial).
+    pub fn with_max_buses(mut self, max: Option<usize>) -> Self {
+        self.max_buses = max;
+        self
+    }
+
+    /// Adds auxiliary physical qubits around the placed layout (paper
+    /// §6, "Exploring More Design Space"): they host no logical qubit
+    /// but give the router extra freedom, trading yield for performance.
+    pub fn with_auxiliary_qubits(mut self, count: usize) -> Self {
+        self.auxiliary_qubits = count;
+        self
+    }
+
+    /// Sets the Monte Carlo trial count used inside frequency allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn with_allocation_trials(mut self, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        self.allocation_trials = trials;
+        self
+    }
+
+    /// Sets the refinement sweep budget of frequency allocation
+    /// (0 = the paper's single-pass Algorithm 3).
+    pub fn with_allocation_sweeps(mut self, sweeps: usize) -> Self {
+        self.allocation_sweeps = sweeps;
+        self
+    }
+
+    /// Sets the seed for frequency allocation's local simulations.
+    pub fn with_allocation_seed(mut self, seed: u64) -> Self {
+        self.allocation_seed = seed;
+        self
+    }
+
+    /// Sets the fabrication precision assumed during frequency allocation.
+    pub fn with_sigma_ghz(mut self, sigma_ghz: f64) -> Self {
+        self.sigma_ghz = sigma_ghz;
+        self
+    }
+
+    /// Sets the prefix for generated architecture names.
+    pub fn with_name_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.name_prefix = prefix.into();
+        self
+    }
+
+    /// Runs the full flow with the maximum beneficial number of 4-qubit
+    /// buses (subject to [`Self::with_max_buses`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::EmptyProgram`] for a 0-qubit profile.
+    pub fn design(&self, profile: &CouplingProfile) -> Result<Architecture, DesignError> {
+        let order = self.bus_order(profile)?;
+        self.design_with_buses(profile, order.len())
+    }
+
+    /// Runs the flow with exactly `num_buses` 4-qubit buses (clamped to
+    /// the number of available squares).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::EmptyProgram`] for a 0-qubit profile.
+    pub fn design_with_buses(
+        &self,
+        profile: &CouplingProfile,
+        num_buses: usize,
+    ) -> Result<Architecture, DesignError> {
+        let coords = self.place(profile)?;
+        let order = self.bus_order(profile)?;
+        let k = num_buses.min(order.len());
+        self.assemble(profile, &coords, &order[..k])
+    }
+
+    /// Runs the flow once per bus count `0..=max`, returning the paper's
+    /// performance/yield series (the blue `eff-full` curves of
+    /// Figure 10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::EmptyProgram`] for a 0-qubit profile.
+    pub fn design_series(
+        &self,
+        profile: &CouplingProfile,
+    ) -> Result<Vec<Architecture>, DesignError> {
+        let coords = self.place(profile)?;
+        let order = self.bus_order(profile)?;
+        (0..=order.len())
+            .map(|k| self.assemble(profile, &coords, &order[..k]))
+            .collect()
+    }
+
+    /// The qubit placement only (exposed for the `eff-layout-only`
+    /// configuration and diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::EmptyProgram`] for a 0-qubit profile.
+    pub fn place(&self, profile: &CouplingProfile) -> Result<Vec<qpd_topology::Coord>, DesignError> {
+        if profile.num_qubits() == 0 {
+            return Err(DesignError::EmptyProgram);
+        }
+        let mut coords = place_qubits(profile);
+        if self.auxiliary_qubits > 0 {
+            coords.extend(crate::placement::place_auxiliary(&coords, self.auxiliary_qubits));
+        }
+        Ok(coords)
+    }
+
+    /// The bus selection order for this flow's strategy: prefixes of the
+    /// returned vector are the selections for smaller budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::EmptyProgram`] for a 0-qubit profile.
+    pub fn bus_order(&self, profile: &CouplingProfile) -> Result<Vec<Square>, DesignError> {
+        let coords = self.place(profile)?;
+        let cap = self.max_buses.unwrap_or(usize::MAX);
+        Ok(match self.bus_strategy {
+            BusStrategy::Weighted => select_buses_weighted(&coords, profile, cap),
+            BusStrategy::Random { seed } => select_buses_random(&coords, cap, seed),
+        })
+    }
+
+    fn assemble(
+        &self,
+        profile: &CouplingProfile,
+        coords: &[qpd_topology::Coord],
+        squares: &[Square],
+    ) -> Result<Architecture, DesignError> {
+        let name = format!(
+            "{}-{}q-b{}{}",
+            self.name_prefix,
+            profile.num_qubits() + self.auxiliary_qubits,
+            squares.len(),
+            match self.frequency {
+                FrequencyStrategy::Optimized => "",
+                FrequencyStrategy::FiveFrequency => "-5freq",
+            }
+        );
+        let mut builder = Architecture::builder(name);
+        builder.qubits(coords.iter().copied());
+        for &s in squares {
+            builder.four_qubit_bus_at(s);
+        }
+        let arch = builder.build()?;
+        let plan: FrequencyPlan = match self.frequency {
+            FrequencyStrategy::FiveFrequency => five_frequency_plan(&arch),
+            FrequencyStrategy::Optimized => FrequencyAllocator::new()
+                .with_trials(self.allocation_trials)
+                .with_refinement_sweeps(self.allocation_sweeps)
+                .with_sigma_ghz(self.sigma_ghz)
+                .with_seed(self.allocation_seed)
+                .allocate(&arch),
+        };
+        Ok(arch.with_frequencies(plan)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpd_circuit::Circuit;
+    use qpd_yield::YieldSimulator;
+
+    /// Profile with strong diagonal demand so buses get selected.
+    fn grid_profile() -> CouplingProfile {
+        // 6 qubits that want a 2x3 block with cross couplings.
+        CouplingProfile::from_edges(
+            6,
+            &[
+                (0, 1, 8),
+                (1, 2, 8),
+                (3, 4, 8),
+                (4, 5, 8),
+                (0, 4, 6),
+                (1, 3, 6),
+                (1, 5, 4),
+                (2, 4, 4),
+                (0, 3, 8),
+                (1, 4, 8),
+                (2, 5, 8),
+            ],
+        )
+    }
+
+    fn fast_flow() -> DesignFlow {
+        DesignFlow::new().with_allocation_trials(200)
+    }
+
+    #[test]
+    fn full_design_is_valid() {
+        let arch = fast_flow().design(&grid_profile()).unwrap();
+        assert_eq!(arch.num_qubits(), 6);
+        assert!(arch.is_connected());
+        assert!(arch.frequencies().is_some());
+        assert!(arch.frequencies().unwrap().check_band().is_ok());
+    }
+
+    #[test]
+    fn series_grows_monotonically_in_buses() {
+        let series = fast_flow().design_series(&grid_profile()).unwrap();
+        assert!(series.len() >= 2, "expected at least one bus option");
+        for (k, arch) in series.iter().enumerate() {
+            assert_eq!(arch.four_qubit_buses().len(), k);
+        }
+        // More buses, more coupling edges.
+        for pair in series.windows(2) {
+            assert!(pair[1].coupling_edges().len() > pair[0].coupling_edges().len());
+        }
+    }
+
+    #[test]
+    fn chain_profile_yields_single_design() {
+        // The ising special case (§5.3.1): chain coupling -> no 4-qubit
+        // buses are beneficial -> a single architecture.
+        let chain = CouplingProfile::from_edges(5, &[(0, 1, 4), (1, 2, 4), (2, 3, 4), (3, 4, 4)]);
+        let series = fast_flow().design_series(&chain).unwrap();
+        assert_eq!(series.len(), 1);
+        assert!(series[0].four_qubit_buses().is_empty());
+    }
+
+    #[test]
+    fn five_frequency_strategy_uses_pattern() {
+        let arch = fast_flow()
+            .with_frequency_strategy(FrequencyStrategy::FiveFrequency)
+            .design_with_buses(&grid_profile(), 0)
+            .unwrap();
+        let plan = arch.frequencies().unwrap();
+        for q in 0..arch.num_qubits() {
+            let f = plan.ghz(q);
+            assert!(
+                qpd_topology::FIVE_FREQUENCIES_GHZ.iter().any(|&c| (c - f).abs() < 1e-9),
+                "{f} is not a five-scheme frequency"
+            );
+        }
+        assert!(arch.name().ends_with("-5freq"));
+    }
+
+    #[test]
+    fn random_bus_strategy_is_seeded() {
+        let profile = grid_profile();
+        let a = fast_flow()
+            .with_bus_strategy(BusStrategy::Random { seed: 3 })
+            .bus_order(&profile)
+            .unwrap();
+        let b = fast_flow()
+            .with_bus_strategy(BusStrategy::Random { seed: 3 })
+            .bus_order(&profile)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_buses_cap_respected() {
+        let arch = fast_flow().with_max_buses(Some(1)).design(&grid_profile()).unwrap();
+        assert!(arch.four_qubit_buses().len() <= 1);
+    }
+
+    #[test]
+    fn empty_program_errors() {
+        let profile = CouplingProfile::of(&Circuit::new(0));
+        assert_eq!(fast_flow().design(&profile).unwrap_err(), DesignError::EmptyProgram);
+    }
+
+    #[test]
+    fn optimized_frequencies_beat_five_scheme_on_yield() {
+        // §5.4.3: the frequency allocator should improve yield over the
+        // 5-frequency pattern on the same (irregular) topology.
+        let profile = grid_profile();
+        let with_opt = fast_flow()
+            .with_allocation_trials(800)
+            .design_with_buses(&profile, 1)
+            .unwrap();
+        let with_five = fast_flow()
+            .with_frequency_strategy(FrequencyStrategy::FiveFrequency)
+            .design_with_buses(&profile, 1)
+            .unwrap();
+        let sim = YieldSimulator::new().with_trials(4_000).with_seed(9);
+        let y_opt = sim.estimate(&with_opt).unwrap().rate();
+        let y_five = sim.estimate(&with_five).unwrap().rate();
+        assert!(
+            y_opt >= y_five,
+            "optimized {y_opt} should not lose to five-frequency {y_five}"
+        );
+    }
+
+    #[test]
+    fn naming_scheme() {
+        let arch = fast_flow().with_name_prefix("demo").design_with_buses(&grid_profile(), 0).unwrap();
+        assert_eq!(arch.name(), "demo-6q-b0");
+    }
+
+    #[test]
+    fn auxiliary_qubits_extend_the_chip() {
+        let profile = grid_profile();
+        let plain = fast_flow().design_with_buses(&profile, 0).unwrap();
+        let extended =
+            fast_flow().with_auxiliary_qubits(2).design_with_buses(&profile, 0).unwrap();
+        assert_eq!(extended.num_qubits(), plain.num_qubits() + 2);
+        assert!(extended.is_connected());
+        assert!(extended.coupling_edges().len() > plain.coupling_edges().len());
+        // Yield can only suffer from the extra hardware.
+        let sim = YieldSimulator::new().with_trials(4_000).with_seed(4);
+        let y_plain = sim.estimate(&plain).unwrap().rate();
+        let y_ext = sim.estimate(&extended).unwrap().rate();
+        assert!(y_ext <= y_plain + 0.03, "{y_ext} vs {y_plain}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates paper Figure 4 (the profiling walkthrough) and the
+//! Figure 6 placement example built on it.
+//!
+//! Usage: `cargo run --release -p qpd-eval --bin fig04`
+
+use qpd_circuit::Circuit;
+use qpd_core::place_qubits;
+use qpd_profile::{render, CouplingProfile};
+
+fn main() {
+    // The example circuit of Figure 4 (a): five logical qubits, six
+    // two-qubit gates, single-qubit gates and measurements ignored by
+    // the profiler.
+    let mut circuit = Circuit::new(5);
+    circuit.h(0).h(1);
+    circuit.cx(0, 4).cx(1, 4).cx(0, 1).cx(2, 4).cx(0, 4).cx(3, 4);
+    circuit.measure_all();
+
+    println!("== Figure 4 (a): example circuit ==");
+    print!("{circuit}");
+
+    let profile = CouplingProfile::of(&circuit);
+    println!("\n== Figure 4 (b)/(c): coupling strength matrix ==");
+    print!("{}", render::matrix_table(&profile));
+
+    println!("\n== Figure 4 (d): coupling degree list ==");
+    print!("{}", render::degree_table(&profile));
+
+    println!("\n== Figure 6: Algorithm 1 placement on the 2D lattice ==");
+    let coords = place_qubits(&profile);
+    for (q, c) in coords.iter().enumerate() {
+        println!("q{q} -> {c}");
+    }
+
+    // Render as a small map.
+    let min_r = coords.iter().map(|c| c.row).min().unwrap();
+    let max_r = coords.iter().map(|c| c.row).max().unwrap();
+    let min_c = coords.iter().map(|c| c.col).min().unwrap();
+    let max_c = coords.iter().map(|c| c.col).max().unwrap();
+    println!();
+    for r in min_r..=max_r {
+        let mut line = String::new();
+        for c in min_c..=max_c {
+            match coords.iter().position(|&k| k == qpd_topology::Coord::new(r, c)) {
+                Some(q) => line.push_str(&format!("[q{q}]")),
+                None => line.push_str(" .  "),
+            }
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates paper Figure 5: coupling-strength patterns of the
+//! 8-qubit UCCSD ansatz and the 15-qubit misex1 arithmetic circuit.
+//!
+//! Usage: `cargo run --release -p qpd-eval --bin fig05 [--csv]`
+
+use qpd_profile::{render, CouplingProfile, PatternReport};
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    for name in ["UCCSD_ansatz_8", "misex1_241"] {
+        let circuit = qpd_benchmarks::build(name).expect("benchmark exists");
+        let profile = CouplingProfile::of(&circuit);
+        println!(
+            "== {name}: {} qubits, {} two-qubit gates ==",
+            circuit.num_qubits(),
+            profile.total_two_qubit_gates()
+        );
+        if csv {
+            print!("{}", render::matrix_csv(&profile));
+        } else {
+            print!("{}", render::matrix_table(&profile));
+        }
+        let report = PatternReport::of(&profile);
+        println!(
+            "shape: {:?}; density {:.2}; top-quintile weight share {:.2}; hubs {:?}\n",
+            report.shape, report.density, report.top_quintile_weight_share, report.hubs
+        );
+    }
+    println!(
+        "Paper observations (§3.2): UCCSD couples adjacent qubits ~10x more than \
+         distant ones (chain band); misex1's pure input lines never couple to each \
+         other while target/ancilla lines form a dense hub."
+    );
+}

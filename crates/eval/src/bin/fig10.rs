@@ -1,0 +1,85 @@
+//! Regenerates paper Figure 10: yield versus normalized reciprocal
+//! post-mapping gate count for all twelve benchmarks under the five
+//! experiment configurations.
+//!
+//! Usage:
+//!   cargo run --release -p qpd-eval --bin fig10 [--quick] [--csv]
+//!       [--trials N] [--svg DIR] [names...]
+//!
+//! `--quick` trades Monte Carlo accuracy for speed (2k yield trials,
+//! 200 allocation trials); `--csv` emits machine-readable rows; an
+//! explicit list of benchmark names restricts the sweep.
+
+use qpd_eval::report::{run_csv, run_table, CSV_HEADER};
+use qpd_eval::runner::{run_benchmark, EvalSettings};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trials: Option<u64> = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let csv = args.iter().any(|a| a == "--csv");
+    let svg_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--svg")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let names: Vec<String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--trials" || *a == "--svg" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .cloned()
+            .collect()
+    };
+    let mut settings = if quick { EvalSettings::quick() } else { EvalSettings::default() };
+    if let Some(t) = trials {
+        settings.yield_trials = t;
+    }
+
+    let benchmarks: Vec<String> = if names.is_empty() {
+        qpd_benchmarks::ALL.iter().map(|s| s.name.to_string()).collect()
+    } else {
+        names
+    };
+
+    if csv {
+        println!("{CSV_HEADER}");
+    }
+    for name in &benchmarks {
+        let start = std::time::Instant::now();
+        match run_benchmark(name, &settings) {
+            Ok(run) => {
+                if csv {
+                    print!("{}", run_csv(&run));
+                } else {
+                    print!("{}", run_table(&run));
+                    println!("({:.1?})\n", start.elapsed());
+                }
+                if let Some(dir) = &svg_dir {
+                    std::fs::create_dir_all(dir).expect("create svg output dir");
+                    let path = std::path::Path::new(dir).join(format!("{name}.svg"));
+                    std::fs::write(&path, qpd_eval::plot::svg_scatter(&run))
+                        .expect("write svg");
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

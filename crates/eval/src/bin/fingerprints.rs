@@ -1,0 +1,9 @@
+//! Prints the profile fingerprints of all benchmarks (used to maintain
+//! the golden values in tests/benchmark_roundtrip.rs).
+use qpd_profile::CouplingProfile;
+fn main() {
+    for spec in &qpd_benchmarks::ALL {
+        let p = CouplingProfile::of(&qpd_benchmarks::build(spec.name).unwrap());
+        println!("        (\"{}\", {}, {}),", spec.name, p.total_two_qubit_gates(), p.edge_count());
+    }
+}

@@ -1,0 +1,87 @@
+//! Diagnostic probe: how good can frequency allocation get on a
+//! generated layout, and how does the layout's constraint count compare
+//! to the IBM lattice? Not part of the paper reproduction; used to
+//! calibrate Algorithm 3's implementation.
+
+use qpd_core::{place_qubits, FrequencyAllocator};
+use qpd_profile::CouplingProfile;
+use qpd_topology::{ibm, Architecture, BusMode, five_frequency_plan};
+use qpd_yield::{CollisionChecker, YieldSimulator};
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn stats(arch: &Architecture) {
+    let checker = CollisionChecker::new(arch);
+    let mut degs: Vec<usize> = (0..arch.num_qubits()).map(|q| arch.degree(q)).collect();
+    degs.sort_unstable();
+    println!(
+        "{:<22} qubits={} edges={} triples={} degrees={:?}",
+        arch.name(),
+        arch.num_qubits(),
+        checker.pair_count(),
+        checker.triple_count(),
+        degs
+    );
+}
+
+fn main() {
+    let circuit = qpd_benchmarks::build("rd84_142").unwrap();
+    let profile = CouplingProfile::of(&circuit);
+    let coords = place_qubits(&profile);
+    let mut b = Architecture::builder("eff-rd84-b0");
+    b.qubits(coords);
+    let arch = b.build().unwrap();
+
+    let baseline = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+    stats(&baseline);
+    stats(&arch);
+
+    let sim = YieldSimulator::new().with_trials(20_000).with_seed(123);
+    let ibm_rate = sim.estimate(&baseline).unwrap().rate();
+    println!("ibm 2x8 with 5-freq: {ibm_rate:.4e}");
+
+    let five = five_frequency_plan(&arch);
+    println!(
+        "blob with 5-freq:    {:.4e}",
+        sim.estimate_with_frequencies(&arch, five.as_slice()).rate()
+    );
+
+    for (sweeps, trials) in [(0usize, 2_000usize), (2, 2_000), (4, 4_000), (8, 8_000)] {
+        let plan = FrequencyAllocator::new()
+            .with_trials(trials)
+            .with_refinement_sweeps(sweeps)
+            .allocate(&arch);
+        let rate = sim.estimate_with_frequencies(&arch, plan.as_slice()).rate();
+        println!("alloc sweeps={sweeps} trials={trials}: {rate:.4e}");
+    }
+
+    // Randomized hill climbing on the full-chip yield as an upper-bound
+    // probe (1 MHz moves, 20k-trial objective).
+    let plan = FrequencyAllocator::new()
+        .with_trials(4_000)
+        .with_refinement_sweeps(4)
+        .allocate(&arch);
+    let mut freqs: Vec<f64> = plan.as_slice().to_vec();
+    let eval_sim = YieldSimulator::new().with_trials(20_000).with_seed(7);
+    let mut best = eval_sim.estimate_with_frequencies(&arch, &freqs).rate();
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let start = std::time::Instant::now();
+    let mut accepted = 0;
+    while start.elapsed().as_secs() < 60 {
+        let q = rng.gen_range(0..freqs.len());
+        let delta = [-0.03, -0.02, -0.01, 0.01, 0.02, 0.03][rng.gen_range(0..6)];
+        let old = freqs[q];
+        let cand = (old + delta).clamp(5.0, 5.34);
+        freqs[q] = cand;
+        let rate = eval_sim.estimate_with_frequencies(&arch, &freqs).rate();
+        if rate > best {
+            best = rate;
+            accepted += 1;
+        } else {
+            freqs[q] = old;
+        }
+    }
+    println!("hill-climbed upper bound: {best:.4e} ({accepted} accepted moves)");
+}

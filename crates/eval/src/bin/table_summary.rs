@@ -1,0 +1,70 @@
+//! Computes the quantitative claims of §5.3 and §5.4 across all twelve
+//! benchmarks and prints them against the paper's reported numbers.
+//!
+//! Usage:
+//!   cargo run --release -p qpd-eval --bin table_summary [--quick] [names...]
+
+use qpd_eval::runner::{run_benchmark, EvalSettings};
+use qpd_eval::summary::{summarize, summary_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trials: Option<u64> = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let names: Vec<String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--trials" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .cloned()
+            .collect()
+    };
+    let mut settings = if quick { EvalSettings::quick() } else { EvalSettings::default() };
+    if let Some(t) = trials {
+        settings.yield_trials = t;
+    }
+    let yield_floor = 0.5 / settings.yield_trials as f64;
+
+    let benchmarks: Vec<String> = if names.is_empty() {
+        qpd_benchmarks::ALL.iter().map(|s| s.name.to_string()).collect()
+    } else {
+        names
+    };
+
+    let mut summaries = Vec::new();
+    for name in &benchmarks {
+        eprint!("running {name} ... ");
+        let start = std::time::Instant::now();
+        match run_benchmark(name, &settings) {
+            Ok(run) => {
+                summaries.push(summarize(&run, yield_floor));
+                eprintln!("done ({:.1?})", start.elapsed());
+            }
+            Err(e) => {
+                eprintln!("failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!();
+    println!("Columns: perf(K=0) = normalized performance of the most simplified");
+    println!("eff-full design (baseline (1) = 1.0); yld/bN = yield gain over IBM");
+    println!("baseline (N); yld-lay = eff-layout-only (2-qubit buses) yield gain");
+    println!("over baseline (2); yld-freq = eff-full over eff-5-freq at equal bus");
+    println!("count; pareto = every IBM baseline Pareto-dominated by eff-full.");
+    println!();
+    print!("{}", summary_table(&summaries));
+}

@@ -1,0 +1,202 @@
+//! The five experiment configurations of paper §5.2.
+
+use std::fmt;
+
+use qpd_core::{BusStrategy, DesignFlow, FrequencyStrategy};
+use qpd_profile::CouplingProfile;
+use qpd_topology::{five_frequency_plan, Architecture, BusMode, ibm};
+
+use crate::runner::{EvalError, EvalSettings};
+
+/// Which experiment configuration produced a data point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfigKind {
+    /// IBM's four general-purpose baselines (Figure 9).
+    Ibm,
+    /// The full design flow: layout + weighted buses + optimized
+    /// frequencies.
+    EffFull,
+    /// Layout + weighted buses, but IBM's 5-frequency scheme.
+    Eff5Freq,
+    /// Layout + random buses + optimized frequencies.
+    EffRdBus,
+    /// Layout only: 2-qubit buses or maximal 4-qubit buses, 5-frequency
+    /// scheme.
+    EffLayoutOnly,
+}
+
+impl ConfigKind {
+    /// The paper's name for this configuration.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfigKind::Ibm => "ibm",
+            ConfigKind::EffFull => "eff-full",
+            ConfigKind::Eff5Freq => "eff-5-freq",
+            ConfigKind::EffRdBus => "eff-rd-bus",
+            ConfigKind::EffLayoutOnly => "eff-layout-only",
+        }
+    }
+
+    /// All five configurations in the paper's presentation order.
+    pub fn all() -> [ConfigKind; 5] {
+        [
+            ConfigKind::Ibm,
+            ConfigKind::EffFull,
+            ConfigKind::EffRdBus,
+            ConfigKind::Eff5Freq,
+            ConfigKind::EffLayoutOnly,
+        ]
+    }
+}
+
+impl fmt::Display for ConfigKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Generates the architectures a configuration contributes for one
+/// profiled benchmark.
+///
+/// # Errors
+///
+/// Propagates design-flow failures ([`EvalError::Design`]).
+pub fn architectures(
+    kind: ConfigKind,
+    profile: &CouplingProfile,
+    settings: &EvalSettings,
+) -> Result<Vec<Architecture>, EvalError> {
+    match kind {
+        ConfigKind::Ibm => Ok(ibm::all_baselines().to_vec()),
+        ConfigKind::EffFull => {
+            let flow = DesignFlow::new()
+                .with_allocation_trials(settings.alloc_trials)
+                .with_allocation_seed(settings.seed)
+                .with_sigma_ghz(settings.sigma_ghz);
+            Ok(flow.design_series(profile)?)
+        }
+        ConfigKind::Eff5Freq => {
+            let flow = DesignFlow::new()
+                .with_frequency_strategy(FrequencyStrategy::FiveFrequency)
+                .with_name_prefix("eff5");
+            Ok(flow.design_series(profile)?)
+        }
+        ConfigKind::EffRdBus => {
+            // One point per sample: a seeded random bus set whose size
+            // sweeps the available range, so the samples scatter across
+            // the trade-off plane like the paper's orange points.
+            let coords = DesignFlow::new().place(profile)?;
+            let max = qpd_core::select_buses_maximal(&coords).len();
+            let mut archs = Vec::new();
+            for s in 0..settings.rd_bus_samples {
+                let budget = if max == 0 {
+                    0
+                } else {
+                    1 + s * max / settings.rd_bus_samples.max(1)
+                };
+                if budget == 0 {
+                    continue;
+                }
+                let flow = DesignFlow::new()
+                    .with_bus_strategy(BusStrategy::Random { seed: settings.seed + s as u64 })
+                    .with_max_buses(Some(budget))
+                    .with_allocation_trials(settings.alloc_trials)
+                    .with_allocation_seed(settings.seed)
+                    .with_sigma_ghz(settings.sigma_ghz)
+                    .with_name_prefix(format!("effrd{s}"));
+                archs.push(flow.design(profile)?);
+            }
+            Ok(archs)
+        }
+        ConfigKind::EffLayoutOnly => {
+            let coords = DesignFlow::new().place(profile)?;
+            let mut out = Vec::new();
+            // Option A: 2-qubit buses only.
+            let mut builder = Architecture::builder(format!(
+                "efflayout-{}q-2qbus",
+                profile.num_qubits()
+            ));
+            builder.qubits(coords.iter().copied());
+            let plain = builder.build().map_err(qpd_core::DesignError::from)?;
+            let plan = five_frequency_plan(&plain);
+            out.push(plain.with_frequencies(plan).map_err(qpd_core::DesignError::from)?);
+            // Option B: as many 4-qubit buses as possible.
+            let mut builder = Architecture::builder(format!(
+                "efflayout-{}q-max4q",
+                profile.num_qubits()
+            ));
+            builder.qubits(coords.iter().copied());
+            for s in qpd_core::select_buses_maximal(&coords) {
+                builder.four_qubit_bus_at(s);
+            }
+            let dense = builder.build().map_err(qpd_core::DesignError::from)?;
+            let plan = five_frequency_plan(&dense);
+            out.push(dense.with_frequencies(plan).map_err(qpd_core::DesignError::from)?);
+            Ok(out)
+        }
+    }
+}
+
+/// The IBM baseline bus modes, used by reports.
+pub fn baseline_mode_label(mode: BusMode) -> &'static str {
+    match mode {
+        BusMode::TwoQubitOnly => "2-qubit buses",
+        BusMode::MaxFourQubit => "max 4-qubit buses",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> CouplingProfile {
+        CouplingProfile::from_edges(
+            6,
+            &[(0, 1, 8), (1, 2, 8), (3, 4, 8), (4, 5, 8), (0, 4, 6), (1, 3, 6), (1, 4, 8)],
+        )
+    }
+
+    fn quick() -> EvalSettings {
+        EvalSettings::quick()
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ConfigKind::EffFull.label(), "eff-full");
+        assert_eq!(ConfigKind::all().len(), 5);
+        assert_eq!(ConfigKind::Ibm.to_string(), "ibm");
+    }
+
+    #[test]
+    fn ibm_contributes_four() {
+        let archs = architectures(ConfigKind::Ibm, &profile(), &quick()).unwrap();
+        assert_eq!(archs.len(), 4);
+    }
+
+    #[test]
+    fn eff_full_series_has_bus_range() {
+        let archs = architectures(ConfigKind::EffFull, &profile(), &quick()).unwrap();
+        assert!(!archs.is_empty());
+        assert_eq!(archs[0].four_qubit_buses().len(), 0);
+        for a in &archs {
+            assert!(a.frequencies().is_some());
+        }
+    }
+
+    #[test]
+    fn layout_only_has_two_options() {
+        let archs = architectures(ConfigKind::EffLayoutOnly, &profile(), &quick()).unwrap();
+        assert_eq!(archs.len(), 2);
+        assert!(archs[0].four_qubit_buses().is_empty());
+        assert!(archs[1].four_qubit_buses().len() >= archs[0].four_qubit_buses().len());
+    }
+
+    #[test]
+    fn rd_bus_samples_are_bounded() {
+        let archs = architectures(ConfigKind::EffRdBus, &profile(), &quick()).unwrap();
+        assert!(archs.len() <= quick().rd_bus_samples);
+        for a in &archs {
+            assert!(!a.four_qubit_buses().is_empty());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment harness reproducing the paper's evaluation (§5).
+//!
+//! The harness wires the whole workspace together: benchmarks are built
+//! (`qpd-benchmarks`), profiled (`qpd-profile`), turned into chips by the
+//! five experiment configurations of §5.2 (`qpd-core`, `qpd-topology`),
+//! routed with SABRE (`qpd-mapping`) for the performance metric, and
+//! Monte Carlo simulated (`qpd-yield`) for the yield metric.
+//!
+//! Binaries regenerate each paper artifact:
+//!
+//! - `fig04` — the profiling walkthrough of Figure 4;
+//! - `fig05` — the coupling-strength heat maps of Figure 5;
+//! - `fig09` — the IBM baseline designs of Figure 9;
+//! - `fig10` — the twelve yield-vs-performance subfigures of Figure 10;
+//! - `table_summary` — the §5.3/§5.4 quantitative claims.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod configs;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod summary;
+
+pub use configs::ConfigKind;
+pub use runner::{BenchmarkRun, DataPoint, EvalError, EvalSettings};

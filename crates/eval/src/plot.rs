@@ -1,0 +1,232 @@
+//! SVG scatter plots of experiment results — the graphical form of the
+//! paper's Figure 10 subfigures.
+//!
+//! Hand-rolled SVG (no dependencies): linear X = normalized reciprocal
+//! gate count, logarithmic Y = yield rate, one marker style per
+//! configuration, matching the paper's presentation.
+
+use std::fmt::Write as _;
+
+use crate::configs::ConfigKind;
+use crate::runner::{BenchmarkRun, DataPoint};
+
+const WIDTH: f64 = 560.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+fn color(config: ConfigKind) -> &'static str {
+    match config {
+        ConfigKind::Ibm => "#555555",
+        ConfigKind::EffFull => "#1f77b4",
+        ConfigKind::EffRdBus => "#ff7f0e",
+        ConfigKind::Eff5Freq => "#2ca02c",
+        ConfigKind::EffLayoutOnly => "#d62728",
+    }
+}
+
+/// Renders one benchmark run as a standalone SVG document.
+///
+/// Zero yields (no successes in the Monte Carlo budget) are drawn on the
+/// plot floor with hollow markers, mirroring how the paper's log-scale
+/// axes clip them.
+pub fn svg_scatter(run: &BenchmarkRun) -> String {
+    let points = &run.points;
+    let x_min_data =
+        points.iter().map(|p| p.normalized_perf).fold(f64::INFINITY, f64::min);
+    let x_max_data =
+        points.iter().map(|p| p.normalized_perf).fold(f64::NEG_INFINITY, f64::max);
+    let span = (x_max_data - x_min_data).max(0.05);
+    let (x_min, x_max) = (x_min_data - 0.05 * span, x_max_data + 0.05 * span);
+
+    // Y (log10): floor at one decade below the smallest positive yield.
+    let min_pos = points
+        .iter()
+        .map(|p| p.yield_rate)
+        .filter(|&y| y > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let y_floor_exp = if min_pos.is_finite() { min_pos.log10().floor() - 1.0 } else { -5.0 };
+    let y_top_exp = 0.0; // yield <= 1
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let x_of = |v: f64| MARGIN_L + (v - x_min) / (x_max - x_min) * plot_w;
+    let y_of = |y: f64| {
+        let e = if y > 0.0 { y.log10().clamp(y_floor_exp, y_top_exp) } else { y_floor_exp };
+        MARGIN_T + (y_top_exp - e) / (y_top_exp - y_floor_exp) * plot_h
+    };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="20" font-family="sans-serif" font-size="15" text-anchor="middle">{} ({} qubits)</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        run.benchmark,
+        run.qubits
+    );
+
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r#"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="black" stroke-width="1"/>"#
+    );
+    // Y ticks: one per decade.
+    let mut exp = y_floor_exp as i64;
+    while exp <= y_top_exp as i64 {
+        let y = y_of(10f64.powi(exp as i32));
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#dddddd" stroke-width="0.5"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="end">1e{exp}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0
+        );
+        exp += 1;
+    }
+    // X ticks: five evenly spaced.
+    for i in 0..=4 {
+        let v = x_min + (x_max - x_min) * i as f64 / 4.0;
+        let x = x_of(v);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{x:.1}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{v:.2}</text>"#,
+            MARGIN_T + plot_h + 18.0
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">normalized reciprocal of gate count</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 12.0
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="16" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">yield rate</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0
+    );
+
+    // Points.
+    let draw_point = |svg: &mut String, p: &DataPoint| {
+        let x = x_of(p.normalized_perf);
+        let y = y_of(p.yield_rate);
+        let fill = if p.yield_rate > 0.0 { color(p.config) } else { "none" };
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="4" fill="{fill}" stroke="{}" stroke-width="1.2"><title>{}: gates={} yield={:.3e}</title></circle>"#,
+            color(p.config),
+            p.arch,
+            p.total_gates,
+            p.yield_rate
+        );
+    };
+    for p in points {
+        draw_point(&mut svg, p);
+    }
+
+    // Legend.
+    for (i, kind) in ConfigKind::all().iter().enumerate() {
+        let y = MARGIN_T + 14.0 + 20.0 * i as f64;
+        let x = MARGIN_L + plot_w + 14.0;
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="4" fill="{0}" stroke="{0}"/>"#,
+            color(*kind)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12">{}</text>"#,
+            x + 10.0,
+            y + 4.0,
+            kind.label()
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> BenchmarkRun {
+        let mk = |config, perf: f64, y: f64| DataPoint {
+            config,
+            arch: format!("{config}-arch"),
+            qubits: 8,
+            four_qubit_buses: 0,
+            coupling_edges: 10,
+            total_gates: 100,
+            swaps: 2,
+            yield_rate: y,
+            normalized_perf: perf,
+        };
+        BenchmarkRun {
+            benchmark: "demo".into(),
+            qubits: 8,
+            points: vec![
+                mk(ConfigKind::Ibm, 1.0, 1.8e-2),
+                mk(ConfigKind::EffFull, 1.1, 2.0e-1),
+                mk(ConfigKind::EffFull, 1.2, 5.0e-2),
+                mk(ConfigKind::Eff5Freq, 1.1, 0.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = svg_scatter(&run());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 4 + 5, "4 data points + 5 legend dots");
+        assert!(svg.contains("demo (8 qubits)"));
+        assert!(svg.contains("eff-full"));
+    }
+
+    #[test]
+    fn zero_yield_is_hollow() {
+        let svg = svg_scatter(&run());
+        assert!(svg.contains(r#"fill="none""#));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_viewbox() {
+        let svg = svg_scatter(&run());
+        for cap in svg.split("cx=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=WIDTH).contains(&x), "x = {x}");
+        }
+        for cap in svg.split("cy=\"").skip(1) {
+            let y: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=HEIGHT).contains(&y), "y = {y}");
+        }
+    }
+
+    #[test]
+    fn log_axis_orders_yields() {
+        let svg = svg_scatter(&run());
+        // Higher yield must be drawn higher (smaller cy). Extract data
+        // point circles in order: ibm (1.8e-2) then eff-full (2.0e-1).
+        let cys: Vec<f64> = svg
+            .split("<circle cx=\"")
+            .skip(1)
+            .take(2)
+            .map(|s| {
+                let cy = s.split("cy=\"").nth(1).unwrap();
+                cy.split('"').next().unwrap().parse().unwrap()
+            })
+            .collect();
+        assert!(cys[1] < cys[0], "2e-1 should be above 1.8e-2: {cys:?}");
+    }
+}

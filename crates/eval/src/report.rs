@@ -1,0 +1,101 @@
+//! Table and CSV rendering of experiment results.
+
+use std::fmt::Write as _;
+
+use crate::runner::BenchmarkRun;
+
+/// Renders one benchmark's points as an aligned text table (the tabular
+/// form of one Figure 10 subfigure).
+pub fn run_table(run: &BenchmarkRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} ({} logical qubits)", run.benchmark, run.qubits);
+    let _ = writeln!(
+        out,
+        "{:<15} {:<22} {:>3} {:>5} {:>6} {:>7} {:>6} {:>10} {:>9}",
+        "config", "architecture", "q", "4q", "edges", "gates", "swaps", "yield", "norm-perf"
+    );
+    for p in &run.points {
+        let _ = writeln!(
+            out,
+            "{:<15} {:<22} {:>3} {:>5} {:>6} {:>7} {:>6} {:>10.4e} {:>9.4}",
+            p.config.label(),
+            p.arch,
+            p.qubits,
+            p.four_qubit_buses,
+            p.coupling_edges,
+            p.total_gates,
+            p.swaps,
+            p.yield_rate,
+            p.normalized_perf,
+        );
+    }
+    out
+}
+
+/// CSV header matching [`run_csv`] rows.
+pub const CSV_HEADER: &str =
+    "benchmark,config,architecture,qubits,four_qubit_buses,coupling_edges,total_gates,swaps,yield,normalized_perf";
+
+/// Renders one benchmark's points as CSV rows (without header).
+pub fn run_csv(run: &BenchmarkRun) -> String {
+    let mut out = String::new();
+    for p in &run.points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            run.benchmark,
+            p.config.label(),
+            p.arch,
+            p.qubits,
+            p.four_qubit_buses,
+            p.coupling_edges,
+            p.total_gates,
+            p.swaps,
+            p.yield_rate,
+            p.normalized_perf,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::ConfigKind;
+    use crate::runner::DataPoint;
+
+    fn run() -> BenchmarkRun {
+        BenchmarkRun {
+            benchmark: "demo".into(),
+            qubits: 4,
+            points: vec![DataPoint {
+                config: ConfigKind::Ibm,
+                arch: "ibm-16q-2x8-2qbus".into(),
+                qubits: 16,
+                four_qubit_buses: 0,
+                coupling_edges: 22,
+                total_gates: 100,
+                swaps: 3,
+                yield_rate: 0.125,
+                normalized_perf: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn table_contains_values() {
+        let t = run_table(&run());
+        assert!(t.contains("demo"));
+        assert!(t.contains("ibm-16q-2x8-2qbus"));
+        assert!(t.contains("1.2500e-1"));
+    }
+
+    #[test]
+    fn csv_row_shape() {
+        let csv = run_csv(&run());
+        let fields: Vec<&str> = csv.trim().split(',').collect();
+        assert_eq!(fields.len(), CSV_HEADER.split(',').count());
+        assert_eq!(fields[0], "demo");
+        assert_eq!(fields[1], "ibm");
+    }
+}

@@ -1,0 +1,248 @@
+//! Quantitative claims of §5.3 and §5.4, computed from experiment runs.
+
+use std::fmt::Write as _;
+
+use qpd_core::pareto::dominates;
+
+use crate::configs::ConfigKind;
+use crate::runner::BenchmarkRun;
+
+/// The paper's headline comparisons for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSummary {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Normalized performance of the most simplified design (eff-full,
+    /// no 4-qubit buses). Paper: ~1.077 on average (7.7% better than
+    /// baseline (1)).
+    pub simplest_perf: f64,
+    /// Yield ratio of the most simplified design over baseline (1).
+    /// Paper: ~4x.
+    pub simplest_yield_gain_vs_b1: f64,
+    /// Yield ratio of the max-bus eff-full design over baseline (2)
+    /// (16Q, four 4-qubit buses). Paper: >= 100x.
+    pub max_yield_gain_vs_b2: f64,
+    /// Performance loss of the max-bus design vs baseline (2), as a
+    /// fraction. Paper: < 1%.
+    pub max_perf_loss_vs_b2: f64,
+    /// Yield ratio of the max-bus design over baseline (4) (20Q, six
+    /// 4-qubit buses). Paper: > 1000x on average.
+    pub max_yield_gain_vs_b4: f64,
+    /// Performance loss of the max-bus design vs baseline (4). Paper:
+    /// ~3.5%.
+    pub max_perf_loss_vs_b4: f64,
+    /// Yield ratio of eff-layout-only (2-qubit buses) over baseline (2).
+    /// Paper §5.4.1: ~35x average with comparable or better performance.
+    pub layout_yield_gain_vs_b2: f64,
+    /// Performance of eff-layout-only (2-qubit buses) relative to
+    /// baseline (2) (>= 1 means better).
+    pub layout_perf_vs_b2: f64,
+    /// Geometric-mean yield ratio of eff-full over eff-5-freq at equal
+    /// bus counts. Paper §5.4.3: ~10x average.
+    pub freq_alloc_yield_gain: f64,
+    /// Whether every IBM baseline point is Pareto-dominated by some
+    /// eff-full point.
+    pub dominates_all_baselines: bool,
+    /// How many of the four IBM baselines are strictly dominated by some
+    /// eff-full design (the paper's "better Pareto-optimal results":
+    /// baseline points fall off the combined frontier).
+    pub baselines_dominated: usize,
+}
+
+/// Clamp a yield away from zero so ratios against empty Monte Carlo
+/// counts stay finite; `floor` should be about half of one count
+/// (`0.5 / trials`).
+fn floored(y: f64, floor: f64) -> f64 {
+    y.max(floor)
+}
+
+fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v.is_finite() && v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Summarizes one benchmark run. `yield_floor` guards ratios against
+/// zero-success estimates (use `0.5 / yield_trials`).
+///
+/// # Panics
+///
+/// Panics if the run lacks the IBM baselines or the eff-full series
+/// (i.e. it was not produced by [`crate::runner::run_benchmark`]).
+pub fn summarize(run: &BenchmarkRun, yield_floor: f64) -> BenchmarkSummary {
+    let b1 = run.ibm_baseline(1).expect("baseline (1)");
+    let b2 = run.ibm_baseline(2).expect("baseline (2)");
+    let b4 = run.ibm_baseline(4).expect("baseline (4)");
+    let full = run.of_config(ConfigKind::EffFull);
+    let simplest = full.first().expect("eff-full series");
+    let max_bus = full.last().expect("eff-full series");
+    let five = run.of_config(ConfigKind::Eff5Freq);
+    let layout = run.of_config(ConfigKind::EffLayoutOnly);
+    let layout_plain = layout.first().expect("eff-layout-only");
+
+    let freq_alloc_yield_gain = geomean(full.iter().filter_map(|p| {
+        five.iter()
+            .find(|q| q.four_qubit_buses == p.four_qubit_buses)
+            .map(|q| floored(p.yield_rate, yield_floor) / floored(q.yield_rate, yield_floor))
+    }));
+
+    let baselines_dominated = run
+        .of_config(ConfigKind::Ibm)
+        .iter()
+        .filter(|b| {
+            full.iter().any(|p| {
+                dominates((p.normalized_perf, p.yield_rate), (b.normalized_perf, b.yield_rate))
+            })
+        })
+        .count();
+    let dominates_all_baselines = baselines_dominated == run.of_config(ConfigKind::Ibm).len();
+
+    BenchmarkSummary {
+        benchmark: run.benchmark.clone(),
+        simplest_perf: simplest.normalized_perf,
+        simplest_yield_gain_vs_b1: floored(simplest.yield_rate, yield_floor)
+            / floored(b1.yield_rate, yield_floor),
+        max_yield_gain_vs_b2: floored(max_bus.yield_rate, yield_floor)
+            / floored(b2.yield_rate, yield_floor),
+        max_perf_loss_vs_b2: 1.0 - max_bus.normalized_perf / b2.normalized_perf,
+        max_yield_gain_vs_b4: floored(max_bus.yield_rate, yield_floor)
+            / floored(b4.yield_rate, yield_floor),
+        max_perf_loss_vs_b4: 1.0 - max_bus.normalized_perf / b4.normalized_perf,
+        layout_yield_gain_vs_b2: floored(layout_plain.yield_rate, yield_floor)
+            / floored(b2.yield_rate, yield_floor),
+        layout_perf_vs_b2: layout_plain.normalized_perf / b2.normalized_perf,
+        freq_alloc_yield_gain,
+        dominates_all_baselines,
+        baselines_dominated,
+    }
+}
+
+/// Aggregate (geometric-mean) view over all benchmarks, mirroring the
+/// paper's "on average" claims.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSummary {
+    /// Geomean of per-benchmark simplest-design performance. Paper:
+    /// ~1.077.
+    pub simplest_perf: f64,
+    /// Geomean yield gain of the simplest design over baseline (1).
+    /// Paper: ~4x.
+    pub simplest_yield_gain_vs_b1: f64,
+    /// Geomean yield gain of max-bus designs over baseline (2). Paper:
+    /// >= 100x.
+    pub max_yield_gain_vs_b2: f64,
+    /// Geomean yield gain of max-bus designs over baseline (4). Paper:
+    /// > 1000x.
+    pub max_yield_gain_vs_b4: f64,
+    /// Geomean yield gain of eff-layout-only over baseline (2). Paper:
+    /// ~35x.
+    pub layout_yield_gain_vs_b2: f64,
+    /// Geomean frequency-allocation yield gain. Paper: ~10x.
+    pub freq_alloc_yield_gain: f64,
+    /// How many benchmarks had every baseline Pareto-dominated.
+    pub dominated_count: usize,
+    /// Total baselines dominated across benchmarks (out of 4 per
+    /// benchmark).
+    pub baselines_dominated: usize,
+    /// Benchmarks summarized.
+    pub total: usize,
+}
+
+/// Aggregates per-benchmark summaries.
+pub fn aggregate(summaries: &[BenchmarkSummary]) -> AggregateSummary {
+    AggregateSummary {
+        simplest_perf: geomean(summaries.iter().map(|s| s.simplest_perf)),
+        simplest_yield_gain_vs_b1: geomean(
+            summaries.iter().map(|s| s.simplest_yield_gain_vs_b1),
+        ),
+        max_yield_gain_vs_b2: geomean(summaries.iter().map(|s| s.max_yield_gain_vs_b2)),
+        max_yield_gain_vs_b4: geomean(summaries.iter().map(|s| s.max_yield_gain_vs_b4)),
+        layout_yield_gain_vs_b2: geomean(summaries.iter().map(|s| s.layout_yield_gain_vs_b2)),
+        freq_alloc_yield_gain: geomean(summaries.iter().map(|s| s.freq_alloc_yield_gain)),
+        dominated_count: summaries.iter().filter(|s| s.dominates_all_baselines).count(),
+        baselines_dominated: summaries.iter().map(|s| s.baselines_dominated).sum(),
+        total: summaries.len(),
+    }
+}
+
+/// Renders the §5.3/§5.4 comparison table with the paper's expectations
+/// alongside the measured values.
+pub fn summary_table(summaries: &[BenchmarkSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "benchmark", "perf(K=0)", "yld/b1", "yld/b2", "yld/b4", "yld-lay", "yld-freq", "pareto"
+    );
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9.4} {:>9.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>8}",
+            s.benchmark,
+            s.simplest_perf,
+            s.simplest_yield_gain_vs_b1,
+            s.max_yield_gain_vs_b2,
+            s.max_yield_gain_vs_b4,
+            s.layout_yield_gain_vs_b2,
+            s.freq_alloc_yield_gain,
+            format!("{}/4", s.baselines_dominated),
+        );
+    }
+    let agg = aggregate(summaries);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9.4} {:>9.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>5}/{}",
+        "GEOMEAN",
+        agg.simplest_perf,
+        agg.simplest_yield_gain_vs_b1,
+        agg.max_yield_gain_vs_b2,
+        agg.max_yield_gain_vs_b4,
+        agg.layout_yield_gain_vs_b2,
+        agg.freq_alloc_yield_gain,
+        agg.baselines_dominated,
+        4 * agg.total,
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "paper(§5.3/5.4)", "~1.077", "~4x", ">=100x", ">1000x", "~35x", "~10x", "all"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_benchmark, EvalSettings};
+
+    #[test]
+    fn summary_of_quick_run() {
+        let run = run_benchmark("sym6_145", &EvalSettings::quick()).unwrap();
+        let s = summarize(&run, 0.5 / 2_000.0);
+        assert_eq!(s.benchmark, "sym6_145");
+        assert!(s.simplest_perf > 0.0);
+        assert!(s.simplest_yield_gain_vs_b1.is_finite());
+        assert!(s.freq_alloc_yield_gain.is_finite());
+        let table = summary_table(std::slice::from_ref(&s));
+        assert!(table.contains("sym6_145"));
+        assert!(table.contains("GEOMEAN"));
+        let agg = aggregate(&[s]);
+        assert_eq!(agg.total, 1);
+    }
+
+    #[test]
+    fn geomean_behaviour() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geomean([0.0, -1.0]).is_nan());
+        assert!((geomean([5.0, f64::NAN]) - 5.0).abs() < 1e-12);
+    }
+}

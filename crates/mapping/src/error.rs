@@ -1,0 +1,68 @@
+//! Error type for mapping and routing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error mapping a circuit onto an architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MappingError {
+    /// The circuit has more logical qubits than the chip has physical
+    /// qubits.
+    CircuitTooWide {
+        /// Logical qubits required.
+        logical: usize,
+        /// Physical qubits available.
+        physical: usize,
+    },
+    /// The chip's coupling graph is disconnected, so some two-qubit gates
+    /// can never be routed.
+    DisconnectedArchitecture,
+    /// The circuit contains a unitary on three or more qubits; decompose
+    /// it first (`qpd_circuit::decompose::decompose_to_native`).
+    UnsupportedGate {
+        /// Offending gate name.
+        gate: &'static str,
+    },
+    /// An explicit initial layout was not a valid injection of logical
+    /// into physical qubits.
+    InvalidLayout {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::CircuitTooWide { logical, physical } => write!(
+                f,
+                "circuit needs {logical} qubits but the architecture has only {physical}"
+            ),
+            MappingError::DisconnectedArchitecture => {
+                write!(f, "architecture coupling graph is disconnected")
+            }
+            MappingError::UnsupportedGate { gate } => write!(
+                f,
+                "gate `{gate}` acts on more than two qubits; decompose the circuit before routing"
+            ),
+            MappingError::InvalidLayout { reason } => write!(f, "invalid initial layout: {reason}"),
+        }
+    }
+}
+
+impl Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = MappingError::CircuitTooWide { logical: 20, physical: 16 };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains("16"));
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MappingError>();
+    }
+}

@@ -1,0 +1,170 @@
+//! A greedy shortest-path baseline router.
+//!
+//! For every blocked two-qubit gate, this router walks one operand along
+//! a shortest path toward the other, inserting SWAPs until the pair is
+//! adjacent. It makes no lookahead decisions, so it upper-bounds the
+//! routing cost a reasonable compiler would produce; SABRE should beat or
+//! match it nearly always, which tests assert.
+
+use qpd_circuit::{Circuit, Gate, Qubit};
+use qpd_topology::Architecture;
+
+use crate::error::MappingError;
+use crate::initial::InitialMapping;
+use crate::sabre::MappedCircuit;
+
+/// Greedy shortest-path router bound to one architecture.
+#[derive(Debug, Clone)]
+pub struct GreedyRouter<'a> {
+    arch: &'a Architecture,
+    dist: Vec<Vec<u32>>,
+    initial: InitialMapping,
+}
+
+impl<'a> GreedyRouter<'a> {
+    /// Creates a greedy router with a degree-matched initial mapping.
+    pub fn new(arch: &'a Architecture) -> Self {
+        GreedyRouter { arch, dist: arch.distance_matrix(), initial: InitialMapping::DegreeMatched }
+    }
+
+    /// Overrides the initial mapping strategy.
+    pub fn with_initial(mut self, initial: InitialMapping) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Routes a circuit gate by gate.
+    ///
+    /// # Errors
+    ///
+    /// Same failure cases as [`crate::SabreRouter::route`].
+    pub fn route(&self, circuit: &Circuit) -> Result<MappedCircuit, MappingError> {
+        if circuit.num_qubits() > self.arch.num_qubits() {
+            return Err(MappingError::CircuitTooWide {
+                logical: circuit.num_qubits(),
+                physical: self.arch.num_qubits(),
+            });
+        }
+        if !self.arch.is_connected() {
+            return Err(MappingError::DisconnectedArchitecture);
+        }
+        let n_phys = self.arch.num_qubits();
+        let initial = self.initial.build(circuit, self.arch);
+        let mut layout = initial.clone();
+        let mut physical = Circuit::new(n_phys);
+        let mut swaps = 0usize;
+
+        for inst in circuit.iter() {
+            if inst.gate().is_unitary() && inst.qubits().len() > 2 {
+                return Err(MappingError::UnsupportedGate { gate: inst.gate().name() });
+            }
+            if inst.gate().is_unitary() && inst.qubits().len() == 2 {
+                let (a, b) = inst.qubit_pair().expect("two-qubit gate");
+                // Walk a's occupant toward b until adjacent.
+                loop {
+                    let pa = layout.phys_of_log(a.index());
+                    let pb = layout.phys_of_log(b.index());
+                    if self.dist[pa][pb] == 1 {
+                        break;
+                    }
+                    let next = self
+                        .arch
+                        .neighbors(pa)
+                        .iter()
+                        .copied()
+                        .min_by_key(|&nb| (self.dist[nb][pb], nb))
+                        .expect("connected architecture");
+                    physical
+                        .push(Gate::Swap, &[Qubit::from(pa), Qubit::from(next)])
+                        .expect("swap on valid qubits");
+                    layout.swap_physical(pa, next);
+                    swaps += 1;
+                }
+            }
+            let mapped: Vec<Qubit> = inst
+                .qubits()
+                .iter()
+                .map(|q| Qubit::from(layout.phys_of_log(q.index())))
+                .collect();
+            physical.push(inst.gate().clone(), &mapped).expect("mapped instruction is valid");
+        }
+
+        Ok(MappedCircuit::new(physical, initial, layout, circuit.gate_count(), swaps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sabre::SabreRouter;
+    use crate::verify::verify_mapped;
+    use qpd_circuit::random::{random_circuit, RandomCircuitSpec};
+    use qpd_topology::{ibm, Architecture, BusMode};
+
+    fn line(n: i32) -> Architecture {
+        let mut b = Architecture::builder(format!("line{n}"));
+        for c in 0..n {
+            b.qubit(0, c);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn routes_and_verifies() {
+        let arch = line(5);
+        let c = random_circuit(&RandomCircuitSpec {
+            num_qubits: 5,
+            num_gates: 60,
+            two_qubit_fraction: 0.5,
+            seed: 21,
+        });
+        let mapped = GreedyRouter::new(&arch).route(&c).unwrap();
+        verify_mapped(&c, &mapped, &arch).unwrap();
+    }
+
+    #[test]
+    fn sabre_beats_or_matches_greedy_on_average() {
+        let arch = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+        let mut greedy_total = 0usize;
+        let mut sabre_total = 0usize;
+        for seed in 0..4 {
+            let c = random_circuit(&RandomCircuitSpec {
+                num_qubits: 16,
+                num_gates: 150,
+                two_qubit_fraction: 0.5,
+                seed: 40 + seed,
+            });
+            greedy_total += GreedyRouter::new(&arch).route(&c).unwrap().stats().total_gates;
+            sabre_total += SabreRouter::new(&arch).route(&c).unwrap().stats().total_gates;
+        }
+        assert!(
+            sabre_total <= greedy_total,
+            "sabre {sabre_total} should not lose to greedy {greedy_total}"
+        );
+    }
+
+    #[test]
+    fn adjacent_only_circuit_needs_no_swaps() {
+        let arch = line(3);
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(0, 1);
+        let mapped =
+            GreedyRouter::new(&arch).with_initial(InitialMapping::Trivial).route(&c).unwrap();
+        assert_eq!(mapped.swap_count(), 0);
+    }
+
+    #[test]
+    fn error_paths() {
+        let arch = line(2);
+        assert!(GreedyRouter::new(&arch).route(&Circuit::new(5)).is_err());
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let mut b = Architecture::builder("disc");
+        b.qubit(0, 0).qubit(9, 9);
+        let disc = b.build().unwrap();
+        assert!(matches!(
+            GreedyRouter::new(&disc).route(&c),
+            Err(MappingError::DisconnectedArchitecture)
+        ));
+    }
+}

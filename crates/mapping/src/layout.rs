@@ -1,0 +1,135 @@
+//! Logical-to-physical qubit layouts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MappingError;
+
+/// A bijection between `n` logical and `n` physical qubits.
+///
+/// Circuits narrower than the chip are padded with dummy logical qubits
+/// (indices `>= circuit.num_qubits()`), which keeps the mapping a
+/// permutation — the representation SABRE's swap updates need.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    log_to_phys: Vec<u32>,
+    phys_to_log: Vec<u32>,
+}
+
+impl Layout {
+    /// The identity layout on `n` qubits.
+    pub fn trivial(n: usize) -> Self {
+        Layout {
+            log_to_phys: (0..n as u32).collect(),
+            phys_to_log: (0..n as u32).collect(),
+        }
+    }
+
+    /// Builds a layout from a logical-to-physical permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InvalidLayout`] unless `log_to_phys` is a
+    /// permutation of `0..n`.
+    pub fn from_log_to_phys(log_to_phys: Vec<u32>) -> Result<Self, MappingError> {
+        let n = log_to_phys.len();
+        let mut phys_to_log = vec![u32::MAX; n];
+        for (l, &p) in log_to_phys.iter().enumerate() {
+            let p = p as usize;
+            if p >= n {
+                return Err(MappingError::InvalidLayout {
+                    reason: format!("physical index {p} out of range for {n} qubits"),
+                });
+            }
+            if phys_to_log[p] != u32::MAX {
+                return Err(MappingError::InvalidLayout {
+                    reason: format!("physical qubit {p} assigned twice"),
+                });
+            }
+            phys_to_log[p] = l as u32;
+        }
+        Ok(Layout { log_to_phys, phys_to_log })
+    }
+
+    /// Number of qubits on each side of the bijection.
+    pub fn len(&self) -> usize {
+        self.log_to_phys.len()
+    }
+
+    /// Whether the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.log_to_phys.is_empty()
+    }
+
+    /// Physical qubit hosting logical qubit `l`.
+    pub fn phys_of_log(&self, l: usize) -> usize {
+        self.log_to_phys[l] as usize
+    }
+
+    /// Logical qubit hosted on physical qubit `p`.
+    pub fn log_of_phys(&self, p: usize) -> usize {
+        self.phys_to_log[p] as usize
+    }
+
+    /// The logical-to-physical permutation.
+    pub fn as_log_to_phys(&self) -> &[u32] {
+        &self.log_to_phys
+    }
+
+    /// Applies a SWAP on two physical qubits (their logical occupants
+    /// exchange places).
+    pub fn swap_physical(&mut self, p1: usize, p2: usize) {
+        let l1 = self.phys_to_log[p1];
+        let l2 = self.phys_to_log[p2];
+        self.phys_to_log.swap(p1, p2);
+        self.log_to_phys[l1 as usize] = p2 as u32;
+        self.log_to_phys[l2 as usize] = p1 as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_roundtrip() {
+        let l = Layout::trivial(4);
+        for i in 0..4 {
+            assert_eq!(l.phys_of_log(i), i);
+            assert_eq!(l.log_of_phys(i), i);
+        }
+    }
+
+    #[test]
+    fn swap_updates_both_directions() {
+        let mut l = Layout::trivial(3);
+        l.swap_physical(0, 2);
+        assert_eq!(l.phys_of_log(0), 2);
+        assert_eq!(l.phys_of_log(2), 0);
+        assert_eq!(l.log_of_phys(0), 2);
+        assert_eq!(l.log_of_phys(2), 0);
+        assert_eq!(l.phys_of_log(1), 1);
+        // Swapping back restores identity.
+        l.swap_physical(0, 2);
+        assert_eq!(l, Layout::trivial(3));
+    }
+
+    #[test]
+    fn from_permutation_validates() {
+        assert!(Layout::from_log_to_phys(vec![1, 0, 2]).is_ok());
+        assert!(matches!(
+            Layout::from_log_to_phys(vec![0, 0]),
+            Err(MappingError::InvalidLayout { .. })
+        ));
+        assert!(matches!(
+            Layout::from_log_to_phys(vec![0, 5]),
+            Err(MappingError::InvalidLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn permutation_accessor() {
+        let l = Layout::from_log_to_phys(vec![2, 0, 1]).unwrap();
+        assert_eq!(l.as_log_to_phys(), &[2, 0, 1]);
+        assert_eq!(l.log_of_phys(2), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Mapping cost statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost summary of a routed circuit.
+///
+/// `total_gates` is the paper's performance metric (§5.1): every original
+/// gate plus 3 CNOTs per inserted SWAP. Fewer post-mapping gates means
+/// shorter execution and lower error probability, i.e. better performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingStats {
+    /// Gates in the original circuit (barriers excluded).
+    pub original_gates: usize,
+    /// SWAPs inserted by routing.
+    pub swaps: usize,
+    /// Post-mapping gate count: `original_gates + 3 * swaps`.
+    pub total_gates: usize,
+    /// Depth of the routed circuit (with SWAPs counted as one layer each).
+    pub routed_depth: usize,
+}
+
+impl MappingStats {
+    /// Builds stats from the raw counts.
+    pub fn new(original_gates: usize, swaps: usize, routed_depth: usize) -> Self {
+        MappingStats {
+            original_gates,
+            swaps,
+            total_gates: original_gates + 3 * swaps,
+            routed_depth,
+        }
+    }
+
+    /// Routing overhead as a fraction of the original gate count.
+    pub fn overhead(&self) -> f64 {
+        if self.original_gates == 0 {
+            0.0
+        } else {
+            (self.total_gates - self.original_gates) as f64 / self.original_gates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_costs_three() {
+        let s = MappingStats::new(100, 7, 42);
+        assert_eq!(s.total_gates, 121);
+        assert!((s.overhead() - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_original_gates() {
+        let s = MappingStats::new(0, 0, 0);
+        assert_eq!(s.overhead(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Independent verification of routed circuits.
+
+use qpd_circuit::{Circuit, Gate};
+use qpd_topology::Architecture;
+
+use crate::sabre::MappedCircuit;
+
+/// Checks that a routed circuit faithfully implements the original:
+///
+/// 1. every two-qubit unitary acts on a coupled physical pair;
+/// 2. inserted SWAPs act on coupled pairs too;
+/// 3. un-mapping the routed gates through the evolving layout reproduces
+///    the original per-qubit-line gate sequences (DAG equivalence).
+///
+/// The original circuit must not itself contain SWAP gates (decompose
+/// them first) so inserted routing SWAPs are unambiguous.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn verify_mapped(
+    original: &Circuit,
+    mapped: &MappedCircuit,
+    arch: &Architecture,
+) -> Result<(), String> {
+    if original.iter().any(|i| matches!(i.gate(), Gate::Swap)) {
+        return Err("original circuit contains swap gates; decompose before verifying".into());
+    }
+
+    let coupled = |a: usize, b: usize| -> bool {
+        arch.neighbors(a).contains(&b)
+    };
+
+    // Replay the mapped circuit, un-mapping through the evolving layout.
+    let mut layout = mapped.initial_layout().clone();
+    let mut replayed: Vec<(String, Vec<usize>)> = Vec::new();
+    for inst in mapped.physical_circuit().iter() {
+        let phys: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
+        if inst.gate().is_unitary() && phys.len() == 2 && !coupled(phys[0], phys[1]) {
+            return Err(format!(
+                "{} acts on uncoupled physical pair ({}, {})",
+                inst.gate().name(),
+                phys[0],
+                phys[1]
+            ));
+        }
+        match inst.gate() {
+            Gate::Swap => layout.swap_physical(phys[0], phys[1]),
+            g => {
+                let logical: Vec<usize> = phys.iter().map(|&p| layout.log_of_phys(p)).collect();
+                replayed.push((format!("{g}"), logical));
+            }
+        }
+    }
+
+    // Original per-line sequences.
+    let originals: Vec<(String, Vec<usize>)> = original
+        .iter()
+        .map(|inst| {
+            (
+                format!("{}", inst.gate()),
+                inst.qubits().iter().map(|q| q.index()).collect::<Vec<usize>>(),
+            )
+        })
+        .collect();
+
+    if originals.len() != replayed.len() {
+        return Err(format!(
+            "gate count mismatch: original {} vs replayed {}",
+            originals.len(),
+            replayed.len()
+        ));
+    }
+
+    let num_qubits = original.num_qubits();
+    let project = |items: &[(String, Vec<usize>)], q: usize| -> Vec<(String, Vec<usize>)> {
+        items.iter().filter(|(_, qs)| qs.contains(&q)).cloned().collect()
+    };
+    for q in 0..num_qubits {
+        let a = project(&originals, q);
+        let b = project(&replayed, q);
+        if a != b {
+            return Err(format!(
+                "per-line sequence mismatch on logical qubit {q}: {} vs {} gates",
+                a.len(),
+                b.len()
+            ));
+        }
+    }
+    // The final layout must equal initial composed with the swaps.
+    if &layout != mapped.final_layout() {
+        return Err("final layout does not match the net effect of swaps".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sabre::SabreRouter;
+    use qpd_topology::Architecture;
+
+    fn line(n: i32) -> Architecture {
+        let mut b = Architecture::builder(format!("line{n}"));
+        for c in 0..n {
+            b.qubit(0, c);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accepts_correct_routing() {
+        let arch = line(4);
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).cx(1, 2).measure_all();
+        let mapped = SabreRouter::new(&arch).route(&c).unwrap();
+        verify_mapped(&c, &mapped, &arch).unwrap();
+    }
+
+    #[test]
+    fn rejects_swapful_original() {
+        let arch = line(2);
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let mapped = SabreRouter::new(&arch)
+            .route(&{
+                let mut plain = Circuit::new(2);
+                plain.cx(0, 1);
+                plain
+            })
+            .unwrap();
+        assert!(verify_mapped(&c, &mapped, &arch).is_err());
+    }
+
+    #[test]
+    fn detects_gate_count_mismatch() {
+        let arch = line(3);
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        let mapped = SabreRouter::new(&arch).route(&c).unwrap();
+        let mut bigger = c.clone();
+        bigger.cx(1, 2);
+        let err = verify_mapped(&bigger, &mapped, &arch).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+}

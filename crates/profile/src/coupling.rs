@@ -1,0 +1,255 @@
+//! The coupling strength matrix and coupling degree list (paper §3.1).
+
+use serde::{Deserialize, Serialize};
+
+use qpd_circuit::{Circuit, Qubit};
+
+/// A weighted edge of the logical coupling graph: two logical qubits and
+/// the number of two-qubit gates between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WeightedEdge {
+    /// Lower-indexed endpoint.
+    pub a: Qubit,
+    /// Higher-indexed endpoint.
+    pub b: Qubit,
+    /// Number of two-qubit gate instances on this pair.
+    pub weight: u32,
+}
+
+/// The profiling result for one quantum program: the logical coupling
+/// graph as a symmetric strength matrix, plus derived views.
+///
+/// Constructed by [`CouplingProfile::of`]. Single-qubit gates,
+/// initialization, and measurement are ignored; each two-qubit unitary
+/// adds one to the entry of its (unordered) operand pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CouplingProfile {
+    num_qubits: usize,
+    /// Row-major symmetric matrix, `num_qubits * num_qubits` entries.
+    matrix: Vec<u32>,
+}
+
+impl CouplingProfile {
+    /// Profiles a circuit.
+    ///
+    /// Gates on three or more qubits must be decomposed first (paper §2.1
+    /// assumes decomposed circuits); they are ignored here, matching the
+    /// paper's profiling rule that only two-qubit gates count.
+    pub fn of(circuit: &Circuit) -> Self {
+        let n = circuit.num_qubits();
+        let mut matrix = vec![0u32; n * n];
+        for (a, b) in circuit.two_qubit_pairs() {
+            matrix[a.index() * n + b.index()] += 1;
+            matrix[b.index() * n + a.index()] += 1;
+        }
+        CouplingProfile { num_qubits: n, matrix }
+    }
+
+    /// Builds a profile directly from weighted edges (used by tests and
+    /// synthetic workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a qubit `>= num_qubits` or is a
+    /// self-loop.
+    pub fn from_edges(num_qubits: usize, edges: &[(usize, usize, u32)]) -> Self {
+        let mut matrix = vec![0u32; num_qubits * num_qubits];
+        for &(a, b, w) in edges {
+            assert!(a < num_qubits && b < num_qubits, "edge endpoint out of range");
+            assert_ne!(a, b, "self-loops are not allowed");
+            matrix[a * num_qubits + b] += w;
+            matrix[b * num_qubits + a] += w;
+        }
+        CouplingProfile { num_qubits, matrix }
+    }
+
+    /// Number of logical qubits profiled.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of two-qubit gates between qubits `i` and `j` (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn strength(&self, i: usize, j: usize) -> u32 {
+        assert!(i < self.num_qubits && j < self.num_qubits, "index out of range");
+        self.matrix[i * self.num_qubits + j]
+    }
+
+    /// The coupling degree of qubit `q`: the total number of two-qubit
+    /// gates it participates in.
+    pub fn degree(&self, q: usize) -> u32 {
+        assert!(q < self.num_qubits, "index out of range");
+        self.matrix[q * self.num_qubits..(q + 1) * self.num_qubits].iter().sum()
+    }
+
+    /// The coupling degree list: every qubit with its coupling degree,
+    /// sorted descending (ties broken by ascending qubit index, making
+    /// the design flow deterministic).
+    pub fn degree_list(&self) -> Vec<(Qubit, u32)> {
+        let mut list: Vec<(Qubit, u32)> =
+            (0..self.num_qubits).map(|q| (Qubit::from(q), self.degree(q))).collect();
+        list.sort_by(|(qa, da), (qb, db)| db.cmp(da).then(qa.cmp(qb)));
+        list
+    }
+
+    /// The edges of the logical coupling graph (`a < b`, positive weight),
+    /// ordered by ascending `(a, b)`.
+    pub fn edges(&self) -> Vec<WeightedEdge> {
+        let mut out = Vec::new();
+        for a in 0..self.num_qubits {
+            for b in a + 1..self.num_qubits {
+                let w = self.strength(a, b);
+                if w > 0 {
+                    out.push(WeightedEdge { a: Qubit::from(a), b: Qubit::from(b), weight: w });
+                }
+            }
+        }
+        out
+    }
+
+    /// Qubits coupled to `q` by at least one two-qubit gate, ascending.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        (0..self.num_qubits).filter(|&j| j != q && self.strength(q, j) > 0).collect()
+    }
+
+    /// Total number of two-qubit gates in the program.
+    pub fn total_two_qubit_gates(&self) -> u32 {
+        self.matrix.iter().sum::<u32>() / 2
+    }
+
+    /// Number of distinct coupled pairs.
+    pub fn edge_count(&self) -> usize {
+        self.edges().len()
+    }
+
+    /// Whether the logical coupling graph is connected over the qubits
+    /// that appear in at least one two-qubit gate. Isolated qubits (degree
+    /// zero) are ignored.
+    pub fn is_connected(&self) -> bool {
+        let active: Vec<usize> = (0..self.num_qubits).filter(|&q| self.degree(q) > 0).collect();
+        let Some(&start) = active.first() else {
+            return true;
+        };
+        let mut seen = vec![false; self.num_qubits];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut count = 1;
+        while let Some(q) = stack.pop() {
+            for j in self.neighbors(q) {
+                if !seen[j] {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == active.len()
+    }
+
+    /// The maximum entry of the strength matrix.
+    pub fn max_strength(&self) -> u32 {
+        self.matrix.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpd_circuit::Circuit;
+
+    /// The example circuit of paper Figure 4: five logical qubits, edges
+    /// q0-q4 (weight 2), q0-q1, q1-q4, q2-q4, q3-q4 (weight 1 each).
+    pub fn figure4_circuit() -> Circuit {
+        let mut c = Circuit::new(5);
+        c.h(0).h(1);
+        c.cx(0, 4).cx(1, 4).cx(0, 1).cx(2, 4).cx(0, 4).cx(3, 4);
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn figure4_matrix() {
+        let p = CouplingProfile::of(&figure4_circuit());
+        assert_eq!(p.strength(0, 4), 2);
+        assert_eq!(p.strength(4, 0), 2);
+        assert_eq!(p.strength(0, 1), 1);
+        assert_eq!(p.strength(2, 4), 1);
+        assert_eq!(p.strength(3, 4), 1);
+        assert_eq!(p.strength(1, 2), 0);
+        assert_eq!(p.total_two_qubit_gates(), 6);
+    }
+
+    #[test]
+    fn figure4_degree_list() {
+        let p = CouplingProfile::of(&figure4_circuit());
+        let list = p.degree_list();
+        let rendered: Vec<(usize, u32)> = list.iter().map(|(q, d)| (q.index(), *d)).collect();
+        // Paper Figure 4 (d): q4:5, q0:3, q1:2, q2:1, q3:1.
+        assert_eq!(rendered, vec![(4, 5), (0, 3), (1, 2), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn single_qubit_gates_ignored() {
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).rz(0.3, 0).measure_all();
+        let p = CouplingProfile::of(&c);
+        assert_eq!(p.total_two_qubit_gates(), 0);
+        assert_eq!(p.degree(0), 0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(1, 0).cz(2, 3);
+        let p = CouplingProfile::of(&c);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(p.strength(i, j), p.strength(j, i));
+            }
+        }
+        // Direction does not matter: cx(0,1) and cx(1,0) both count.
+        assert_eq!(p.strength(0, 1), 2);
+    }
+
+    #[test]
+    fn edges_sorted_and_positive() {
+        let p = CouplingProfile::from_edges(4, &[(2, 3, 5), (0, 1, 1)]);
+        let e = p.edges();
+        assert_eq!(e.len(), 2);
+        assert_eq!((e[0].a.index(), e[0].b.index(), e[0].weight), (0, 1, 1));
+        assert_eq!((e[1].a.index(), e[1].b.index(), e[1].weight), (2, 3, 5));
+    }
+
+    #[test]
+    fn neighbors_and_connectivity() {
+        let p = CouplingProfile::from_edges(5, &[(0, 1, 1), (1, 2, 1)]);
+        assert_eq!(p.neighbors(1), vec![0, 2]);
+        assert!(p.is_connected()); // qubits 3, 4 are isolated and ignored
+        let p = CouplingProfile::from_edges(5, &[(0, 1, 1), (2, 3, 1)]);
+        assert!(!p.is_connected());
+        assert!(CouplingProfile::of(&Circuit::new(3)).is_connected());
+    }
+
+    #[test]
+    fn degree_ties_break_by_index() {
+        let p = CouplingProfile::from_edges(4, &[(0, 1, 2), (2, 3, 2)]);
+        let list = p.degree_list();
+        let ids: Vec<usize> = list.iter().map(|(q, _)| q.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn from_edges_rejects_self_loops() {
+        CouplingProfile::from_edges(2, &[(1, 1, 1)]);
+    }
+
+    #[test]
+    fn max_strength() {
+        let p = CouplingProfile::from_edges(3, &[(0, 1, 7), (1, 2, 3)]);
+        assert_eq!(p.max_strength(), 7);
+    }
+}

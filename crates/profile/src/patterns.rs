@@ -1,0 +1,245 @@
+//! Gate-pattern analysis (paper §3.2 and §5.3.1/§5.4.2).
+//!
+//! The paper observes that coupling patterns differ sharply across
+//! programs — chains (UCCSD, Ising), uniform all-to-all coupling (QFT),
+//! hub-shaped reversible arithmetic (misex1) — and that these shapes
+//! predict how much an application-specific architecture can save. This
+//! module classifies a [`CouplingProfile`] into those shapes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coupling::CouplingProfile;
+
+/// Coarse classification of a program's logical coupling graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PatternShape {
+    /// No two-qubit gates at all.
+    Empty,
+    /// The coupling graph is a simple path. Carries the qubit order along
+    /// the path. The paper's `ising_model` benchmark is the canonical
+    /// example (§5.3.1): a chain maps perfectly onto a 2D lattice and
+    /// gains nothing from 4-qubit buses.
+    Chain(Vec<usize>),
+    /// Every qubit pair is coupled with identical weight, like `qft`
+    /// (§5.4.2), where weight-based bus selection degenerates to random.
+    UniformComplete {
+        /// The common pair weight.
+        weight: u32,
+    },
+    /// None of the special shapes.
+    Irregular,
+}
+
+/// Summary statistics of a coupling pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternReport {
+    /// Detected shape.
+    pub shape: PatternShape,
+    /// Edge density: coupled pairs / all pairs.
+    pub density: f64,
+    /// Gini-style concentration: fraction of total coupling weight carried
+    /// by the heaviest 20% of edges (1.0 = fully concentrated).
+    pub top_quintile_weight_share: f64,
+    /// Qubits whose coupling degree is more than twice the median degree —
+    /// "hub" qubits that deserve central placement.
+    pub hubs: Vec<usize>,
+}
+
+impl PatternReport {
+    /// Analyzes a profile.
+    pub fn of(profile: &CouplingProfile) -> Self {
+        PatternReport {
+            shape: detect_shape(profile),
+            density: density(profile),
+            top_quintile_weight_share: top_quintile_weight_share(profile),
+            hubs: hubs(profile),
+        }
+    }
+}
+
+/// Detects the coupling-graph shape.
+pub fn detect_shape(profile: &CouplingProfile) -> PatternShape {
+    let n = profile.num_qubits();
+    let edges = profile.edges();
+    if edges.is_empty() {
+        return PatternShape::Empty;
+    }
+
+    // Uniform complete graph? (k = 2 is classified as a chain below, the
+    // more useful label for the design flow.)
+    let active: Vec<usize> = (0..n).filter(|&q| profile.degree(q) > 0).collect();
+    let k = active.len();
+    if k >= 3 {
+        let complete_edges = k * (k - 1) / 2;
+        let w0 = edges[0].weight;
+        if edges.len() == complete_edges && edges.iter().all(|e| e.weight == w0) {
+            return PatternShape::UniformComplete { weight: w0 };
+        }
+    }
+
+    // Chain? All active degrees (in the unweighted graph) <= 2, exactly two
+    // endpoints of graph-degree 1, connected, and edge count k - 1.
+    if profile.is_connected() && edges.len() == k.saturating_sub(1) {
+        let graph_degree =
+            |q: usize| -> usize { profile.neighbors(q).len() };
+        let endpoints: Vec<usize> =
+            active.iter().copied().filter(|&q| graph_degree(q) == 1).collect();
+        let all_path = active.iter().all(|&q| graph_degree(q) <= 2);
+        if all_path && (endpoints.len() == 2 || (k == 2 && endpoints.len() == 2)) {
+            // Walk the path from one endpoint.
+            let mut order = vec![endpoints[0]];
+            let mut prev = usize::MAX;
+            let mut cur = endpoints[0];
+            while order.len() < k {
+                let next = profile
+                    .neighbors(cur)
+                    .into_iter()
+                    .find(|&j| j != prev)
+                    .expect("path invariant");
+                order.push(next);
+                prev = cur;
+                cur = next;
+            }
+            return PatternShape::Chain(order);
+        }
+    }
+    PatternShape::Irregular
+}
+
+/// Edge density over all qubit pairs.
+pub fn density(profile: &CouplingProfile) -> f64 {
+    let n = profile.num_qubits();
+    if n < 2 {
+        return 0.0;
+    }
+    profile.edge_count() as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// Fraction of the total coupling weight carried by the heaviest 20% of
+/// edges (rounded up). Returns 0 for empty profiles.
+pub fn top_quintile_weight_share(profile: &CouplingProfile) -> f64 {
+    let mut weights: Vec<u32> = profile.edges().iter().map(|e| e.weight).collect();
+    if weights.is_empty() {
+        return 0.0;
+    }
+    weights.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    let top = weights.len().div_ceil(5);
+    let top_sum: u64 = weights[..top].iter().map(|&w| w as u64).sum();
+    top_sum as f64 / total as f64
+}
+
+/// Qubits whose coupling degree exceeds twice the median positive degree.
+pub fn hubs(profile: &CouplingProfile) -> Vec<usize> {
+    let mut degrees: Vec<u32> =
+        (0..profile.num_qubits()).map(|q| profile.degree(q)).filter(|&d| d > 0).collect();
+    if degrees.is_empty() {
+        return Vec::new();
+    }
+    degrees.sort_unstable();
+    let median = degrees[degrees.len() / 2];
+    (0..profile.num_qubits()).filter(|&q| profile.degree(q) > 2 * median).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profile() {
+        let p = CouplingProfile::from_edges(3, &[]);
+        assert_eq!(detect_shape(&p), PatternShape::Empty);
+        assert_eq!(density(&p), 0.0);
+        assert_eq!(top_quintile_weight_share(&p), 0.0);
+        assert!(hubs(&p).is_empty());
+    }
+
+    #[test]
+    fn chain_detection() {
+        let p = CouplingProfile::from_edges(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 9)]);
+        match detect_shape(&p) {
+            PatternShape::Chain(order) => {
+                assert!(order == vec![0, 1, 2, 3] || order == vec![3, 2, 1, 0]);
+            }
+            other => panic!("expected chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_with_isolated_qubit() {
+        // Qubit 4 is unused; the rest form a chain.
+        let p = CouplingProfile::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert!(matches!(detect_shape(&p), PatternShape::Chain(_)));
+    }
+
+    #[test]
+    fn two_qubit_chain() {
+        let p = CouplingProfile::from_edges(2, &[(0, 1, 5)]);
+        assert!(matches!(detect_shape(&p), PatternShape::Chain(_)));
+    }
+
+    #[test]
+    fn uniform_complete_detection() {
+        // QFT-like: every pair coupled with equal weight.
+        let edges: Vec<(usize, usize, u32)> =
+            (0..4).flat_map(|a| ((a + 1)..4).map(move |b| (a, b, 2))).collect();
+        let p = CouplingProfile::from_edges(4, &edges);
+        assert_eq!(detect_shape(&p), PatternShape::UniformComplete { weight: 2 });
+    }
+
+    #[test]
+    fn non_uniform_complete_is_irregular() {
+        let edges = vec![(0, 1, 2), (0, 2, 2), (1, 2, 3)];
+        let p = CouplingProfile::from_edges(3, &edges);
+        assert_eq!(detect_shape(&p), PatternShape::Irregular);
+    }
+
+    #[test]
+    fn star_is_irregular() {
+        let p = CouplingProfile::from_edges(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        assert_eq!(detect_shape(&p), PatternShape::Irregular);
+    }
+
+    #[test]
+    fn cycle_is_irregular() {
+        let p = CouplingProfile::from_edges(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1)]);
+        // A triangle is complete-uniform; use a 4-cycle instead.
+        let p4 = CouplingProfile::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        assert_eq!(detect_shape(&p4), PatternShape::Irregular);
+        assert_eq!(detect_shape(&p), PatternShape::UniformComplete { weight: 1 });
+    }
+
+    #[test]
+    fn density_values() {
+        let p = CouplingProfile::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        assert!((density(&p) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_concentration() {
+        // One heavy edge among five: top quintile carries most weight.
+        let p = CouplingProfile::from_edges(
+            6,
+            &[(0, 1, 100), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)],
+        );
+        assert!(top_quintile_weight_share(&p) > 0.9);
+    }
+
+    #[test]
+    fn hub_detection() {
+        // Qubit 0 participates in many more gates than the rest.
+        let p = CouplingProfile::from_edges(
+            5,
+            &[(0, 1, 10), (0, 2, 10), (0, 3, 10), (0, 4, 10), (1, 2, 1)],
+        );
+        assert_eq!(hubs(&p), vec![0]);
+    }
+
+    #[test]
+    fn report_composes() {
+        let p = CouplingProfile::from_edges(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 9)]);
+        let report = PatternReport::of(&p);
+        assert!(matches!(report.shape, PatternShape::Chain(_)));
+        assert!(report.density > 0.0);
+    }
+}

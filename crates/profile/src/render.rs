@@ -1,0 +1,102 @@
+//! Text rendering of profiling results (used to regenerate paper
+//! Figures 4 and 5).
+
+use std::fmt::Write as _;
+
+use crate::coupling::CouplingProfile;
+
+/// Renders the coupling strength matrix as an aligned text table, the
+/// textual equivalent of the heat maps in paper Figure 5.
+pub fn matrix_table(profile: &CouplingProfile) -> String {
+    let n = profile.num_qubits();
+    let width = profile
+        .max_strength()
+        .to_string()
+        .len()
+        .max(n.saturating_sub(1).to_string().len())
+        .max(1);
+    let mut out = String::new();
+    let _ = write!(out, "{:>w$} ", "", w = width + 1);
+    for j in 0..n {
+        let _ = write!(out, "{j:>width$} ");
+    }
+    out.push('\n');
+    for i in 0..n {
+        let _ = write!(out, "{i:>w$} ", w = width + 1);
+        for j in 0..n {
+            let v = profile.strength(i, j);
+            if v == 0 {
+                let _ = write!(out, "{:>width$} ", ".");
+            } else {
+                let _ = write!(out, "{v:>width$} ");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the coupling degree list as a two-column table (paper
+/// Figure 4 (d)).
+pub fn degree_table(profile: &CouplingProfile) -> String {
+    let mut out = String::from("qubit  two-qubit gates\n");
+    for (q, d) in profile.degree_list() {
+        let _ = writeln!(out, "{:>5}  {:>15}", format!("q{}", q.index()), d);
+    }
+    out
+}
+
+/// Serializes the strength matrix as CSV (header row/column of qubit
+/// indices included) for external plotting.
+pub fn matrix_csv(profile: &CouplingProfile) -> String {
+    let n = profile.num_qubits();
+    let mut out = String::new();
+    out.push_str("qubit");
+    for j in 0..n {
+        let _ = write!(out, ",{j}");
+    }
+    out.push('\n');
+    for i in 0..n {
+        let _ = write!(out, "{i}");
+        for j in 0..n {
+            let _ = write!(out, ",{}", profile.strength(i, j));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> CouplingProfile {
+        CouplingProfile::from_edges(3, &[(0, 1, 12), (1, 2, 1)])
+    }
+
+    #[test]
+    fn matrix_table_shape() {
+        let table = matrix_table(&profile());
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 rows
+        assert!(lines[1].contains("12"));
+        assert!(lines[1].contains('.')); // zero rendered as dot
+    }
+
+    #[test]
+    fn degree_table_sorted() {
+        let table = degree_table(&profile());
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[1].contains("q1")); // q1 has degree 13, listed first
+        assert!(lines[1].contains("13"));
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let csv = matrix_csv(&profile());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "qubit,0,1,2");
+        assert_eq!(lines[1], "0,0,12,0");
+        assert_eq!(lines[2], "1,12,0,1");
+    }
+}

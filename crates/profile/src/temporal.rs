@@ -1,0 +1,161 @@
+//! Temporal (windowed) profiling.
+//!
+//! The paper's §6 ("Improving Profiling Method") notes that the plain
+//! coupling strength matrix discards *when* two-qubit gates happen, and
+//! suggests time-resolved coupling strength as future work. This module
+//! implements that extension: the instruction stream is split into equal
+//! windows and each window profiled independently, exposing how coupling
+//! migrates over a program's lifetime.
+
+use serde::{Deserialize, Serialize};
+
+use qpd_circuit::Circuit;
+
+use crate::coupling::CouplingProfile;
+
+/// Per-window coupling profiles of a circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalProfile {
+    windows: Vec<CouplingProfile>,
+}
+
+impl TemporalProfile {
+    /// Profiles `circuit` in `num_windows` equal slices of its two-qubit
+    /// gate stream. Windows are by gate count (not depth), matching how
+    /// the aggregate profiler weighs gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_windows` is zero.
+    pub fn of(circuit: &Circuit, num_windows: usize) -> Self {
+        assert!(num_windows > 0, "need at least one window");
+        let n = circuit.num_qubits();
+        let pairs: Vec<_> = circuit.two_qubit_pairs().collect();
+        let total = pairs.len();
+        let mut windows = Vec::with_capacity(num_windows);
+        for w in 0..num_windows {
+            let start = total * w / num_windows;
+            let end = total * (w + 1) / num_windows;
+            let edges: Vec<(usize, usize, u32)> =
+                pairs[start..end].iter().map(|(a, b)| (a.index(), b.index(), 1)).collect();
+            windows.push(CouplingProfile::from_edges(n, &edges));
+        }
+        TemporalProfile { windows }
+    }
+
+    /// The per-window profiles in time order.
+    pub fn windows(&self) -> &[CouplingProfile] {
+        &self.windows
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether there are no windows (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Jaccard-style stability between consecutive windows' edge sets:
+    /// 1.0 means the coupled pairs never change, 0.0 means they are
+    /// disjoint in every transition. Programs with high stability benefit
+    /// most from a static application-specific architecture.
+    pub fn stability(&self) -> f64 {
+        if self.windows.len() < 2 {
+            return 1.0;
+        }
+        let sets: Vec<std::collections::BTreeSet<(u32, u32)>> = self
+            .windows
+            .iter()
+            .map(|p| {
+                p.edges().iter().map(|e| (e.a.raw(), e.b.raw())).collect()
+            })
+            .collect();
+        let mut acc = 0.0;
+        let mut transitions = 0;
+        for pair in sets.windows(2) {
+            let inter = pair[0].intersection(&pair[1]).count();
+            let union = pair[0].union(&pair[1]).count();
+            if union > 0 {
+                acc += inter as f64 / union as f64;
+                transitions += 1;
+            }
+        }
+        if transitions == 0 {
+            1.0
+        } else {
+            acc / transitions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_partition_gates() {
+        let mut c = Circuit::new(3);
+        for _ in 0..4 {
+            c.cx(0, 1);
+        }
+        for _ in 0..4 {
+            c.cx(1, 2);
+        }
+        let t = TemporalProfile::of(&c, 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.windows()[0].strength(0, 1), 4);
+        assert_eq!(t.windows()[0].strength(1, 2), 0);
+        assert_eq!(t.windows()[1].strength(1, 2), 4);
+        // Aggregate equals the sum of windows.
+        let total: u32 = t.windows().iter().map(|w| w.total_two_qubit_gates()).sum();
+        assert_eq!(total, CouplingProfile::of(&c).total_two_qubit_gates());
+    }
+
+    #[test]
+    fn stability_of_static_program() {
+        let mut c = Circuit::new(2);
+        for _ in 0..10 {
+            c.cx(0, 1);
+        }
+        let t = TemporalProfile::of(&c, 5);
+        assert!((t.stability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_of_migrating_program() {
+        let mut c = Circuit::new(3);
+        for _ in 0..5 {
+            c.cx(0, 1);
+        }
+        for _ in 0..5 {
+            c.cx(1, 2);
+        }
+        let t = TemporalProfile::of(&c, 2);
+        assert_eq!(t.stability(), 0.0);
+    }
+
+    #[test]
+    fn single_window_matches_aggregate() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(0, 1);
+        let t = TemporalProfile::of(&c, 1);
+        assert_eq!(t.windows()[0], CouplingProfile::of(&c));
+        assert_eq!(t.stability(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_windows_panics() {
+        TemporalProfile::of(&Circuit::new(1), 0);
+    }
+
+    #[test]
+    fn empty_circuit_windows() {
+        let t = TemporalProfile::of(&Circuit::new(2), 3);
+        assert_eq!(t.len(), 3);
+        assert!(t.windows().iter().all(|w| w.total_two_qubit_gates() == 0));
+    }
+}

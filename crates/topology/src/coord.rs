@@ -1,0 +1,105 @@
+//! 2D lattice coordinates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A node of the 2D lattice on which physical qubits are placed.
+///
+/// Coordinates are signed so the placement algorithm (paper §4.1) can grow
+/// a layout in every direction from its seed at `(0, 0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Coord {
+    /// Row (y) coordinate.
+    pub row: i32,
+    /// Column (x) coordinate.
+    pub col: i32,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(row: i32, col: i32) -> Self {
+        Coord { row, col }
+    }
+
+    /// Manhattan distance to `other`, the lattice routing metric used by
+    /// the placement cost function (paper Algorithm 1, line 13).
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+
+    /// The four edge-adjacent lattice nodes (N, S, W, E).
+    pub fn neighbors4(self) -> [Coord; 4] {
+        [
+            Coord::new(self.row - 1, self.col),
+            Coord::new(self.row + 1, self.col),
+            Coord::new(self.row, self.col - 1),
+            Coord::new(self.row, self.col + 1),
+        ]
+    }
+
+    /// Whether `other` is edge-adjacent on the lattice.
+    pub fn is_adjacent(self, other: Coord) -> bool {
+        self.manhattan(other) == 1
+    }
+
+    /// Whether `other` is diagonally adjacent (shares a unit square corner
+    /// but not an edge).
+    pub fn is_diagonal(self, other: Coord) -> bool {
+        self.row.abs_diff(other.row) == 1 && self.col.abs_diff(other.col) == 1
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+impl From<(i32, i32)> for Coord {
+    fn from((row, col): (i32, i32)) -> Self {
+        Coord::new(row, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(2, -3)), 5);
+        assert_eq!(Coord::new(1, 1).manhattan(Coord::new(1, 1)), 0);
+    }
+
+    #[test]
+    fn adjacency() {
+        let c = Coord::new(0, 0);
+        assert!(c.is_adjacent(Coord::new(0, 1)));
+        assert!(c.is_adjacent(Coord::new(-1, 0)));
+        assert!(!c.is_adjacent(Coord::new(1, 1)));
+        assert!(!c.is_adjacent(c));
+    }
+
+    #[test]
+    fn diagonal() {
+        let c = Coord::new(0, 0);
+        assert!(c.is_diagonal(Coord::new(1, 1)));
+        assert!(c.is_diagonal(Coord::new(-1, 1)));
+        assert!(!c.is_diagonal(Coord::new(0, 1)));
+        assert!(!c.is_diagonal(Coord::new(2, 1)));
+    }
+
+    #[test]
+    fn neighbors_are_adjacent() {
+        let c = Coord::new(3, -2);
+        for n in c.neighbors4() {
+            assert!(c.is_adjacent(n));
+        }
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Coord::from((1, 2)).to_string(), "(1, 2)");
+    }
+}

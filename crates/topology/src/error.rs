@@ -1,0 +1,110 @@
+//! Error type for architecture construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::coord::Coord;
+
+/// Error constructing or validating an [`Architecture`](crate::Architecture).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// Two qubits were placed on the same lattice node.
+    DuplicateCoord {
+        /// The contested node.
+        coord: Coord,
+    },
+    /// The architecture has no qubits.
+    Empty,
+    /// A 4-qubit bus square has fewer than three placed qubits on its
+    /// corners, so it cannot function even as a 3-qubit bus.
+    SquareTooEmpty {
+        /// Square origin (its minimum-row, minimum-col corner).
+        origin: Coord,
+        /// Number of occupied corners found.
+        occupied: usize,
+    },
+    /// The same square was selected twice for a 4-qubit bus.
+    DuplicateSquare {
+        /// Square origin.
+        origin: Coord,
+    },
+    /// Two 4-qubit buses occupy edge-adjacent squares — the prohibited
+    /// condition of paper Figure 7 (a) (it would create a double
+    /// connection between two qubits).
+    AdjacentFourQubitBuses {
+        /// First square origin.
+        a: Coord,
+        /// Second, adjacent square origin.
+        b: Coord,
+    },
+    /// A frequency plan's length does not match the qubit count.
+    FrequencyPlanSize {
+        /// Frequencies provided.
+        provided: usize,
+        /// Qubits in the architecture.
+        qubits: usize,
+    },
+    /// A designed frequency lies outside the allowed 5.00–5.34 GHz band
+    /// (paper §4.3 fixes this interval to suppress collision condition 4).
+    FrequencyOutOfBand {
+        /// Qubit index.
+        qubit: usize,
+        /// Offending frequency in GHz.
+        ghz: f64,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateCoord { coord } => {
+                write!(f, "two qubits placed on the same lattice node {coord}")
+            }
+            TopologyError::Empty => write!(f, "architecture has no qubits"),
+            TopologyError::SquareTooEmpty { origin, occupied } => write!(
+                f,
+                "square at {origin} has only {occupied} placed qubit(s); a 4-qubit bus needs at least 3"
+            ),
+            TopologyError::DuplicateSquare { origin } => {
+                write!(f, "square at {origin} selected twice for a 4-qubit bus")
+            }
+            TopologyError::AdjacentFourQubitBuses { a, b } => write!(
+                f,
+                "4-qubit buses at {a} and {b} are edge-adjacent (prohibited condition)"
+            ),
+            TopologyError::FrequencyPlanSize { provided, qubits } => write!(
+                f,
+                "frequency plan has {provided} entries for an architecture with {qubits} qubits"
+            ),
+            TopologyError::FrequencyOutOfBand { qubit, ghz } => write!(
+                f,
+                "qubit {qubit} designed at {ghz} GHz, outside the allowed 5.00-5.34 GHz band"
+            ),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_facts() {
+        let e = TopologyError::AdjacentFourQubitBuses {
+            a: Coord::new(0, 0),
+            b: Coord::new(0, 1),
+        };
+        assert!(e.to_string().contains("prohibited"));
+        let e = TopologyError::FrequencyOutOfBand { qubit: 3, ghz: 4.9 };
+        assert!(e.to_string().contains("4.9"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TopologyError>();
+    }
+}

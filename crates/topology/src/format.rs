@@ -1,0 +1,254 @@
+//! A plain-text interchange format for chip designs.
+//!
+//! Designed chips need to leave the process that created them (to be
+//! reviewed, fabricated, or fed to other tools), so `Architecture` has a
+//! stable line-oriented format:
+//!
+//! ```text
+//! chip eff-7q-b2
+//! qubit 0 0 0 5.17
+//! qubit 1 0 1 5.08
+//! bus4 0 0
+//! ```
+//!
+//! - `chip <name>` — header (required first line);
+//! - `qubit <id> <row> <col> [ghz]` — one per qubit, ids contiguous from
+//!   0, frequency optional (all-or-none across the file);
+//! - `bus4 <row> <col>` — a 4-qubit bus square by origin;
+//! - `#` comments and blank lines are ignored.
+
+use std::fmt::Write as _;
+
+use crate::architecture::Architecture;
+use crate::error::TopologyError;
+use crate::freq::FrequencyPlan;
+
+/// Serializes an architecture to the text format.
+pub fn to_text(arch: &Architecture) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "chip {}", arch.name());
+    for q in 0..arch.num_qubits() {
+        let c = arch.coord(q);
+        match arch.frequencies() {
+            Some(plan) => {
+                let _ = writeln!(out, "qubit {q} {} {} {}", c.row, c.col, plan.ghz(q));
+            }
+            None => {
+                let _ = writeln!(out, "qubit {q} {} {}", c.row, c.col);
+            }
+        }
+    }
+    for s in arch.four_qubit_buses() {
+        let _ = writeln!(out, "bus4 {} {}", s.origin.row, s.origin.col);
+    }
+    out
+}
+
+/// Error parsing the chip text format: 1-based line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseChipError {
+    line: usize,
+    message: String,
+}
+
+impl ParseChipError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseChipError { line, message: message.into() }
+    }
+
+    /// 1-based line of the problem.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl std::fmt::Display for ParseChipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chip format error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseChipError {}
+
+impl From<TopologyError> for ParseChipError {
+    fn from(e: TopologyError) -> Self {
+        ParseChipError::new(0, e.to_string())
+    }
+}
+
+/// Parses the text format back into an [`Architecture`].
+///
+/// # Errors
+///
+/// Returns a [`ParseChipError`] on malformed lines, non-contiguous qubit
+/// ids, mixed frequency presence, or architecture validation failures
+/// (duplicate nodes, prohibited condition, out-of-band frequencies).
+pub fn from_text(text: &str) -> Result<Architecture, ParseChipError> {
+    let mut name: Option<String> = None;
+    let mut qubits: Vec<(usize, i32, i32, Option<f64>)> = Vec::new();
+    let mut buses: Vec<(i32, i32)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line");
+        let rest: Vec<&str> = parts.collect();
+        match keyword {
+            "chip" => {
+                if name.is_some() {
+                    return Err(ParseChipError::new(lineno, "duplicate `chip` header"));
+                }
+                if rest.len() != 1 {
+                    return Err(ParseChipError::new(lineno, "usage: chip <name>"));
+                }
+                name = Some(rest[0].to_string());
+            }
+            "qubit" => {
+                if rest.len() != 3 && rest.len() != 4 {
+                    return Err(ParseChipError::new(
+                        lineno,
+                        "usage: qubit <id> <row> <col> [ghz]",
+                    ));
+                }
+                let id: usize = rest[0]
+                    .parse()
+                    .map_err(|_| ParseChipError::new(lineno, "bad qubit id"))?;
+                let row: i32 =
+                    rest[1].parse().map_err(|_| ParseChipError::new(lineno, "bad row"))?;
+                let col: i32 =
+                    rest[2].parse().map_err(|_| ParseChipError::new(lineno, "bad col"))?;
+                let ghz = match rest.get(3) {
+                    Some(v) => Some(
+                        v.parse::<f64>()
+                            .map_err(|_| ParseChipError::new(lineno, "bad frequency"))?,
+                    ),
+                    None => None,
+                };
+                qubits.push((id, row, col, ghz));
+            }
+            "bus4" => {
+                if rest.len() != 2 {
+                    return Err(ParseChipError::new(lineno, "usage: bus4 <row> <col>"));
+                }
+                let row: i32 =
+                    rest[0].parse().map_err(|_| ParseChipError::new(lineno, "bad row"))?;
+                let col: i32 =
+                    rest[1].parse().map_err(|_| ParseChipError::new(lineno, "bad col"))?;
+                buses.push((row, col));
+            }
+            other => {
+                return Err(ParseChipError::new(
+                    lineno,
+                    format!("unknown keyword `{other}`"),
+                ))
+            }
+        }
+    }
+
+    let Some(name) = name else {
+        return Err(ParseChipError::new(1, "missing `chip <name>` header"));
+    };
+    qubits.sort_by_key(|&(id, ..)| id);
+    for (expected, &(id, ..)) in qubits.iter().enumerate() {
+        if id != expected {
+            return Err(ParseChipError::new(
+                0,
+                format!("qubit ids must be contiguous from 0; missing id {expected}"),
+            ));
+        }
+    }
+    let with_freq = qubits.iter().filter(|q| q.3.is_some()).count();
+    if with_freq != 0 && with_freq != qubits.len() {
+        return Err(ParseChipError::new(
+            0,
+            "either every qubit or no qubit may carry a frequency",
+        ));
+    }
+
+    let mut builder = Architecture::builder(name);
+    for &(_, row, col, _) in &qubits {
+        builder.qubit(row, col);
+    }
+    for &(row, col) in &buses {
+        builder.four_qubit_bus(row, col);
+    }
+    let arch = builder.build()?;
+    if with_freq > 0 {
+        let plan = FrequencyPlan::new(
+            qubits.iter().map(|q| q.3.expect("checked above")).collect(),
+        );
+        Ok(arch.with_frequencies(plan)?)
+    } else {
+        Ok(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::BusMode;
+    use crate::ibm;
+
+    #[test]
+    fn roundtrip_baseline() {
+        let arch = ibm::ibm_20q_4x5(BusMode::MaxFourQubit);
+        let text = to_text(&arch);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, arch);
+    }
+
+    #[test]
+    fn roundtrip_without_frequencies() {
+        let mut b = Architecture::builder("bare");
+        b.qubit(0, 0).qubit(0, 1).qubit(1, 0).four_qubit_bus(0, 0);
+        let arch = b.build().unwrap();
+        let back = from_text(&to_text(&arch)).unwrap();
+        assert_eq!(back, arch);
+        assert!(back.frequencies().is_none());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a chip\nchip demo\n\nqubit 0 0 0\nqubit 1 0 1\n";
+        let arch = from_text(text).unwrap();
+        assert_eq!(arch.num_qubits(), 2);
+        assert_eq!(arch.name(), "demo");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_text("chip x\nqubit zero 0 0\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        let err = from_text("qubit 0 0 0\n").unwrap_err();
+        assert!(err.to_string().contains("chip"));
+        let err = from_text("chip a\nchip b\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+        let err = from_text("chip a\nwires 0 0\n").unwrap_err();
+        assert!(err.to_string().contains("wires"));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        // Adjacent 4-qubit buses are rejected by Architecture validation.
+        let text = "chip bad\nqubit 0 0 0\nqubit 1 0 1\nqubit 2 0 2\nqubit 3 1 0\nqubit 4 1 1\nqubit 5 1 2\nbus4 0 0\nbus4 0 1\n";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn mixed_frequencies_rejected() {
+        let text = "chip m\nqubit 0 0 0 5.1\nqubit 1 0 1\n";
+        let err = from_text(text).unwrap_err();
+        assert!(err.to_string().contains("every qubit"));
+    }
+
+    #[test]
+    fn non_contiguous_ids_rejected() {
+        let text = "chip m\nqubit 0 0 0\nqubit 2 0 1\n";
+        let err = from_text(text).unwrap_err();
+        assert!(err.to_string().contains("contiguous"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Qubit frequency plans and IBM's 5-frequency scheme.
+
+use serde::{Deserialize, Serialize};
+
+use crate::architecture::Architecture;
+use crate::error::TopologyError;
+
+/// The allowed pre-fabrication frequency band in GHz (paper §4.3): its
+/// width equals the qubit anharmonicity magnitude (340 MHz), which keeps
+/// designed frequencies clear of collision condition 4.
+pub const ALLOWED_BAND_GHZ: (f64, f64) = (5.00, 5.34);
+
+/// IBM's five frequencies in GHz (paper §5.2 / Figure 9): an arithmetic
+/// progression from 5.00 to 5.27 GHz, rounded to the centi-GHz values the
+/// figure displays.
+pub const FIVE_FREQUENCIES_GHZ: [f64; 5] = [5.00, 5.07, 5.13, 5.20, 5.27];
+
+/// A designed (pre-fabrication) frequency assignment, one value per qubit,
+/// in GHz.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyPlan {
+    ghz: Vec<f64>,
+}
+
+impl FrequencyPlan {
+    /// Wraps per-qubit frequencies (GHz).
+    pub fn new(ghz: Vec<f64>) -> Self {
+        FrequencyPlan { ghz }
+    }
+
+    /// Number of qubits covered.
+    pub fn len(&self) -> usize {
+        self.ghz.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ghz.is_empty()
+    }
+
+    /// The designed frequency of qubit `q` in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn ghz(&self, q: usize) -> f64 {
+        self.ghz[q]
+    }
+
+    /// All frequencies in qubit order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.ghz
+    }
+
+    /// Checks every frequency against the allowed band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::FrequencyOutOfBand`] for the first
+    /// violation.
+    pub fn check_band(&self) -> Result<(), TopologyError> {
+        let (lo, hi) = ALLOWED_BAND_GHZ;
+        for (q, &f) in self.ghz.iter().enumerate() {
+            if !(lo..=hi).contains(&f) {
+                return Err(TopologyError::FrequencyOutOfBand { qubit: q, ghz: f });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<f64> for FrequencyPlan {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        FrequencyPlan::new(iter.into_iter().collect())
+    }
+}
+
+/// Assigns IBM's 5-frequency scheme by lattice position.
+///
+/// Frequency index of the qubit at `(row, col)` is `(2*row + col) mod 5`,
+/// the tiling IBM uses on its 20-qubit chip (paper Figure 9 (3)); the
+/// rule extends to arbitrary (including irregular) layouts, which is how
+/// the `eff-5-freq` and `eff-layout-only` experiment configurations apply
+/// the baseline scheme to generated layouts (§5.2).
+pub fn five_frequency_plan(arch: &Architecture) -> FrequencyPlan {
+    (0..arch.num_qubits())
+        .map(|q| {
+            let c = arch.coord(q);
+            let idx = (2 * c.row + c.col).rem_euclid(5) as usize;
+            FIVE_FREQUENCIES_GHZ[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::Architecture;
+
+    #[test]
+    fn band_check() {
+        assert!(FrequencyPlan::new(vec![5.0, 5.34, 5.17]).check_band().is_ok());
+        let err = FrequencyPlan::new(vec![5.0, 4.99]).check_band().unwrap_err();
+        assert!(matches!(err, TopologyError::FrequencyOutOfBand { qubit: 1, .. }));
+        let err = FrequencyPlan::new(vec![5.35]).check_band().unwrap_err();
+        assert!(matches!(err, TopologyError::FrequencyOutOfBand { qubit: 0, .. }));
+    }
+
+    #[test]
+    fn five_frequencies_are_in_band() {
+        let plan = FrequencyPlan::new(FIVE_FREQUENCIES_GHZ.to_vec());
+        assert!(plan.check_band().is_ok());
+    }
+
+    #[test]
+    fn five_frequency_plan_matches_20q_pattern() {
+        // Figure 9 (3): rows of the 4x5 chip read 1 2 3 4 5 / 3 4 5 1 2 /
+        // 5 1 2 3 4 / 2 3 4 5 1 (1-based frequency indices).
+        let mut b = Architecture::builder("4x5");
+        for r in 0..4 {
+            for c in 0..5 {
+                b.qubit(r, c);
+            }
+        }
+        let arch = b.build().unwrap();
+        let plan = five_frequency_plan(&arch);
+        let expected_indices = [
+            [0, 1, 2, 3, 4],
+            [2, 3, 4, 0, 1],
+            [4, 0, 1, 2, 3],
+            [1, 2, 3, 4, 0],
+        ];
+        for (q, &f) in plan.as_slice().iter().enumerate() {
+            let (r, c) = (q / 5, q % 5);
+            assert_eq!(f, FIVE_FREQUENCIES_GHZ[expected_indices[r][c]], "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let plan: FrequencyPlan = [5.0, 5.1].into_iter().collect();
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.ghz(1), 5.1);
+        assert_eq!(plan.as_slice(), &[5.0, 5.1]);
+    }
+
+    #[test]
+    fn negative_coords_wrap_correctly() {
+        let mut b = Architecture::builder("neg");
+        b.qubit(-1, -1).qubit(-1, 0).qubit(0, -1).qubit(0, 0);
+        let arch = b.build().unwrap();
+        let plan = five_frequency_plan(&arch);
+        // (2*-1 + -1) mod 5 = -3 mod 5 = 2.
+        assert_eq!(plan.ghz(0), FIVE_FREQUENCIES_GHZ[2]);
+        assert_eq!(plan.ghz(3), FIVE_FREQUENCIES_GHZ[0]);
+    }
+}

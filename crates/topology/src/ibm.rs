@@ -1,0 +1,171 @@
+//! IBM's general-purpose baseline architectures (paper Figure 9).
+//!
+//! Four designs: {16 qubits on 2×8, 20 qubits on 4×5} × {2-qubit buses
+//! only, maximum non-adjacent 4-qubit buses}, each carrying the
+//! 5-frequency scheme in the arrangement the figure shows.
+
+use crate::architecture::{Architecture, BusMode};
+use crate::freq::{FrequencyPlan, FIVE_FREQUENCIES_GHZ};
+
+/// The 16-qubit 2×8 baseline (Figure 9 (1)/(2)).
+///
+/// With [`BusMode::MaxFourQubit`] the four squares at columns 0, 2, 4, 6
+/// carry 4-qubit buses — the densest packing the prohibited condition
+/// allows, matching "the 16-qubit baseline with four 4-qubit buses"
+/// (§5.3).
+pub fn ibm_16q_2x8(mode: BusMode) -> Architecture {
+    let name = match mode {
+        BusMode::TwoQubitOnly => "ibm-16q-2x8-2qbus",
+        BusMode::MaxFourQubit => "ibm-16q-2x8-4qbus",
+    };
+    let mut b = Architecture::builder(name);
+    for r in 0..2 {
+        for c in 0..8 {
+            b.qubit(r, c);
+        }
+    }
+    if mode == BusMode::MaxFourQubit {
+        for c in [0, 2, 4, 6] {
+            b.four_qubit_bus(0, c);
+        }
+    }
+    let arch = b.build().expect("baseline 2x8 is valid by construction");
+    // Figure 9: row 0 reads frequency indices 3 4 5 1 2 3 4 5, row 1 reads
+    // 1 2 3 4 5 1 2 3 (1-based).
+    let plan: FrequencyPlan = (0..2i32)
+        .flat_map(|r| (0..8i32).map(move |c| (r, c)))
+        .map(|(r, c)| {
+            let idx = (c + 2 - 2 * r).rem_euclid(5) as usize;
+            FIVE_FREQUENCIES_GHZ[idx]
+        })
+        .collect();
+    arch.with_frequencies(plan).expect("baseline frequencies are in band")
+}
+
+/// The 20-qubit 4×5 baseline (Figure 9 (3)/(4)).
+///
+/// With [`BusMode::MaxFourQubit`] six squares in a checkerboard pattern
+/// carry 4-qubit buses, matching "IBM's 20-qubit chip design with six
+/// 4-qubit buses" (§5.3).
+pub fn ibm_20q_4x5(mode: BusMode) -> Architecture {
+    let name = match mode {
+        BusMode::TwoQubitOnly => "ibm-20q-4x5-2qbus",
+        BusMode::MaxFourQubit => "ibm-20q-4x5-4qbus",
+    };
+    let mut b = Architecture::builder(name);
+    for r in 0..4 {
+        for c in 0..5 {
+            b.qubit(r, c);
+        }
+    }
+    if mode == BusMode::MaxFourQubit {
+        for (r, c) in [(0, 0), (0, 2), (1, 1), (1, 3), (2, 0), (2, 2)] {
+            b.four_qubit_bus(r, c);
+        }
+    }
+    let arch = b.build().expect("baseline 4x5 is valid by construction");
+    // Figure 9: rows read 1 2 3 4 5 / 3 4 5 1 2 / 5 1 2 3 4 / 2 3 4 5 1.
+    let plan: FrequencyPlan = (0..4i32)
+        .flat_map(|r| (0..5i32).map(move |c| (r, c)))
+        .map(|(r, c)| {
+            let idx = (2 * r + c).rem_euclid(5) as usize;
+            FIVE_FREQUENCIES_GHZ[idx]
+        })
+        .collect();
+    arch.with_frequencies(plan).expect("baseline frequencies are in band")
+}
+
+/// All four baselines in Figure 9 order: (1) 16Q 2-qubit bus, (2) 16Q
+/// 4-qubit buses, (3) 20Q 2-qubit bus, (4) 20Q 4-qubit buses.
+pub fn all_baselines() -> [Architecture; 4] {
+    [
+        ibm_16q_2x8(BusMode::TwoQubitOnly),
+        ibm_16q_2x8(BusMode::MaxFourQubit),
+        ibm_20q_4x5(BusMode::TwoQubitOnly),
+        ibm_20q_4x5(BusMode::MaxFourQubit),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_qubit_counts() {
+        let plain = ibm_16q_2x8(BusMode::TwoQubitOnly);
+        assert_eq!(plain.num_qubits(), 16);
+        // 2x8 grid: 7 horizontal * 2 + 8 vertical = 22 edges.
+        assert_eq!(plain.coupling_edges().len(), 22);
+        assert!(plain.four_qubit_buses().is_empty());
+        assert!(plain.is_connected());
+
+        let dense = ibm_16q_2x8(BusMode::MaxFourQubit);
+        assert_eq!(dense.four_qubit_buses().len(), 4);
+        // 22 lattice edges + 2 diagonals per square.
+        assert_eq!(dense.coupling_edges().len(), 30);
+        assert!(dense.is_connected());
+    }
+
+    #[test]
+    fn twenty_qubit_counts() {
+        let plain = ibm_20q_4x5(BusMode::TwoQubitOnly);
+        assert_eq!(plain.num_qubits(), 20);
+        // 4x5 grid: 4 rows * 4 horizontal + 3 * 5 vertical = 31 edges.
+        assert_eq!(plain.coupling_edges().len(), 31);
+
+        let dense = ibm_20q_4x5(BusMode::MaxFourQubit);
+        assert_eq!(dense.four_qubit_buses().len(), 6);
+        assert_eq!(dense.coupling_edges().len(), 31 + 12);
+        assert!(dense.is_connected());
+    }
+
+    #[test]
+    fn paper_mentions_37_connections_for_20q() {
+        // §1: IBM's latest published chip has 20 qubits with 37 qubit
+        // connections — 31 lattice edges + 6 extra from the bus layout.
+        // Our max-bus variant has 43 coupling edges but 31 + 6 = 37 buses.
+        let dense = ibm_20q_4x5(BusMode::MaxFourQubit);
+        // 31 lattice edges, 24 of which are sides of the 6 squares:
+        // 7 two-qubit buses + 6 four-qubit buses.
+        assert_eq!(dense.two_qubit_buses().len(), 7);
+        assert_eq!(dense.bus_count(), 13);
+    }
+
+    #[test]
+    fn frequencies_match_figure9_16q() {
+        let arch = ibm_16q_2x8(BusMode::TwoQubitOnly);
+        let plan = arch.frequencies().unwrap();
+        let row0: Vec<f64> = (0..8).map(|q| plan.ghz(q)).collect();
+        let row1: Vec<f64> = (8..16).map(|q| plan.ghz(q)).collect();
+        let f = |i: usize| FIVE_FREQUENCIES_GHZ[i - 1];
+        assert_eq!(row0, vec![f(3), f(4), f(5), f(1), f(2), f(3), f(4), f(5)]);
+        assert_eq!(row1, vec![f(1), f(2), f(3), f(4), f(5), f(1), f(2), f(3)]);
+    }
+
+    #[test]
+    fn frequencies_match_figure9_20q() {
+        let arch = ibm_20q_4x5(BusMode::TwoQubitOnly);
+        let plan = arch.frequencies().unwrap();
+        let f = |i: usize| FIVE_FREQUENCIES_GHZ[i - 1];
+        let expected = [
+            [f(1), f(2), f(3), f(4), f(5)],
+            [f(3), f(4), f(5), f(1), f(2)],
+            [f(5), f(1), f(2), f(3), f(4)],
+            [f(2), f(3), f(4), f(5), f(1)],
+        ];
+        for q in 0..20 {
+            assert_eq!(plan.ghz(q), expected[q / 5][q % 5], "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn all_baselines_ordered() {
+        let archs = all_baselines();
+        assert_eq!(archs[0].name(), "ibm-16q-2x8-2qbus");
+        assert_eq!(archs[3].name(), "ibm-20q-4x5-4qbus");
+        for a in &archs {
+            assert!(a.is_connected());
+            assert!(a.frequencies().is_some());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Superconducting quantum processor topology model.
+//!
+//! Models the hardware architecture space of the paper (§2.2 and §4):
+//! physical qubits on the nodes of a 2D lattice, connected by 2-qubit
+//! buses (every occupied lattice edge) which can be upgraded, square by
+//! square, to 4-qubit buses that also couple the square's diagonals.
+//! Two 4-qubit buses may never occupy edge-adjacent squares (the
+//! *prohibited condition*, Figure 7 (a)) — [`Architecture`] construction
+//! enforces this.
+//!
+//! The crate also carries qubit frequency plans ([`FrequencyPlan`]), the
+//! allowed 5.00–5.34 GHz band, IBM's 5-frequency scheme, and the four
+//! general-purpose IBM baseline architectures of Figure 9 ([`ibm`]).
+//!
+//! ```
+//! use qpd_topology::{Architecture, BusMode, ibm};
+//!
+//! let chip = ibm::ibm_20q_4x5(BusMode::MaxFourQubit);
+//! assert_eq!(chip.num_qubits(), 20);
+//! assert_eq!(chip.four_qubit_buses().len(), 6);
+//! assert!(chip.is_connected());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod architecture;
+pub mod coord;
+pub mod error;
+pub mod format;
+pub mod freq;
+pub mod ibm;
+pub mod render;
+
+pub use architecture::{Architecture, ArchitectureBuilder, BusMode, Square};
+pub use coord::Coord;
+pub use error::TopologyError;
+pub use freq::{five_frequency_plan, FrequencyPlan, ALLOWED_BAND_GHZ, FIVE_FREQUENCIES_GHZ};

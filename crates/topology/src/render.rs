@@ -1,0 +1,116 @@
+//! ASCII rendering of chip architectures (textual Figure 9).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::architecture::Architecture;
+use crate::coord::Coord;
+use crate::freq::FIVE_FREQUENCIES_GHZ;
+
+/// Renders an architecture as ASCII art.
+///
+/// Qubits are drawn as `[f]` where `f` is the 1-based index of the
+/// qubit's frequency among the five standard frequencies (or `q` when a
+/// qubit has a non-standard frequency, `.` when no plan is attached).
+/// Horizontal/vertical bars are buses; a `#` in a square's center marks a
+/// 4-qubit bus (whose diagonals are implied).
+pub fn ascii(arch: &Architecture) -> String {
+    let min_row = arch.coords().iter().map(|c| c.row).min().expect("non-empty");
+    let max_row = arch.coords().iter().map(|c| c.row).max().expect("non-empty");
+    let min_col = arch.coords().iter().map(|c| c.col).min().expect("non-empty");
+    let max_col = arch.coords().iter().map(|c| c.col).max().expect("non-empty");
+
+    let squares: BTreeSet<Coord> =
+        arch.four_qubit_buses().iter().map(|s| s.origin).collect();
+
+    let glyph = |q: usize| -> char {
+        match arch.frequencies() {
+            None => '.',
+            Some(plan) => {
+                let f = plan.ghz(q);
+                FIVE_FREQUENCIES_GHZ
+                    .iter()
+                    .position(|&std| (std - f).abs() < 5e-3)
+                    .map(|i| char::from_digit(i as u32 + 1, 10).expect("single digit"))
+                    .unwrap_or('q')
+            }
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} ({} qubits, {} buses)", arch.name(), arch.num_qubits(), arch.bus_count());
+    for row in min_row..=max_row {
+        // Qubit row.
+        for col in min_col..=max_col {
+            let here = Coord::new(row, col);
+            match arch.qubit_at(here) {
+                Some(q) => {
+                    let _ = write!(out, "[{}]", glyph(q));
+                }
+                None => out.push_str("   "),
+            }
+            if col < max_col {
+                let right = Coord::new(row, col + 1);
+                let connected = matches!(
+                    (arch.qubit_at(here), arch.qubit_at(right)),
+                    (Some(_), Some(_))
+                );
+                out.push_str(if connected { "--" } else { "  " });
+            }
+        }
+        out.push('\n');
+        // Connector row.
+        if row < max_row {
+            for col in min_col..=max_col {
+                let here = Coord::new(row, col);
+                let below = Coord::new(row + 1, col);
+                let connected =
+                    matches!((arch.qubit_at(here), arch.qubit_at(below)), (Some(_), Some(_)));
+                out.push_str(if connected { " | " } else { "   " });
+                if col < max_col {
+                    out.push_str(if squares.contains(&Coord::new(row, col)) { "# " } else { "  " });
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::{Architecture, BusMode};
+    use crate::ibm;
+
+    #[test]
+    fn renders_grid_with_buses() {
+        let art = ascii(&ibm::ibm_16q_2x8(BusMode::MaxFourQubit));
+        assert!(art.contains("[3]--[4]"));
+        assert!(art.contains('#'));
+        // Two qubit rows and one connector row.
+        assert_eq!(art.lines().count(), 4);
+    }
+
+    #[test]
+    fn renders_unplanned_architecture_with_dots() {
+        let mut b = Architecture::builder("bare");
+        b.qubit(0, 0).qubit(0, 1);
+        let art = ascii(&b.build().unwrap());
+        assert!(art.contains("[.]--[.]"));
+    }
+
+    #[test]
+    fn gaps_break_connections() {
+        let mut b = Architecture::builder("gap");
+        b.qubit(0, 0).qubit(0, 2);
+        let art = ascii(&b.build().unwrap());
+        assert!(!art.contains("--"));
+    }
+
+    #[test]
+    fn four_qubit_bus_count_marker() {
+        let art = ascii(&ibm::ibm_20q_4x5(BusMode::MaxFourQubit));
+        assert_eq!(art.matches('#').count(), 6);
+    }
+}

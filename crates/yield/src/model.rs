@@ -1,0 +1,111 @@
+//! The fabrication noise model (paper §2.2, "Fabrication Variation").
+
+use rand::Rng;
+
+/// Gaussian fabrication noise: a designed frequency `f` comes out of
+/// fabrication as `f + n` with `n ~ N(0, sigma)`.
+///
+/// The paper's evaluation uses `sigma = 30 MHz`, IBM's projected
+/// fabrication precision (§5.1); IBM's 2019 state of the art was
+/// 130–150 MHz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricationModel {
+    sigma_ghz: f64,
+}
+
+impl FabricationModel {
+    /// The paper's evaluation setting, `sigma = 30 MHz`.
+    pub const PAPER_SIGMA_GHZ: f64 = 0.030;
+
+    /// Creates a model with the given standard deviation in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_ghz` is negative or not finite.
+    pub fn new(sigma_ghz: f64) -> Self {
+        assert!(sigma_ghz.is_finite() && sigma_ghz >= 0.0, "sigma must be finite and >= 0");
+        FabricationModel { sigma_ghz }
+    }
+
+    /// The standard deviation in GHz.
+    pub fn sigma_ghz(&self) -> f64 {
+        self.sigma_ghz
+    }
+
+    /// Draws one noise sample in GHz (Box–Muller transform, so only
+    /// `rand`'s uniform source is needed).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller: u1 in (0, 1], u2 in [0, 1).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        self.sigma_ghz * mag * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fills `out` with independent noise samples.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
+impl Default for FabricationModel {
+    /// The paper's evaluation model (`sigma = 30 MHz`).
+    fn default() -> Self {
+        FabricationModel::new(Self::PAPER_SIGMA_GHZ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn moments_are_sane() {
+        let model = FabricationModel::new(0.030);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| model.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 5e-4, "mean {mean}");
+        assert!((var.sqrt() - 0.030).abs() < 5e-4, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_noiseless() {
+        let model = FabricationModel::new(0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(model.sample(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = FabricationModel::default();
+        let a: Vec<f64> =
+            (0..5).map(|_| model.sample(&mut ChaCha8Rng::seed_from_u64(3))).collect();
+        let b: Vec<f64> =
+            (0..5).map(|_| model.sample(&mut ChaCha8Rng::seed_from_u64(3))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_panics() {
+        FabricationModel::new(-0.1);
+    }
+
+    #[test]
+    fn sample_into_fills() {
+        let model = FabricationModel::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut buf = [0.0; 8];
+        model.sample_into(&mut rng, &mut buf);
+        assert!(buf.iter().any(|&x| x != 0.0));
+    }
+}

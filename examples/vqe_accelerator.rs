@@ -1,0 +1,58 @@
+//! Domain example: a chemistry-VQE accelerator.
+//!
+//! The paper's motivating vision (§1) is "an array of QC accelerators,
+//! each tailored to a specific application". This example designs the
+//! accelerator for the UCCSD ansatz workload, sweeps the
+//! performance/yield trade-off by varying the 4-qubit bus budget, and
+//! prints the Pareto frontier.
+//!
+//! Run with: `cargo run --release --example vqe_accelerator`
+
+use qpd::design::pareto_front;
+use qpd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = qpd::benchmarks::build("UCCSD_ansatz_8")?;
+    let profile = CouplingProfile::of(&program);
+
+    println!("UCCSD_ansatz_8: {} qubits, {} two-qubit gates",
+        profile.num_qubits(), profile.total_two_qubit_gates());
+    match PatternReport::of(&profile).shape {
+        PatternShape::Chain(order) => println!("coupling graph is a chain: {order:?}"),
+        other => println!("coupling shape: {other:?}"),
+    }
+
+    // Generate the architecture series (one design per bus budget).
+    let flow = DesignFlow::new().with_allocation_trials(1_000);
+    let series = flow.design_series(&profile)?;
+    let sim = YieldSimulator::new();
+
+    let mut points = Vec::new();
+    println!("\n{:<14} {:>6} {:>8} {:>7} {:>12}", "design", "buses", "edges", "gates", "yield");
+    for chip in &series {
+        let mapped = SabreRouter::new(chip).route(&program)?;
+        let gates = mapped.stats().total_gates;
+        let yield_rate = sim.estimate(chip)?.rate();
+        println!(
+            "{:<14} {:>6} {:>8} {:>7} {:>12.4e}",
+            chip.name(),
+            chip.four_qubit_buses().len(),
+            chip.coupling_edges().len(),
+            gates,
+            yield_rate
+        );
+        points.push((1.0 / gates as f64, yield_rate));
+    }
+
+    let front = pareto_front(&points);
+    println!("\nPareto-optimal designs: {:?}", front.iter().map(|&i| series[i].name()).collect::<Vec<_>>());
+
+    // Show the most balanced design.
+    if let Some(&mid) = front.get(front.len() / 2) {
+        println!("\nA balanced choice, `{}`:", series[mid].name());
+        print!("{}", qpd::topology::render::ascii(&series[mid]));
+        let plan = series[mid].frequencies().expect("designed chips carry frequencies");
+        println!("frequencies (GHz): {:?}", plan.as_slice());
+    }
+    Ok(())
+}

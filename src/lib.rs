@@ -1,0 +1,65 @@
+//! # QPD — application-specific superconducting quantum processor design
+//!
+//! A Rust implementation of *Towards Efficient Superconducting Quantum
+//! Processor Architecture Design* (Li, Ding, Xie — ASPLOS 2020): an
+//! automatic flow that profiles a quantum program and synthesizes a
+//! simplified chip — qubit layout, bus selection, frequency allocation —
+//! that beats general-purpose designs on the (performance, yield) plane.
+//!
+//! This crate is the workspace facade: it re-exports every subsystem so
+//! applications can depend on one crate.
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`circuit`] | `qpd-circuit` | circuit IR, OpenQASM 2.0, decomposition |
+//! | [`benchmarks`] | `qpd-benchmarks` | the paper's twelve workloads |
+//! | [`profile`] | `qpd-profile` | coupling strength matrix / degree list |
+//! | [`topology`] | `qpd-topology` | lattice, buses, IBM baselines |
+//! | [`yield_sim`] | `qpd-yield` | collision model, Monte Carlo yield |
+//! | [`mapping`] | `qpd-mapping` | SABRE routing (performance metric) |
+//! | [`design`] | `qpd-core` | the three-subroutine design flow |
+//! | [`eval`] | `qpd-eval` | the §5 experiment harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qpd::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A program: 4-qubit GHZ preparation.
+//! let mut program = Circuit::new(4);
+//! program.h(0).cx(0, 1).cx(1, 2).cx(2, 3).measure_all();
+//!
+//! // 2. Profile it and design a chip.
+//! let profile = CouplingProfile::of(&program);
+//! let chip = DesignFlow::new().with_allocation_trials(200).design(&profile)?;
+//!
+//! // 3. Map the program and estimate fabrication yield.
+//! let mapped = SabreRouter::new(&chip).route(&program)?;
+//! let yield_rate = YieldSimulator::new().with_trials(1_000).estimate(&chip)?;
+//! assert!(mapped.stats().total_gates >= program.gate_count());
+//! assert!(yield_rate.rate() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use qpd_benchmarks as benchmarks;
+pub use qpd_circuit as circuit;
+pub use qpd_core as design;
+pub use qpd_eval as eval;
+pub use qpd_mapping as mapping;
+pub use qpd_profile as profile;
+pub use qpd_topology as topology;
+pub use qpd_yield as yield_sim;
+
+/// The commonly used types, one `use` away.
+pub mod prelude {
+    pub use qpd_circuit::{Circuit, Gate, Qubit};
+    pub use qpd_core::{BusStrategy, DesignFlow, FrequencyAllocator, FrequencyStrategy};
+    pub use qpd_mapping::{GreedyRouter, SabreRouter};
+    pub use qpd_profile::{CouplingProfile, PatternReport, PatternShape};
+    pub use qpd_topology::{Architecture, BusMode, Coord, FrequencyPlan, Square};
+    pub use qpd_yield::{CollisionChecker, YieldSimulator};
+}

@@ -1,0 +1,51 @@
+//! Whole-suite integration checks: every paper benchmark survives a
+//! QASM round-trip, stays within its declared spec, and the experiment
+//! pipeline is bit-deterministic.
+
+use qpd::circuit::qasm;
+use qpd::eval::runner::{run_benchmark, EvalSettings};
+use qpd::profile::CouplingProfile;
+
+#[test]
+fn all_benchmarks_roundtrip_through_qasm() {
+    for spec in &qpd::benchmarks::ALL {
+        let circuit = qpd::benchmarks::build(spec.name).unwrap();
+        let text = qasm::to_qasm(&circuit).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let back = qasm::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(back, circuit, "{} changed across emit/parse", spec.name);
+    }
+}
+
+#[test]
+fn benchmark_profiles_are_stable_fingerprints() {
+    // Golden fingerprints: total two-qubit gates and edge counts per
+    // benchmark. These pin the generators against accidental changes —
+    // the design flow's inputs must not drift silently.
+    let expected: &[(&str, u32, usize)] = &[
+        ("adr4_197", 100, 20),
+        ("rd84_142", 632, 32),
+        ("misex1_241", 2580, 80),
+        ("square_root_7", 655, 31),
+        ("radd_250", 81, 16),
+        ("cm152a_212", 384, 24),
+        ("dc1_220", 648, 36),
+        ("z4_268", 805, 42),
+        ("sym6_145", 1866, 21),
+        ("UCCSD_ansatz_8", 2752, 15),
+        ("ising_model_16", 390, 15),
+        ("qft_16", 240, 120),
+    ];
+    for &(name, two_qubit, edges) in expected {
+        let profile = CouplingProfile::of(&qpd::benchmarks::build(name).unwrap());
+        assert_eq!(profile.total_two_qubit_gates(), two_qubit, "{name} gate count drifted");
+        assert_eq!(profile.edge_count(), edges, "{name} edge count drifted");
+    }
+}
+
+#[test]
+fn experiment_pipeline_is_deterministic() {
+    let settings = EvalSettings::quick();
+    let a = run_benchmark("sym6_145", &settings).unwrap();
+    let b = run_benchmark("sym6_145", &settings).unwrap();
+    assert_eq!(a.points, b.points);
+}

@@ -1,0 +1,124 @@
+//! Property-based tests over the design-flow subroutines: placement,
+//! bus selection, and frequency allocation must uphold the paper's
+//! physical constraints for *any* program shape, not just the
+//! benchmarks.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use qpd::design::{
+    candidate_squares, place_qubits, select_buses_maximal, select_buses_random,
+    select_buses_weighted,
+};
+use qpd::prelude::*;
+use qpd::profile::CouplingProfile;
+
+/// Strategy: a random weighted edge list over up to `n` qubits.
+fn arb_profile(max_qubits: usize) -> impl Strategy<Value = CouplingProfile> {
+    (2..=max_qubits).prop_flat_map(move |n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n, 1u32..40), 1..=max_edges.min(24)).prop_map(
+            move |raw| {
+                let edges: Vec<(usize, usize, u32)> = raw
+                    .into_iter()
+                    .filter(|(a, b, _)| a != b)
+                    .map(|(a, b, w)| (a.min(b), a.max(b), w))
+                    .collect();
+                CouplingProfile::from_edges(n, &edges)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Placement is injective and produces a lattice-connected layout.
+    #[test]
+    fn placement_invariants(profile in arb_profile(14)) {
+        let coords = place_qubits(&profile);
+        prop_assert_eq!(coords.len(), profile.num_qubits());
+        let unique: BTreeSet<_> = coords.iter().collect();
+        prop_assert_eq!(unique.len(), coords.len(), "duplicate coordinates");
+        // Lattice-connectivity via flood fill.
+        let set: BTreeSet<Coord> = coords.iter().copied().collect();
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![coords[0]];
+        seen.insert(coords[0]);
+        while let Some(c) = stack.pop() {
+            for nb in c.neighbors4() {
+                if set.contains(&nb) && seen.insert(nb) {
+                    stack.push(nb);
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), coords.len(), "layout not connected");
+    }
+
+    /// Every bus selection strategy respects the prohibited condition and
+    /// the 3-corner minimum, and weighted selection only spends buses on
+    /// squares with positive cross-coupling weight.
+    #[test]
+    fn bus_selection_invariants(profile in arb_profile(12), budget in 0usize..6, seed in 0u64..100) {
+        let coords = place_qubits(&profile);
+        let candidates: BTreeSet<Square> = candidate_squares(&coords).into_iter().collect();
+        for picks in [
+            select_buses_weighted(&coords, &profile, budget),
+            select_buses_random(&coords, budget, seed),
+            select_buses_maximal(&coords),
+        ] {
+            for (i, a) in picks.iter().enumerate() {
+                prop_assert!(candidates.contains(a), "square not a candidate");
+                for b in &picks[i + 1..] {
+                    prop_assert!(!a.neighbors4().contains(b), "prohibited condition violated");
+                    prop_assert!(a != b, "duplicate square");
+                }
+            }
+        }
+        let weighted = select_buses_weighted(&coords, &profile, budget);
+        prop_assert!(weighted.len() <= budget);
+        for s in &weighted {
+            prop_assert!(
+                qpd::design::bus::cross_coupling_weight(*s, &coords, &profile) > 0,
+                "weighted selection spent a bus on a zero-weight square"
+            );
+        }
+    }
+
+    /// The full pipeline always emits valid, connected, in-band chips.
+    #[test]
+    fn pipeline_invariants(profile in arb_profile(10)) {
+        let chip = DesignFlow::new()
+            .with_allocation_trials(60)
+            .with_allocation_sweeps(1)
+            .design(&profile)
+            .unwrap();
+        prop_assert!(chip.is_connected());
+        prop_assert_eq!(chip.num_qubits(), profile.num_qubits());
+        let plan = chip.frequencies().expect("plan attached");
+        prop_assert!(plan.check_band().is_ok());
+        // Designed chips must be routable for any program over the
+        // profile's qubits (spot-check with a line circuit).
+        let mut c = Circuit::new(profile.num_qubits());
+        for q in 0..profile.num_qubits() - 1 {
+            c.cx(q as u32, q as u32 + 1);
+        }
+        prop_assert!(SabreRouter::new(&chip).route(&c).is_ok());
+    }
+
+    /// Pareto front extraction returns exactly the non-dominated points.
+    #[test]
+    fn pareto_front_is_sound_and_complete(
+        points in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..30)
+    ) {
+        let front = qpd::design::pareto_front(&points);
+        for (i, &p) in points.iter().enumerate() {
+            let dominated = points
+                .iter()
+                .enumerate()
+                .any(|(j, &q)| j != i && qpd::design::pareto::dominates(q, p));
+            prop_assert_eq!(front.contains(&i), !dominated, "point {}", i);
+        }
+    }
+}

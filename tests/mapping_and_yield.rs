@@ -1,0 +1,106 @@
+//! Integration tests for routing on generated/baseline architectures
+//! and for yield behaviour across the architecture space.
+
+use proptest::prelude::*;
+
+use qpd::mapping::verify::verify_mapped;
+use qpd::prelude::*;
+use qpd::topology::ibm;
+
+#[test]
+fn all_benchmarks_route_on_their_designed_chips() {
+    for spec in &qpd::benchmarks::ALL {
+        let circuit = qpd::benchmarks::build(spec.name).unwrap();
+        let profile = CouplingProfile::of(&circuit);
+        let chip = DesignFlow::new()
+            .with_allocation_trials(100)
+            .with_max_buses(Some(1))
+            .design(&profile)
+            .unwrap();
+        let mapped = SabreRouter::new(&chip).route(&circuit).unwrap();
+        verify_mapped(&circuit, &mapped, &chip)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn all_benchmarks_route_on_the_20q_baseline() {
+    let chip = ibm::ibm_20q_4x5(BusMode::MaxFourQubit);
+    let router = SabreRouter::new(&chip);
+    for spec in &qpd::benchmarks::ALL {
+        let circuit = qpd::benchmarks::build(spec.name).unwrap();
+        let mapped = router.route(&circuit).unwrap();
+        verify_mapped(&circuit, &mapped, &chip)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn yield_decreases_with_noise() {
+    let chip = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+    let mut last = 1.1f64;
+    for sigma in [0.010, 0.030, 0.060] {
+        let sim = YieldSimulator::new().with_sigma_ghz(sigma).with_trials(4_000).with_seed(1);
+        let rate = sim.estimate(&chip).unwrap().rate();
+        assert!(rate < last, "sigma {sigma}: {rate} !< {last}");
+        last = rate;
+    }
+}
+
+#[test]
+fn adding_buses_to_a_design_never_helps_yield() {
+    // Monotonicity along a designed series: strictly more couplings
+    // cannot make fabrication easier (it adds collision constraints).
+    let circuit = qpd::benchmarks::build("misex1_241").unwrap();
+    let profile = CouplingProfile::of(&circuit);
+    let series =
+        DesignFlow::new().with_allocation_trials(100).design_series(&profile).unwrap();
+    let sim = YieldSimulator::new().with_trials(4_000).with_seed(2);
+    let rates: Vec<f64> =
+        series.iter().map(|a| sim.estimate(a).unwrap().rate()).collect();
+    for pair in rates.windows(2) {
+        // Allow a small Monte Carlo wiggle.
+        assert!(pair[1] <= pair[0] + 0.02, "rates {rates:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// SABRE output is always executable and faithful for random
+    /// circuits on a generated architecture.
+    #[test]
+    fn sabre_faithful_on_generated_chips(seed in 0u64..500) {
+        use qpd::circuit::random::{random_circuit, RandomCircuitSpec};
+        let c = random_circuit(&RandomCircuitSpec {
+            num_qubits: 9,
+            num_gates: 90,
+            two_qubit_fraction: 0.5,
+            seed,
+        });
+        let profile = CouplingProfile::of(&c);
+        let chip = DesignFlow::new()
+            .with_allocation_trials(50)
+            .with_max_buses(Some(2))
+            .design(&profile)
+            .unwrap();
+        let mapped = SabreRouter::new(&chip).route(&c).unwrap();
+        prop_assert!(verify_mapped(&c, &mapped, &chip).is_ok());
+    }
+
+    /// Yield estimates respect binomial uncertainty: two disjoint seeds
+    /// agree within a generous confidence band.
+    #[test]
+    fn yield_estimates_are_statistically_stable(seed in 0u64..50) {
+        let chip = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+        let a = YieldSimulator::new().with_trials(3_000).with_seed(seed)
+            .estimate(&chip).unwrap();
+        let b = YieldSimulator::new().with_trials(3_000).with_seed(seed + 1_000)
+            .estimate(&chip).unwrap();
+        let tolerance = 6.0 * (a.std_err() + b.std_err() + 1e-4);
+        prop_assert!(
+            (a.rate() - b.rate()).abs() < tolerance,
+            "{} vs {} (tol {tolerance})", a.rate(), b.rate()
+        );
+    }
+}

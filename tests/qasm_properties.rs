@@ -1,0 +1,117 @@
+//! Property-based tests on the QASM pipeline and circuit
+//! transformations, spanning `qpd-circuit` through the umbrella crate.
+
+use proptest::prelude::*;
+
+use qpd::circuit::decompose::{decompose_to_native, lower_mcx};
+use qpd::circuit::qasm;
+use qpd::circuit::random::{random_circuit, RandomCircuitSpec};
+use qpd::circuit::sim::apply_reversible;
+use qpd::prelude::*;
+use qpd::profile::CouplingProfile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Emitting then parsing any random circuit reproduces it exactly.
+    #[test]
+    fn qasm_roundtrip(seed in 0u64..5_000, gates in 1usize..120, qubits in 2usize..10) {
+        let c = random_circuit(&RandomCircuitSpec {
+            num_qubits: qubits,
+            num_gates: gates,
+            two_qubit_fraction: 0.4,
+            seed,
+        });
+        let text = qasm::to_qasm(&c).unwrap();
+        let back = qasm::parse(&text).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    /// The profiler's matrix is symmetric with degrees consistent and
+    /// total weight equal to the two-qubit gate count.
+    #[test]
+    fn profile_invariants(seed in 0u64..5_000, gates in 0usize..200, qubits in 2usize..12) {
+        let c = random_circuit(&RandomCircuitSpec {
+            num_qubits: qubits,
+            num_gates: gates,
+            two_qubit_fraction: 0.5,
+            seed,
+        });
+        let p = CouplingProfile::of(&c);
+        let mut degree_sum = 0u64;
+        for i in 0..qubits {
+            degree_sum += p.degree(i) as u64;
+            for j in 0..qubits {
+                prop_assert_eq!(p.strength(i, j), p.strength(j, i));
+            }
+            prop_assert_eq!(p.strength(i, i), 0);
+        }
+        prop_assert_eq!(degree_sum, 2 * p.total_two_qubit_gates() as u64);
+        prop_assert_eq!(p.total_two_qubit_gates() as usize, c.two_qubit_gate_count());
+    }
+
+    /// Decomposition to the native basis preserves the two-qubit
+    /// interaction multiset for circuits already made of CX + 1q gates,
+    /// and never emits non-native gates.
+    #[test]
+    fn decomposition_is_native_and_stable(seed in 0u64..5_000, gates in 1usize..150) {
+        let c = random_circuit(&RandomCircuitSpec {
+            num_qubits: 8,
+            num_gates: gates,
+            two_qubit_fraction: 0.5,
+            seed,
+        });
+        let native = decompose_to_native(&c).unwrap();
+        prop_assert!(native.iter().all(|i| i.gate().is_native()));
+        // CX-only circuits pass through unchanged.
+        prop_assert_eq!(&native, &c);
+    }
+
+    /// Random MCX gates lower to the reversible basis and compute the
+    /// same function on random basis states.
+    #[test]
+    fn mcx_lowering_preserves_function(
+        controls in 1usize..6,
+        extra in 2usize..4,
+        input in 0u128..1024,
+    ) {
+        let n = controls + 1 + extra;
+        let mut c = Circuit::new(n);
+        let ctrl_ids: Vec<u32> = (0..controls as u32).collect();
+        c.mcx(&ctrl_ids, controls as u32);
+        let lowered = lower_mcx(&c).unwrap();
+        let input = input & ((1 << n) - 1);
+        let cmask = (1u128 << controls) - 1;
+        let expected = if input & cmask == cmask {
+            input ^ (1 << controls)
+        } else {
+            input
+        };
+        prop_assert_eq!(apply_reversible(&lowered, input).unwrap(), expected);
+    }
+
+    /// Remapping a circuit by a random permutation permutes its coupling
+    /// profile accordingly.
+    #[test]
+    fn remap_permutes_profile(seed in 0u64..2_000, rot in 1usize..7) {
+        let qubits = 8usize;
+        let c = random_circuit(&RandomCircuitSpec {
+            num_qubits: qubits,
+            num_gates: 60,
+            two_qubit_fraction: 0.6,
+            seed,
+        });
+        let perm: Vec<u32> = (0..qubits).map(|i| ((i + rot) % qubits) as u32).collect();
+        let remapped = c.remap(&perm).unwrap();
+        let p0 = CouplingProfile::of(&c);
+        let p1 = CouplingProfile::of(&remapped);
+        for i in 0..qubits {
+            for j in 0..qubits {
+                prop_assert_eq!(
+                    p0.strength(i, j),
+                    p1.strength(perm[i] as usize, perm[j] as usize)
+                );
+            }
+        }
+    }
+}
