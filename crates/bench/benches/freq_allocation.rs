@@ -37,8 +37,7 @@ fn bench_freq_allocation(c: &mut Criterion) {
     group.sample_size(10);
     let arch = designed_topology("rd84_142");
     for sweeps in [0usize, 2, 8] {
-        let allocator =
-            FrequencyAllocator::new().with_trials(1_000).with_refinement_sweeps(sweeps);
+        let allocator = FrequencyAllocator::new().with_trials(1_000).with_refinement_sweeps(sweeps);
         group.bench_function(format!("rd84_142/sweeps{sweeps}"), |b| {
             b.iter(|| allocator.allocate(black_box(&arch)))
         });

@@ -16,8 +16,7 @@ fn bench_yield(c: &mut Criterion) {
             b.iter(|| sim.estimate(black_box(&arch)).expect("plan attached"))
         });
         let checker = CollisionChecker::new(&arch);
-        let freqs: Vec<f64> =
-            arch.frequencies().expect("plan attached").as_slice().to_vec();
+        let freqs: Vec<f64> = arch.frequencies().expect("plan attached").as_slice().to_vec();
         group.bench_function(format!("check/{}", arch.name()), |b| {
             b.iter(|| checker.has_collision(black_box(&freqs)))
         });

@@ -93,10 +93,7 @@ pub fn cuccaro_adder(n: usize, spare_lines: usize) -> Circuit {
 ///
 /// Panics if the counter is too narrow to hold `num_inputs`.
 pub fn popcount_counter(num_inputs: usize, counter_bits: usize, spare_lines: usize) -> Circuit {
-    assert!(
-        (1usize << counter_bits) > num_inputs,
-        "counter too narrow for the input count"
-    );
+    assert!((1usize << counter_bits) > num_inputs, "counter too narrow for the input count");
     let mut c = Circuit::new(num_inputs + counter_bits + spare_lines);
     let input = |i: usize| Qubit::from(i);
     let counter = |k: usize| Qubit::from(num_inputs + k);
@@ -129,8 +126,7 @@ pub fn mux8() -> Circuit {
     let data = |i: usize| Qubit::from(3 + i);
     let out = Qubit::from(11usize);
     for i in 0..8usize {
-        let negatives: Vec<Qubit> =
-            (0..3).filter(|&k| i >> k & 1 == 0).map(sel).collect();
+        let negatives: Vec<Qubit> = (0..3).filter(|&k| i >> k & 1 == 0).map(sel).collect();
         for &q in &negatives {
             c.push(Gate::X, &[q]).expect("valid");
         }

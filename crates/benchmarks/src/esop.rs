@@ -41,12 +41,7 @@ pub struct EsopFunction {
 impl EsopFunction {
     /// Evaluates output `k` on input `x`.
     pub fn eval(&self, k: usize, x: u32) -> bool {
-        self.cubes
-            .iter()
-            .filter(|c| c.outputs >> k & 1 == 1 && c.matches(x))
-            .count()
-            % 2
-            == 1
+        self.cubes.iter().filter(|c| c.outputs >> k & 1 == 1 && c.matches(x)).count() % 2 == 1
     }
 
     /// Synthesizes the cube list into an MCT network. Inputs occupy lines
@@ -67,10 +62,7 @@ impl EsopFunction {
                 (cube.positive | cube.negative) >> n == 0,
                 "cube references input out of range"
             );
-            assert!(
-                cube.outputs >> self.num_outputs == 0,
-                "cube references output out of range"
-            );
+            assert!(cube.outputs >> self.num_outputs == 0, "cube references output out of range");
             let controls: Vec<Qubit> = (0..n)
                 .filter(|i| (cube.positive | cube.negative) >> i & 1 == 1)
                 .map(Qubit::from)

@@ -41,7 +41,10 @@ mod tests {
         let profile = CouplingProfile::of(&native);
         match shape::detect_shape(&profile) {
             PatternShape::Chain(order) => {
-                assert!(order == (0..8).collect::<Vec<_>>() || order == (0..8).rev().collect::<Vec<_>>());
+                assert!(
+                    order == (0..8).collect::<Vec<_>>()
+                        || order == (0..8).rev().collect::<Vec<_>>()
+                );
             }
             other => panic!("expected chain, got {other:?}"),
         }

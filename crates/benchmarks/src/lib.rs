@@ -16,8 +16,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arith;
-pub mod extra;
 pub mod esop;
+pub mod extra;
 pub mod ising;
 pub mod pprm;
 pub mod qft;

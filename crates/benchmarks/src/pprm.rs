@@ -63,10 +63,8 @@ pub fn synthesize(num_inputs: usize, outputs: &[Vec<bool>], extra_lines: usize) 
                 circuit.push(Gate::X, &[target]).expect("valid");
                 continue;
             }
-            let mut operands: Vec<Qubit> = (0..num_inputs)
-                .filter(|i| mask >> i & 1 == 1)
-                .map(Qubit::from)
-                .collect();
+            let mut operands: Vec<Qubit> =
+                (0..num_inputs).filter(|i| mask >> i & 1 == 1).map(Qubit::from).collect();
             operands.push(target);
             let gate = match operands.len() {
                 2 => Gate::Cx,

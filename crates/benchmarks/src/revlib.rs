@@ -25,8 +25,7 @@ use crate::pprm;
 /// PPRM. The weight set is chosen so no monomial needs all six inputs
 /// (an ancilla-free 6-control Toffoli would not decompose on 7 lines).
 pub fn sym6() -> Circuit {
-    let truth: Vec<bool> =
-        (0..64u32).map(|x| matches!(x.count_ones(), 2 | 4)).collect();
+    let truth: Vec<bool> = (0..64u32).map(|x| matches!(x.count_ones(), 2 | 4)).collect();
     pprm::synthesize(6, &[truth], 0)
 }
 
@@ -63,9 +62,8 @@ pub fn z4() -> Circuit {
         let cin = (x >> 6) & 1;
         a + b + cin
     };
-    let outputs: Vec<Vec<bool>> = (0..4)
-        .map(|bit| (0..1u32 << n).map(|x| eval(x) >> bit & 1 == 1).collect())
-        .collect();
+    let outputs: Vec<Vec<bool>> =
+        (0..4).map(|bit| (0..1u32 << n).map(|x| eval(x) >> bit & 1 == 1).collect()).collect();
     pprm::synthesize(n, &outputs, 0)
 }
 
@@ -73,8 +71,8 @@ pub fn z4() -> Circuit {
 /// digits), synthesized via PPRM.
 pub fn dc1() -> Circuit {
     const SEGMENTS: [u32; 16] = [
-        0x3f, 0x06, 0x5b, 0x4f, 0x66, 0x6d, 0x7d, 0x07, 0x7f, 0x6f, 0x77, 0x7c, 0x39, 0x5e,
-        0x79, 0x71,
+        0x3f, 0x06, 0x5b, 0x4f, 0x66, 0x6d, 0x7d, 0x07, 0x7f, 0x6f, 0x77, 0x7c, 0x39, 0x5e, 0x79,
+        0x71,
     ];
     let outputs: Vec<Vec<bool>> = (0..7)
         .map(|seg| (0..16u32).map(|x| SEGMENTS[x as usize] >> seg & 1 == 1).collect())
@@ -88,9 +86,8 @@ pub fn dc1() -> Circuit {
 pub fn square_root() -> Circuit {
     let n = 6;
     let isqrt = |x: u32| -> u32 { (x as f64).sqrt().floor() as u32 };
-    let outputs: Vec<Vec<bool>> = (0..3)
-        .map(|bit| (0..1u32 << n).map(|x| isqrt(x) >> bit & 1 == 1).collect())
-        .collect();
+    let outputs: Vec<Vec<bool>> =
+        (0..3).map(|bit| (0..1u32 << n).map(|x| isqrt(x) >> bit & 1 == 1).collect()).collect();
     pprm::synthesize(n, &outputs, 6)
 }
 
@@ -175,8 +172,8 @@ mod tests {
     #[test]
     fn dc1_decodes_exhaustively() {
         const SEGMENTS: [u128; 16] = [
-            0x3f, 0x06, 0x5b, 0x4f, 0x66, 0x6d, 0x7d, 0x07, 0x7f, 0x6f, 0x77, 0x7c, 0x39,
-            0x5e, 0x79, 0x71,
+            0x3f, 0x06, 0x5b, 0x4f, 0x66, 0x6d, 0x7d, 0x07, 0x7f, 0x6f, 0x77, 0x7c, 0x39, 0x5e,
+            0x79, 0x71,
         ];
         let lowered = lower_mcx(&dc1()).unwrap();
         assert_eq!(lowered.num_qubits(), 11);

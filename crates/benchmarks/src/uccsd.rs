@@ -158,8 +158,7 @@ mod tests {
         assert!(max_long_range > 0, "doubles must produce long-range hops");
         // On average the chain dominates strongly (paper: "only about 10%"
         // of the chain weight sits off the diagonal band).
-        let mean_adjacent =
-            (0..7).map(|q| profile.strength(q, q + 1) as f64).sum::<f64>() / 7.0;
+        let mean_adjacent = (0..7).map(|q| profile.strength(q, q + 1) as f64).sum::<f64>() / 7.0;
         let long_range: Vec<f64> = (0..8)
             .flat_map(|a| ((a + 2)..8).map(move |b| (a, b)))
             .map(|(a, b)| profile.strength(a, b) as f64)

@@ -207,9 +207,10 @@ impl Circuit {
     pub fn inverse(&self) -> Result<Circuit, CircuitError> {
         let mut out = Circuit::new(self.num_qubits);
         for inst in self.instructions.iter().rev() {
-            let gate = inst.gate().inverse().ok_or(CircuitError::NotInvertible {
-                gate: inst.gate().name(),
-            })?;
+            let gate = inst
+                .gate()
+                .inverse()
+                .ok_or(CircuitError::NotInvertible { gate: inst.gate().name() })?;
             out.push(gate, inst.qubits())?;
         }
         Ok(out)
@@ -297,18 +298,15 @@ impl Circuit {
     /// Iterates over the operand pairs of all two-qubit unitary gates, in
     /// circuit order. This is the stream the profiler consumes.
     pub fn two_qubit_pairs(&self) -> impl Iterator<Item = (Qubit, Qubit)> + '_ {
-        self.instructions.iter().filter_map(|i| if i.is_two_qubit() { i.qubit_pair() } else { None })
+        self.instructions
+            .iter()
+            .filter_map(|i| if i.is_two_qubit() { i.qubit_pair() } else { None })
     }
 
     /// The highest qubit index actually used, plus one (0 for an empty
     /// circuit).
     pub fn used_qubits(&self) -> usize {
-        self.instructions
-            .iter()
-            .flat_map(|i| i.qubits())
-            .map(|q| q.index() + 1)
-            .max()
-            .unwrap_or(0)
+        self.instructions.iter().flat_map(|i| i.qubits()).map(|q| q.index() + 1).max().unwrap_or(0)
     }
 
     // --- builder conveniences --------------------------------------------
@@ -397,12 +395,22 @@ impl Circuit {
     }
 
     /// Applies a controlled phase rotation `cu1(lambda)`.
-    pub fn cp(&mut self, lambda: f64, control: impl Into<Qubit>, target: impl Into<Qubit>) -> &mut Self {
+    pub fn cp(
+        &mut self,
+        lambda: f64,
+        control: impl Into<Qubit>,
+        target: impl Into<Qubit>,
+    ) -> &mut Self {
         self.must_push(Gate::Cp(lambda), &[control.into(), target.into()])
     }
 
     /// Applies a controlled Z-rotation.
-    pub fn crz(&mut self, theta: f64, control: impl Into<Qubit>, target: impl Into<Qubit>) -> &mut Self {
+    pub fn crz(
+        &mut self,
+        theta: f64,
+        control: impl Into<Qubit>,
+        target: impl Into<Qubit>,
+    ) -> &mut Self {
         self.must_push(Gate::Crz(theta), &[control.into(), target.into()])
     }
 
@@ -417,7 +425,12 @@ impl Circuit {
     }
 
     /// Applies a Toffoli with controls `c0`, `c1` and target `t`.
-    pub fn ccx(&mut self, c0: impl Into<Qubit>, c1: impl Into<Qubit>, t: impl Into<Qubit>) -> &mut Self {
+    pub fn ccx(
+        &mut self,
+        c0: impl Into<Qubit>,
+        c1: impl Into<Qubit>,
+        t: impl Into<Qubit>,
+    ) -> &mut Self {
         self.must_push(Gate::Ccx, &[c0.into(), c1.into(), t.into()])
     }
 
@@ -579,10 +592,7 @@ mod tests {
     fn inverse_rejects_measurement() {
         let mut c = Circuit::new(1);
         c.h(0).measure(0);
-        assert_eq!(
-            c.inverse().unwrap_err(),
-            CircuitError::NotInvertible { gate: "measure" }
-        );
+        assert_eq!(c.inverse().unwrap_err(), CircuitError::NotInvertible { gate: "measure" });
     }
 
     #[test]

@@ -65,11 +65,7 @@ fn emit_mcx(out: &mut Circuit, controls: &[Qubit], target: Qubit) -> Result<(), 
             } else if !free.is_empty() {
                 emit_split(out, controls, free[0], target)
             } else {
-                Err(CircuitError::NotEnoughAncillas {
-                    gate: "mcx",
-                    needed: 1,
-                    available: 0,
-                })
+                Err(CircuitError::NotEnoughAncillas { gate: "mcx", needed: 1, available: 0 })
             }
         }
     }
@@ -271,10 +267,7 @@ mod tests {
         b.compose(decomposed).unwrap();
         let sa = StateVector::from_circuit(&a).unwrap();
         let sb = StateVector::from_circuit(&b).unwrap();
-        assert!(
-            sa.approx_eq_global_phase(&sb, 1e-9),
-            "decomposition changed the unitary action"
-        );
+        assert!(sa.approx_eq_global_phase(&sb, 1e-9), "decomposition changed the unitary action");
     }
 
     #[test]
@@ -355,8 +348,7 @@ mod tests {
             );
             let cmask: u128 = (1 << k) - 1;
             for input in 0..(1u128 << n) {
-                let expected =
-                    if input & cmask == cmask { input ^ (1 << k) } else { input };
+                let expected = if input & cmask == cmask { input ^ (1 << k) } else { input };
                 assert_eq!(
                     apply_reversible(&lowered, input).unwrap(),
                     expected,
@@ -378,8 +370,7 @@ mod tests {
             let lowered = lower_mcx(&c).unwrap();
             let cmask: u128 = (1 << k) - 1;
             for input in 0..(1u128 << n) {
-                let expected =
-                    if input & cmask == cmask { input ^ (1 << k) } else { input };
+                let expected = if input & cmask == cmask { input ^ (1 << k) } else { input };
                 assert_eq!(
                     apply_reversible(&lowered, input).unwrap(),
                     expected,
@@ -413,11 +404,14 @@ mod tests {
         let native = decompose_to_native(&c).unwrap();
         assert!(native.iter().all(|i| i.gate().is_native()));
         // Functional check through the state-vector simulator.
-        assert_equiv(&{
-            let mut lc = Circuit::new(6);
-            lc.mcx(&[0, 1, 2], 3);
-            lc
-        }, &native);
+        assert_equiv(
+            &{
+                let mut lc = Circuit::new(6);
+                lc.mcx(&[0, 1, 2], 3);
+                lc
+            },
+            &native,
+        );
     }
 
     #[test]

@@ -214,7 +214,12 @@ impl Gate {
     /// The rotation/phase parameters carried by the gate, in radians.
     pub fn params(&self) -> Vec<f64> {
         match *self {
-            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::P(a) | Gate::Cp(a) | Gate::Crz(a)
+            Gate::Rx(a)
+            | Gate::Ry(a)
+            | Gate::Rz(a)
+            | Gate::P(a)
+            | Gate::Cp(a)
+            | Gate::Crz(a)
             | Gate::Rzz(a) => vec![a],
             Gate::U(a, b, c) | Gate::Cu3(a, b, c) => vec![a, b, c],
             _ => Vec::new(),

@@ -66,7 +66,12 @@ fn merge(a: &Instruction, b: &Instruction) -> Option<Instruction> {
 fn is_identity(inst: &Instruction) -> bool {
     match inst.gate() {
         Gate::I => true,
-        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::P(t) | Gate::Cp(t) | Gate::Crz(t)
+        Gate::Rx(t)
+        | Gate::Ry(t)
+        | Gate::Rz(t)
+        | Gate::P(t)
+        | Gate::Cp(t)
+        | Gate::Crz(t)
         | Gate::Rzz(t) => t.abs() < EPS,
         _ => false,
     }
@@ -97,9 +102,8 @@ pub fn peephole(circuit: &Circuit) -> Circuit {
             // *every* operand line.
             let preds: Vec<Option<usize>> =
                 inst.qubits().iter().map(|q| last_on_line[q.index()]).collect();
-            let same_pred = preds.first().copied().flatten().filter(|&p| {
-                preds.iter().all(|&x| x == Some(p))
-            });
+            let same_pred =
+                preds.first().copied().flatten().filter(|&p| preds.iter().all(|&x| x == Some(p)));
             let mut consumed = false;
             if let Some(p) = same_pred {
                 let prev = work[p].clone().expect("live predecessor");

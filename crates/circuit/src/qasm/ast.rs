@@ -171,9 +171,7 @@ impl Expr {
         match self {
             Expr::Number(v) => Some(*v),
             Expr::Pi => Some(std::f64::consts::PI),
-            Expr::Ident(name) => {
-                bindings.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
-            }
+            Expr::Ident(name) => bindings.iter().find(|(n, _)| n == name).map(|(_, v)| *v),
             Expr::Neg(inner) => inner.eval(bindings).map(|v| -v),
             Expr::Binary { op, lhs, rhs } => {
                 let l = lhs.eval(bindings)?;

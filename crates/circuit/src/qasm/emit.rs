@@ -67,7 +67,13 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
                     let _ = writeln!(out, "{} {};", g.name(), qubits.join(", "));
                 } else {
                     let rendered: Vec<String> = params.iter().map(|p| format_param(*p)).collect();
-                    let _ = writeln!(out, "{}({}) {};", g.name(), rendered.join(", "), qubits.join(", "));
+                    let _ = writeln!(
+                        out,
+                        "{}({}) {};",
+                        g.name(),
+                        rendered.join(", "),
+                        qubits.join(", ")
+                    );
                 }
             }
         }
@@ -81,7 +87,12 @@ fn format_param(v: f64) -> String {
     // `{:?}` on f64 produces the shortest representation that round-trips.
     let s = format!("{v:?}");
     // Ensure the token lexes as a real, not an integer.
-    if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("inf") || s.contains("NaN") {
+    if s.contains('.')
+        || s.contains('e')
+        || s.contains('E')
+        || s.contains("inf")
+        || s.contains("NaN")
+    {
         s
     } else {
         format!("{s}.0")

@@ -260,11 +260,9 @@ impl<'a> Lexer<'a> {
                 }
                 Ok(make(TokenKind::Ident(s)))
             }
-            other => Err(QasmError::new(
-                line,
-                col,
-                format!("unexpected character `{}`", other as char),
-            )),
+            other => {
+                Err(QasmError::new(line, col, format!("unexpected character `{}`", other as char)))
+            }
         }
     }
 
@@ -339,12 +337,15 @@ mod tests {
 
     #[test]
     fn arrow_and_minus() {
-        assert_eq!(kinds("a -> b"), vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Arrow,
-            TokenKind::Ident("b".into()),
-            TokenKind::Eof,
-        ]);
+        assert_eq!(
+            kinds("a -> b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
         assert_eq!(kinds("-1")[0], TokenKind::Minus);
     }
 

@@ -35,4 +35,4 @@ mod parser;
 pub use ast::{Expr, Program, RegisterRef, Statement};
 pub use emit::to_qasm;
 pub use lexer::{Lexer, Token, TokenKind};
-pub use parser::{parse, parse_program, elaborate};
+pub use parser::{elaborate, parse, parse_program};

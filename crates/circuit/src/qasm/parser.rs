@@ -158,8 +158,7 @@ impl Parser {
                 self.bump();
                 let (name, ..) = self.expect_ident()?;
                 // Skip (params) and args up to `;`.
-                while self.peek().kind != TokenKind::Semicolon
-                    && self.peek().kind != TokenKind::Eof
+                while self.peek().kind != TokenKind::Semicolon && self.peek().kind != TokenKind::Eof
                 {
                     self.bump();
                 }
@@ -368,7 +367,7 @@ struct GateDefInfo<'a> {
 struct Elaborator<'a> {
     qregs: HashMap<String, (usize, usize)>, // name -> (offset, size)
     qreg_order: Vec<String>,
-    cregs: HashMap<String, usize>,          // name -> size
+    cregs: HashMap<String, usize>, // name -> size
     defs: HashMap<String, GateDefInfo<'a>>,
     opaques: HashMap<String, usize>, // name -> decl line
     num_qubits: usize,
@@ -419,10 +418,7 @@ pub fn elaborate(program: &Program) -> Result<Circuit, QasmError> {
                 el.cregs.insert(name.clone(), *size);
             }
             Statement::GateDef { name, params, args, body, .. } => {
-                el.defs.insert(
-                    name.clone(),
-                    GateDefInfo { params, args, body },
-                );
+                el.defs.insert(name.clone(), GateDefInfo { params, args, body });
             }
             Statement::OpaqueDecl { name, line } => {
                 el.opaques.insert(name.clone(), *line);
@@ -456,10 +452,11 @@ impl<'a> Elaborator<'a> {
                         })
                     })
                     .collect::<Result<Vec<f64>, QasmError>>()?;
-                let resolved = operands
-                    .iter()
-                    .map(|r| self.resolve_qubit(r))
-                    .collect::<Result<Vec<Operand>, QasmError>>()?;
+                let resolved = operands.iter().map(|r| self.resolve_qubit(r)).collect::<Result<
+                    Vec<Operand>,
+                    QasmError,
+                >>(
+                )?;
                 for group in broadcast(&resolved, *line, *col)? {
                     self.apply_gate(name, &values, &group, circuit, *line, *col, 0)?;
                 }
@@ -532,11 +529,7 @@ impl<'a> Elaborator<'a> {
 
     fn resolve_qubit(&self, r: &RegisterRef) -> Result<Operand, QasmError> {
         let Some(&(offset, size)) = self.qregs.get(&r.name) else {
-            return Err(QasmError::new(
-                r.line,
-                r.col,
-                format!("qreg `{}` not declared", r.name),
-            ));
+            return Err(QasmError::new(r.line, r.col, format!("qreg `{}` not declared", r.name)));
         };
         match r.index {
             Some(i) if i >= size => Err(QasmError::new(
@@ -858,10 +851,7 @@ fn builtin_gate(
         return Err(QasmError::new(
             line,
             col,
-            format!(
-                "gate `{name}` takes {} operand(s), got {operand_count}",
-                gate.arity()
-            ),
+            format!("gate `{name}` takes {} operand(s), got {operand_count}", gate.arity()),
         ));
     }
     Ok(gate)
@@ -955,7 +945,9 @@ mod tests {
         let c = parse("OPENQASM 2.0; qreg q[1]; rz(1+2*3) q[0];").unwrap();
         assert_eq!(c.instructions()[0].gate().params()[0], 7.0);
         let c = parse("OPENQASM 2.0; qreg q[1]; rz(-pi/4) q[0];").unwrap();
-        assert!((c.instructions()[0].gate().params()[0] + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert!(
+            (c.instructions()[0].gate().params()[0] + std::f64::consts::FRAC_PI_4).abs() < 1e-12
+        );
         let c = parse("OPENQASM 2.0; qreg q[1]; rz(2^3^1) q[0];").unwrap(); // right assoc
         assert_eq!(c.instructions()[0].gate().params()[0], 8.0);
         let c = parse("OPENQASM 2.0; qreg q[1]; rz(cos(0)) q[0];").unwrap();

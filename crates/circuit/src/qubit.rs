@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(q.index(), 3);
 /// assert_eq!(Qubit::from(3u32), q);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Qubit(u32);
 

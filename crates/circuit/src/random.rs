@@ -95,24 +95,16 @@ mod tests {
 
     #[test]
     fn pure_single_qubit_circuit() {
-        let spec = RandomCircuitSpec {
-            num_qubits: 1,
-            num_gates: 10,
-            two_qubit_fraction: 0.0,
-            seed: 3,
-        };
+        let spec =
+            RandomCircuitSpec { num_qubits: 1, num_gates: 10, two_qubit_fraction: 0.0, seed: 3 };
         let c = random_circuit(&spec);
         assert_eq!(c.two_qubit_gate_count(), 0);
     }
 
     #[test]
     fn two_qubit_fraction_one() {
-        let spec = RandomCircuitSpec {
-            num_qubits: 4,
-            num_gates: 30,
-            two_qubit_fraction: 1.0,
-            seed: 9,
-        };
+        let spec =
+            RandomCircuitSpec { num_qubits: 4, num_gates: 30, two_qubit_fraction: 1.0, seed: 9 };
         let c = random_circuit(&spec);
         assert_eq!(c.two_qubit_gate_count(), 30);
     }

@@ -381,10 +381,7 @@ impl StateVector {
         // phase = self[k] / other[k]
         let denom = other.amps[k].norm_sqr();
         let phase = self.amps[k] * other.amps[k].conj() * (1.0 / denom);
-        self.amps
-            .iter()
-            .zip(other.amps.iter())
-            .all(|(a, b)| (*a - *b * phase).abs() <= tol)
+        self.amps.iter().zip(other.amps.iter()).all(|(a, b)| (*a - *b * phase).abs() <= tol)
     }
 }
 
@@ -429,10 +426,7 @@ pub fn single_qubit_matrix(gate: &Gate) -> [[C64; 2]; 2] {
 
 fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> [[C64; 2]; 2] {
     let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-    [
-        [C64::new(c, 0.0), -C64::cis(lambda) * s],
-        [C64::cis(phi) * s, C64::cis(phi + lambda) * c],
-    ]
+    [[C64::new(c, 0.0), -C64::cis(lambda) * s], [C64::cis(phi) * s, C64::cis(phi + lambda) * c]]
 }
 
 fn phase_matrix(lambda: f64) -> [[C64; 2]; 2] {

@@ -36,11 +36,7 @@ pub fn candidate_squares(coords: &[Coord]) -> Vec<Square> {
 /// Physical qubits beyond the profile's range (auxiliary qubits added by
 /// `DesignFlow::with_auxiliary_qubits`) carry no program coupling and
 /// contribute zero weight.
-pub fn cross_coupling_weight(
-    square: Square,
-    coords: &[Coord],
-    profile: &CouplingProfile,
-) -> u64 {
+pub fn cross_coupling_weight(square: Square, coords: &[Coord], profile: &CouplingProfile) -> u64 {
     let qubit_at = |c: Coord| coords.iter().position(|&k| k == c);
     let strength = |qa: usize, qb: usize| -> u64 {
         if qa < profile.num_qubits() && qb < profile.num_qubits() {
@@ -80,12 +76,9 @@ pub fn select_buses_weighted(
     max_buses: usize,
 ) -> Vec<Square> {
     let candidates = candidate_squares(coords);
-    let mut weight: BTreeMap<Square, i64> = candidates
-        .iter()
-        .map(|&s| (s, cross_coupling_weight(s, coords, profile) as i64))
-        .collect();
-    let mut blocked: BTreeMap<Square, bool> =
-        candidates.iter().map(|&s| (s, false)).collect();
+    let mut weight: BTreeMap<Square, i64> =
+        candidates.iter().map(|&s| (s, cross_coupling_weight(s, coords, profile) as i64)).collect();
+    let mut blocked: BTreeMap<Square, bool> = candidates.iter().map(|&s| (s, false)).collect();
     let mut selected = Vec::new();
 
     while selected.len() < max_buses {
@@ -94,11 +87,8 @@ pub fn select_buses_weighted(
             if blocked[&s] || weight[&s] <= 0 {
                 continue;
             }
-            let filtered = weight[&s]
-                - s.neighbors4()
-                    .iter()
-                    .filter_map(|nb| weight.get(nb))
-                    .sum::<i64>();
+            let filtered =
+                weight[&s] - s.neighbors4().iter().filter_map(|nb| weight.get(nb)).sum::<i64>();
             // Highest filtered weight; ties prefer the smaller origin.
             let better = match best {
                 None => true,
@@ -151,8 +141,7 @@ pub fn select_buses_random(coords: &[Coord], max_buses: usize, seed: u64) -> Vec
         if selected.len() >= max_buses {
             break;
         }
-        let adjacent_to_selected =
-            selected.iter().any(|t| s.neighbors4().contains(t));
+        let adjacent_to_selected = selected.iter().any(|t| s.neighbors4().contains(t));
         if !adjacent_to_selected {
             selected.push(s);
         }
@@ -222,10 +211,7 @@ mod tests {
         let coords: Vec<Coord> =
             (0..3).flat_map(|r| (0..3).map(move |c| Coord::new(r, c))).collect();
         // Diagonals: square (0,0): (0,4),(3,1); (1,1): (4,8),(7,5) etc.
-        let profile = CouplingProfile::from_edges(
-            9,
-            &[(0, 4, 9), (4, 8, 7), (2, 4, 5), (4, 6, 3)],
-        );
+        let profile = CouplingProfile::from_edges(9, &[(0, 4, 9), (4, 8, 7), (2, 4, 5), (4, 6, 3)]);
         let all = select_buses_weighted(&coords, &profile, 10);
         for k in 0..=all.len() {
             assert_eq!(select_buses_weighted(&coords, &profile, k), all[..k].to_vec());
@@ -237,18 +223,14 @@ mod tests {
         let coords: Vec<Coord> =
             (0..3).flat_map(|r| (0..4).map(move |c| Coord::new(r, c))).collect();
         let edges: Vec<(usize, usize, u32)> = (0..11).map(|i| (i, i + 1, 3)).collect();
-        let all_pairs: Vec<(usize, usize, u32)> = (0..12)
-            .flat_map(|a| ((a + 1)..12).map(move |b| (a, b, 2)))
-            .collect();
+        let all_pairs: Vec<(usize, usize, u32)> =
+            (0..12).flat_map(|a| ((a + 1)..12).map(move |b| (a, b, 2))).collect();
         let _ = edges;
         let profile = CouplingProfile::from_edges(12, &all_pairs);
         let picks = select_buses_weighted(&coords, &profile, 100);
         for (i, a) in picks.iter().enumerate() {
             for b in &picks[i + 1..] {
-                assert!(
-                    !a.neighbors4().contains(b),
-                    "adjacent squares selected: {a:?}, {b:?}"
-                );
+                assert!(!a.neighbors4().contains(b), "adjacent squares selected: {a:?}, {b:?}");
             }
         }
         assert!(!picks.is_empty());
@@ -305,8 +287,7 @@ mod tests {
         // then (0,3) is blocked by... (0,2)-(0,3) adjacency. Check the
         // filter avoids the greedy trap of picking (0,1) first.
         assert_ne!(picks.first(), Some(&Square::new(0, 1)));
-        let total: u64 =
-            picks.iter().map(|&s| cross_coupling_weight(s, &coords, &profile)).sum();
+        let total: u64 = picks.iter().map(|&s| cross_coupling_weight(s, &coords, &profile)).sum();
         assert!(total >= 10, "filtered selection too weak: {picks:?} total {total}");
     }
 }

@@ -114,8 +114,7 @@ impl FrequencyAllocator {
         let n = arch.num_qubits();
         let (lo, hi) = ALLOWED_BAND_GHZ;
         let mid = (lo + hi) / 2.0;
-        let evaluator =
-            LocalYieldEvaluator::new(self.trials, self.model, self.params, self.seed);
+        let evaluator = LocalYieldEvaluator::new(self.trials, self.model, self.params, self.seed);
         let mut assigned: Vec<Option<f64>> = vec![None; n];
 
         // Seed the BFS at the central qubit with the band midpoint, per
@@ -239,8 +238,11 @@ mod tests {
 
     #[test]
     fn center_gets_band_midpoint() {
+        // Algorithm 3 line 1 seeds the central qubit with the band
+        // midpoint. Refinement sweeps are free to move it afterwards if
+        // local yield improves, so assert on the single-pass algorithm.
         let arch = line(5);
-        let plan = fast_allocator().allocate(&arch);
+        let plan = fast_allocator().with_refinement_sweeps(0).allocate(&arch);
         let center = arch.center_qubit();
         assert!((plan.ghz(center) - 5.17).abs() < 1e-9);
     }
@@ -278,8 +280,7 @@ mod tests {
     #[test]
     fn custom_candidates_are_respected() {
         let arch = line(3);
-        let allocator =
-            fast_allocator().with_candidates(vec![5.05, 5.15, 5.25]).with_trials(200);
+        let allocator = fast_allocator().with_candidates(vec![5.05, 5.15, 5.25]).with_trials(200);
         let plan = allocator.allocate(&arch);
         for q in 0..3 {
             let f = plan.ghz(q);

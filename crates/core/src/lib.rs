@@ -46,7 +46,9 @@ pub mod pareto;
 pub mod pipeline;
 pub mod placement;
 
-pub use bus::{candidate_squares, select_buses_maximal, select_buses_random, select_buses_weighted};
+pub use bus::{
+    candidate_squares, select_buses_maximal, select_buses_random, select_buses_weighted,
+};
 pub use error::DesignError;
 pub use freq::FrequencyAllocator;
 pub use pareto::pareto_front;

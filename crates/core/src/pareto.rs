@@ -11,9 +11,10 @@ pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
             let (pi, yi) = points[i];
-            !points.iter().enumerate().any(|(j, &(pj, yj))| {
-                j != i && pj >= pi && yj >= yi && (pj > pi || yj > yi)
-            })
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, &(pj, yj))| j != i && pj >= pi && yj >= yi && (pj > pi || yj > yi))
         })
         .collect()
 }

@@ -171,9 +171,7 @@ impl DesignFlow {
     ) -> Result<Vec<Architecture>, DesignError> {
         let coords = self.place(profile)?;
         let order = self.bus_order(profile)?;
-        (0..=order.len())
-            .map(|k| self.assemble(profile, &coords, &order[..k]))
-            .collect()
+        (0..=order.len()).map(|k| self.assemble(profile, &coords, &order[..k])).collect()
     }
 
     /// The qubit placement only (exposed for the `eff-layout-only`
@@ -182,7 +180,10 @@ impl DesignFlow {
     /// # Errors
     ///
     /// Returns [`DesignError::EmptyProgram`] for a 0-qubit profile.
-    pub fn place(&self, profile: &CouplingProfile) -> Result<Vec<qpd_topology::Coord>, DesignError> {
+    pub fn place(
+        &self,
+        profile: &CouplingProfile,
+    ) -> Result<Vec<qpd_topology::Coord>, DesignError> {
         if profile.num_qubits() == 0 {
             return Err(DesignError::EmptyProgram);
         }
@@ -354,10 +355,8 @@ mod tests {
         // §5.4.3: the frequency allocator should improve yield over the
         // 5-frequency pattern on the same (irregular) topology.
         let profile = grid_profile();
-        let with_opt = fast_flow()
-            .with_allocation_trials(800)
-            .design_with_buses(&profile, 1)
-            .unwrap();
+        let with_opt =
+            fast_flow().with_allocation_trials(800).design_with_buses(&profile, 1).unwrap();
         let with_five = fast_flow()
             .with_frequency_strategy(FrequencyStrategy::FiveFrequency)
             .design_with_buses(&profile, 1)
@@ -365,15 +364,13 @@ mod tests {
         let sim = YieldSimulator::new().with_trials(4_000).with_seed(9);
         let y_opt = sim.estimate(&with_opt).unwrap().rate();
         let y_five = sim.estimate(&with_five).unwrap().rate();
-        assert!(
-            y_opt >= y_five,
-            "optimized {y_opt} should not lose to five-frequency {y_five}"
-        );
+        assert!(y_opt >= y_five, "optimized {y_opt} should not lose to five-frequency {y_five}");
     }
 
     #[test]
     fn naming_scheme() {
-        let arch = fast_flow().with_name_prefix("demo").design_with_buses(&grid_profile(), 0).unwrap();
+        let arch =
+            fast_flow().with_name_prefix("demo").design_with_buses(&grid_profile(), 0).unwrap();
         assert_eq!(arch.name(), "demo-6q-b0");
     }
 
@@ -381,8 +378,7 @@ mod tests {
     fn auxiliary_qubits_extend_the_chip() {
         let profile = grid_profile();
         let plain = fast_flow().design_with_buses(&profile, 0).unwrap();
-        let extended =
-            fast_flow().with_auxiliary_qubits(2).design_with_buses(&profile, 0).unwrap();
+        let extended = fast_flow().with_auxiliary_qubits(2).design_with_buses(&profile, 0).unwrap();
         assert_eq!(extended.num_qubits(), plain.num_qubits() + 2);
         assert!(extended.is_connected());
         assert!(extended.coupling_edges().len() > plain.coupling_edges().len());

@@ -99,10 +99,8 @@ pub fn place_qubits(profile: &CouplingProfile) -> Vec<Coord> {
 pub fn place_auxiliary(coords: &[Coord], count: usize) -> Vec<Coord> {
     assert!(!coords.is_empty(), "cannot extend an empty placement");
     let mut occupied: BTreeSet<Coord> = coords.iter().copied().collect();
-    let centroid_row =
-        coords.iter().map(|c| c.row as f64).sum::<f64>() / coords.len() as f64;
-    let centroid_col =
-        coords.iter().map(|c| c.col as f64).sum::<f64>() / coords.len() as f64;
+    let centroid_row = coords.iter().map(|c| c.row as f64).sum::<f64>() / coords.len() as f64;
+    let centroid_col = coords.iter().map(|c| c.col as f64).sum::<f64>() / coords.len() as f64;
     let mut added = Vec::with_capacity(count);
     for _ in 0..count {
         let frontier: BTreeSet<Coord> = occupied
@@ -113,16 +111,12 @@ pub fn place_auxiliary(coords: &[Coord], count: usize) -> Vec<Coord> {
         let best = frontier
             .into_iter()
             .max_by(|a, b| {
-                let occ = |c: &Coord| {
-                    c.neighbors4().iter().filter(|n| occupied.contains(n)).count()
-                };
+                let occ =
+                    |c: &Coord| c.neighbors4().iter().filter(|n| occupied.contains(n)).count();
                 let dist = |c: &Coord| {
                     (c.row as f64 - centroid_row).powi(2) + (c.col as f64 - centroid_col).powi(2)
                 };
-                occ(a)
-                    .cmp(&occ(b))
-                    .then_with(|| dist(b).total_cmp(&dist(a)))
-                    .then_with(|| b.cmp(a))
+                occ(a).cmp(&occ(b)).then_with(|| dist(b).total_cmp(&dist(a))).then_with(|| b.cmp(a))
             })
             .expect("frontier of a non-empty layout is never empty");
         occupied.insert(best);
@@ -172,8 +166,7 @@ mod tests {
     fn chain_program_gets_chain_layout() {
         // A pure chain should place as a path with every coupled pair
         // adjacent (wirelength == total weight).
-        let profile =
-            CouplingProfile::from_edges(5, &[(0, 1, 4), (1, 2, 4), (2, 3, 4), (3, 4, 4)]);
+        let profile = CouplingProfile::from_edges(5, &[(0, 1, 4), (1, 2, 4), (2, 3, 4), (3, 4, 4)]);
         let coords = place_qubits(&profile);
         assert!(coords_are_unique(&coords));
         assert!(is_lattice_connected(&coords));
@@ -189,8 +182,7 @@ mod tests {
     #[test]
     fn star_center_is_surrounded() {
         // Star with 4 leaves: all 4 can sit adjacent to the hub.
-        let profile =
-            CouplingProfile::from_edges(5, &[(0, 1, 5), (0, 2, 5), (0, 3, 5), (0, 4, 5)]);
+        let profile = CouplingProfile::from_edges(5, &[(0, 1, 5), (0, 2, 5), (0, 3, 5), (0, 4, 5)]);
         let coords = place_qubits(&profile);
         for leaf in 1..5 {
             assert_eq!(coords[0].manhattan(coords[leaf]), 1, "leaf {leaf} not adjacent to hub");
@@ -201,10 +193,8 @@ mod tests {
     fn strongly_coupled_pairs_win_adjacency() {
         // q0-q1 heavy, q0-q2 light, and q1, q2 both coupled to q3 lightly:
         // the heavy pair must be adjacent.
-        let profile = CouplingProfile::from_edges(
-            4,
-            &[(0, 1, 100), (0, 2, 1), (1, 3, 1), (2, 3, 1)],
-        );
+        let profile =
+            CouplingProfile::from_edges(4, &[(0, 1, 100), (0, 2, 1), (1, 3, 1), (2, 3, 1)]);
         let coords = place_qubits(&profile);
         assert_eq!(coords[0].manhattan(coords[1]), 1);
     }

@@ -11,10 +11,7 @@ fn main() {
     let mut trials = 10_000u64;
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--trials") {
-        trials = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--trials needs an integer");
+        trials = args.get(i + 1).and_then(|v| v.parse().ok()).expect("--trials needs an integer");
     }
     let sim = YieldSimulator::new().with_trials(trials);
     for (i, arch) in ibm::all_baselines().iter().enumerate() {

@@ -22,11 +22,8 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
     let csv = args.iter().any(|a| a == "--csv");
-    let svg_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--svg")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let svg_dir: Option<String> =
+        args.iter().position(|a| a == "--svg").and_then(|i| args.get(i + 1)).cloned();
     let names: Vec<String> = {
         let mut skip_next = false;
         args.iter()
@@ -71,8 +68,7 @@ fn main() {
                 if let Some(dir) = &svg_dir {
                     std::fs::create_dir_all(dir).expect("create svg output dir");
                     let path = std::path::Path::new(dir).join(format!("{name}.svg"));
-                    std::fs::write(&path, qpd_eval::plot::svg_scatter(&run))
-                        .expect("write svg");
+                    std::fs::write(&path, qpd_eval::plot::svg_scatter(&run)).expect("write svg");
                     eprintln!("wrote {}", path.display());
                 }
             }

@@ -5,7 +5,7 @@
 
 use qpd_core::{place_qubits, FrequencyAllocator};
 use qpd_profile::CouplingProfile;
-use qpd_topology::{ibm, Architecture, BusMode, five_frequency_plan};
+use qpd_topology::{five_frequency_plan, ibm, Architecture, BusMode};
 use qpd_yield::{CollisionChecker, YieldSimulator};
 
 use rand::Rng;
@@ -59,10 +59,8 @@ fn main() {
 
     // Randomized hill climbing on the full-chip yield as an upper-bound
     // probe (1 MHz moves, 20k-trial objective).
-    let plan = FrequencyAllocator::new()
-        .with_trials(4_000)
-        .with_refinement_sweeps(4)
-        .allocate(&arch);
+    let plan =
+        FrequencyAllocator::new().with_trials(4_000).with_refinement_sweeps(4).allocate(&arch);
     let mut freqs: Vec<f64> = plan.as_slice().to_vec();
     let eval_sim = YieldSimulator::new().with_trials(20_000).with_seed(7);
     let mut best = eval_sim.estimate_with_frequencies(&arch, &freqs).rate();
@@ -71,7 +69,7 @@ fn main() {
     let mut accepted = 0;
     while start.elapsed().as_secs() < 60 {
         let q = rng.gen_range(0..freqs.len());
-        let delta = [-0.03, -0.02, -0.01, 0.01, 0.02, 0.03][rng.gen_range(0..6)];
+        let delta = [-0.03, -0.02, -0.01, 0.01, 0.02, 0.03][rng.gen_range(0..6usize)];
         let old = freqs[q];
         let cand = (old + delta).clamp(5.0, 5.34);
         freqs[q] = cand;

@@ -4,7 +4,7 @@ use std::fmt;
 
 use qpd_core::{BusStrategy, DesignFlow, FrequencyStrategy};
 use qpd_profile::CouplingProfile;
-use qpd_topology::{five_frequency_plan, Architecture, BusMode, ibm};
+use qpd_topology::{five_frequency_plan, ibm, Architecture, BusMode};
 
 use crate::runner::{EvalError, EvalSettings};
 
@@ -89,11 +89,8 @@ pub fn architectures(
             let max = qpd_core::select_buses_maximal(&coords).len();
             let mut archs = Vec::new();
             for s in 0..settings.rd_bus_samples {
-                let budget = if max == 0 {
-                    0
-                } else {
-                    1 + s * max / settings.rd_bus_samples.max(1)
-                };
+                let budget =
+                    if max == 0 { 0 } else { 1 + s * max / settings.rd_bus_samples.max(1) };
                 if budget == 0 {
                     continue;
                 }
@@ -112,19 +109,15 @@ pub fn architectures(
             let coords = DesignFlow::new().place(profile)?;
             let mut out = Vec::new();
             // Option A: 2-qubit buses only.
-            let mut builder = Architecture::builder(format!(
-                "efflayout-{}q-2qbus",
-                profile.num_qubits()
-            ));
+            let mut builder =
+                Architecture::builder(format!("efflayout-{}q-2qbus", profile.num_qubits()));
             builder.qubits(coords.iter().copied());
             let plain = builder.build().map_err(qpd_core::DesignError::from)?;
             let plan = five_frequency_plan(&plain);
             out.push(plain.with_frequencies(plan).map_err(qpd_core::DesignError::from)?);
             // Option B: as many 4-qubit buses as possible.
-            let mut builder = Architecture::builder(format!(
-                "efflayout-{}q-max4q",
-                profile.num_qubits()
-            ));
+            let mut builder =
+                Architecture::builder(format!("efflayout-{}q-max4q", profile.num_qubits()));
             builder.qubits(coords.iter().copied());
             for s in qpd_core::select_buses_maximal(&coords) {
                 builder.four_qubit_bus_at(s);

@@ -34,19 +34,14 @@ fn color(config: ConfigKind) -> &'static str {
 /// axes clip them.
 pub fn svg_scatter(run: &BenchmarkRun) -> String {
     let points = &run.points;
-    let x_min_data =
-        points.iter().map(|p| p.normalized_perf).fold(f64::INFINITY, f64::min);
-    let x_max_data =
-        points.iter().map(|p| p.normalized_perf).fold(f64::NEG_INFINITY, f64::max);
+    let x_min_data = points.iter().map(|p| p.normalized_perf).fold(f64::INFINITY, f64::min);
+    let x_max_data = points.iter().map(|p| p.normalized_perf).fold(f64::NEG_INFINITY, f64::max);
     let span = (x_max_data - x_min_data).max(0.05);
     let (x_min, x_max) = (x_min_data - 0.05 * span, x_max_data + 0.05 * span);
 
     // Y (log10): floor at one decade below the smallest positive yield.
-    let min_pos = points
-        .iter()
-        .map(|p| p.yield_rate)
-        .filter(|&y| y > 0.0)
-        .fold(f64::INFINITY, f64::min);
+    let min_pos =
+        points.iter().map(|p| p.yield_rate).filter(|&y| y > 0.0).fold(f64::INFINITY, f64::min);
     let y_floor_exp = if min_pos.is_finite() { min_pos.log10().floor() - 1.0 } else { -5.0 };
     let y_top_exp = 0.0; // yield <= 1
 

@@ -182,8 +182,7 @@ pub fn run_circuit(
 
     // Normalization denominator: IBM baseline (1) = 16Q 2x8, 2-qubit
     // buses (Figure 10 normalizes performance so baseline (1) sits at 1).
-    let baseline1 =
-        qpd_topology::ibm::ibm_16q_2x8(qpd_topology::BusMode::TwoQubitOnly);
+    let baseline1 = qpd_topology::ibm::ibm_16q_2x8(qpd_topology::BusMode::TwoQubitOnly);
     let baseline_gates = route_gates(circuit, &baseline1)?;
 
     let mut points = Vec::new();
@@ -212,10 +211,7 @@ fn route_gates(circuit: &Circuit, arch: &Architecture) -> Result<usize, EvalErro
     Ok(route_gates_swaps(circuit, arch)?.0)
 }
 
-fn route_gates_swaps(
-    circuit: &Circuit,
-    arch: &Architecture,
-) -> Result<(usize, usize), EvalError> {
+fn route_gates_swaps(circuit: &Circuit, arch: &Architecture) -> Result<(usize, usize), EvalError> {
     let mapped = SabreRouter::new(arch).route(circuit)?;
     let stats = mapped.stats();
     Ok((stats.total_gates, stats.swaps))

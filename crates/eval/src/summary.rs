@@ -161,9 +161,7 @@ pub struct AggregateSummary {
 pub fn aggregate(summaries: &[BenchmarkSummary]) -> AggregateSummary {
     AggregateSummary {
         simplest_perf: geomean(summaries.iter().map(|s| s.simplest_perf)),
-        simplest_yield_gain_vs_b1: geomean(
-            summaries.iter().map(|s| s.simplest_yield_gain_vs_b1),
-        ),
+        simplest_yield_gain_vs_b1: geomean(summaries.iter().map(|s| s.simplest_yield_gain_vs_b1)),
         max_yield_gain_vs_b2: geomean(summaries.iter().map(|s| s.max_yield_gain_vs_b2)),
         max_yield_gain_vs_b4: geomean(summaries.iter().map(|s| s.max_yield_gain_vs_b4)),
         layout_yield_gain_vs_b2: geomean(summaries.iter().map(|s| s.layout_yield_gain_vs_b2)),

@@ -35,10 +35,9 @@ pub enum MappingError {
 impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MappingError::CircuitTooWide { logical, physical } => write!(
-                f,
-                "circuit needs {logical} qubits but the architecture has only {physical}"
-            ),
+            MappingError::CircuitTooWide { logical, physical } => {
+                write!(f, "circuit needs {logical} qubits but the architecture has only {physical}")
+            }
             MappingError::DisconnectedArchitecture => {
                 write!(f, "architecture coupling graph is disconnected")
             }

@@ -81,11 +81,8 @@ impl<'a> GreedyRouter<'a> {
                     swaps += 1;
                 }
             }
-            let mapped: Vec<Qubit> = inst
-                .qubits()
-                .iter()
-                .map(|q| Qubit::from(layout.phys_of_log(q.index())))
-                .collect();
+            let mapped: Vec<Qubit> =
+                inst.qubits().iter().map(|q| Qubit::from(layout.phys_of_log(q.index()))).collect();
             physical.push(inst.gate().clone(), &mapped).expect("mapped instruction is valid");
         }
 

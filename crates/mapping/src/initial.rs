@@ -53,9 +53,7 @@ impl InitialMapping {
                 let dist = arch.distance_matrix();
                 let center = arch.center_qubit();
                 let mut physical: Vec<usize> = (0..n).collect();
-                physical.sort_by_key(|&p| {
-                    (std::cmp::Reverse(arch.degree(p)), dist[center][p], p)
-                });
+                physical.sort_by_key(|&p| (std::cmp::Reverse(arch.degree(p)), dist[center][p], p));
 
                 let mut log_to_phys = vec![0u32; n];
                 for (l, p) in logical.into_iter().zip(physical) {

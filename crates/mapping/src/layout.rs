@@ -18,10 +18,7 @@ pub struct Layout {
 impl Layout {
     /// The identity layout on `n` qubits.
     pub fn trivial(n: usize) -> Self {
-        Layout {
-            log_to_phys: (0..n as u32).collect(),
-            phys_to_log: (0..n as u32).collect(),
-        }
+        Layout { log_to_phys: (0..n as u32).collect(), phys_to_log: (0..n as u32).collect() }
     }
 
     /// Builds a layout from a logical-to-physical permutation.

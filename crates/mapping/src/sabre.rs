@@ -501,8 +501,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).barrier_all().cx(0, 1).measure_all();
         let mapped = SabreRouter::new(&arch).route(&c).unwrap();
-        let names: Vec<&str> =
-            mapped.physical_circuit().iter().map(|i| i.gate().name()).collect();
+        let names: Vec<&str> = mapped.physical_circuit().iter().map(|i| i.gate().name()).collect();
         assert!(names.contains(&"barrier"));
         assert_eq!(names.iter().filter(|&&n| n == "measure").count(), 3);
     }
@@ -525,8 +524,7 @@ mod tests {
         verify_mapped(&c, &refined, &arch).unwrap();
         verify_mapped(&c, &unrefined, &arch).unwrap();
         assert!(
-            (refined.stats().total_gates as f64)
-                <= 1.10 * unrefined.stats().total_gates as f64
+            (refined.stats().total_gates as f64) <= 1.10 * unrefined.stats().total_gates as f64
         );
     }
 

@@ -27,9 +27,7 @@ pub fn verify_mapped(
         return Err("original circuit contains swap gates; decompose before verifying".into());
     }
 
-    let coupled = |a: usize, b: usize| -> bool {
-        arch.neighbors(a).contains(&b)
-    };
+    let coupled = |a: usize, b: usize| -> bool { arch.neighbors(a).contains(&b) };
 
     // Replay the mapped circuit, un-mapping through the evolving layout.
     let mut layout = mapped.initial_layout().clone();

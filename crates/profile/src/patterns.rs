@@ -80,8 +80,7 @@ pub fn detect_shape(profile: &CouplingProfile) -> PatternShape {
     // Chain? All active degrees (in the unweighted graph) <= 2, exactly two
     // endpoints of graph-degree 1, connected, and edge count k - 1.
     if profile.is_connected() && edges.len() == k.saturating_sub(1) {
-        let graph_degree =
-            |q: usize| -> usize { profile.neighbors(q).len() };
+        let graph_degree = |q: usize| -> usize { profile.neighbors(q).len() };
         let endpoints: Vec<usize> =
             active.iter().copied().filter(|&q| graph_degree(q) == 1).collect();
         let all_path = active.iter().all(|&q| graph_degree(q) <= 2);

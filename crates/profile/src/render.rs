@@ -9,12 +9,8 @@ use crate::coupling::CouplingProfile;
 /// textual equivalent of the heat maps in paper Figure 5.
 pub fn matrix_table(profile: &CouplingProfile) -> String {
     let n = profile.num_qubits();
-    let width = profile
-        .max_strength()
-        .to_string()
-        .len()
-        .max(n.saturating_sub(1).to_string().len())
-        .max(1);
+    let width =
+        profile.max_strength().to_string().len().max(n.saturating_sub(1).to_string().len()).max(1);
     let mut out = String::new();
     let _ = write!(out, "{:>w$} ", "", w = width + 1);
     for j in 0..n {

@@ -69,9 +69,7 @@ impl TemporalProfile {
         let sets: Vec<std::collections::BTreeSet<(u32, u32)>> = self
             .windows
             .iter()
-            .map(|p| {
-                p.edges().iter().map(|e| (e.a.raw(), e.b.raw())).collect()
-            })
+            .map(|p| p.edges().iter().map(|e| (e.a.raw(), e.b.raw())).collect())
             .collect();
         let mut acc = 0.0;
         let mut transitions = 0;

@@ -493,10 +493,7 @@ mod tests {
     fn prohibited_condition_enforced() {
         let mut b = grid(2, 3);
         b.four_qubit_bus(0, 0).four_qubit_bus(0, 1);
-        assert!(matches!(
-            b.build().unwrap_err(),
-            TopologyError::AdjacentFourQubitBuses { .. }
-        ));
+        assert!(matches!(b.build().unwrap_err(), TopologyError::AdjacentFourQubitBuses { .. }));
         // Diagonal squares are fine.
         let mut b = grid(3, 3);
         b.four_qubit_bus(0, 0).four_qubit_bus(1, 1);
@@ -560,8 +557,7 @@ mod tests {
         let arch = grid(1, 2).build().unwrap();
         let err = arch.clone().with_frequencies(FrequencyPlan::new(vec![5.1])).unwrap_err();
         assert!(matches!(err, TopologyError::FrequencyPlanSize { provided: 1, qubits: 2 }));
-        let err =
-            arch.clone().with_frequencies(FrequencyPlan::new(vec![5.1, 4.0])).unwrap_err();
+        let err = arch.clone().with_frequencies(FrequencyPlan::new(vec![5.1, 4.0])).unwrap_err();
         assert!(matches!(err, TopologyError::FrequencyOutOfBand { qubit: 1, .. }));
         let ok = arch.with_frequencies(FrequencyPlan::new(vec![5.1, 5.2])).unwrap();
         assert_eq!(ok.frequencies().unwrap().ghz(0), 5.1);

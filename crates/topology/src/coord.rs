@@ -8,7 +8,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// Coordinates are signed so the placement algorithm (paper §4.1) can grow
 /// a layout in every direction from its seed at `(0, 0)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Coord {
     /// Row (y) coordinate.
     pub row: i32,

@@ -93,10 +93,7 @@ mod tests {
 
     #[test]
     fn messages_mention_key_facts() {
-        let e = TopologyError::AdjacentFourQubitBuses {
-            a: Coord::new(0, 0),
-            b: Coord::new(0, 1),
-        };
+        let e = TopologyError::AdjacentFourQubitBuses { a: Coord::new(0, 0), b: Coord::new(0, 1) };
         assert!(e.to_string().contains("prohibited"));
         let e = TopologyError::FrequencyOutOfBand { qubit: 3, ghz: 4.9 };
         assert!(e.to_string().contains("4.9"));

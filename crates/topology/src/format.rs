@@ -109,14 +109,10 @@ pub fn from_text(text: &str) -> Result<Architecture, ParseChipError> {
             }
             "qubit" => {
                 if rest.len() != 3 && rest.len() != 4 {
-                    return Err(ParseChipError::new(
-                        lineno,
-                        "usage: qubit <id> <row> <col> [ghz]",
-                    ));
+                    return Err(ParseChipError::new(lineno, "usage: qubit <id> <row> <col> [ghz]"));
                 }
-                let id: usize = rest[0]
-                    .parse()
-                    .map_err(|_| ParseChipError::new(lineno, "bad qubit id"))?;
+                let id: usize =
+                    rest[0].parse().map_err(|_| ParseChipError::new(lineno, "bad qubit id"))?;
                 let row: i32 =
                     rest[1].parse().map_err(|_| ParseChipError::new(lineno, "bad row"))?;
                 let col: i32 =
@@ -140,12 +136,7 @@ pub fn from_text(text: &str) -> Result<Architecture, ParseChipError> {
                     rest[1].parse().map_err(|_| ParseChipError::new(lineno, "bad col"))?;
                 buses.push((row, col));
             }
-            other => {
-                return Err(ParseChipError::new(
-                    lineno,
-                    format!("unknown keyword `{other}`"),
-                ))
-            }
+            other => return Err(ParseChipError::new(lineno, format!("unknown keyword `{other}`"))),
         }
     }
 
@@ -163,10 +154,7 @@ pub fn from_text(text: &str) -> Result<Architecture, ParseChipError> {
     }
     let with_freq = qubits.iter().filter(|q| q.3.is_some()).count();
     if with_freq != 0 && with_freq != qubits.len() {
-        return Err(ParseChipError::new(
-            0,
-            "either every qubit or no qubit may carry a frequency",
-        ));
+        return Err(ParseChipError::new(0, "either every qubit or no qubit may carry a frequency"));
     }
 
     let mut builder = Architecture::builder(name);
@@ -178,9 +166,7 @@ pub fn from_text(text: &str) -> Result<Architecture, ParseChipError> {
     }
     let arch = builder.build()?;
     if with_freq > 0 {
-        let plan = FrequencyPlan::new(
-            qubits.iter().map(|q| q.3.expect("checked above")).collect(),
-        );
+        let plan = FrequencyPlan::new(qubits.iter().map(|q| q.3.expect("checked above")).collect());
         Ok(arch.with_frequencies(plan)?)
     } else {
         Ok(arch)

@@ -124,12 +124,7 @@ mod tests {
         }
         let arch = b.build().unwrap();
         let plan = five_frequency_plan(&arch);
-        let expected_indices = [
-            [0, 1, 2, 3, 4],
-            [2, 3, 4, 0, 1],
-            [4, 0, 1, 2, 3],
-            [1, 2, 3, 4, 0],
-        ];
+        let expected_indices = [[0, 1, 2, 3, 4], [2, 3, 4, 0, 1], [4, 0, 1, 2, 3], [1, 2, 3, 4, 0]];
         for (q, &f) in plan.as_slice().iter().enumerate() {
             let (r, c) = (q / 5, q % 5);
             assert_eq!(f, FIVE_FREQUENCIES_GHZ[expected_indices[r][c]], "qubit {q}");

@@ -20,8 +20,7 @@ pub fn ascii(arch: &Architecture) -> String {
     let min_col = arch.coords().iter().map(|c| c.col).min().expect("non-empty");
     let max_col = arch.coords().iter().map(|c| c.col).max().expect("non-empty");
 
-    let squares: BTreeSet<Coord> =
-        arch.four_qubit_buses().iter().map(|s| s.origin).collect();
+    let squares: BTreeSet<Coord> = arch.four_qubit_buses().iter().map(|s| s.origin).collect();
 
     let glyph = |q: usize| -> char {
         match arch.frequencies() {
@@ -38,7 +37,8 @@ pub fn ascii(arch: &Architecture) -> String {
     };
 
     let mut out = String::new();
-    let _ = writeln!(out, "{} ({} qubits, {} buses)", arch.name(), arch.num_qubits(), arch.bus_count());
+    let _ =
+        writeln!(out, "{} ({} qubits, {} buses)", arch.name(), arch.num_qubits(), arch.bus_count());
     for row in min_row..=max_row {
         // Qubit row.
         for col in min_col..=max_col {
@@ -51,10 +51,8 @@ pub fn ascii(arch: &Architecture) -> String {
             }
             if col < max_col {
                 let right = Coord::new(row, col + 1);
-                let connected = matches!(
-                    (arch.qubit_at(here), arch.qubit_at(right)),
-                    (Some(_), Some(_))
-                );
+                let connected =
+                    matches!((arch.qubit_at(here), arch.qubit_at(right)), (Some(_), Some(_)));
                 out.push_str(if connected { "--" } else { "  " });
             }
         }

@@ -213,11 +213,8 @@ mod tests {
     }
 
     fn conditions(arch: &Architecture, freqs: &[f64]) -> Vec<u8> {
-        let mut c: Vec<u8> = CollisionChecker::new(arch)
-            .collisions(freqs)
-            .iter()
-            .map(|e| e.condition)
-            .collect();
+        let mut c: Vec<u8> =
+            CollisionChecker::new(arch).collisions(freqs).iter().map(|e| e.condition).collect();
         c.sort_unstable();
         c.dedup();
         c

@@ -69,11 +69,8 @@ impl LocalYieldEvaluator {
         assert!(assigned[q].is_none(), "qubit {q} already assigned");
 
         // Local region: qubits within distance 2 that are assigned, plus q.
-        let region: Vec<usize> = arch
-            .ball(q, 2)
-            .into_iter()
-            .filter(|&r| r == q || assigned[r].is_some())
-            .collect();
+        let region: Vec<usize> =
+            arch.ball(q, 2).into_iter().filter(|&r| r == q || assigned[r].is_some()).collect();
         let index_of = |qubit: usize| region.iter().position(|&r| r == qubit);
 
         // Collision constraints fully inside the (assigned) region, split
@@ -111,8 +108,9 @@ impl LocalYieldEvaluator {
         }
 
         // Pre-draw common noise: trials x |region|.
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(self.seed ^ (0xd134_2543_de82_ef95u64.wrapping_mul(q as u64 + 1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (0xd134_2543_de82_ef95u64.wrapping_mul(q as u64 + 1)),
+        );
         let m = region.len();
         let mut noise = vec![0.0f64; self.trials * m];
         self.model.sample_into(&mut rng, &mut noise);
@@ -204,10 +202,7 @@ mod tests {
         // A candidate equal to its neighbor collides (condition 1) whenever
         // the sampled detuning |N(0, sigma*sqrt(2))| < 17 MHz (~31% of
         // trials at sigma = 30 MHz); 100 MHz detuning is nearly clean.
-        assert!(
-            (counts[1] as f64) > (counts[0] as f64) * 1.25,
-            "counts {counts:?}"
-        );
+        assert!((counts[1] as f64) > (counts[0] as f64) * 1.25, "counts {counts:?}");
     }
 
     #[test]

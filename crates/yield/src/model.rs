@@ -87,10 +87,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let model = FabricationModel::default();
-        let a: Vec<f64> =
-            (0..5).map(|_| model.sample(&mut ChaCha8Rng::seed_from_u64(3))).collect();
-        let b: Vec<f64> =
-            (0..5).map(|_| model.sample(&mut ChaCha8Rng::seed_from_u64(3))).collect();
+        let a: Vec<f64> = (0..5).map(|_| model.sample(&mut ChaCha8Rng::seed_from_u64(3))).collect();
+        let b: Vec<f64> = (0..5).map(|_| model.sample(&mut ChaCha8Rng::seed_from_u64(3))).collect();
         assert_eq!(a, b);
     }
 

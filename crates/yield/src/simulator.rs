@@ -214,10 +214,7 @@ impl YieldSimulator {
     /// # Errors
     ///
     /// Returns [`YieldError::MissingFrequencyPlan`] if none is attached.
-    pub fn condition_breakdown(
-        &self,
-        arch: &Architecture,
-    ) -> Result<([u64; 7], u64), YieldError> {
+    pub fn condition_breakdown(&self, arch: &Architecture) -> Result<([u64; 7], u64), YieldError> {
         let plan = arch.frequencies().ok_or(YieldError::MissingFrequencyPlan)?;
         let designed = plan.as_slice();
         let checker = CollisionChecker::with_params(arch, self.params);
@@ -277,11 +274,7 @@ impl YieldSimulator {
                 handles.into_iter().map(|h| h.join().expect("yield worker panicked")).sum()
             })
         } else {
-            chunk_bounds
-                .iter()
-                .enumerate()
-                .map(|(i, &(lo, hi))| run_chunk(i as u64, lo, hi))
-                .sum()
+            chunk_bounds.iter().enumerate().map(|(i, &(lo, hi))| run_chunk(i as u64, lo, hi)).sum()
         }
     }
 }
@@ -343,10 +336,7 @@ mod tests {
         let sim = YieldSimulator::new().with_trials(6_000).with_seed(5);
         let y_plain = sim.estimate(&plain).unwrap().rate();
         let y_dense = sim.estimate(&dense).unwrap().rate();
-        assert!(
-            y_plain > y_dense,
-            "expected denser chip to yield less: {y_plain} vs {y_dense}"
-        );
+        assert!(y_plain > y_dense, "expected denser chip to yield less: {y_plain} vs {y_dense}");
     }
 
     #[test]

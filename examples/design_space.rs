@@ -39,10 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Frequency allocation ablation: the paper's single pass vs the
     //    refined default on the aux-free topology.
     let base = &chips[0].1;
-    let single = FrequencyAllocator::new()
-        .with_trials(1_000)
-        .with_refinement_sweeps(0)
-        .allocate(base);
+    let single =
+        FrequencyAllocator::new().with_trials(1_000).with_refinement_sweeps(0).allocate(base);
     let refined = base.frequencies().expect("designed chip has frequencies");
     println!(
         "\nfrequency allocation on `{}`: single-pass yield {:.3e}, refined yield {:.3e}",

@@ -24,8 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 1: profile (paper §3) — which qubit pairs interact, how often?
     let profile = CouplingProfile::of(&program);
-    println!("program: {} qubits, {} two-qubit gates", profile.num_qubits(),
-        profile.total_two_qubit_gates());
+    println!(
+        "program: {} qubits, {} two-qubit gates",
+        profile.num_qubits(),
+        profile.total_two_qubit_gates()
+    );
     println!("pattern: {:?}", PatternReport::of(&profile).shape);
 
     // Step 2: the design flow (paper §4) — layout, buses, frequencies.

@@ -15,8 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = qpd::benchmarks::build("UCCSD_ansatz_8")?;
     let profile = CouplingProfile::of(&program);
 
-    println!("UCCSD_ansatz_8: {} qubits, {} two-qubit gates",
-        profile.num_qubits(), profile.total_two_qubit_gates());
+    println!(
+        "UCCSD_ansatz_8: {} qubits, {} two-qubit gates",
+        profile.num_qubits(),
+        profile.total_two_qubit_gates()
+    );
     match PatternReport::of(&profile).shape {
         PatternShape::Chain(order) => println!("coupling graph is a chain: {order:?}"),
         other => println!("coupling shape: {other:?}"),
@@ -45,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let front = pareto_front(&points);
-    println!("\nPareto-optimal designs: {:?}", front.iter().map(|&i| series[i].name()).collect::<Vec<_>>());
+    println!(
+        "\nPareto-optimal designs: {:?}",
+        front.iter().map(|&i| series[i].name()).collect::<Vec<_>>()
+    );
 
     // Show the most balanced design.
     if let Some(&mid) = front.get(front.len() / 2) {

@@ -1,0 +1,217 @@
+//! Offline shim for the subset of `criterion` this workspace's benches
+//! use: `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::{iter, iter_batched}`,
+//! [`BatchSize`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short
+//! warm-up, then times `sample_size` batches and reports the mean and
+//! min wall-clock time per iteration. That keeps `cargo bench` useful
+//! for coarse comparisons while compiling (and running) with no
+//! external dependencies.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How a batched setup's output size relates to the measurement batch.
+/// Only a hint in real criterion; ignored here beyond API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: large batches.
+    SmallInput,
+    /// Large inputs: batch per iteration.
+    LargeInput,
+    /// One measured call per setup.
+    PerIteration,
+}
+
+/// Times closures; handed to `bench_function` callbacks.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `iterations` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.min(self.criterion.max_samples);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        // One warm-up sample, then the timed samples.
+        for i in 0..=samples {
+            let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            if i > 0 {
+                per_iter.push(b.elapsed.as_secs_f64());
+            }
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        println!("{id:<60} mean {:>12} min {:>12}", format_time(mean), format_time(min));
+        self
+    }
+
+    /// Ends the group (report flushing in real criterion; a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // A low cap keeps `cargo bench` runs short; raise with
+        // QPD_BENCH_SAMPLES when real measurements are wanted.
+        let max_samples = std::env::var("QPD_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            // 0 would collect no samples and report NaN; treat it as 1.
+            .map(|n: usize| n.max(1))
+            .unwrap_or(3);
+        Criterion { max_samples }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, criterion: self }
+    }
+
+    /// Registers and runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion { max_samples: 2 };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        // 1 warm-up + 2 samples, one iteration each.
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion { max_samples: 3 };
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(3);
+        let mut setups = 0u32;
+        group.bench_function("count", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(2.5e-9).ends_with("ns"));
+        assert!(format_time(2.5e-6).ends_with("µs"));
+        assert!(format_time(2.5e-3).ends_with("ms"));
+        assert!(format_time(2.5).ends_with('s'));
+    }
+}

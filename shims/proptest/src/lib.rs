@@ -1,0 +1,378 @@
+//! Offline shim for the subset of `proptest` this workspace's property
+//! tests use.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the case index; cases
+//!   are fully deterministic (fixed RNG seed), so a failure reproduces
+//!   by re-running the test.
+//! - **Strategies are samplers.** [`strategy::Strategy`] is just
+//!   "produce a value from an RNG", with `prop_map` / `prop_flat_map`
+//!   combinators, range and tuple strategies, and
+//!   [`collection::vec`].
+//! - The [`proptest!`] macro accepts the same grammar the workspace
+//!   writes: an optional `#![proptest_config(...)]` header followed by
+//!   `#[test]` functions whose arguments are `name in strategy`
+//!   bindings.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// Produces values of an associated type from the test RNG.
+    pub trait Strategy {
+        /// The type of produced values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms produced values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds produced values into a function returning a new
+        /// strategy, then samples that.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    impl Strategy for core::ops::Range<u128> {
+        type Value = u128;
+
+        fn sample(&self, rng: &mut TestRng) -> u128 {
+            let span = self.end - self.start;
+            assert!(span > 0, "cannot sample from empty range");
+            if span <= u64::MAX as u128 {
+                self.start + rng.gen_range(0..span as u64) as u128
+            } else {
+                // Wide spans: two full words; the modulo bias is
+                // acceptable for test generation purposes.
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                self.start + wide % span
+            }
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// A strategy that always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_inclusive: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner.
+
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Per-run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Overrides the number of cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The RNG driving strategies: ChaCha8 with a fixed seed, so every
+    /// run of a property executes the identical case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// A generator with the crate's fixed seed.
+        pub fn deterministic() -> Self {
+            TestRng { inner: ChaCha8Rng::seed_from_u64(0x5eed_cafe_f00d_0001) }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs, one `use` away.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property; panics (failing the case)
+/// when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: an optional `#![proptest_config(...)]`
+/// header, then `#[test]` functions with `name in strategy` arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            $(let $arg = $strat;)+
+            for case in 0..config.cases {
+                let _ = case;
+                $(let $arg = $crate::strategy::Strategy::sample(&$arg, &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges produce in-range values; tuples and vec compose.
+        #[test]
+        fn ranges_and_collections(x in 3usize..10, pair in (0u32..4, -2i64..3)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-2..3).contains(&pair.1));
+        }
+
+        #[test]
+        fn flat_map_and_vec(v in (1usize..6).prop_flat_map(|n| collection::vec(0usize..n, 1..=n))) {
+            prop_assert!(!v.is_empty());
+            let max = *v.iter().max().unwrap();
+            prop_assert!(max < 5);
+        }
+
+        #[test]
+        fn map_transforms(s in (0u64..100).prop_map(|x| x.to_string())) {
+            prop_assert!(s.parse::<u64>().unwrap() < 100);
+        }
+    }
+
+    #[test]
+    fn config_carries_cases() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1_000_000, 0.0f64..1.0);
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}

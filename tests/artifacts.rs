@@ -65,15 +65,7 @@ fn analytic_screen_upper_bounds_designed_chips() {
         0.030,
         &qpd::yield_sim::CollisionParams::default(),
     );
-    let mc = YieldSimulator::new()
-        .with_trials(20_000)
-        .with_seed(2)
-        .estimate(&chip)
-        .unwrap()
-        .rate();
-    assert!(
-        analytic >= mc - 0.02,
-        "pairwise product {analytic} must upper-bound Monte Carlo {mc}"
-    );
+    let mc = YieldSimulator::new().with_trials(20_000).with_seed(2).estimate(&chip).unwrap().rate();
+    assert!(analytic >= mc - 0.02, "pairwise product {analytic} must upper-bound Monte Carlo {mc}");
     assert!(analytic > 0.0);
 }

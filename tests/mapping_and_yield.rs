@@ -18,8 +18,7 @@ fn all_benchmarks_route_on_their_designed_chips() {
             .design(&profile)
             .unwrap();
         let mapped = SabreRouter::new(&chip).route(&circuit).unwrap();
-        verify_mapped(&circuit, &mapped, &chip)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        verify_mapped(&circuit, &mapped, &chip).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
     }
 }
 
@@ -30,8 +29,7 @@ fn all_benchmarks_route_on_the_20q_baseline() {
     for spec in &qpd::benchmarks::ALL {
         let circuit = qpd::benchmarks::build(spec.name).unwrap();
         let mapped = router.route(&circuit).unwrap();
-        verify_mapped(&circuit, &mapped, &chip)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        verify_mapped(&circuit, &mapped, &chip).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
     }
 }
 
@@ -53,11 +51,9 @@ fn adding_buses_to_a_design_never_helps_yield() {
     // cannot make fabrication easier (it adds collision constraints).
     let circuit = qpd::benchmarks::build("misex1_241").unwrap();
     let profile = CouplingProfile::of(&circuit);
-    let series =
-        DesignFlow::new().with_allocation_trials(100).design_series(&profile).unwrap();
+    let series = DesignFlow::new().with_allocation_trials(100).design_series(&profile).unwrap();
     let sim = YieldSimulator::new().with_trials(4_000).with_seed(2);
-    let rates: Vec<f64> =
-        series.iter().map(|a| sim.estimate(a).unwrap().rate()).collect();
+    let rates: Vec<f64> = series.iter().map(|a| sim.estimate(a).unwrap().rate()).collect();
     for pair in rates.windows(2) {
         // Allow a small Monte Carlo wiggle.
         assert!(pair[1] <= pair[0] + 0.02, "rates {rates:?}");
