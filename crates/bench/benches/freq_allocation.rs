@@ -43,6 +43,18 @@ fn bench_freq_allocation(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The retained pre-overhaul evaluator (naive serial path, unpaired
+    // noise) versus the compiled-regions default — the same comparison
+    // `bench_snapshot` records in BENCH_2.json.
+    let mut group = c.benchmark_group("freq_allocation_path");
+    group.sample_size(10);
+    let arch = designed_topology("rd84_142");
+    let compiled = FrequencyAllocator::new().with_trials(1_000);
+    group.bench_function("rd84_142/compiled", |b| b.iter(|| compiled.allocate(black_box(&arch))));
+    let reference = FrequencyAllocator::new().with_trials(1_000).with_reference_path();
+    group.bench_function("rd84_142/reference", |b| b.iter(|| reference.allocate(black_box(&arch))));
+    group.finish();
 }
 
 criterion_group!(benches, bench_freq_allocation);

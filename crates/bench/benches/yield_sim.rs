@@ -15,6 +15,10 @@ fn bench_yield(c: &mut Criterion) {
         group.bench_function(format!("mc10k/{}", arch.name()), |b| {
             b.iter(|| sim.estimate(black_box(&arch)).expect("plan attached"))
         });
+        let serial = sim.single_threaded();
+        group.bench_function(format!("mc10k-serial/{}", arch.name()), |b| {
+            b.iter(|| serial.estimate(black_box(&arch)).expect("plan attached"))
+        });
         let checker = CollisionChecker::new(&arch);
         let freqs: Vec<f64> = arch.frequencies().expect("plan attached").as_slice().to_vec();
         group.bench_function(format!("check/{}", arch.name()), |b| {

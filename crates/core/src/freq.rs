@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use qpd_topology::{Architecture, FrequencyPlan, ALLOWED_BAND_GHZ};
-use qpd_yield::{CollisionParams, FabricationModel, LocalYieldEvaluator};
+use qpd_yield::{CollisionParams, CompiledRegions, FabricationModel, LocalYieldEvaluator};
 
 /// Center-out breadth-first frequency allocator.
 ///
@@ -25,6 +25,7 @@ pub struct FrequencyAllocator {
     params: CollisionParams,
     seed: u64,
     refinement_sweeps: usize,
+    reference_path: bool,
 }
 
 impl Default for FrequencyAllocator {
@@ -48,7 +49,20 @@ impl FrequencyAllocator {
             params: CollisionParams::default(),
             seed: 0,
             refinement_sweeps: 8,
+            reference_path: false,
         }
+    }
+
+    /// Switches candidate evaluation to the retained pre-overhaul
+    /// reference path: the naive serial evaluator
+    /// ([`LocalYieldEvaluator::evaluate_candidates_reference`]) fed by
+    /// the historical single-draw noise stream. `bench_snapshot` uses
+    /// this to anchor the performance baseline; the emitted plan is *not*
+    /// bit-comparable to the default path because the noise stream
+    /// differs.
+    pub fn with_reference_path(mut self) -> Self {
+        self.reference_path = true;
+        self
     }
 
     /// Sets the number of refinement sweeps after the center-out pass.
@@ -110,11 +124,26 @@ impl FrequencyAllocator {
     }
 
     /// Allocates a frequency for every qubit of `arch`.
+    ///
+    /// The local regions are compiled once per call
+    /// ([`CompiledRegions`]) and shared by every decision of the BFS
+    /// pass and all refinement sweeps; candidate evaluation fans out
+    /// over the `qpd-par` worker pool. The result is deterministic in
+    /// the seed and independent of the thread count.
     pub fn allocate(&self, arch: &Architecture) -> FrequencyPlan {
         let n = arch.num_qubits();
         let (lo, hi) = ALLOWED_BAND_GHZ;
         let mid = (lo + hi) / 2.0;
-        let evaluator = LocalYieldEvaluator::new(self.trials, self.model, self.params, self.seed);
+        let regions = CompiledRegions::new(arch);
+        let evaluate =
+            |evaluator: &LocalYieldEvaluator, assigned: &[Option<f64>], q: usize| -> Vec<u64> {
+                if self.reference_path {
+                    evaluator.evaluate_candidates_reference(arch, assigned, q, &self.candidates)
+                } else {
+                    evaluator.evaluate_candidates_compiled(&regions, assigned, q, &self.candidates)
+                }
+            };
+        let evaluator = self.evaluator(self.seed);
         let mut assigned: Vec<Option<f64>> = vec![None; n];
 
         // Seed the BFS at the central qubit with the band midpoint, per
@@ -140,23 +169,18 @@ impl FrequencyAllocator {
         order.extend((0..n).filter(|&q| !enqueued[q]));
 
         for &q in order.iter().skip(1) {
-            let counts = evaluator.evaluate_candidates(arch, &assigned, q, &self.candidates);
+            let counts = evaluate(&evaluator, &assigned, q);
             assigned[q] = Some(self.candidates[self.argmax(&counts)]);
         }
 
         // Refinement sweeps: re-optimize each qubit with full context.
         for sweep in 0..self.refinement_sweeps {
-            let sweep_evaluator = LocalYieldEvaluator::new(
-                self.trials,
-                self.model,
-                self.params,
-                self.seed ^ (0xa076_1d64_78bd_642fu64.wrapping_mul(sweep as u64 + 1)),
-            );
+            let sweep_evaluator = self
+                .evaluator(self.seed ^ (0xa076_1d64_78bd_642fu64.wrapping_mul(sweep as u64 + 1)));
             let mut changed = false;
             for &q in &order {
                 let current = assigned[q].take().expect("assigned in first pass");
-                let counts =
-                    sweep_evaluator.evaluate_candidates(arch, &assigned, q, &self.candidates);
+                let counts = evaluate(&sweep_evaluator, &assigned, q);
                 let best = self.candidates[self.argmax(&counts)];
                 if (best - current).abs() > 1e-12 {
                     changed = true;
@@ -169,6 +193,15 @@ impl FrequencyAllocator {
         }
 
         FrequencyPlan::new(assigned.into_iter().map(|f| f.expect("all assigned")).collect())
+    }
+
+    fn evaluator(&self, seed: u64) -> LocalYieldEvaluator {
+        let evaluator = LocalYieldEvaluator::new(self.trials, self.model, self.params, seed);
+        if self.reference_path {
+            evaluator.with_legacy_noise()
+        } else {
+            evaluator
+        }
     }
 
     fn argmax(&self, counts: &[u64]) -> usize {
@@ -265,6 +298,30 @@ mod tests {
         let a = fast_allocator().allocate(&arch);
         let b = fast_allocator().allocate(&arch);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn allocation_is_thread_count_invariant() {
+        let arch = line(6);
+        let allocator = fast_allocator();
+        let serial = qpd_par::with_threads(1, || allocator.allocate(&arch));
+        for threads in [2, 8] {
+            let pooled = qpd_par::with_threads(threads, || allocator.allocate(&arch));
+            assert_eq!(serial, pooled, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn reference_path_allocates_a_valid_plan() {
+        // The retained pre-overhaul path still produces in-band,
+        // non-degenerate plans (it is the bench_snapshot baseline).
+        let arch = line(5);
+        let plan = fast_allocator().with_reference_path().allocate(&arch);
+        assert_eq!(plan.len(), 5);
+        assert!(plan.check_band().is_ok());
+        for &(a, b) in arch.coupling_edges() {
+            assert!((plan.ghz(a) - plan.ghz(b)).abs() > 0.017);
+        }
     }
 
     #[test]

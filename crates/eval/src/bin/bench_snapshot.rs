@@ -1,0 +1,129 @@
+//! Perf snapshot: times the repo's hot kernels and writes a
+//! machine-readable baseline (`BENCH_2.json`) seeding the perf
+//! trajectory that future PRs extend.
+//!
+//! Kernels:
+//!
+//! - `freq_alloc/reference` — frequency allocation through the retained
+//!   pre-overhaul path (naive serial evaluator, single-draw Box–Muller);
+//! - `freq_alloc/compiled` — the same allocation on the compiled-regions
+//!   SoA path with pooled candidate evaluation;
+//! - `yield_sim/serial` and `yield_sim/pooled` — the 10k-trial Monte
+//!   Carlo yield simulator, off and on the worker pool;
+//! - `end_to_end/sym6_145` — one full benchmark evaluation (design flow,
+//!   routing, yield) at `EvalSettings::quick()`.
+//!
+//! Environment: `QPD_BENCH_SAMPLES` caps timed samples per kernel (shim
+//! default 3), `QPD_BENCH_QUICK=1` shrinks trial counts for CI smoke
+//! runs, `QPD_THREADS` sizes the worker pool.
+//!
+//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_2.json`).
+
+use std::fmt::Write as _;
+
+use criterion::Criterion;
+use qpd_core::{place_qubits, FrequencyAllocator};
+use qpd_eval::runner::run_benchmark;
+use qpd_eval::EvalSettings;
+use qpd_profile::CouplingProfile;
+use qpd_topology::{ibm, Architecture, BusMode};
+use qpd_yield::YieldSimulator;
+
+fn designed_topology(name: &str) -> Architecture {
+    let circuit = qpd_benchmarks::build(name).expect("benchmark");
+    let profile = CouplingProfile::of(&circuit);
+    let coords = place_qubits(&profile);
+    let mut b = Architecture::builder(name);
+    b.qubits(coords);
+    b.build().expect("valid layout")
+}
+
+fn quick() -> bool {
+    std::env::var("QPD_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_2.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (usage: bench_snapshot [--out PATH])"),
+        }
+    }
+
+    let quick = quick();
+    let alloc_trials: usize = if quick { 300 } else { 2_000 };
+    let yield_trials: u64 = if quick { 4_000 } else { 10_000 };
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("snapshot");
+    group.sample_size(10);
+
+    // Frequency-allocation kernel: the paper's Algorithm 3 on a chip
+    // designed for rd84_142 (the largest of the twelve workloads).
+    let arch = designed_topology(if quick { "sym6_145" } else { "rd84_142" });
+    let reference = FrequencyAllocator::new().with_trials(alloc_trials).with_reference_path();
+    group.bench_function("freq_alloc/reference", |b| b.iter(|| reference.allocate(&arch)));
+    let compiled = FrequencyAllocator::new().with_trials(alloc_trials);
+    group.bench_function("freq_alloc/compiled", |b| b.iter(|| compiled.allocate(&arch)));
+
+    // Yield-simulation kernel: §5.1's Monte Carlo on the densest IBM
+    // baseline.
+    let chip = ibm::ibm_16q_2x8(BusMode::MaxFourQubit);
+    let sim = YieldSimulator::new().with_trials(yield_trials);
+    let serial = sim.single_threaded();
+    group.bench_function("yield_sim/serial", |b| {
+        b.iter(|| serial.estimate(&chip).expect("plan attached"))
+    });
+    group.bench_function("yield_sim/pooled", |b| {
+        b.iter(|| sim.estimate(&chip).expect("plan attached"))
+    });
+
+    // End-to-end: one full Figure-10 style evaluation at quick settings
+    // (kept quick in both modes so the trajectory stays comparable).
+    group.bench_function("end_to_end/sym6_145", |b| {
+        b.iter(|| run_benchmark("sym6_145", &EvalSettings::quick()).expect("run"))
+    });
+    group.finish();
+
+    let results = criterion.take_results();
+    let median_of = |id: &str| -> f64 {
+        results.iter().find(|r| r.id.ends_with(id)).map(|r| r.median_s).expect("kernel timed")
+    };
+    let alloc_speedup = median_of("freq_alloc/reference") / median_of("freq_alloc/compiled");
+    let yield_speedup = median_of("yield_sim/serial") / median_of("yield_sim/pooled");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"qpd-bench-snapshot/1\",\n");
+    json.push_str("  \"pr\": 2,\n");
+    let threads = qpd_par::threads();
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    if threads == 1 {
+        // The pool contributes nothing on one worker: these numbers
+        // record the algorithmic speedups only.
+        json.push_str("  \"note\": \"single-worker host: pool fan-out unmeasured\",\n");
+    }
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"alloc_trials\": {alloc_trials},");
+    let _ = writeln!(json, "  \"yield_trials\": {yield_trials},");
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{comma}", r.json_line());
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedups\": {\n");
+    let _ = writeln!(json, "    \"freq_alloc_compiled_over_reference\": {alloc_speedup:.3},");
+    let _ = writeln!(json, "    \"yield_sim_pooled_over_serial\": {yield_speedup:.3}");
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("\nwrote {out_path}");
+    println!(
+        "freq_alloc speedup vs pre-overhaul reference: {alloc_speedup:.2}x; \
+         yield_sim pooled vs serial: {yield_speedup:.2}x"
+    );
+}

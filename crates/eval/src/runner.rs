@@ -166,6 +166,12 @@ pub fn run_benchmark(name: &str, settings: &EvalSettings) -> Result<BenchmarkRun
 /// Runs the five configurations on an arbitrary circuit (used by
 /// examples to design chips for user programs).
 ///
+/// Architecture generation fans out over the configurations and point
+/// evaluation (routing + yield simulation) over the individual
+/// architectures, both on the shared `qpd-par` pool. Results are
+/// assembled in configuration order, so the output is identical to the
+/// serial iteration for any thread count.
+///
 /// # Errors
 ///
 /// Same as [`run_benchmark`].
@@ -185,25 +191,31 @@ pub fn run_circuit(
     let baseline1 = qpd_topology::ibm::ibm_16q_2x8(qpd_topology::BusMode::TwoQubitOnly);
     let baseline_gates = route_gates(circuit, &baseline1)?;
 
-    let mut points = Vec::new();
-    for kind in ConfigKind::all() {
-        for arch in architectures(kind, &profile, settings)? {
-            let total_gates_and_swaps = route_gates_swaps(circuit, &arch)?;
-            let (total_gates, swaps) = total_gates_and_swaps;
-            let estimate = sim.estimate(&arch)?;
-            points.push(DataPoint {
-                config: kind,
-                arch: arch.name().to_string(),
-                qubits: arch.num_qubits(),
-                four_qubit_buses: arch.four_qubit_buses().len(),
-                coupling_edges: arch.coupling_edges().len(),
-                total_gates,
-                swaps,
-                yield_rate: estimate.rate(),
-                normalized_perf: baseline_gates as f64 / total_gates as f64,
-            });
+    let kinds = ConfigKind::all();
+    let generated = qpd_par::par_map(&kinds, |&kind| architectures(kind, &profile, settings));
+    let mut flat: Vec<(ConfigKind, Architecture)> = Vec::new();
+    for (kind, archs) in kinds.iter().zip(generated) {
+        for arch in archs? {
+            flat.push((*kind, arch));
         }
     }
+
+    let evaluated = qpd_par::par_map(&flat, |(kind, arch)| -> Result<DataPoint, EvalError> {
+        let (total_gates, swaps) = route_gates_swaps(circuit, arch)?;
+        let estimate = sim.estimate(arch)?;
+        Ok(DataPoint {
+            config: *kind,
+            arch: arch.name().to_string(),
+            qubits: arch.num_qubits(),
+            four_qubit_buses: arch.four_qubit_buses().len(),
+            coupling_edges: arch.coupling_edges().len(),
+            total_gates,
+            swaps,
+            yield_rate: estimate.rate(),
+            normalized_perf: baseline_gates as f64 / total_gates as f64,
+        })
+    });
+    let points = evaluated.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(BenchmarkRun { benchmark: name.to_string(), qubits: circuit.num_qubits(), points })
 }
 

@@ -50,6 +50,33 @@ impl Default for CollisionParams {
     }
 }
 
+impl CollisionParams {
+    /// Whether a connected pair at frequencies `fa`, `fb` trips any of
+    /// conditions 1–4. This is the single shared hot-path predicate; the
+    /// checker and the local-yield evaluator both call it, so their
+    /// floating-point behavior is identical by construction.
+    #[inline]
+    pub fn pair_collides(&self, fa: f64, fb: f64) -> bool {
+        let gap = -self.anharmonicity_ghz;
+        let d = (fa - fb).abs();
+        d < self.t_degenerate_ghz
+            || (d - gap / 2.0).abs() < self.t_half_ghz
+            || (d - gap).abs() < self.t_full_ghz
+            || d > gap
+    }
+
+    /// Whether qubits at `fi`, `fk` sharing a neighbor at `fj` trip any
+    /// of conditions 5–7.
+    #[inline]
+    pub fn triple_collides(&self, fj: f64, fi: f64, fk: f64) -> bool {
+        let gap = -self.anharmonicity_ghz;
+        let d = (fi - fk).abs();
+        d < self.t_degenerate_ghz
+            || (d - gap).abs() < self.t_full_ghz
+            || (2.0 * fj - gap - fi - fk).abs() < self.t_two_photon_ghz
+    }
+}
+
 /// A detected collision: which condition fired and the qubits involved.
 ///
 /// For conditions 1–4 `third` is `None`; for 5–7 the tuple is
@@ -126,24 +153,13 @@ impl CollisionChecker {
     /// Panics if `freqs` is shorter than the architecture's qubit count.
     pub fn has_collision(&self, freqs: &[f64]) -> bool {
         let p = &self.params;
-        let gap = -p.anharmonicity_ghz; // 0.34 GHz for the default design
         for &(a, b) in &self.pairs {
-            let d = (freqs[a as usize] - freqs[b as usize]).abs();
-            if d < p.t_degenerate_ghz
-                || (d - gap / 2.0).abs() < p.t_half_ghz
-                || (d - gap).abs() < p.t_full_ghz
-                || d > gap
-            {
+            if p.pair_collides(freqs[a as usize], freqs[b as usize]) {
                 return true;
             }
         }
         for &(j, i, k) in &self.triples {
-            let (fj, fi, fk) = (freqs[j as usize], freqs[i as usize], freqs[k as usize]);
-            let d = (fi - fk).abs();
-            if d < p.t_degenerate_ghz || (d - gap).abs() < p.t_full_ghz {
-                return true;
-            }
-            if (2.0 * fj - gap - fi - fk).abs() < p.t_two_photon_ghz {
+            if p.triple_collides(freqs[j as usize], freqs[i as usize], freqs[k as usize]) {
                 return true;
             }
         }

@@ -30,6 +30,6 @@ pub mod simulator;
 
 pub use analytic::{pair_collision_probability, pairwise_yield_estimate};
 pub use collision::{CollisionChecker, CollisionEvent, CollisionParams};
-pub use local::LocalYieldEvaluator;
+pub use local::{CompiledRegions, LocalYieldEvaluator};
 pub use model::FabricationModel;
 pub use simulator::{YieldError, YieldEstimate, YieldSimulator};

@@ -10,6 +10,25 @@
 //! numbers** (the same noise samples), so candidate ranking reflects the
 //! frequencies rather than sampling luck, and the whole allocation is
 //! deterministic in the seed.
+//!
+//! # Hot path
+//!
+//! This is the allocator's inner loop, so it is engineered accordingly:
+//!
+//! - [`CompiledRegions`] precompiles, once per [`Architecture`], each
+//!   qubit's region membership, its q-vs-context pair/triple constraint
+//!   lists, and the inverse slot table — the per-decision `position()`
+//!   scans of the naive formulation disappear entirely;
+//! - trials that survive the candidate-independent *context* constraints
+//!   are stored in flat structure-of-arrays records holding exactly the
+//!   operands the per-candidate constraints read (no per-trial vectors);
+//! - candidate evaluation fans out over the [`qpd_par`] worker pool; the
+//!   common-random-numbers scheme makes the counts — and therefore the
+//!   ranking — bit-identical for any thread count, including one.
+//!
+//! The naive formulation is retained as
+//! [`LocalYieldEvaluator::evaluate_candidates_reference`]; the test suite
+//! proves count-equality between the two on every architecture it tries.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -19,6 +38,516 @@ use qpd_topology::Architecture;
 use crate::collision::CollisionParams;
 use crate::model::FabricationModel;
 
+/// Sentinel for "member not active in this decision".
+const INACTIVE: u32 = u32::MAX;
+
+/// Record-layout offsets of one surviving trial in the pass-2 SoA block:
+/// `[noise_q, pair operands, j==q triples, i==q triples, k==q triples]`.
+#[derive(Debug, Clone, Copy)]
+struct RecordLayout {
+    /// Total `f64`s per record.
+    stride: usize,
+    /// End of the pair operands (`1..pairs_end`).
+    pairs_end: usize,
+    /// End of the `(f_i, f_k)` operands of the j==q triples.
+    tj_end: usize,
+    /// End of the `(2 f_j - gap, f_k)` operands of the i==q triples.
+    ti_end: usize,
+}
+
+/// Counts, for every candidate, the records in `rows` whose q-involving
+/// constraints stay collision-free — the scalar pass-2 kernel and the
+/// semantic definition the SIMD kernel must match bit-for-bit.
+fn pass2_block_scalar(
+    rows: &[f64],
+    layout: RecordLayout,
+    candidates: &[f64],
+    p: &CollisionParams,
+    counts: &mut [u64],
+) {
+    let RecordLayout { stride, pairs_end, tj_end, ti_end } = layout;
+    let gap = -p.anharmonicity_ghz;
+    let g2 = gap / 2.0;
+    for row in rows.chunks_exact(stride) {
+        let noise_q = row[0];
+        for (slot, &candidate) in counts.iter_mut().zip(candidates) {
+            let fq = noise_q + candidate;
+            let mut collided = false;
+            for &fo in &row[1..pairs_end] {
+                let d = (fq - fo).abs();
+                if d < p.t_degenerate_ghz
+                    || (d - g2).abs() < p.t_half_ghz
+                    || (d - gap).abs() < p.t_full_ghz
+                    || d > gap
+                {
+                    collided = true;
+                    break;
+                }
+            }
+            if !collided && tj_end > pairs_end {
+                let two_fq = 2.0 * fq - gap;
+                for ik in row[pairs_end..tj_end].chunks_exact(2) {
+                    if ((two_fq - ik[0]) - ik[1]).abs() < p.t_two_photon_ghz {
+                        collided = true;
+                        break;
+                    }
+                }
+            }
+            if !collided {
+                for t in row[tj_end..ti_end].chunks_exact(2) {
+                    let (t1, fk) = (t[0], t[1]);
+                    let d = (fq - fk).abs();
+                    if d < p.t_degenerate_ghz
+                        || (d - gap).abs() < p.t_full_ghz
+                        || ((t1 - fq) - fk).abs() < p.t_two_photon_ghz
+                    {
+                        collided = true;
+                        break;
+                    }
+                }
+            }
+            if !collided {
+                for t in row[ti_end..].chunks_exact(2) {
+                    let (t2, fi) = (t[0], t[1]);
+                    let d = (fi - fq).abs();
+                    if d < p.t_degenerate_ghz
+                        || (d - gap).abs() < p.t_full_ghz
+                        || (t2 - fq).abs() < p.t_two_photon_ghz
+                    {
+                        collided = true;
+                        break;
+                    }
+                }
+            }
+            *slot += !collided as u64;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod pass2_avx2 {
+    //! Four candidates per vector. Every operation is an IEEE-exact
+    //! counterpart of the scalar kernel (add/sub/mul/abs/compare — no
+    //! FMA, no reassociation), so the counts are bit-identical to
+    //! [`super::pass2_block_scalar`]; the test suite asserts it.
+
+    use std::arch::x86_64::*;
+
+    use super::RecordLayout;
+    use crate::collision::CollisionParams;
+
+    /// Lanes per vector.
+    pub const LANES: usize = 4;
+
+    /// As [`super::pass2_block_scalar`], on candidate/count slices padded
+    /// to a multiple of [`LANES`] (pad candidates with NaN: every compare
+    /// is ordered, so NaN lanes never collide and their counts are
+    /// discarded by the caller).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `candidates.len() == counts.len()` and a multiple
+    /// of [`LANES`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn pass2_block(
+        rows: &[f64],
+        layout: RecordLayout,
+        candidates: &[f64],
+        p: &CollisionParams,
+        counts: &mut [i64],
+    ) {
+        debug_assert_eq!(candidates.len(), counts.len());
+        debug_assert_eq!(candidates.len() % LANES, 0);
+        let RecordLayout { stride, pairs_end, tj_end, ti_end } = layout;
+        let gap = -p.anharmonicity_ghz;
+        let sign = _mm256_set1_pd(-0.0);
+        let v_gap = _mm256_set1_pd(gap);
+        let v_g2 = _mm256_set1_pd(gap / 2.0);
+        let v_deg = _mm256_set1_pd(p.t_degenerate_ghz);
+        let v_half = _mm256_set1_pd(p.t_half_ghz);
+        let v_full = _mm256_set1_pd(p.t_full_ghz);
+        let v_two = _mm256_set1_pd(p.t_two_photon_ghz);
+        let v_2 = _mm256_set1_pd(2.0);
+        let ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+        let abs = |x: __m256d| _mm256_andnot_pd(sign, x);
+
+        for row in rows.chunks_exact(stride) {
+            let noise_q = _mm256_set1_pd(row[0]);
+            for (cand4, count4) in
+                candidates.chunks_exact(LANES).zip(counts.chunks_exact_mut(LANES))
+            {
+                let c = _mm256_loadu_pd(cand4.as_ptr());
+                let fq = _mm256_add_pd(noise_q, c);
+                let mut coll = _mm256_setzero_pd();
+                for &fo in &row[1..pairs_end] {
+                    let d = abs(_mm256_sub_pd(fq, _mm256_set1_pd(fo)));
+                    let m = _mm256_or_pd(
+                        _mm256_or_pd(
+                            _mm256_cmp_pd::<_CMP_LT_OQ>(d, v_deg),
+                            _mm256_cmp_pd::<_CMP_LT_OQ>(abs(_mm256_sub_pd(d, v_g2)), v_half),
+                        ),
+                        _mm256_or_pd(
+                            _mm256_cmp_pd::<_CMP_LT_OQ>(abs(_mm256_sub_pd(d, v_gap)), v_full),
+                            _mm256_cmp_pd::<_CMP_GT_OQ>(d, v_gap),
+                        ),
+                    );
+                    coll = _mm256_or_pd(coll, m);
+                }
+                if _mm256_movemask_pd(coll) != 0xF {
+                    let two_fq = _mm256_sub_pd(_mm256_mul_pd(v_2, fq), v_gap);
+                    for ik in row[pairs_end..tj_end].chunks_exact(2) {
+                        let term = _mm256_sub_pd(
+                            _mm256_sub_pd(two_fq, _mm256_set1_pd(ik[0])),
+                            _mm256_set1_pd(ik[1]),
+                        );
+                        coll = _mm256_or_pd(coll, _mm256_cmp_pd::<_CMP_LT_OQ>(abs(term), v_two));
+                    }
+                    for t in row[tj_end..ti_end].chunks_exact(2) {
+                        let (t1, fk) = (_mm256_set1_pd(t[0]), _mm256_set1_pd(t[1]));
+                        let d = abs(_mm256_sub_pd(fq, fk));
+                        let term = _mm256_sub_pd(_mm256_sub_pd(t1, fq), fk);
+                        let m = _mm256_or_pd(
+                            _mm256_or_pd(
+                                _mm256_cmp_pd::<_CMP_LT_OQ>(d, v_deg),
+                                _mm256_cmp_pd::<_CMP_LT_OQ>(abs(_mm256_sub_pd(d, v_gap)), v_full),
+                            ),
+                            _mm256_cmp_pd::<_CMP_LT_OQ>(abs(term), v_two),
+                        );
+                        coll = _mm256_or_pd(coll, m);
+                    }
+                    for t in row[ti_end..].chunks_exact(2) {
+                        let (t2, fi) = (_mm256_set1_pd(t[0]), _mm256_set1_pd(t[1]));
+                        let d = abs(_mm256_sub_pd(fi, fq));
+                        let term = _mm256_sub_pd(t2, fq);
+                        let m = _mm256_or_pd(
+                            _mm256_or_pd(
+                                _mm256_cmp_pd::<_CMP_LT_OQ>(d, v_deg),
+                                _mm256_cmp_pd::<_CMP_LT_OQ>(abs(_mm256_sub_pd(d, v_gap)), v_full),
+                            ),
+                            _mm256_cmp_pd::<_CMP_LT_OQ>(abs(term), v_two),
+                        );
+                        coll = _mm256_or_pd(coll, m);
+                    }
+                }
+                // Clean lanes are all-ones after andnot; subtracting the
+                // -1 pattern increments their counts.
+                let clean = _mm256_andnot_pd(coll, ones);
+                let tallies = _mm256_loadu_si256(count4.as_ptr().cast::<__m256i>());
+                let updated = _mm256_sub_epi64(tallies, _mm256_castpd_si256(clean));
+                _mm256_storeu_si256(count4.as_mut_ptr().cast::<__m256i>(), updated);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod pass2_avx512 {
+    //! Eight candidates per vector on AVX-512F; same exactness contract
+    //! as [`super::pass2_avx2`].
+
+    use std::arch::x86_64::*;
+
+    use super::RecordLayout;
+    use crate::collision::CollisionParams;
+
+    /// Lanes per vector.
+    pub const LANES: usize = 8;
+
+    /// As [`super::pass2_block_scalar`], on slices padded to a multiple
+    /// of [`LANES`] (candidates padded with NaN).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F; `candidates.len() == counts.len()` and a
+    /// multiple of [`LANES`].
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn pass2_block(
+        rows: &[f64],
+        layout: RecordLayout,
+        candidates: &[f64],
+        p: &CollisionParams,
+        counts: &mut [i64],
+    ) {
+        debug_assert_eq!(candidates.len(), counts.len());
+        debug_assert_eq!(candidates.len() % LANES, 0);
+        let RecordLayout { stride, pairs_end, tj_end, ti_end } = layout;
+        let gap = -p.anharmonicity_ghz;
+        let v_gap = _mm512_set1_pd(gap);
+        let v_g2 = _mm512_set1_pd(gap / 2.0);
+        let v_deg = _mm512_set1_pd(p.t_degenerate_ghz);
+        let v_half = _mm512_set1_pd(p.t_half_ghz);
+        let v_full = _mm512_set1_pd(p.t_full_ghz);
+        let v_two = _mm512_set1_pd(p.t_two_photon_ghz);
+        let v_2 = _mm512_set1_pd(2.0);
+        let one = _mm512_set1_epi64(1);
+
+        for row in rows.chunks_exact(stride) {
+            let noise_q = _mm512_set1_pd(row[0]);
+            for (cand8, count8) in
+                candidates.chunks_exact(LANES).zip(counts.chunks_exact_mut(LANES))
+            {
+                let c = _mm512_loadu_pd(cand8.as_ptr());
+                let fq = _mm512_add_pd(noise_q, c);
+                let mut coll: __mmask8 = 0;
+                for &fo in &row[1..pairs_end] {
+                    let d = _mm512_abs_pd(_mm512_sub_pd(fq, _mm512_set1_pd(fo)));
+                    coll |= _mm512_cmp_pd_mask::<_CMP_LT_OQ>(d, v_deg)
+                        | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(
+                            _mm512_abs_pd(_mm512_sub_pd(d, v_g2)),
+                            v_half,
+                        )
+                        | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(
+                            _mm512_abs_pd(_mm512_sub_pd(d, v_gap)),
+                            v_full,
+                        )
+                        | _mm512_cmp_pd_mask::<_CMP_GT_OQ>(d, v_gap);
+                }
+                if coll != 0xFF {
+                    let two_fq = _mm512_sub_pd(_mm512_mul_pd(v_2, fq), v_gap);
+                    for ik in row[pairs_end..tj_end].chunks_exact(2) {
+                        let term = _mm512_sub_pd(
+                            _mm512_sub_pd(two_fq, _mm512_set1_pd(ik[0])),
+                            _mm512_set1_pd(ik[1]),
+                        );
+                        coll |= _mm512_cmp_pd_mask::<_CMP_LT_OQ>(_mm512_abs_pd(term), v_two);
+                    }
+                    for t in row[tj_end..ti_end].chunks_exact(2) {
+                        let (t1, fk) = (_mm512_set1_pd(t[0]), _mm512_set1_pd(t[1]));
+                        let d = _mm512_abs_pd(_mm512_sub_pd(fq, fk));
+                        let term = _mm512_sub_pd(_mm512_sub_pd(t1, fq), fk);
+                        coll |= _mm512_cmp_pd_mask::<_CMP_LT_OQ>(d, v_deg)
+                            | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(
+                                _mm512_abs_pd(_mm512_sub_pd(d, v_gap)),
+                                v_full,
+                            )
+                            | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(_mm512_abs_pd(term), v_two);
+                    }
+                    for t in row[ti_end..].chunks_exact(2) {
+                        let (t2, fi) = (_mm512_set1_pd(t[0]), _mm512_set1_pd(t[1]));
+                        let d = _mm512_abs_pd(_mm512_sub_pd(fi, fq));
+                        let term = _mm512_sub_pd(t2, fq);
+                        coll |= _mm512_cmp_pd_mask::<_CMP_LT_OQ>(d, v_deg)
+                            | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(
+                                _mm512_abs_pd(_mm512_sub_pd(d, v_gap)),
+                                v_full,
+                            )
+                            | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(_mm512_abs_pd(term), v_two);
+                    }
+                }
+                let tallies = _mm512_loadu_si512(count8.as_ptr().cast::<__m512i>());
+                let updated = _mm512_mask_add_epi64(tallies, !coll, tallies, one);
+                _mm512_storeu_si512(count8.as_mut_ptr().cast::<__m512i>(), updated);
+            }
+        }
+    }
+}
+
+/// SIMD tier for the pass-2 kernel, detected once per process.
+#[derive(Clone, Copy, PartialEq)]
+enum SimdTier {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+fn pass2_simd_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static STATE: AtomicU8 = AtomicU8::new(0);
+        match STATE.load(Ordering::Relaxed) {
+            1 => SimdTier::Scalar,
+            2 => SimdTier::Avx2,
+            3 => SimdTier::Avx512,
+            _ => {
+                let tier = if std::arch::is_x86_feature_detected!("avx512f") {
+                    SimdTier::Avx512
+                } else if std::arch::is_x86_feature_detected!("avx2") {
+                    SimdTier::Avx2
+                } else {
+                    SimdTier::Scalar
+                };
+                let code = match tier {
+                    SimdTier::Scalar => 1,
+                    SimdTier::Avx2 => 2,
+                    SimdTier::Avx512 => 3,
+                };
+                STATE.store(code, Ordering::Relaxed);
+                tier
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    SimdTier::Scalar
+}
+
+/// Dispatches one pass-2 rows-block to the best kernel. All kernels are
+/// bit-identical (compares and arithmetic are IEEE-exact in each), so
+/// host SIMD support never changes results.
+fn pass2_block(
+    rows: &[f64],
+    layout: RecordLayout,
+    candidates: &[f64],
+    p: &CollisionParams,
+) -> Vec<u64> {
+    let tier = pass2_simd_tier();
+    #[cfg(target_arch = "x86_64")]
+    if tier != SimdTier::Scalar {
+        let lanes = if tier == SimdTier::Avx512 { pass2_avx512::LANES } else { pass2_avx2::LANES };
+        let padded = candidates.len().div_ceil(lanes) * lanes;
+        let mut cands = Vec::with_capacity(padded);
+        cands.extend_from_slice(candidates);
+        cands.resize(padded, f64::NAN);
+        let mut tallies = vec![0i64; padded];
+        // SAFETY: the required feature was detected; slices are padded
+        // to the kernel's lane count.
+        unsafe {
+            if tier == SimdTier::Avx512 {
+                pass2_avx512::pass2_block(rows, layout, &cands, p, &mut tallies);
+            } else {
+                pass2_avx2::pass2_block(rows, layout, &cands, p, &mut tallies);
+            }
+        }
+        return tallies.into_iter().take(candidates.len()).map(|t| t as u64).collect();
+    }
+    let _ = tier;
+    let mut counts = vec![0u64; candidates.len()];
+    pass2_block_scalar(rows, layout, candidates, p, &mut counts);
+    counts
+}
+
+/// One qubit's precompiled local region: membership and constraint lists
+/// in region-local slots, independent of any particular partial
+/// assignment.
+#[derive(Debug, Clone)]
+struct RegionTemplate {
+    /// Qubits within coupling distance 2 of `q` (including `q`),
+    /// ascending.
+    members: Vec<u32>,
+    /// Slot of `q` itself within `members`.
+    q_slot: u32,
+    /// Coupled pairs inside the region involving `q`: the slot of the
+    /// *other* endpoint (the `q` endpoint is implicit).
+    q_pair_others: Vec<u32>,
+    /// Coupled pairs inside the region not involving `q`.
+    ctx_pairs: Vec<(u32, u32)>,
+    /// Common-neighbor triples `(j; i, k)` with `j == q`: slots of
+    /// `(i, k)`.
+    q_triples_j: Vec<(u32, u32)>,
+    /// Triples with `i == q`: slots of `(j, k)`.
+    q_triples_i: Vec<(u32, u32)>,
+    /// Triples with `k == q`: slots of `(j, i)`.
+    q_triples_k: Vec<(u32, u32)>,
+    /// Triples not involving `q`.
+    ctx_triples: Vec<(u32, u32, u32)>,
+}
+
+/// Per-architecture compiled local regions for every qubit.
+///
+/// Building this is `O(n · r²)` in region size `r` — done **once** per
+/// architecture, it replaces the `O(m²)` linear `position()` scans the
+/// naive evaluator pays on every single decision. Frequency allocation
+/// revisits every qubit once per refinement sweep, so the same compiled
+/// table serves hundreds of decisions.
+#[derive(Debug, Clone)]
+pub struct CompiledRegions {
+    num_qubits: usize,
+    regions: Vec<RegionTemplate>,
+}
+
+impl CompiledRegions {
+    /// Compiles every qubit's local region of `arch`.
+    pub fn new(arch: &Architecture) -> Self {
+        let n = arch.num_qubits();
+        // Inverse index table, stamped per region and cleared after use.
+        let mut slot_of: Vec<u32> = vec![INACTIVE; n];
+        let regions = (0..n).map(|q| Self::compile_region(arch, q, &mut slot_of)).collect();
+        CompiledRegions { num_qubits: n, regions }
+    }
+
+    /// Number of qubits in the compiled architecture.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Region size (qubits within distance 2, including `q`) of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn region_size(&self, q: usize) -> usize {
+        self.regions[q].members.len()
+    }
+
+    fn compile_region(arch: &Architecture, q: usize, slot_of: &mut [u32]) -> RegionTemplate {
+        let members: Vec<u32> = arch.ball(q, 2).into_iter().map(|r| r as u32).collect();
+        for (slot, &r) in members.iter().enumerate() {
+            slot_of[r as usize] = slot as u32;
+        }
+        let q_slot = slot_of[q];
+
+        let mut q_pair_others = Vec::new();
+        let mut ctx_pairs = Vec::new();
+        for &(a, b) in arch.coupling_edges() {
+            let (sa, sb) = (slot_of[a], slot_of[b]);
+            if sa == INACTIVE || sb == INACTIVE {
+                continue;
+            }
+            if sa == q_slot {
+                q_pair_others.push(sb);
+            } else if sb == q_slot {
+                q_pair_others.push(sa);
+            } else {
+                ctx_pairs.push((sa, sb));
+            }
+        }
+
+        let mut q_triples_j = Vec::new();
+        let mut q_triples_i = Vec::new();
+        let mut q_triples_k = Vec::new();
+        let mut ctx_triples = Vec::new();
+        for &j in &members {
+            let sj = slot_of[j as usize];
+            let nbrs: Vec<u32> = arch
+                .neighbors(j as usize)
+                .iter()
+                .map(|&x| slot_of[x])
+                .filter(|&s| s != INACTIVE)
+                .collect();
+            for x in 0..nbrs.len() {
+                for y in x + 1..nbrs.len() {
+                    let (si, sk) = (nbrs[x], nbrs[y]);
+                    if sj == q_slot {
+                        q_triples_j.push((si, sk));
+                    } else if si == q_slot {
+                        q_triples_i.push((sj, sk));
+                    } else if sk == q_slot {
+                        q_triples_k.push((sj, si));
+                    } else {
+                        ctx_triples.push((sj, si, sk));
+                    }
+                }
+            }
+        }
+
+        for &r in &members {
+            slot_of[r as usize] = INACTIVE;
+        }
+        RegionTemplate {
+            members,
+            q_slot,
+            q_pair_others,
+            ctx_pairs,
+            q_triples_j,
+            q_triples_i,
+            q_triples_k,
+            ctx_triples,
+        }
+    }
+}
+
 /// Evaluates candidate frequencies for one qubit against the already
 /// assigned part of its local region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +556,7 @@ pub struct LocalYieldEvaluator {
     model: FabricationModel,
     params: CollisionParams,
     seed: u64,
+    legacy_noise: bool,
 }
 
 impl LocalYieldEvaluator {
@@ -37,7 +567,18 @@ impl LocalYieldEvaluator {
     /// Panics if `trials` is zero.
     pub fn new(trials: usize, model: FabricationModel, params: CollisionParams, seed: u64) -> Self {
         assert!(trials > 0, "need at least one trial");
-        LocalYieldEvaluator { trials, model, params, seed }
+        LocalYieldEvaluator { trials, model, params, seed, legacy_noise: false }
+    }
+
+    /// Switches the common-random-numbers stream to the pre-pairing
+    /// single-draw Box–Muller scheme
+    /// ([`FabricationModel::sample_into_unpaired`]). Only `bench_snapshot`
+    /// and stream-regression tests should want this: it reproduces the
+    /// historical noise stream exactly, at roughly twice the sampling
+    /// cost.
+    pub fn with_legacy_noise(mut self) -> Self {
+        self.legacy_noise = true;
+        self
     }
 
     /// Trial count per candidate.
@@ -52,12 +593,254 @@ impl LocalYieldEvaluator {
     /// Candidates share noise samples, so the counts are directly
     /// comparable; ties should be broken by the caller's own policy.
     ///
+    /// Compiles `q`'s region on the fly; callers evaluating many
+    /// decisions against one architecture (the frequency allocator)
+    /// should build a [`CompiledRegions`] once and use
+    /// [`Self::evaluate_candidates_compiled`].
+    ///
     /// # Panics
     ///
     /// Panics if `assigned.len() != arch.num_qubits()`, if `q` is out of
     /// range, or if `assigned[q]` is already `Some` (the decision was
     /// already made).
     pub fn evaluate_candidates(
+        &self,
+        arch: &Architecture,
+        assigned: &[Option<f64>],
+        q: usize,
+        candidates: &[f64],
+    ) -> Vec<u64> {
+        assert!(q < arch.num_qubits(), "qubit out of range");
+        let mut slot_of = vec![INACTIVE; arch.num_qubits()];
+        let region = CompiledRegions {
+            num_qubits: arch.num_qubits(),
+            regions: vec![CompiledRegions::compile_region(arch, q, &mut slot_of)],
+        };
+        self.evaluate_region(&region.regions[0], region.num_qubits, assigned, q, candidates)
+    }
+
+    /// [`Self::evaluate_candidates`] against a prebuilt
+    /// [`CompiledRegions`] table — the allocator's hot path.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::evaluate_candidates`]; `regions` must have been
+    /// compiled from the same architecture `assigned` refers to.
+    pub fn evaluate_candidates_compiled(
+        &self,
+        regions: &CompiledRegions,
+        assigned: &[Option<f64>],
+        q: usize,
+        candidates: &[f64],
+    ) -> Vec<u64> {
+        assert!(q < regions.num_qubits, "qubit out of range");
+        self.evaluate_region(&regions.regions[q], regions.num_qubits, assigned, q, candidates)
+    }
+
+    /// Samples per independent noise stream in the modern fill: the
+    /// buffer is cut into fixed-size chunks, each with its own
+    /// counter-derived seed, so the fill parallelizes while staying
+    /// bit-identical for every thread count (chunk boundaries never
+    /// depend on the worker count).
+    const NOISE_STREAM_SAMPLES: usize = 4_096;
+
+    /// Draws the common-random-numbers noise block for qubit `q`'s
+    /// decision: `trials x m` samples from the per-qubit stream family.
+    fn fill_noise(&self, q: usize, noise: &mut [f64]) {
+        let base_seed = self.seed ^ (0xd134_2543_de82_ef95u64.wrapping_mul(q as u64 + 1));
+        if self.legacy_noise {
+            // The historical scheme: one serial stream of single-draw
+            // Box–Muller samples.
+            let mut rng = ChaCha8Rng::seed_from_u64(base_seed);
+            self.model.sample_into_unpaired(&mut rng, noise);
+        } else {
+            qpd_par::par_chunks_mut(noise, Self::NOISE_STREAM_SAMPLES, |chunk_idx, chunk| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    base_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk_idx as u64 + 1)),
+                );
+                self.model.sample_into(&mut rng, chunk);
+            });
+        }
+    }
+
+    fn evaluate_region(
+        &self,
+        tpl: &RegionTemplate,
+        num_qubits: usize,
+        assigned: &[Option<f64>],
+        q: usize,
+        candidates: &[f64],
+    ) -> Vec<u64> {
+        assert_eq!(assigned.len(), num_qubits, "assignment length mismatch");
+        assert!(assigned[q].is_none(), "qubit {q} already assigned");
+
+        // Activate the assigned members (plus q) in ascending-qubit
+        // order; `active` maps full-region slots to packed noise columns.
+        let mut active = vec![INACTIVE; tpl.members.len()];
+        let mut base: Vec<f64> = Vec::with_capacity(tpl.members.len());
+        for (slot, &r) in tpl.members.iter().enumerate() {
+            let r = r as usize;
+            if r == q {
+                active[slot] = base.len() as u32;
+                base.push(0.0);
+            } else if let Some(f) = assigned[r] {
+                active[slot] = base.len() as u32;
+                base.push(f);
+            }
+        }
+        let m = base.len();
+        let qi = active[tpl.q_slot as usize] as usize;
+
+        // Remap the precompiled constraints onto the active columns,
+        // dropping any constraint touching an unassigned member.
+        let remap2 = |list: &[(u32, u32)]| -> Vec<(u32, u32)> {
+            list.iter()
+                .filter_map(|&(a, b)| {
+                    let (a, b) = (active[a as usize], active[b as usize]);
+                    (a != INACTIVE && b != INACTIVE).then_some((a, b))
+                })
+                .collect()
+        };
+        let q_pair_others: Vec<u32> = tpl
+            .q_pair_others
+            .iter()
+            .filter_map(|&o| {
+                let o = active[o as usize];
+                (o != INACTIVE).then_some(o)
+            })
+            .collect();
+        let ctx_pairs = remap2(&tpl.ctx_pairs);
+        let triples_j = remap2(&tpl.q_triples_j);
+        let triples_i = remap2(&tpl.q_triples_i);
+        let triples_k = remap2(&tpl.q_triples_k);
+        let ctx_triples: Vec<(u32, u32, u32)> = tpl
+            .ctx_triples
+            .iter()
+            .filter_map(|&(j, i, k)| {
+                let (j, i, k) = (active[j as usize], active[i as usize], active[k as usize]);
+                (j != INACTIVE && i != INACTIVE && k != INACTIVE).then_some((j, i, k))
+            })
+            .collect();
+
+        // Common random numbers: one noise block shared by every
+        // candidate, drawn from fixed counter-derived streams so the
+        // values never depend on the thread count.
+        let mut noise = vec![0.0f64; self.trials * m];
+        self.fill_noise(q, &mut noise);
+
+        let p = self.params;
+        let gap = -p.anharmonicity_ghz;
+
+        // Pass 1 — context filtering into flat SoA records. A surviving
+        // trial's record holds exactly the operands the per-candidate
+        // constraints read, with the candidate-independent halves of the
+        // two-photon terms prefolded:
+        //   [ noise_q,
+        //     f_other                          per q-pair,
+        //     (f_i, f_k)                       per j==q triple,
+        //     (2 f_j - gap,        f_k)        per i==q triple,
+        //     ((2 f_j - gap) - f_i, f_i)       per k==q triple ]
+        // The j==q triples' conditions 5/6 do not involve q's frequency
+        // at all, so they are folded into this pass: a trial tripping
+        // them fails for *every* candidate and is dropped here.
+        let stride =
+            1 + q_pair_others.len() + 2 * (triples_j.len() + triples_i.len() + triples_k.len());
+        let chunk_rows =
+            self.trials.div_ceil(4 * qpd_par::threads()).max(64).min(self.trials.max(1));
+        let blocks: Vec<Vec<f64>> = qpd_par::par_chunks(&noise, chunk_rows * m, |_, slice| {
+            let rows = slice.len() / m;
+            let mut block = Vec::with_capacity(rows * stride);
+            let mut freqs = vec![0.0f64; m];
+            let mut record = vec![0.0f64; stride];
+            for noise_row in slice.chunks_exact(m) {
+                for ((f, &b), &n) in freqs.iter_mut().zip(&base).zip(noise_row) {
+                    *f = b + n;
+                }
+                let ctx_ok = ctx_pairs
+                    .iter()
+                    .all(|&(a, b)| !p.pair_collides(freqs[a as usize], freqs[b as usize]))
+                    && ctx_triples.iter().all(|&(j, i, k)| {
+                        !p.triple_collides(freqs[j as usize], freqs[i as usize], freqs[k as usize])
+                    });
+                if !ctx_ok {
+                    continue;
+                }
+                let shared_neighbor_clean = triples_j.iter().all(|&(i, k)| {
+                    let d = (freqs[i as usize] - freqs[k as usize]).abs();
+                    d >= p.t_degenerate_ghz && (d - gap).abs() >= p.t_full_ghz
+                });
+                if !shared_neighbor_clean {
+                    continue;
+                }
+                record[0] = freqs[qi];
+                let mut at = 1;
+                for &o in &q_pair_others {
+                    record[at] = freqs[o as usize];
+                    at += 1;
+                }
+                for &(i, k) in &triples_j {
+                    record[at] = freqs[i as usize];
+                    record[at + 1] = freqs[k as usize];
+                    at += 2;
+                }
+                for &(j, k) in &triples_i {
+                    record[at] = 2.0 * freqs[j as usize] - gap;
+                    record[at + 1] = freqs[k as usize];
+                    at += 2;
+                }
+                for &(j, i) in &triples_k {
+                    let fi = freqs[i as usize];
+                    record[at] = (2.0 * freqs[j as usize] - gap) - fi;
+                    record[at + 1] = fi;
+                    at += 2;
+                }
+                block.extend_from_slice(&record);
+            }
+            block
+        });
+        let live = blocks.concat();
+
+        // Pass 2 — every candidate against only the q-involving
+        // constraints of the surviving records, row-major (each record is
+        // read once for all candidates), vectorized where the host allows
+        // ([`pass2_block`]), and fanned out over the pool in fixed row
+        // blocks. Per-candidate tallies are exact integer sums over the
+        // blocks, so the counts are identical for any thread count.
+        let qp = q_pair_others.len();
+        let (nj, ni) = (triples_j.len(), triples_i.len());
+        let layout = RecordLayout {
+            stride,
+            pairs_end: 1 + qp,
+            tj_end: 1 + qp + 2 * nj,
+            ti_end: 1 + qp + 2 * (nj + ni),
+        };
+        let live_rows = live.len() / stride;
+        let rows_per_block = live_rows.div_ceil(4 * qpd_par::threads()).max(128);
+        let partials: Vec<Vec<u64>> =
+            qpd_par::par_chunks(&live, rows_per_block * stride, |_, rows| {
+                pass2_block(rows, layout, candidates, &p)
+            });
+        let mut out = vec![0u64; candidates.len()];
+        for partial in partials {
+            for (slot, v) in out.iter_mut().zip(partial) {
+                *slot += v;
+            }
+        }
+        out
+    }
+
+    /// The naive serial formulation this module used before the
+    /// `CompiledRegions` overhaul, retained verbatim (per-decision
+    /// `position()` scans, per-trial `Vec` clones, candidate loop on the
+    /// caller's thread) as the equivalence oracle for the fast path and
+    /// as `bench_snapshot`'s pre-overhaul baseline. Counts are identical
+    /// to [`Self::evaluate_candidates`] whenever the noise scheme
+    /// matches.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::evaluate_candidates`].
+    pub fn evaluate_candidates_reference(
         &self,
         arch: &Architecture,
         assigned: &[Option<f64>],
@@ -108,12 +891,9 @@ impl LocalYieldEvaluator {
         }
 
         // Pre-draw common noise: trials x |region|.
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            self.seed ^ (0xd134_2543_de82_ef95u64.wrapping_mul(q as u64 + 1)),
-        );
         let m = region.len();
         let mut noise = vec![0.0f64; self.trials * m];
-        self.model.sample_into(&mut rng, &mut noise);
+        self.fill_noise(q, &mut noise);
 
         let base: Vec<f64> = region
             .iter()
@@ -121,19 +901,9 @@ impl LocalYieldEvaluator {
             .collect();
 
         let p = &self.params;
-        let gap = -p.anharmonicity_ghz;
-        let pair_collides = |freqs: &[f64], a: usize, b: usize| -> bool {
-            let d = (freqs[a] - freqs[b]).abs();
-            d < p.t_degenerate_ghz
-                || (d - gap / 2.0).abs() < p.t_half_ghz
-                || (d - gap).abs() < p.t_full_ghz
-                || d > gap
-        };
-        let triple_collides = |freqs: &[f64], j: usize, i: usize, k: usize| -> bool {
-            let d = (freqs[i] - freqs[k]).abs();
-            d < p.t_degenerate_ghz
-                || (d - gap).abs() < p.t_full_ghz
-                || (2.0 * freqs[j] - gap - freqs[i] - freqs[k]).abs() < p.t_two_photon_ghz
+        let pair_collides = |freqs: &[f64], a: usize, b: usize| p.pair_collides(freqs[a], freqs[b]);
+        let triple_collides = |freqs: &[f64], j: usize, i: usize, k: usize| {
+            p.triple_collides(freqs[j], freqs[i], freqs[k])
         };
 
         // Pass 1: evaluate the context once per trial, keeping the noisy
@@ -176,7 +946,7 @@ impl LocalYieldEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qpd_topology::Architecture;
+    use qpd_topology::{ibm, Architecture, BusMode};
 
     fn path3() -> Architecture {
         let mut b = Architecture::builder("path3");
@@ -260,5 +1030,133 @@ mod tests {
         let a = e.evaluate_candidates(&arch, &near, 0, &[5.10, 5.13]);
         let b = e.evaluate_candidates(&arch, &with_far, 0, &[5.10, 5.13]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compiled_regions_report_ball_sizes() {
+        let regions = CompiledRegions::new(&path3());
+        assert_eq!(regions.num_qubits(), 3);
+        // Middle qubit reaches both ends; ends reach everything too (the
+        // path has diameter 2).
+        for q in 0..3 {
+            assert_eq!(regions.region_size(q), 3, "qubit {q}");
+        }
+    }
+
+    /// The load-bearing property of the overhaul: the compiled SoA path
+    /// and the retained naive path agree *exactly*, count for count.
+    #[test]
+    fn compiled_path_matches_reference_exactly() {
+        let candidates: Vec<f64> = (0..35).map(|i| 5.00 + 0.01 * i as f64).collect();
+        let cases: Vec<(Architecture, Vec<Option<f64>>, usize)> = vec![
+            (path3(), vec![Some(5.00), None, Some(5.23)], 1),
+            (path3(), vec![Some(5.10), Some(5.22), None], 2),
+            (path3(), vec![None, None, None], 0),
+        ];
+        for (arch, assigned, q) in cases {
+            let e = evaluator(1_500);
+            let fast = e.evaluate_candidates(&arch, &assigned, q, &candidates);
+            let reference = e.evaluate_candidates_reference(&arch, &assigned, q, &candidates);
+            assert_eq!(fast, reference, "arch {} q {q}", arch.name());
+        }
+    }
+
+    #[test]
+    fn compiled_path_matches_reference_on_dense_chip() {
+        // The 4-qubit-bus IBM layout exercises every constraint class,
+        // including shared-neighbor triples in all three orientations.
+        let arch = ibm::ibm_16q_2x8(BusMode::MaxFourQubit);
+        let compiled = CompiledRegions::new(&arch);
+        let candidates = [5.00, 5.07, 5.13, 5.17, 5.20, 5.27, 5.34];
+        let mut assigned: Vec<Option<f64>> = vec![None; arch.num_qubits()];
+        // Assign a ragged prefix so regions mix assigned and unassigned.
+        for (i, slot) in assigned.iter_mut().enumerate().take(11) {
+            *slot = Some(5.00 + 0.03 * (i % 12) as f64);
+        }
+        let e = evaluator(800);
+        for q in 11..arch.num_qubits() {
+            let fast = e.evaluate_candidates_compiled(&compiled, &assigned, q, &candidates);
+            let reference = e.evaluate_candidates_reference(&arch, &assigned, q, &candidates);
+            assert_eq!(fast, reference, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_counts() {
+        let arch = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+        let mut assigned: Vec<Option<f64>> = vec![None; arch.num_qubits()];
+        for (i, slot) in assigned.iter_mut().enumerate().take(9) {
+            *slot = Some(5.05 + 0.04 * (i % 8) as f64);
+        }
+        let e = evaluator(2_000);
+        let candidates: Vec<f64> = (0..35).map(|i| 5.00 + 0.01 * i as f64).collect();
+        let serial =
+            qpd_par::with_threads(1, || e.evaluate_candidates(&arch, &assigned, 12, &candidates));
+        for threads in [2, 8] {
+            let pooled = qpd_par::with_threads(threads, || {
+                e.evaluate_candidates(&arch, &assigned, 12, &candidates)
+            });
+            assert_eq!(serial, pooled, "threads {threads}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_pass2_matches_scalar_kernel() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        // Synthetic records exercising every constraint class, with
+        // operands spread across clean and colliding distances.
+        let p = CollisionParams::default();
+        let layout = RecordLayout { stride: 9, pairs_end: 3, tj_end: 5, ti_end: 7 };
+        let mut rows = Vec::new();
+        let mut x = 0.37f64;
+        for _ in 0..257 {
+            let mut row = [0.0f64; 9];
+            for slot in row.iter_mut() {
+                // Deterministic pseudo-noise spanning the band.
+                x = (x * 997.0 + 0.1234).fract();
+                *slot = 5.0 + 0.4 * x - 0.2;
+            }
+            row[0] = 0.06 * x - 0.03; // noise_q, small
+            rows.extend_from_slice(&row);
+        }
+        let candidates: Vec<f64> = (0..35).map(|i| 5.00 + 0.01 * i as f64).collect();
+        let mut scalar = vec![0u64; candidates.len()];
+        pass2_block_scalar(&rows, layout, &candidates, &p, &mut scalar);
+        let run_simd = |lanes: usize, avx512: bool| -> Vec<u64> {
+            let padded = candidates.len().div_ceil(lanes) * lanes;
+            let mut cands = candidates.clone();
+            cands.resize(padded, f64::NAN);
+            let mut tallies = vec![0i64; padded];
+            unsafe {
+                if avx512 {
+                    pass2_avx512::pass2_block(&rows, layout, &cands, &p, &mut tallies);
+                } else {
+                    pass2_avx2::pass2_block(&rows, layout, &cands, &p, &mut tallies);
+                }
+            }
+            tallies.into_iter().take(candidates.len()).map(|t| t as u64).collect()
+        };
+        assert_eq!(scalar, run_simd(pass2_avx2::LANES, false), "avx2");
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            assert_eq!(scalar, run_simd(pass2_avx512::LANES, true), "avx512");
+        }
+        assert!(scalar.iter().any(|&c| c > 0) && scalar.iter().any(|&c| c < 257));
+    }
+
+    #[test]
+    fn legacy_noise_changes_counts_but_not_structure() {
+        let arch = path3();
+        let assigned = vec![Some(5.00), None, Some(5.23)];
+        let modern = evaluator(2_000);
+        let legacy = modern.with_legacy_noise();
+        let a = modern.evaluate_candidates(&arch, &assigned, 1, &[5.08, 5.12]);
+        let b = legacy.evaluate_candidates(&arch, &assigned, 1, &[5.08, 5.12]);
+        assert_ne!(a, b, "independent streams should differ in raw counts");
+        // And the legacy fast path still agrees with the legacy reference.
+        let b_ref = legacy.evaluate_candidates_reference(&arch, &assigned, 1, &[5.08, 5.12]);
+        assert_eq!(b, b_ref);
     }
 }

@@ -42,8 +42,66 @@ impl FabricationModel {
         self.sigma_ghz * mag * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
-    /// Fills `out` with independent noise samples.
+    /// Fills `out` with independent noise samples, two per Box–Muller
+    /// transform in its polar (Marsaglia) form: a uniform point in the
+    /// unit disc supplies both the cosine (`u/sqrt(s)`) and sine
+    /// (`v/sqrt(s)`) variates of the implicit angle, so one `ln`/`sqrt`
+    /// serves two samples — half the transform work of calling
+    /// [`Self::sample`] per slot — and no trigonometry is evaluated at
+    /// all. Uniforms are drawn in bulk batches (`RngCore::fill_u64s`)
+    /// of the generator's plain `next_u64` stream; an odd final slot
+    /// falls back to the single-draw path.
     pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        const BATCH: usize = 128;
+        let mut raw = [0u64; BATCH];
+        let mut uniforms = [0.0f64; BATCH];
+        let mut pos = BATCH;
+        let mut chunks = out.chunks_exact_mut(2);
+        for pair in &mut chunks {
+            loop {
+                if pos + 2 > BATCH {
+                    rng.fill_u64s(&mut raw);
+                    for (f, &r) in uniforms.iter_mut().zip(&raw) {
+                        *f = rand::u64_to_unit_f64(r);
+                    }
+                    pos = 0;
+                }
+                let u = 2.0 * uniforms[pos] - 1.0;
+                let v = 2.0 * uniforms[pos + 1] - 1.0;
+                pos += 2;
+                let s = u * u + v * v;
+                if s < 1.0 && s != 0.0 {
+                    let f = self.sigma_ghz * (-2.0 * s.ln() / s).sqrt();
+                    pair[0] = f * u;
+                    pair[1] = f * v;
+                    break;
+                }
+            }
+        }
+        for slot in chunks.into_remainder() {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// Fills `out` with `base + noise`, using the paired bulk sampler
+    /// ([`Self::sample_into`]): one call fabricates a whole chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != base.len()`.
+    pub fn perturb_into<R: Rng + ?Sized>(&self, rng: &mut R, base: &[f64], out: &mut [f64]) {
+        assert_eq!(base.len(), out.len(), "buffer length mismatch");
+        self.sample_into(rng, out);
+        for (slot, &b) in out.iter_mut().zip(base) {
+            *slot += b;
+        }
+    }
+
+    /// Fills `out` with one single-draw ([`Self::sample`]) sample per
+    /// slot — the pre-pairing noise stream, retained so `bench_snapshot`
+    /// can time the historical baseline and so the stream change stays
+    /// testable. Prefer [`Self::sample_into`] everywhere else.
+    pub fn sample_into_unpaired<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
         for slot in out {
             *slot = self.sample(rng);
         }
@@ -105,5 +163,62 @@ mod tests {
         let mut buf = [0.0; 8];
         model.sample_into(&mut rng, &mut buf);
         assert!(buf.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn paired_moments_are_sane() {
+        // Both Box–Muller variates are consumed: the sine halves must be
+        // as Gaussian as the cosine halves.
+        let model = FabricationModel::new(0.030);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut samples = vec![0.0f64; 200_000];
+        model.sample_into(&mut rng, &mut samples);
+        for half in [0usize, 1] {
+            let part: Vec<f64> = samples.iter().copied().skip(half).step_by(2).collect();
+            let n = part.len() as f64;
+            let mean = part.iter().sum::<f64>() / n;
+            let var = part.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+            assert!(mean.abs() < 1e-3, "half {half} mean {mean}");
+            assert!((var.sqrt() - 0.030).abs() < 1e-3, "half {half} std {}", var.sqrt());
+        }
+        // And the halves are uncorrelated (cos/sin of one uniform angle).
+        let cov =
+            samples.chunks_exact(2).map(|p| p[0] * p[1]).sum::<f64>() / (samples.len() / 2) as f64;
+        assert!(cov.abs() < 1e-5, "cov {cov}");
+    }
+
+    #[test]
+    fn perturb_is_base_plus_sample_into() {
+        let model = FabricationModel::default();
+        let base: Vec<f64> = (0..7).map(|i| 5.0 + 0.01 * i as f64).collect();
+        let mut noise = vec![0.0f64; 7];
+        model.sample_into(&mut ChaCha8Rng::seed_from_u64(11), &mut noise);
+        let mut out = vec![0.0f64; 7];
+        model.perturb_into(&mut ChaCha8Rng::seed_from_u64(11), &base, &mut out);
+        for i in 0..7 {
+            assert_eq!(out[i], base[i] + noise[i], "slot {i}");
+        }
+    }
+
+    #[test]
+    fn unpaired_matches_repeated_sample() {
+        // The retained baseline scheme is exactly the historical one.
+        let model = FabricationModel::default();
+        let mut a = ChaCha8Rng::seed_from_u64(13);
+        let mut b = ChaCha8Rng::seed_from_u64(13);
+        let mut buf = [0.0f64; 5];
+        model.sample_into_unpaired(&mut a, &mut buf);
+        let expected: Vec<f64> = (0..5).map(|_| model.sample(&mut b)).collect();
+        assert_eq!(buf.to_vec(), expected);
+    }
+
+    #[test]
+    fn paired_and_unpaired_streams_differ() {
+        let model = FabricationModel::default();
+        let mut paired = [0.0f64; 4];
+        let mut unpaired = [0.0f64; 4];
+        model.sample_into(&mut ChaCha8Rng::seed_from_u64(17), &mut paired);
+        model.sample_into_unpaired(&mut ChaCha8Rng::seed_from_u64(17), &mut unpaired);
+        assert_ne!(paired.to_vec(), unpaired.to_vec(), "schemes draw distinct streams");
     }
 }

@@ -97,7 +97,10 @@ impl fmt::Display for YieldEstimate {
 /// Defaults follow the paper's evaluation setup (§5.1): 10,000 trials and
 /// `sigma = 30 MHz`. Results are deterministic in the seed: trials are
 /// split into fixed chunks, each with its own counter-derived RNG stream,
-/// so estimates do not depend on thread count.
+/// so estimates do not depend on thread count. The chunks execute on the
+/// shared [`qpd_par`] worker pool — at most
+/// `std::thread::available_parallelism()` workers (override with
+/// `QPD_THREADS`), never one thread per chunk.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct YieldSimulator {
     trials: u64,
@@ -116,6 +119,11 @@ impl Default for YieldSimulator {
 /// Number of independent RNG streams; fixed so results are reproducible
 /// regardless of how many threads execute them.
 const CHUNKS: u64 = 16;
+
+/// Noise samples drawn per bulk fill (~64 KiB of `f64`s): large enough
+/// to amortize the sampler's batching, small enough that memory stays
+/// flat no matter the trial count.
+const BULK_NOISE_SAMPLES: usize = 8_192;
 
 impl YieldSimulator {
     /// A simulator with the paper's defaults: 10,000 trials,
@@ -221,60 +229,88 @@ impl YieldSimulator {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut breakdown = [0u64; 7];
         let mut clean = 0u64;
-        let mut post = vec![0.0f64; designed.len()];
-        for _ in 0..self.trials {
-            for (slot, &f) in post.iter_mut().zip(designed) {
-                *slot = f + self.model.sample(&mut rng);
-            }
-            let events = checker.collisions(&post);
-            if events.is_empty() {
-                clean += 1;
-            } else {
-                let mut seen = [false; 7];
-                for e in &events {
-                    seen[(e.condition - 1) as usize] = true;
+        let n = designed.len();
+        if n == 0 {
+            return Ok((breakdown, self.trials)); // no qubits, no collisions
+        }
+        // Same bounded batching as the estimate path: the sampler's bulk
+        // fast path without per-trial overdraw.
+        let batch_rows = (BULK_NOISE_SAMPLES / n).max(1);
+        let mut noise = vec![0.0f64; batch_rows * n];
+        let mut post = vec![0.0f64; n];
+        let mut remaining = self.trials;
+        while remaining > 0 {
+            let rows = (batch_rows as u64).min(remaining) as usize;
+            let buf = &mut noise[..rows * n];
+            self.model.sample_into(&mut rng, buf);
+            for row in buf.chunks_exact(n) {
+                for ((slot, &f), &e) in post.iter_mut().zip(designed).zip(row) {
+                    *slot = f + e;
                 }
-                for (c, &fired) in seen.iter().enumerate() {
-                    if fired {
-                        breakdown[c] += 1;
+                let events = checker.collisions(&post);
+                if events.is_empty() {
+                    clean += 1;
+                } else {
+                    let mut seen = [false; 7];
+                    for e in &events {
+                        seen[(e.condition - 1) as usize] = true;
+                    }
+                    for (c, &fired) in seen.iter().enumerate() {
+                        if fired {
+                            breakdown[c] += 1;
+                        }
                     }
                 }
             }
+            remaining -= rows as u64;
         }
         Ok((breakdown, clean))
     }
 
     fn run_chunks(&self, checker: &CollisionChecker, designed: &[f64]) -> u64 {
-        let chunk_bounds: Vec<(u64, u64)> = (0..CHUNKS)
-            .map(|c| (self.trials * c / CHUNKS, self.trials * (c + 1) / CHUNKS))
+        let chunk_bounds: Vec<(u64, u64, u64)> = (0..CHUNKS)
+            .map(|c| (c, self.trials * c / CHUNKS, self.trials * (c + 1) / CHUNKS))
             .collect();
         let run_chunk = |chunk_idx: u64, lo: u64, hi: u64| -> u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(
                 self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk_idx + 1)),
             );
-            let mut post = vec![0.0f64; designed.len()];
+            let n = designed.len();
+            if n == 0 {
+                return hi - lo; // no qubits, no collisions
+            }
+            // Bounded multi-trial noise batches keep the sampler in its
+            // bulk fast path at O(1) memory in the trial count.
+            let batch_rows = (BULK_NOISE_SAMPLES / n).max(1);
+            let mut noise = vec![0.0f64; batch_rows * n];
+            let mut post = vec![0.0f64; n];
             let mut ok = 0u64;
-            for _ in lo..hi {
-                for (slot, &f) in post.iter_mut().zip(designed) {
-                    *slot = f + self.model.sample(&mut rng);
+            let mut remaining = hi - lo;
+            while remaining > 0 {
+                let rows = (batch_rows as u64).min(remaining) as usize;
+                let buf = &mut noise[..rows * n];
+                self.model.sample_into(&mut rng, buf);
+                for row in buf.chunks_exact(n) {
+                    for ((slot, &f), &e) in post.iter_mut().zip(designed).zip(row) {
+                        *slot = f + e;
+                    }
+                    if !checker.has_collision(&post) {
+                        ok += 1;
+                    }
                 }
-                if !checker.has_collision(&post) {
-                    ok += 1;
-                }
+                remaining -= rows as u64;
             }
             ok
         };
-        if self.parallel && self.trials >= 2_000 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunk_bounds
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(lo, hi))| scope.spawn(move || run_chunk(i as u64, lo, hi)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("yield worker panicked")).sum()
-            })
+        // The 16 counter-seeded RNG streams are fixed for reproducibility;
+        // the pool executes them on however many workers exist (at most
+        // `available_parallelism`, or `QPD_THREADS`), the caller included.
+        // Integer sums over the fixed chunk decomposition are exact, so
+        // the estimate is byte-identical to the serial path.
+        if self.parallel && self.trials >= 2_000 && qpd_par::threads() > 1 {
+            qpd_par::par_map(&chunk_bounds, |&(i, lo, hi)| run_chunk(i, lo, hi)).into_iter().sum()
         } else {
-            chunk_bounds.iter().enumerate().map(|(i, &(lo, hi))| run_chunk(i as u64, lo, hi)).sum()
+            chunk_bounds.iter().map(|&(i, lo, hi)| run_chunk(i, lo, hi)).sum()
         }
     }
 }
@@ -325,6 +361,11 @@ mod tests {
         let c = par.estimate(&arch).unwrap();
         assert_eq!(a, b);
         assert_eq!(a, c);
+        // Byte-equality across explicit pool widths, serial included.
+        for threads in [1, 2, 8] {
+            let pooled = qpd_par::with_threads(threads, || par.estimate(&arch).unwrap());
+            assert_eq!(a, pooled, "threads {threads}");
+        }
     }
 
     #[test]

@@ -4,13 +4,75 @@
 //! [`BatchSize`], and the `criterion_group!` / `criterion_main!` macros.
 //!
 //! Instead of criterion's statistical machinery it runs a short
-//! warm-up, then times `sample_size` batches and reports the mean and
-//! min wall-clock time per iteration. That keeps `cargo bench` useful
-//! for coarse comparisons while compiling (and running) with no
-//! external dependencies.
+//! warm-up, then times `sample_size` batches and reports the mean,
+//! median, and min wall-clock time per iteration. That keeps
+//! `cargo bench` useful for coarse comparisons while compiling (and
+//! running) with no external dependencies.
+//!
+//! Extensions over the real criterion API (used by `bench_snapshot`):
+//!
+//! - every benchmark's summary is recorded as a [`BenchResult`],
+//!   retrievable via [`Criterion::take_results`];
+//! - with `QPD_BENCH_JSON=1` in the environment each benchmark also
+//!   prints one machine-readable JSON line ([`BenchResult::json_line`]).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Summary statistics of one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name`).
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Minimum seconds per iteration.
+    pub min_s: f64,
+    /// Number of timed samples (warm-up excluded).
+    pub samples: usize,
+}
+
+impl BenchResult {
+    /// One line of JSON, the machine-readable counterpart of the human
+    /// summary line. Hand-rolled (the workspace serde is a no-op shim).
+    pub fn json_line(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"mean_s\":{:e},\"median_s\":{:e},\"min_s\":{:e},\"samples\":{}}}",
+            json_escape(&self.id),
+            self.mean_s,
+            self.median_s,
+            self.min_s,
+            self.samples
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Median of unsorted samples; the mean of the middle two for even
+/// counts.
+fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
 
 /// How a batched setup's output size relates to the measurement batch.
 /// Only a hint in real criterion; ignored here beyond API compatibility.
@@ -93,7 +155,24 @@ impl BenchmarkGroup<'_> {
         }
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
         let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
-        println!("{id:<60} mean {:>12} min {:>12}", format_time(mean), format_time(min));
+        let result = BenchResult {
+            id,
+            mean_s: mean,
+            median_s: median(&per_iter),
+            min_s: min,
+            samples: per_iter.len(),
+        };
+        println!(
+            "{:<60} mean {:>12} median {:>12} min {:>12}",
+            result.id,
+            format_time(result.mean_s),
+            format_time(result.median_s),
+            format_time(result.min_s)
+        );
+        if self.criterion.emit_json {
+            println!("{}", result.json_line());
+        }
+        self.criterion.results.push(result);
         self
     }
 
@@ -117,6 +196,8 @@ fn format_time(seconds: f64) -> String {
 #[derive(Debug)]
 pub struct Criterion {
     max_samples: usize,
+    emit_json: bool,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -129,7 +210,9 @@ impl Default for Criterion {
             // 0 would collect no samples and report NaN; treat it as 1.
             .map(|n: usize| n.max(1))
             .unwrap_or(3);
-        Criterion { max_samples }
+        let emit_json =
+            std::env::var("QPD_BENCH_JSON").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+        Criterion { max_samples, emit_json, results: Vec::new() }
     }
 }
 
@@ -147,6 +230,13 @@ impl Criterion {
         let id = id.into();
         self.benchmark_group(id.clone()).bench_function("", f);
         self
+    }
+
+    /// Drains the accumulated per-benchmark summaries, in execution
+    /// order. Shim extension: `bench_snapshot` times kernels through
+    /// this driver and serializes what it takes from here.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
     }
 }
 
@@ -176,9 +266,13 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn test_criterion(max_samples: usize) -> Criterion {
+        Criterion { max_samples, emit_json: false, results: Vec::new() }
+    }
+
     #[test]
     fn group_runs_and_times() {
-        let mut c = Criterion { max_samples: 2 };
+        let mut c = test_criterion(2);
         let mut group = c.benchmark_group("smoke");
         group.sample_size(2);
         let mut calls = 0u32;
@@ -190,7 +284,7 @@ mod tests {
 
     #[test]
     fn iter_batched_runs_setup_per_sample() {
-        let mut c = Criterion { max_samples: 3 };
+        let mut c = test_criterion(3);
         let mut group = c.benchmark_group("batched");
         group.sample_size(3);
         let mut setups = 0u32;
@@ -213,5 +307,56 @@ mod tests {
         assert!(format_time(2.5e-6).ends_with("µs"));
         assert!(format_time(2.5e-3).ends_with("ms"));
         assert!(format_time(2.5).ends_with('s'));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        // Robust to an outlier sample where the mean is not.
+        assert_eq!(median(&[1.0, 1.0, 1.0, 1.0, 100.0]), 1.0);
+    }
+
+    #[test]
+    fn results_accumulate_and_drain() {
+        let mut c = test_criterion(3);
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_function("b", |b| b.iter(|| 2 + 2));
+        group.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "grp/a");
+        assert_eq!(results[1].id, "grp/b");
+        for r in &results {
+            assert_eq!(r.samples, 3);
+            assert!(r.min_s <= r.median_s && r.median_s <= r.mean_s.max(r.median_s));
+            assert!(r.mean_s >= r.min_s);
+        }
+        assert!(c.take_results().is_empty(), "drained");
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let r = BenchResult {
+            id: "grp/case \"x\"".into(),
+            mean_s: 1.5e-3,
+            median_s: 1.25e-3,
+            min_s: 1e-3,
+            samples: 7,
+        };
+        let line = r.json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"id\":\"grp/case \\\"x\\\"\""), "{line}");
+        assert!(line.contains("\"median_s\":1.25e-3") || line.contains("\"median_s\":1.25e-03"),);
+        assert!(line.contains("\"samples\":7"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_escape_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
     }
 }

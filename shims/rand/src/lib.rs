@@ -20,6 +20,15 @@ pub trait RngCore {
     fn next_u32(&mut self) -> u32;
     /// Returns the next 64 random bits.
     fn next_u64(&mut self) -> u64;
+    /// Fills `out` with consecutive [`Self::next_u64`] draws. A bulk
+    /// hook for buffered generators (shim extension, not part of the
+    /// real `rand_core`): overrides must produce exactly the words
+    /// repeated `next_u64` calls would.
+    fn fill_u64s(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
@@ -28,6 +37,9 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
     }
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+    fn fill_u64s(&mut self, out: &mut [u64]) {
+        (**self).fill_u64s(out)
     }
 }
 
@@ -79,10 +91,18 @@ pub trait Standard: Sized {
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
+/// The `gen::<f64>()` word-to-unit-interval mapping, uniform in
+/// `[0, 1)` with 53 bits of precision. Public so bulk consumers of
+/// [`RngCore::fill_u64s`] convert with the exact same mapping.
+#[inline]
+pub fn u64_to_unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 impl Standard for f64 {
     /// Uniform in `[0, 1)` with 53 bits of precision.
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        u64_to_unit_f64(rng.next_u64())
     }
 }
 

@@ -19,6 +19,16 @@
 //! | [`mapping`] | `qpd-mapping` | SABRE routing (performance metric) |
 //! | [`design`] | `qpd-core` | the three-subroutine design flow |
 //! | [`eval`] | `qpd-eval` | the §5 experiment harness |
+//! | [`par`] | `qpd-par` | deterministic worker pool for the hot kernels |
+//!
+//! # Environment variables
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `QPD_THREADS` | Worker count for the [`par`] pool (frequency allocation, yield simulation, the experiment runner). Defaults to `std::thread::available_parallelism()`; results are bit-identical for every value. [`par::with_threads`] is the in-process equivalent. |
+//! | `QPD_BENCH_SAMPLES` | Caps timed samples per benchmark in the criterion shim and `bench_snapshot` (default 3; raise for real measurements). |
+//! | `QPD_BENCH_JSON` | When set to a non-empty value other than `0`, `cargo bench` also prints one machine-readable JSON line per benchmark. |
+//! | `QPD_BENCH_QUICK` | Shrinks `bench_snapshot`'s trial counts for CI smoke runs. |
 //!
 //! # Quickstart
 //!
@@ -50,6 +60,7 @@ pub use qpd_circuit as circuit;
 pub use qpd_core as design;
 pub use qpd_eval as eval;
 pub use qpd_mapping as mapping;
+pub use qpd_par as par;
 pub use qpd_profile as profile;
 pub use qpd_topology as topology;
 pub use qpd_yield as yield_sim;
