@@ -51,6 +51,6 @@ pub use bus::{
 };
 pub use error::DesignError;
 pub use freq::FrequencyAllocator;
-pub use pareto::pareto_front;
+pub use pareto::{dominates_nd, pareto_front, pareto_front_nd};
 pub use pipeline::{BusStrategy, DesignFlow, FrequencyStrategy};
 pub use placement::{place_auxiliary, place_qubits};

@@ -1,4 +1,6 @@
-//! Pareto-front extraction for (performance, yield) points.
+//! Pareto-front extraction: the 2-axis (performance, yield) form the
+//! paper plots, and the N-axis generalization the design-space explorer
+//! (`qpd-explore`) uses for yield / gate count / depth / hardware cost.
 
 /// Indices of the Pareto-optimal points among `(performance, yield)`
 /// pairs where **larger is better on both axes** (the paper plots
@@ -23,6 +25,41 @@ pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
 /// as good on both axes and strictly better on one.
 pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
     a.0 >= b.0 && a.1 >= b.1 && (a.0 > b.0 || a.1 > b.1)
+}
+
+/// Whether point `a` dominates point `b` in N dimensions, **larger is
+/// better on every axis**: at least as good everywhere and strictly
+/// better somewhere. Axes to be minimized should be negated by the
+/// caller before the comparison.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dominates_nd(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the Pareto-optimal points among N-dimensional points where
+/// **larger is better on every axis** ([`dominates_nd`]'s convention).
+/// Returned indices are in input order; exact duplicates all survive.
+///
+/// # Panics
+///
+/// Panics if the points have inconsistent dimensions.
+pub fn pareto_front_nd(points: &[Vec<f64>]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().enumerate().any(|(j, p)| j != i && dominates_nd(p, &points[i])))
+        .collect()
 }
 
 #[cfg(test)]
@@ -59,5 +96,46 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn nd_dominance_relation() {
+        assert!(dominates_nd(&[1.0, 2.0, 3.0], &[1.0, 2.0, 2.0]));
+        assert!(!dominates_nd(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]));
+        assert!(!dominates_nd(&[1.0, 2.0, 3.0], &[0.0, 3.0, 3.0]));
+    }
+
+    #[test]
+    fn nd_front_matches_2d_front_on_pairs() {
+        let pts = [(1.0, 0.9), (2.0, 0.95), (0.5, 0.5), (3.0, 0.1)];
+        let as_nd: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a, b]).collect();
+        assert_eq!(pareto_front_nd(&as_nd), pareto_front(&pts));
+    }
+
+    #[test]
+    fn nd_front_keeps_axis_specialists() {
+        // Each point is best on one axis: all three are non-dominated.
+        let pts = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0],
+            vec![0.0, 0.0, 3.0],
+            vec![0.5, 0.5, 0.5],
+        ];
+        assert_eq!(pareto_front_nd(&pts), vec![0, 1, 2, 3]);
+        // But a point dominated on every axis falls off.
+        let pts2 = vec![vec![3.0, 3.0, 3.0], vec![1.0, 2.0, 3.0]];
+        assert_eq!(pareto_front_nd(&pts2), vec![0]);
+    }
+
+    #[test]
+    fn nd_duplicates_both_survive() {
+        let pts = vec![vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]];
+        assert_eq!(pareto_front_nd(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn nd_dimension_mismatch_panics() {
+        dominates_nd(&[1.0], &[1.0, 2.0]);
     }
 }

@@ -130,6 +130,46 @@ impl DesignFlow {
         self
     }
 
+    /// The configured bus-selection strategy.
+    pub fn bus_strategy(&self) -> BusStrategy {
+        self.bus_strategy
+    }
+
+    /// The configured frequency strategy.
+    pub fn frequency_strategy(&self) -> FrequencyStrategy {
+        self.frequency
+    }
+
+    /// The configured 4-qubit-bus cap (`None` = uncapped).
+    pub fn max_buses(&self) -> Option<usize> {
+        self.max_buses
+    }
+
+    /// The configured auxiliary-qubit count.
+    pub fn auxiliary_qubits(&self) -> usize {
+        self.auxiliary_qubits
+    }
+
+    /// The configured Monte Carlo trial count of frequency allocation.
+    pub fn allocation_trials(&self) -> usize {
+        self.allocation_trials
+    }
+
+    /// The configured refinement sweep budget of frequency allocation.
+    pub fn allocation_sweeps(&self) -> usize {
+        self.allocation_sweeps
+    }
+
+    /// The configured frequency-allocation seed.
+    pub fn allocation_seed(&self) -> u64 {
+        self.allocation_seed
+    }
+
+    /// The configured fabrication precision in GHz.
+    pub fn sigma_ghz(&self) -> f64 {
+        self.sigma_ghz
+    }
+
     /// Runs the full flow with the maximum beneficial number of 4-qubit
     /// buses (subject to [`Self::with_max_buses`]).
     ///
@@ -155,7 +195,7 @@ impl DesignFlow {
         let coords = self.place(profile)?;
         let order = self.bus_order(profile)?;
         let k = num_buses.min(order.len());
-        self.assemble(profile, &coords, &order[..k])
+        self.assemble(&coords, &order[..k])
     }
 
     /// Runs the flow once per bus count `0..=max`, returning the paper's
@@ -171,7 +211,33 @@ impl DesignFlow {
     ) -> Result<Vec<Architecture>, DesignError> {
         let coords = self.place(profile)?;
         let order = self.bus_order(profile)?;
-        (0..=order.len()).map(|k| self.assemble(profile, &coords, &order[..k])).collect()
+        (0..=order.len()).map(|k| self.assemble(&coords, &order[..k])).collect()
+    }
+
+    /// Runs the back half of the flow on an **explicit layout**: the
+    /// given qubit coordinates and 4-qubit-bus squares, with this flow's
+    /// frequency strategy and allocation knobs. This is the entry point
+    /// the design-space explorer (`qpd-explore`) uses to evaluate
+    /// perturbed bus sets and placement variants that no strategy of
+    /// [`Self::bus_order`] generates.
+    ///
+    /// The placement and bus-selection knobs of this flow are ignored;
+    /// square validity (three placed corners, prohibited condition) is
+    /// still enforced by the architecture builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::EmptyProgram`] for empty `coords` and
+    /// propagates builder errors for invalid squares.
+    pub fn design_with_layout(
+        &self,
+        coords: &[qpd_topology::Coord],
+        squares: &[Square],
+    ) -> Result<Architecture, DesignError> {
+        if coords.is_empty() {
+            return Err(DesignError::EmptyProgram);
+        }
+        self.assemble(coords, squares)
     }
 
     /// The qubit placement only (exposed for the `eff-layout-only`
@@ -211,14 +277,13 @@ impl DesignFlow {
 
     fn assemble(
         &self,
-        profile: &CouplingProfile,
         coords: &[qpd_topology::Coord],
         squares: &[Square],
     ) -> Result<Architecture, DesignError> {
         let name = format!(
             "{}-{}q-b{}{}",
             self.name_prefix,
-            profile.num_qubits() + self.auxiliary_qubits,
+            coords.len(),
             squares.len(),
             match self.frequency {
                 FrequencyStrategy::Optimized => "",
@@ -365,6 +430,46 @@ mod tests {
         let y_opt = sim.estimate(&with_opt).unwrap().rate();
         let y_five = sim.estimate(&with_five).unwrap().rate();
         assert!(y_opt >= y_five, "optimized {y_opt} should not lose to five-frequency {y_five}");
+    }
+
+    #[test]
+    fn explicit_layout_design_matches_flow() {
+        // Feeding the flow's own placement and bus order back through the
+        // explicit-layout entry point reproduces `design` exactly.
+        let profile = grid_profile();
+        let flow = fast_flow();
+        let coords = flow.place(&profile).unwrap();
+        let order = flow.bus_order(&profile).unwrap();
+        let via_layout = flow.design_with_layout(&coords, &order).unwrap();
+        let via_flow = flow.design(&profile).unwrap();
+        assert_eq!(via_layout, via_flow);
+    }
+
+    #[test]
+    fn empty_layout_errors() {
+        let err = fast_flow().design_with_layout(&[], &[]).unwrap_err();
+        assert_eq!(err, DesignError::EmptyProgram);
+    }
+
+    #[test]
+    fn knob_accessors_reflect_configuration() {
+        let flow = DesignFlow::new()
+            .with_bus_strategy(BusStrategy::Random { seed: 9 })
+            .with_frequency_strategy(FrequencyStrategy::FiveFrequency)
+            .with_max_buses(Some(3))
+            .with_auxiliary_qubits(2)
+            .with_allocation_trials(77)
+            .with_allocation_sweeps(4)
+            .with_allocation_seed(11)
+            .with_sigma_ghz(0.02);
+        assert_eq!(flow.bus_strategy(), BusStrategy::Random { seed: 9 });
+        assert_eq!(flow.frequency_strategy(), FrequencyStrategy::FiveFrequency);
+        assert_eq!(flow.max_buses(), Some(3));
+        assert_eq!(flow.auxiliary_qubits(), 2);
+        assert_eq!(flow.allocation_trials(), 77);
+        assert_eq!(flow.allocation_sweeps(), 4);
+        assert_eq!(flow.allocation_seed(), 11);
+        assert_eq!(flow.sigma_ghz(), 0.02);
     }
 
     #[test]

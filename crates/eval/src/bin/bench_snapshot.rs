@@ -1,15 +1,20 @@
 //! Perf snapshot: times the repo's hot kernels and writes a
-//! machine-readable baseline (`BENCH_2.json`) seeding the perf
-//! trajectory that future PRs extend.
+//! machine-readable baseline (`BENCH_<pr>.json`) extending the perf
+//! trajectory started by `BENCH_2.json`.
 //!
 //! Kernels:
 //!
 //! - `freq_alloc/reference` — frequency allocation through the retained
 //!   pre-overhaul path (naive serial evaluator, single-draw Box–Muller);
 //! - `freq_alloc/compiled` — the same allocation on the compiled-regions
-//!   SoA path with pooled candidate evaluation;
+//!   SoA path with pooled candidate evaluation (since PR 3 the pass-1
+//!   context filter is vectorized too);
 //! - `yield_sim/serial` and `yield_sim/pooled` — the 10k-trial Monte
 //!   Carlo yield simulator, off and on the worker pool;
+//! - `explore/eval_cold` and `explore/eval_warm` — the design-space
+//!   explorer's candidate evaluation sweep with an empty vs. pre-warmed
+//!   memo cache (PR 3's explore-throughput kernel; the summary reports
+//!   candidate evaluations per second for both);
 //! - `end_to_end/sym6_145` — one full benchmark evaluation (design flow,
 //!   routing, yield) at `EvalSettings::quick()`.
 //!
@@ -17,17 +22,22 @@
 //! default 3), `QPD_BENCH_QUICK=1` shrinks trial counts for CI smoke
 //! runs, `QPD_THREADS` sizes the worker pool.
 //!
-//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_2.json`).
-
-use std::fmt::Write as _;
+//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_3.json`).
 
 use criterion::Criterion;
-use qpd_core::{place_qubits, FrequencyAllocator};
+use qpd_core::{place_qubits, FrequencyAllocator, FrequencyStrategy};
 use qpd_eval::runner::run_benchmark;
 use qpd_eval::EvalSettings;
+use qpd_explore::{
+    BusSpec, CandidateSpec, ExploreConfig, ExploreSpace, Explorer, Json, PlacementVariant,
+};
 use qpd_profile::CouplingProfile;
 use qpd_topology::{ibm, Architecture, BusMode};
 use qpd_yield::YieldSimulator;
+
+/// The current perf-trajectory point; bump alongside the default
+/// `--out` path when a later PR appends a snapshot.
+const PR: u64 = 3;
 
 fn designed_topology(name: &str) -> Architecture {
     let circuit = qpd_benchmarks::build(name).expect("benchmark");
@@ -42,8 +52,33 @@ fn quick() -> bool {
     std::env::var("QPD_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
+/// A fixed candidate sweep for the explore-throughput kernel: every
+/// weighted bus budget under both frequency strategies, plus the
+/// transposed-placement variants of the full budget.
+fn explore_candidates(space: &ExploreSpace) -> Vec<CandidateSpec> {
+    let full = space.full_weighted_len();
+    let mut specs = Vec::new();
+    for count in 0..=full {
+        for frequency in [FrequencyStrategy::Optimized, FrequencyStrategy::FiveFrequency] {
+            specs.push(CandidateSpec {
+                bus: BusSpec::Weighted { count },
+                frequency,
+                aux_qubits: 0,
+                placement: PlacementVariant::Identity,
+            });
+        }
+    }
+    specs.push(CandidateSpec {
+        bus: BusSpec::Weighted { count: full },
+        frequency: FrequencyStrategy::Optimized,
+        aux_qubits: 0,
+        placement: PlacementVariant::Transposed,
+    });
+    specs
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path = format!("BENCH_{PR}.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,6 +115,36 @@ fn main() {
         b.iter(|| sim.estimate(&chip).expect("plan attached"))
     });
 
+    // Explore-throughput kernel: the same candidate sweep with the memo
+    // cache cleared per iteration (cold: every design, routing, and
+    // yield simulation runs) vs. left warm (evaluations are two hash
+    // lookups). The engine and space are built once outside the timed
+    // region, so both numbers measure candidate evaluation alone.
+    let explore_config = ExploreConfig {
+        alloc_trials: if quick { 100 } else { 400 },
+        yield_trials: if quick { 1_000 } else { 2_000 },
+        ..ExploreConfig::quick()
+    };
+    let space = ExploreSpace::new(qpd_benchmarks::build("sym6_145").expect("sym6"), 1);
+    let candidates = explore_candidates(&space);
+    let explorer = Explorer::new(space, explore_config).expect("baseline");
+    group.bench_function("explore/eval_cold", |b| {
+        b.iter(|| {
+            explorer.cache().clear();
+            for spec in &candidates {
+                explorer.evaluate(spec).expect("candidate evaluates");
+            }
+        })
+    });
+    // The last cold iteration left the cache warm.
+    group.bench_function("explore/eval_warm", |b| {
+        b.iter(|| {
+            for spec in &candidates {
+                explorer.evaluate(spec).expect("candidate evaluates");
+            }
+        })
+    });
+
     // End-to-end: one full Figure-10 style evaluation at quick settings
     // (kept quick in both modes so the trajectory stays comparable).
     group.bench_function("end_to_end/sym6_145", |b| {
@@ -93,37 +158,50 @@ fn main() {
     };
     let alloc_speedup = median_of("freq_alloc/reference") / median_of("freq_alloc/compiled");
     let yield_speedup = median_of("yield_sim/serial") / median_of("yield_sim/pooled");
+    let cache_speedup = median_of("explore/eval_cold") / median_of("explore/eval_warm");
+    let evals_per_s = |id: &str| candidates.len() as f64 / median_of(id);
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"schema\": \"qpd-bench-snapshot/1\",\n");
-    json.push_str("  \"pr\": 2,\n");
     let threads = qpd_par::threads();
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let round3 = |v: f64| (v * 1_000.0).round() / 1_000.0;
+    let mut top = vec![
+        ("schema", Json::str("qpd-bench-snapshot/1")),
+        ("pr", Json::int(PR)),
+        ("threads", Json::int(threads as u64)),
+    ];
     if threads == 1 {
         // The pool contributes nothing on one worker: these numbers
         // record the algorithmic speedups only.
-        json.push_str("  \"note\": \"single-worker host: pool fan-out unmeasured\",\n");
+        top.push(("note", Json::str("single-worker host: pool fan-out unmeasured")));
     }
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(json, "  \"alloc_trials\": {alloc_trials},");
-    let _ = writeln!(json, "  \"yield_trials\": {yield_trials},");
-    json.push_str("  \"kernels\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        let _ = writeln!(json, "    {}{comma}", r.json_line());
-    }
-    json.push_str("  ],\n");
-    json.push_str("  \"speedups\": {\n");
-    let _ = writeln!(json, "    \"freq_alloc_compiled_over_reference\": {alloc_speedup:.3},");
-    let _ = writeln!(json, "    \"yield_sim_pooled_over_serial\": {yield_speedup:.3}");
-    json.push_str("  }\n");
-    json.push_str("}\n");
+    top.extend([
+        ("quick", Json::Bool(quick)),
+        ("alloc_trials", Json::int(alloc_trials as u64)),
+        ("yield_trials", Json::int(yield_trials)),
+        ("kernels", Json::Arr(results.iter().map(|r| Json::Raw(r.json_line())).collect())),
+        (
+            "explore",
+            Json::obj([
+                ("candidates", Json::int(candidates.len() as u64)),
+                ("cold_evals_per_s", Json::num(round3(evals_per_s("explore/eval_cold")))),
+                ("warm_evals_per_s", Json::num(round3(evals_per_s("explore/eval_warm")))),
+            ]),
+        ),
+        (
+            "speedups",
+            Json::obj([
+                ("freq_alloc_compiled_over_reference", Json::num(round3(alloc_speedup))),
+                ("yield_sim_pooled_over_serial", Json::num(round3(yield_speedup))),
+                ("explore_eval_warm_over_cold", Json::num(round3(cache_speedup))),
+            ]),
+        ),
+    ]);
+    let json = Json::Obj(top.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).render();
 
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("\nwrote {out_path}");
     println!(
         "freq_alloc speedup vs pre-overhaul reference: {alloc_speedup:.2}x; \
-         yield_sim pooled vs serial: {yield_speedup:.2}x"
+         yield_sim pooled vs serial: {yield_speedup:.2}x; \
+         explore cache warm vs cold: {cache_speedup:.2}x"
     );
 }

@@ -1,0 +1,265 @@
+//! Design-space exploration over the paper's benchmark profiles.
+//!
+//! For each selected benchmark the run builds an [`ExploreSpace`], runs
+//! the seeded annealing search (bit-identical for every `QPD_THREADS`),
+//! writes an `EXPLORE_<benchmark>.json` checkpoint after every round,
+//! and prints a summary table: archive size, Pareto-front size, cache
+//! hit counts, and where the paper's `eff-full` configuration landed —
+//! on the front, or dominated by which front point.
+//!
+//! Usage:
+//!   explore_run [--quick] [--check] [--seed N] [--rounds N] [--walks N]
+//!               [--steps N] [--out-dir DIR] [--resume FILE] [names...]
+//!
+//! `--quick` shrinks every budget for smoke runs; `--check` additionally
+//! asserts the smoke invariants (non-empty front, round-tripping
+//! checkpoint, eff-full evaluated) and exits non-zero on violation.
+//! `--resume FILE` loads a checkpoint and continues that single run to
+//! its configured round budget; only `--rounds` may be combined with it
+//! (to extend a finished run), since the checkpoint's config governs
+//! the deterministic walk streams.
+
+use std::path::PathBuf;
+
+use qpd_core::dominates_nd;
+use qpd_explore::{Checkpoint, ExploreConfig, ExploreSpace, ExploreState, Explorer};
+
+struct Args {
+    quick: bool,
+    check: bool,
+    seed: Option<u64>,
+    rounds: Option<usize>,
+    walks: Option<usize>,
+    steps: Option<usize>,
+    out_dir: PathBuf,
+    resume: Option<PathBuf>,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        check: false,
+        seed: None,
+        rounds: None,
+        walks: None,
+        steps: None,
+        out_dir: PathBuf::from("."),
+        resume: None,
+        names: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--check" => args.check = true,
+            "--seed" => args.seed = Some(value("--seed").parse().expect("numeric seed")),
+            "--rounds" => args.rounds = Some(value("--rounds").parse().expect("numeric rounds")),
+            "--walks" => args.walks = Some(value("--walks").parse().expect("numeric walks")),
+            "--steps" => args.steps = Some(value("--steps").parse().expect("numeric steps")),
+            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")),
+            "--resume" => args.resume = Some(PathBuf::from(value("--resume"))),
+            other if !other.starts_with("--") => args.names.push(other.to_string()),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn config_from(args: &Args) -> ExploreConfig {
+    let mut config = if args.quick { ExploreConfig::quick() } else { ExploreConfig::default() };
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    if let Some(rounds) = args.rounds {
+        config.rounds = rounds;
+    }
+    if let Some(walks) = args.walks {
+        config.walks = walks;
+    }
+    if let Some(steps) = args.steps {
+        config.steps_per_round = steps;
+    }
+    config
+}
+
+/// Where `eff-full` landed: `Ok(true)` on the front, `Ok(false)` absent
+/// from the archive, `Err(name)` dominated by front point `name`.
+fn eff_full_status(space: &ExploreSpace, state: &ExploreState) -> Result<bool, String> {
+    let eff_full = qpd_explore::CandidateSpec::eff_full(space.full_weighted_len());
+    let Some(position) = state.archive.iter().position(|e| e.spec == eff_full) else {
+        return Ok(false);
+    };
+    let front = state.front_indices();
+    if front.contains(&position) {
+        return Ok(true);
+    }
+    let point = state.archive[position].objectives.as_maximization();
+    let dominator = front
+        .iter()
+        .find(|&&i| dominates_nd(&state.archive[i].objectives.as_maximization(), &point))
+        .map(|&i| state.archive[i].arch_name.clone())
+        .unwrap_or_else(|| "front".into());
+    Err(dominator)
+}
+
+struct RunReport {
+    benchmark: String,
+    evaluations: u64,
+    archive: usize,
+    front: usize,
+    yield_hits: u64,
+    eff_full: Result<bool, String>,
+    checkpoint: PathBuf,
+}
+
+fn run_one(
+    name: &str,
+    config: ExploreConfig,
+    out_dir: &PathBuf,
+    resume_state: Option<ExploreState>,
+) -> RunReport {
+    std::fs::create_dir_all(out_dir).expect("create output directory");
+    let circuit = qpd_benchmarks::build(name).expect("known benchmark");
+    let space = ExploreSpace::new(circuit, config.max_aux);
+    let explorer = Explorer::new(space, config).expect("baseline design");
+    let mut state = match resume_state {
+        Some(state) => state,
+        None => explorer.initial_state().expect("initial evaluations"),
+    };
+    while state.rounds_done < config.rounds {
+        explorer.advance_round(&mut state).expect("round");
+        // Checkpoint after every round: a killed run resumes from here.
+        let checkpoint = Checkpoint { run: name.to_string(), config, state: state.clone() };
+        checkpoint.write(out_dir).expect("write checkpoint");
+    }
+    // Always (re)write the final state: never report a stale file that
+    // happened to be sitting in the output directory.
+    let checkpoint = Checkpoint { run: name.to_string(), config, state: state.clone() };
+    let checkpoint_path = checkpoint.write(out_dir).expect("write checkpoint");
+    let cache = explorer.cache();
+    RunReport {
+        benchmark: name.to_string(),
+        evaluations: cache.yields.hits() + cache.yields.misses(),
+        archive: state.archive.len(),
+        front: state.front_indices().len(),
+        yield_hits: cache.yields.hits(),
+        eff_full: eff_full_status(explorer.space(), &state),
+        checkpoint: checkpoint_path,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let config = config_from(&args);
+
+    // Resume mode: continue one checkpointed run. The checkpoint's
+    // config governs the walk streams, so only the round budget may be
+    // overridden (extending a finished run is fine — later rounds get
+    // fresh `(seed, walk, round)` streams); every other override would
+    // silently change what the original run was, so reject it loudly.
+    if let Some(path) = &args.resume {
+        if args.walks.is_some() || args.steps.is_some() || args.seed.is_some() || args.quick {
+            panic!("--resume uses the checkpoint's config; only --rounds may be combined with it");
+        }
+        let text = std::fs::read_to_string(path).expect("readable checkpoint");
+        let mut checkpoint = Checkpoint::parse(&text).expect("valid checkpoint");
+        if let Some(rounds) = args.rounds {
+            checkpoint.config.rounds = rounds;
+        }
+        eprintln!(
+            "resuming {} at round {}/{}",
+            checkpoint.run, checkpoint.state.rounds_done, checkpoint.config.rounds
+        );
+        let report = run_one(
+            &checkpoint.run.clone(),
+            checkpoint.config,
+            &args.out_dir,
+            Some(checkpoint.state),
+        );
+        print_table(&[report]);
+        return;
+    }
+
+    let names: Vec<String> = if args.names.is_empty() {
+        if args.quick {
+            vec!["sym6_145".to_string()]
+        } else {
+            // The paper profiles small enough to search end-to-end in
+            // one sitting; pass names explicitly for the rest.
+            vec!["sym6_145".to_string(), "UCCSD_ansatz_8".to_string(), "z4_268".to_string()]
+        }
+    } else {
+        args.names.clone()
+    };
+
+    let mut reports = Vec::new();
+    for name in &names {
+        eprint!("exploring {name} ... ");
+        let start = std::time::Instant::now();
+        let report = run_one(name, config, &args.out_dir, None);
+        eprintln!("done ({:.1?})", start.elapsed());
+        reports.push(report);
+    }
+    print_table(&reports);
+
+    if args.check {
+        check(&reports);
+    }
+}
+
+fn print_table(reports: &[RunReport]) {
+    println!(
+        "\n{:<16} {:>6} {:>8} {:>6} {:>10}  {:<26} checkpoint",
+        "benchmark", "evals", "archive", "front", "cache-hit", "eff-full"
+    );
+    for r in reports {
+        let eff = match &r.eff_full {
+            Ok(true) => "on front".to_string(),
+            Ok(false) => "NOT EVALUATED".to_string(),
+            Err(by) => format!("dominated by {by}"),
+        };
+        println!(
+            "{:<16} {:>6} {:>8} {:>6} {:>10}  {:<26} {}",
+            r.benchmark,
+            r.evaluations,
+            r.archive,
+            r.front,
+            r.yield_hits,
+            eff,
+            r.checkpoint.display()
+        );
+    }
+}
+
+/// Smoke assertions for CI: non-empty front, eff-full evaluated, and a
+/// checkpoint that parses back to the exact same bytes.
+fn check(reports: &[RunReport]) {
+    let mut failures = Vec::new();
+    for r in reports {
+        if r.front == 0 {
+            failures.push(format!("{}: empty Pareto front", r.benchmark));
+        }
+        if matches!(r.eff_full, Ok(false)) {
+            failures.push(format!("{}: eff-full was never evaluated", r.benchmark));
+        }
+        let text = std::fs::read_to_string(&r.checkpoint).expect("checkpoint readable");
+        match Checkpoint::parse(&text) {
+            Ok(parsed) => {
+                if parsed.render() != text {
+                    failures.push(format!("{}: checkpoint not a render fixpoint", r.benchmark));
+                }
+            }
+            Err(e) => failures.push(format!("{}: checkpoint unparseable: {e}", r.benchmark)),
+        }
+    }
+    if failures.is_empty() {
+        println!("\ncheck: all smoke invariants hold");
+    } else {
+        for f in &failures {
+            eprintln!("check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

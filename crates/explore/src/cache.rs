@@ -1,0 +1,178 @@
+//! Content-keyed memoization of candidate evaluations.
+//!
+//! The search revisits architectures constantly — walks cross paths,
+//! swap moves undo themselves, the weighted prefix reappears after a
+//! layout toggle. Every evaluation is deterministic in its content key,
+//! so a repeated candidate is **never** re-simulated: the yield memo
+//! keys on [`qpd_yield::YieldSimulator::content_key`] (structure +
+//! designed frequencies + simulator settings) and the routing memo keys
+//! on the coupling structure alone (routing never reads frequencies).
+//!
+//! Sharing the table across worker threads cannot break determinism:
+//! whichever walk inserts first, the value is the same one every other
+//! walk would have computed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A shared memo table from content key to value, with hit/miss
+/// counters for throughput reporting.
+#[derive(Debug, Default)]
+pub struct Memo<V: Clone> {
+    table: Mutex<HashMap<u64, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> Memo<V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Memo {
+            table: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached value for `key`, counting a hit when present.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let found = self.table.lock().expect("memo poisoned").get(&key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records a freshly computed value, counting a miss. The value must
+    /// be a pure function of the key's content — that is what makes
+    /// cross-thread sharing deterministic: two threads may race to
+    /// compute the same key, but both produce the identical value.
+    pub fn insert(&self, key: u64, value: V) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.table.lock().expect("memo poisoned").entry(key).or_insert(value);
+    }
+
+    /// The value for `key`, computing and inserting it on first demand
+    /// (compute runs outside the lock: evaluations are expensive and fan
+    /// out onto the same worker pool).
+    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key, v.clone());
+        v
+    }
+
+    /// Number of lookups served from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.table.lock().expect("memo poisoned").len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every stored value; the counters keep accumulating.
+    pub fn clear(&self) {
+        self.table.lock().expect("memo poisoned").clear();
+    }
+}
+
+/// The two memo tables one exploration run shares across its walks.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    /// Yield estimates: `(successes, trials)` by yield content key.
+    pub yields: Memo<(u64, u64)>,
+    /// Routing results: `(total_gates, routed_depth)` by topology key.
+    pub routes: Memo<(u64, u64)>,
+}
+
+impl EvalCache {
+    /// Empty caches.
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// Drops every stored value (hit/miss counters keep accumulating).
+    /// `bench_snapshot`'s cold-cache kernel uses this to re-measure
+    /// uncached evaluation without rebuilding the engine.
+    pub fn clear(&self) {
+        self.yields.clear();
+        self.routes.clear();
+    }
+}
+
+// The routing (topology-only) keys use the same FNV-1a hasher the yield
+// content keys are built from.
+pub use qpd_yield::Fnv64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_computes_once_per_key() {
+        let memo: Memo<u64> = Memo::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = memo.get_or_insert_with(42, || {
+                calls += 1;
+                7
+            });
+            assert_eq!(v, 7);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_entries() {
+        let memo: Memo<u64> = Memo::new();
+        assert_eq!(memo.get_or_insert_with(1, || 10), 10);
+        assert_eq!(memo.get_or_insert_with(2, || 20), 20);
+        assert_eq!(memo.len(), 2);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn clear_drops_values_not_counters() {
+        let memo: Memo<u64> = Memo::new();
+        memo.insert(1, 10);
+        assert_eq!(memo.len(), 1);
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.misses(), 1, "counters survive a clear");
+        // A cleared key recomputes.
+        assert_eq!(memo.get(1), None);
+    }
+
+    #[test]
+    fn fnv_is_order_sensitive_and_stable() {
+        let mut a = Fnv64::new();
+        a.push(1);
+        a.push(2);
+        let mut b = Fnv64::new();
+        b.push(2);
+        b.push(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.push(1);
+        c.push(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+}

@@ -1,0 +1,251 @@
+//! Checkpoint/resume: the run state as a hand-rolled JSON document.
+//!
+//! The serde shim's derives are no-ops, so persistence goes through
+//! [`crate::json`] instead. Everything that must round-trip exactly is
+//! stored losslessly: counts as plain integers, `u64` keys and seeds as
+//! decimal strings (beyond f64-exact range), and `f64` knobs with
+//! Rust's shortest-round-trip formatting. Rendering is deterministic —
+//! the determinism tests compare checkpoint *bytes* across thread
+//! counts — and a resumed run continues the walk streams exactly where
+//! the file says they stopped.
+
+use std::path::{Path, PathBuf};
+
+use crate::engine::{pareto_indices, ExploreConfig, ExploreError, ExploreState, WalkState};
+use crate::json::Json;
+use crate::spec::{CandidateSpec, Evaluated, Objectives};
+
+/// On-disk schema tag; bump on breaking layout changes.
+pub const SCHEMA: &str = "qpd-explore-checkpoint/1";
+
+/// A complete, resumable snapshot of one exploration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Run label (the profiled benchmark's name, typically); also names
+    /// the default checkpoint file.
+    pub run: String,
+    /// The run's configuration — a resumed run must re-use it.
+    pub config: ExploreConfig,
+    /// The search state after `state.rounds_done` rounds.
+    pub state: ExploreState,
+}
+
+impl Checkpoint {
+    /// The conventional file name for a run label: `EXPLORE_<run>.json`.
+    pub fn file_name(run: &str) -> String {
+        format!("EXPLORE_{run}.json")
+    }
+
+    /// Renders the checkpoint document (stable bytes: insertion-ordered
+    /// keys, shortest-round-trip floats).
+    pub fn render(&self) -> String {
+        let front_keys: Vec<Json> = pareto_indices(&self.state.archive)
+            .into_iter()
+            .map(|i| Json::str(self.state.archive[i].key.to_string()))
+            .collect();
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("run", Json::str(&self.run)),
+            ("config", config_to_json(&self.config)),
+            ("rounds_done", Json::int(self.state.rounds_done as u64)),
+            (
+                "walks",
+                Json::Arr(
+                    self.state
+                        .walks
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                ("spec", w.spec.to_json()),
+                                ("objectives", w.objectives.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            // Derived from the archive; stored for human readers and
+            // recomputed (not trusted) on load.
+            ("front", Json::Arr(front_keys)),
+            ("archive", Json::Arr(self.state.archive.iter().map(Evaluated::to_json).collect())),
+        ])
+        .render()
+    }
+
+    /// Writes `EXPLORE_<run>.json` under `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(Self::file_name(&self.run));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// Parses a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Checkpoint`] on malformed input.
+    pub fn parse(text: &str) -> Result<Checkpoint, ExploreError> {
+        let bad = |what: &str| ExploreError::Checkpoint(what.to_string());
+        let doc = Json::parse(text).map_err(|e| ExploreError::Checkpoint(e.to_string()))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => {
+                return Err(ExploreError::Checkpoint(format!("unsupported schema `{other}`")))
+            }
+            None => return Err(bad("missing schema")),
+        }
+        let run = doc.get("run").and_then(Json::as_str).ok_or_else(|| bad("missing run"))?;
+        let config = config_from_json(doc.get("config").ok_or_else(|| bad("missing config"))?)
+            .ok_or_else(|| bad("malformed config"))?;
+        let rounds_done = doc
+            .get("rounds_done")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing rounds_done"))? as usize;
+        let mut walks = Vec::new();
+        for w in doc.get("walks").and_then(Json::as_arr).ok_or_else(|| bad("missing walks"))? {
+            let spec = w
+                .get("spec")
+                .and_then(CandidateSpec::from_json)
+                .ok_or_else(|| bad("malformed walk spec"))?;
+            let objectives = w
+                .get("objectives")
+                .and_then(Objectives::from_json)
+                .ok_or_else(|| bad("malformed walk objectives"))?;
+            walks.push(WalkState { spec, objectives });
+        }
+        let mut archive = Vec::new();
+        for e in doc.get("archive").and_then(Json::as_arr).ok_or_else(|| bad("missing archive"))? {
+            archive.push(Evaluated::from_json(e).ok_or_else(|| bad("malformed archive entry"))?);
+        }
+        if walks.len() != config.walks {
+            return Err(bad("walk count does not match config"));
+        }
+        Ok(Checkpoint {
+            run: run.to_string(),
+            config,
+            state: ExploreState { rounds_done, walks, archive },
+        })
+    }
+}
+
+fn config_to_json(c: &ExploreConfig) -> Json {
+    Json::obj([
+        ("walks", Json::int(c.walks as u64)),
+        ("rounds", Json::int(c.rounds as u64)),
+        ("steps_per_round", Json::int(c.steps_per_round as u64)),
+        ("seed", Json::str(c.seed.to_string())),
+        ("max_aux", Json::int(c.max_aux as u64)),
+        ("alloc_trials", Json::int(c.alloc_trials as u64)),
+        ("yield_trials", Json::int(c.yield_trials)),
+        ("sigma_ghz", Json::num(c.sigma_ghz)),
+        ("initial_temperature", Json::num(c.initial_temperature)),
+        ("cooling", Json::num(c.cooling)),
+    ])
+}
+
+fn config_from_json(json: &Json) -> Option<ExploreConfig> {
+    Some(ExploreConfig {
+        walks: json.get("walks")?.as_u64()? as usize,
+        rounds: json.get("rounds")?.as_u64()? as usize,
+        steps_per_round: json.get("steps_per_round")?.as_u64()? as usize,
+        seed: json.get("seed")?.as_str()?.parse().ok()?,
+        max_aux: json.get("max_aux")?.as_u64()? as usize,
+        alloc_trials: json.get("alloc_trials")?.as_u64()? as usize,
+        yield_trials: json.get("yield_trials")?.as_u64()?,
+        sigma_ghz: json.get("sigma_ghz")?.as_f64()?,
+        initial_temperature: json.get("initial_temperature")?.as_f64()?,
+        cooling: json.get("cooling")?.as_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BusSpec;
+    use qpd_core::FrequencyStrategy;
+    use qpd_topology::Square;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let objectives = Objectives {
+            yield_successes: 321,
+            yield_trials: 600,
+            total_gates: 140,
+            routed_depth: 77,
+            hardware_cost: 2,
+        };
+        let spec = CandidateSpec {
+            bus: BusSpec::Explicit(vec![Square::new(0, 1), Square::new(2, 2)]),
+            frequency: FrequencyStrategy::Optimized,
+            aux_qubits: 1,
+            placement: crate::spec::PlacementVariant::Transposed,
+        };
+        Checkpoint {
+            run: "sym6_145".into(),
+            config: ExploreConfig { walks: 1, seed: u64::MAX - 3, ..ExploreConfig::quick() },
+            state: ExploreState {
+                rounds_done: 1,
+                walks: vec![WalkState { spec: spec.clone(), objectives }],
+                archive: vec![Evaluated {
+                    spec,
+                    arch_name: "eff-7q-b2".into(),
+                    key: 0xdead_beef_dead_beef,
+                    objectives,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exactly() {
+        let cp = sample_checkpoint();
+        let bytes = cp.render();
+        let back = Checkpoint::parse(&bytes).unwrap();
+        assert_eq!(back, cp);
+        // Render is a fixpoint: parse(render(x)).render() == render(x).
+        assert_eq!(back.render(), bytes);
+    }
+
+    #[test]
+    fn file_name_convention() {
+        assert_eq!(Checkpoint::file_name("qft_16"), "EXPLORE_qft_16.json");
+    }
+
+    #[test]
+    fn sigma_survives_exactly() {
+        let mut cp = sample_checkpoint();
+        cp.config.sigma_ghz = 0.1 + 0.2; // deliberately non-representable nicely
+        let back = Checkpoint::parse(&cp.render()).unwrap();
+        assert_eq!(back.config.sigma_ghz.to_bits(), cp.config.sigma_ghz.to_bits());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_garbage() {
+        assert!(matches!(
+            Checkpoint::parse("{\"schema\": \"other/9\"}"),
+            Err(ExploreError::Checkpoint(_))
+        ));
+        assert!(Checkpoint::parse("not json").is_err());
+        // Walk count mismatch is caught.
+        let mut cp = sample_checkpoint();
+        cp.config.walks = 5;
+        assert!(matches!(
+            Checkpoint::parse(&cp.render()),
+            Err(ExploreError::Checkpoint(m)) if m.contains("walk count")
+        ));
+    }
+
+    #[test]
+    fn write_creates_the_conventional_file() {
+        let dir = std::env::temp_dir().join("qpd_explore_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cp = sample_checkpoint();
+        let path = cp.write(&dir).unwrap();
+        assert!(path.ends_with("EXPLORE_sym6_145.json"));
+        let back = Checkpoint::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, cp);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,616 @@
+//! The exploration engine: seeded simulated-annealing walks over the
+//! knob space, fanned out on the `qpd-par` pool, with a deterministic
+//! merge into a Pareto archive.
+//!
+//! # Determinism
+//!
+//! The run is bit-identical for every `QPD_THREADS` value and for a
+//! resumed run, by construction:
+//!
+//! - each walk's RNG stream is derived from `(seed, walk, round)` only —
+//!   never from thread identity or timing — and a walk consumes its
+//!   stream exclusively for move selection and acceptance;
+//! - every candidate evaluation is a pure function of its content
+//!   (profile, knobs, simulator settings), so the shared memo cache can
+//!   only change *when* a value is computed, never *what* it is;
+//! - per-round results are merged in walk order, and the archive dedupes
+//!   by content key keeping the first occurrence.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use qpd_core::{DesignError, DesignFlow, FrequencyStrategy};
+use qpd_mapping::{MappingError, SabreRouter};
+use qpd_topology::Architecture;
+use qpd_yield::{YieldError, YieldSimulator};
+
+use crate::cache::{EvalCache, Fnv64};
+use crate::space::ExploreSpace;
+use crate::spec::{CandidateSpec, Evaluated, Objectives};
+
+/// Budgets and knob bounds of one exploration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExploreConfig {
+    /// Independent annealing walks (fanned out on the worker pool).
+    pub walks: usize,
+    /// Rounds of the search; a checkpoint can be cut after any round.
+    pub rounds: usize,
+    /// Mutation/evaluation steps each walk takes per round.
+    pub steps_per_round: usize,
+    /// Base seed; every stream in the run derives from it.
+    pub seed: u64,
+    /// Largest auxiliary-qubit count in scope.
+    pub max_aux: usize,
+    /// Monte Carlo trials inside frequency allocation.
+    pub alloc_trials: usize,
+    /// Monte Carlo trials per yield estimate.
+    pub yield_trials: u64,
+    /// Fabrication precision in GHz.
+    pub sigma_ghz: f64,
+    /// Initial annealing temperature (in units of scalarized energy).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor per global step, in `(0, 1]`.
+    pub cooling: f64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            walks: 6,
+            rounds: 4,
+            steps_per_round: 6,
+            seed: 0,
+            max_aux: 2,
+            alloc_trials: 400,
+            yield_trials: 2_000,
+            sigma_ghz: 0.030,
+            initial_temperature: 0.08,
+            cooling: 0.92,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// A tiny-budget configuration for tests and CI smoke runs.
+    pub fn quick() -> Self {
+        ExploreConfig {
+            walks: 3,
+            rounds: 2,
+            steps_per_round: 3,
+            max_aux: 1,
+            alloc_trials: 80,
+            yield_trials: 600,
+            ..ExploreConfig::default()
+        }
+    }
+}
+
+/// Error from the exploration engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// A candidate failed to materialize.
+    Design(DesignError),
+    /// Routing the benchmark onto a candidate failed.
+    Mapping(MappingError),
+    /// Yield simulation failed.
+    Yield(YieldError),
+    /// A checkpoint could not be parsed.
+    Checkpoint(String),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Design(e) => write!(f, "candidate design failed: {e}"),
+            ExploreError::Mapping(e) => write!(f, "candidate routing failed: {e}"),
+            ExploreError::Yield(e) => write!(f, "candidate yield simulation failed: {e}"),
+            ExploreError::Checkpoint(m) => write!(f, "checkpoint invalid: {m}"),
+        }
+    }
+}
+
+impl Error for ExploreError {}
+
+impl From<DesignError> for ExploreError {
+    fn from(e: DesignError) -> Self {
+        ExploreError::Design(e)
+    }
+}
+
+impl From<MappingError> for ExploreError {
+    fn from(e: MappingError) -> Self {
+        ExploreError::Mapping(e)
+    }
+}
+
+impl From<YieldError> for ExploreError {
+    fn from(e: YieldError) -> Self {
+        ExploreError::Yield(e)
+    }
+}
+
+/// One walk's live position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkState {
+    /// The walk's current spec.
+    pub spec: CandidateSpec,
+    /// The current spec's objectives (for the acceptance rule).
+    pub objectives: Objectives,
+}
+
+/// The resumable state of a run: how far it got, where each walk
+/// stands, and everything evaluated so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreState {
+    /// Completed rounds.
+    pub rounds_done: usize,
+    /// Per-walk positions, walk order.
+    pub walks: Vec<WalkState>,
+    /// All distinct evaluated points, in first-evaluation order.
+    pub archive: Vec<Evaluated>,
+}
+
+impl ExploreState {
+    /// Indices into [`Self::archive`] of the non-dominated points.
+    pub fn front_indices(&self) -> Vec<usize> {
+        pareto_indices(&self.archive)
+    }
+
+    /// The non-dominated points themselves, archive order.
+    pub fn front(&self) -> Vec<&Evaluated> {
+        self.front_indices().into_iter().map(|i| &self.archive[i]).collect()
+    }
+}
+
+/// Indices of the Pareto-optimal entries of an archive (yield up, gate
+/// count / depth / hardware cost down).
+pub fn pareto_indices(archive: &[Evaluated]) -> Vec<usize> {
+    let points: Vec<Vec<f64>> = archive.iter().map(|e| e.objectives.as_maximization()).collect();
+    qpd_core::pareto_front_nd(&points)
+}
+
+/// The engine: a space, a budget, and the shared evaluation cache.
+#[derive(Debug)]
+pub struct Explorer {
+    space: ExploreSpace,
+    config: ExploreConfig,
+    cache: EvalCache,
+    /// Gate count of the zero-bus identity design — the scalarization
+    /// scale for the performance and depth terms.
+    baseline_gates: u64,
+    baseline_depth: u64,
+}
+
+impl Explorer {
+    /// Builds an engine, routing the zero-bus baseline once to anchor
+    /// the energy scalarization.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the baseline design cannot be built or routed.
+    pub fn new(space: ExploreSpace, config: ExploreConfig) -> Result<Self, ExploreError> {
+        let mut explorer = Explorer {
+            space,
+            config,
+            cache: EvalCache::new(),
+            baseline_gates: 1,
+            baseline_depth: 1,
+        };
+        let baseline = CandidateSpec {
+            bus: crate::spec::BusSpec::Weighted { count: 0 },
+            frequency: FrequencyStrategy::FiveFrequency,
+            aux_qubits: 0,
+            placement: crate::spec::PlacementVariant::Identity,
+        };
+        let arch = explorer.materialize(&baseline)?;
+        let (gates, depth) = explorer.route(&arch)?;
+        explorer.baseline_gates = gates;
+        explorer.baseline_depth = depth;
+        Ok(explorer)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExploreConfig {
+        &self.config
+    }
+
+    /// The space being searched.
+    pub fn space(&self) -> &ExploreSpace {
+        &self.space
+    }
+
+    /// The shared evaluation cache (hit/miss counters for reporting).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    fn flow(&self, frequency: FrequencyStrategy) -> DesignFlow {
+        DesignFlow::new()
+            .with_frequency_strategy(frequency)
+            .with_allocation_trials(self.config.alloc_trials)
+            .with_allocation_seed(self.config.seed)
+            .with_sigma_ghz(self.config.sigma_ghz)
+    }
+
+    fn simulator(&self) -> YieldSimulator {
+        YieldSimulator::new()
+            .with_trials(self.config.yield_trials)
+            .with_seed(self.config.seed)
+            .with_sigma_ghz(self.config.sigma_ghz)
+    }
+
+    fn materialize(&self, spec: &CandidateSpec) -> Result<Architecture, ExploreError> {
+        let (coords, squares) = self.space.resolve(spec);
+        Ok(self.flow(spec.frequency).design_with_layout(&coords, &squares)?)
+    }
+
+    /// Routing key: the coupling structure only (frequencies are
+    /// invisible to the router).
+    fn topology_key(arch: &Architecture) -> u64 {
+        let mut h = Fnv64::new();
+        h.push(arch.num_qubits() as u64);
+        for c in arch.coords() {
+            h.push(((c.row as u32 as u64) << 32) | c.col as u32 as u64);
+        }
+        for &(a, b) in arch.coupling_edges() {
+            h.push(((a as u64) << 32) | b as u64);
+        }
+        h.finish()
+    }
+
+    fn route(&self, arch: &Architecture) -> Result<(u64, u64), ExploreError> {
+        let key = Self::topology_key(arch);
+        if let Some(v) = self.cache.routes.get(key) {
+            return Ok(v);
+        }
+        let mapped = SabreRouter::new(arch).route(self.space.circuit())?;
+        let stats = mapped.stats();
+        let v = (stats.total_gates as u64, stats.routed_depth as u64);
+        self.cache.routes.insert(key, v);
+        Ok(v)
+    }
+
+    /// Evaluates one candidate, memoized end to end: routing by
+    /// topology, yield by full content. Repeated candidates cost two
+    /// hash lookups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design, routing, and yield failures.
+    pub fn evaluate(&self, spec: &CandidateSpec) -> Result<Evaluated, ExploreError> {
+        let arch = self.materialize(spec)?;
+        let (total_gates, routed_depth) = self.route(&arch)?;
+        let sim = self.simulator();
+        let key = sim.content_key(&arch)?;
+        let (yield_successes, yield_trials) = match self.cache.yields.get(key) {
+            Some(v) => v,
+            None => {
+                let estimate = sim.estimate(&arch)?;
+                let v = (estimate.successes(), estimate.trials());
+                self.cache.yields.insert(key, v);
+                v
+            }
+        };
+        // The layout resolver clamps out-of-range auxiliary counts to
+        // the space's bound; cost the clamped value actually built, so
+        // equal content keys always carry equal objective vectors.
+        let aux_built = spec.aux_qubits.min(self.space.max_aux()) as u64;
+        let hardware_cost = arch.four_qubit_buses().len() as u64 + aux_built;
+        Ok(Evaluated {
+            spec: spec.clone(),
+            arch_name: arch.name().to_string(),
+            key,
+            objectives: Objectives {
+                yield_successes,
+                yield_trials,
+                total_gates,
+                routed_depth,
+                hardware_cost,
+            },
+        })
+    }
+
+    /// The walk's scalarization weights: a fixed pure function of the
+    /// walk index, spreading the walks across the objective trade-offs.
+    fn walk_weights(&self, walk: usize) -> [f64; 4] {
+        let mut w = [0.0; 4];
+        for (i, slot) in w.iter_mut().enumerate() {
+            let x = splitmix(self.config.seed ^ ((walk as u64) << 8) ^ i as u64);
+            *slot = 0.25 + 0.75 * (x >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        w
+    }
+
+    fn energy(&self, o: &Objectives, weights: &[f64; 4]) -> f64 {
+        let perf = self.baseline_gates as f64 / o.total_gates as f64;
+        let depth = self.baseline_depth as f64 / o.routed_depth as f64;
+        let cost = 1.0 / (1.0 + o.hardware_cost as f64);
+        -(weights[0] * o.yield_rate() + weights[1] * perf + weights[2] * depth + weights[3] * cost)
+    }
+
+    /// The walk's starting point. Walk 0 always starts at the paper's
+    /// `eff-full` configuration, so that design is an evaluated point of
+    /// every run; the rest spread over bus budgets, strategies, and
+    /// layout variants.
+    fn initial_spec(&self, walk: usize) -> CandidateSpec {
+        use crate::spec::{BusSpec, PlacementVariant};
+        let full = self.space.full_weighted_len();
+        if walk == 0 {
+            return CandidateSpec::eff_full(full);
+        }
+        let bus = if walk % 3 == 2 {
+            BusSpec::Random {
+                seed: self.config.seed ^ walk as u64,
+                count: 1 + (walk % full.max(1)),
+            }
+        } else {
+            BusSpec::Weighted { count: walk * full / self.config.walks.max(1) }
+        };
+        CandidateSpec {
+            bus,
+            frequency: if walk.is_multiple_of(2) {
+                FrequencyStrategy::Optimized
+            } else {
+                FrequencyStrategy::FiveFrequency
+            },
+            aux_qubits: walk % (self.config.max_aux + 1),
+            placement: if walk % 4 == 3 {
+                PlacementVariant::Transposed
+            } else {
+                PlacementVariant::Identity
+            },
+        }
+    }
+
+    fn walk_rng(&self, walk: usize, round: usize) -> ChaCha8Rng {
+        let a = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(walk as u64 + 1);
+        let b = 0xd134_2543_de82_ef95u64.wrapping_mul(round as u64 + 1);
+        ChaCha8Rng::seed_from_u64(self.config.seed ^ a ^ b)
+    }
+
+    /// Evaluates every walk's starting spec; round count 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure, in walk order.
+    pub fn initial_state(&self) -> Result<ExploreState, ExploreError> {
+        let specs: Vec<CandidateSpec> =
+            (0..self.config.walks).map(|w| self.initial_spec(w)).collect();
+        let evals = qpd_par::par_map(&specs, |spec| self.evaluate(spec));
+        let mut archive = Vec::new();
+        let mut seen = HashMap::new();
+        let mut walks = Vec::with_capacity(specs.len());
+        for (spec, eval) in specs.into_iter().zip(evals) {
+            let eval = eval?;
+            walks.push(WalkState { spec, objectives: eval.objectives });
+            push_dedup(&mut archive, &mut seen, eval);
+        }
+        Ok(ExploreState { rounds_done: 0, walks, archive })
+    }
+
+    /// Runs one round: every walk takes `steps_per_round` annealing
+    /// steps in parallel, then the results merge in walk order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure, in walk order.
+    pub fn advance_round(&self, state: &mut ExploreState) -> Result<(), ExploreError> {
+        let round = state.rounds_done;
+        let walk_inputs: Vec<(usize, WalkState)> =
+            state.walks.iter().cloned().enumerate().collect();
+        let outcomes =
+            qpd_par::par_map(&walk_inputs, |(walk, start)| self.walk_round(*walk, start, round));
+        let mut seen: HashMap<u64, usize> =
+            state.archive.iter().enumerate().map(|(i, e)| (e.key, i)).collect();
+        for (walk, outcome) in outcomes.into_iter().enumerate() {
+            let (end, evals) = outcome?;
+            state.walks[walk] = end;
+            for eval in evals {
+                push_dedup(&mut state.archive, &mut seen, eval);
+            }
+        }
+        state.rounds_done = round + 1;
+        Ok(())
+    }
+
+    fn walk_round(
+        &self,
+        walk: usize,
+        start: &WalkState,
+        round: usize,
+    ) -> Result<(WalkState, Vec<Evaluated>), ExploreError> {
+        let mut rng = self.walk_rng(walk, round);
+        let weights = self.walk_weights(walk);
+        let mut current = start.clone();
+        let mut evals = Vec::with_capacity(self.config.steps_per_round);
+        for step in 0..self.config.steps_per_round {
+            let candidate_spec = self.space.mutate(&current.spec, &mut rng);
+            let eval = self.evaluate(&candidate_spec)?;
+            let current_energy = self.energy(&current.objectives, &weights);
+            let candidate_energy = self.energy(&eval.objectives, &weights);
+            let delta = candidate_energy - current_energy;
+            let accept = if delta <= 0.0 {
+                true
+            } else {
+                let global_step = (round * self.config.steps_per_round + step) as i32;
+                let temperature =
+                    self.config.initial_temperature * self.config.cooling.powi(global_step);
+                let p = (-delta / temperature).exp();
+                rng.gen::<f64>() < p
+            };
+            if accept {
+                current = WalkState { spec: eval.spec.clone(), objectives: eval.objectives };
+            }
+            evals.push(eval);
+        }
+        Ok((current, evals))
+    }
+
+    /// Continues `state` until the configured round budget is spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure.
+    pub fn resume(&self, mut state: ExploreState) -> Result<ExploreState, ExploreError> {
+        while state.rounds_done < self.config.rounds {
+            self.advance_round(&mut state)?;
+        }
+        Ok(state)
+    }
+
+    /// A full run: initial evaluations plus every configured round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure.
+    pub fn run(&self) -> Result<ExploreState, ExploreError> {
+        self.resume(self.initial_state()?)
+    }
+}
+
+/// Appends `eval` unless its content key is already archived.
+fn push_dedup(archive: &mut Vec<Evaluated>, seen: &mut HashMap<u64, usize>, eval: Evaluated) {
+    if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(eval.key) {
+        slot.insert(archive.len());
+        archive.push(eval);
+    }
+}
+
+/// SplitMix64 finalizer: the engine's cheap pure mixing function.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpd_circuit::Circuit;
+
+    fn demo_circuit() -> Circuit {
+        let mut c = Circuit::new(6);
+        for _ in 0..3 {
+            c.cx(0, 1).cx(1, 2).cx(3, 4).cx(4, 5).cx(0, 3).cx(1, 4).cx(2, 5);
+        }
+        c.cx(0, 4).cx(1, 3).cx(1, 5).cx(2, 4);
+        c
+    }
+
+    fn quick_explorer(seed: u64) -> Explorer {
+        let config = ExploreConfig { seed, ..ExploreConfig::quick() };
+        Explorer::new(ExploreSpace::new(demo_circuit(), config.max_aux), config).unwrap()
+    }
+
+    #[test]
+    fn run_produces_a_nonempty_front_with_eff_full() {
+        let explorer = quick_explorer(0);
+        let state = explorer.run().unwrap();
+        assert_eq!(state.rounds_done, explorer.config().rounds);
+        assert!(!state.archive.is_empty());
+        let front = state.front_indices();
+        assert!(!front.is_empty());
+        // Walk 0 starts at eff-full: it must be an evaluated point.
+        let full = explorer.space().full_weighted_len();
+        let eff_full = CandidateSpec::eff_full(full);
+        assert!(
+            state.archive.iter().any(|e| e.spec == eff_full),
+            "eff-full missing from the archive"
+        );
+    }
+
+    #[test]
+    fn archive_keys_are_unique() {
+        let state = quick_explorer(1).run().unwrap();
+        let mut keys: Vec<u64> = state.archive.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "archive contains duplicate content keys");
+    }
+
+    #[test]
+    fn repeated_runs_are_identical() {
+        let a = quick_explorer(7).run().unwrap();
+        let b = quick_explorer(7).run().unwrap();
+        assert_eq!(a, b);
+        let c = quick_explorer(8).run().unwrap();
+        assert_ne!(a.archive, c.archive, "different seeds should explore differently");
+    }
+
+    #[test]
+    fn resume_mid_run_matches_uninterrupted() {
+        let explorer = quick_explorer(3);
+        let uninterrupted = explorer.run().unwrap();
+        // Cut after the first round, then resume on a *fresh* engine
+        // (empty caches), as a process restart would.
+        let mut partial = explorer.initial_state().unwrap();
+        explorer.advance_round(&mut partial).unwrap();
+        let resumed = quick_explorer(3).resume(partial).unwrap();
+        assert_eq!(uninterrupted, resumed);
+    }
+
+    #[test]
+    fn cache_hits_accumulate() {
+        let explorer = quick_explorer(2);
+        let state = explorer.run().unwrap();
+        // Evaluations happened, and memoization actually served repeats:
+        // the dedup'd archive is smaller than the evaluation count, and
+        // every one of those repeats must have been a yield-cache hit.
+        assert!(explorer.cache().yields.misses() > 0);
+        assert!(
+            explorer.cache().yields.hits() > 0,
+            "no memo hits: the content-keyed cache is not being consulted"
+        );
+        let evaluations = explorer.config().walks
+            * (1 + explorer.config().rounds * explorer.config().steps_per_round);
+        assert!(state.archive.len() <= evaluations);
+    }
+
+    #[test]
+    fn out_of_range_aux_is_clamped_consistently() {
+        // A spec asking for more auxiliary qubits than the space bounds
+        // must evaluate exactly like the clamped spec — same content
+        // key *and* same objectives — so the archive dedup can never
+        // depend on which form evaluated first.
+        let explorer = quick_explorer(0);
+        let max = explorer.space().max_aux();
+        let clamped = CandidateSpec {
+            aux_qubits: max,
+            ..CandidateSpec::eff_full(explorer.space().full_weighted_len())
+        };
+        let oversized = CandidateSpec { aux_qubits: max + 4, ..clamped.clone() };
+        let a = explorer.evaluate(&clamped).unwrap();
+        let b = explorer.evaluate(&oversized).unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.objectives, b.objectives);
+    }
+
+    #[test]
+    fn front_is_actually_nondominated() {
+        let state = quick_explorer(5).run().unwrap();
+        let front = state.front();
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !qpd_core::dominates_nd(
+                            &a.objectives.as_maximization(),
+                            &b.objectives.as_maximization()
+                        ),
+                        "front point {} dominates front point {}",
+                        a.arch_name,
+                        b.arch_name
+                    );
+                }
+            }
+        }
+    }
+}

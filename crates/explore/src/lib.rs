@@ -1,0 +1,59 @@
+//! Design-space exploration over the paper's flow (paper §6, "Exploring
+//! More Design Space").
+//!
+//! The paper's pipeline produces *one* architecture series per profile:
+//! greedy bus selection, then center-out frequency search. Its own
+//! evaluation shows the interesting story is the trade-off *space* —
+//! yield against circuit performance against hardware cost. This crate
+//! treats the whole [`qpd_core::DesignFlow`] as a point evaluator and
+//! searches over its knobs:
+//!
+//! - bus-selection strategy and budget, plus seeded add/remove/swap
+//!   perturbations of the square set (prohibited condition preserved);
+//! - frequency strategy (optimized Algorithm 3 vs. the 5-frequency
+//!   pattern);
+//! - auxiliary-qubit count and placement variants.
+//!
+//! [`Explorer`] runs seeded simulated-annealing walks fanned out on the
+//! [`qpd_par`] pool, maintains a Pareto archive over four objectives
+//! (Monte Carlo yield, post-mapping gate count, routed depth, hardware
+//! cost = buses + auxiliary qubits), and memoizes evaluations behind
+//! content keys ([`cache`]) so no candidate architecture is ever
+//! simulated twice. Runs are **bit-identical for every `QPD_THREADS`
+//! value**, and [`Checkpoint`] persists the state as hand-rolled JSON
+//! (`EXPLORE_<run>.json`) from which a killed run resumes exactly.
+//!
+//! ```
+//! use qpd_circuit::Circuit;
+//! use qpd_explore::{ExploreConfig, ExploreSpace, Explorer};
+//!
+//! // A small program with diagonal coupling demand.
+//! let mut program = Circuit::new(6);
+//! for _ in 0..3 {
+//!     program.cx(0, 1).cx(1, 2).cx(3, 4).cx(4, 5).cx(0, 3).cx(1, 4).cx(2, 5);
+//! }
+//! program.cx(0, 4).cx(1, 3);
+//!
+//! let config = ExploreConfig { rounds: 1, ..ExploreConfig::quick() };
+//! let space = ExploreSpace::new(program, config.max_aux);
+//! let explorer = Explorer::new(space, config).unwrap();
+//! let state = explorer.run().unwrap();
+//! assert!(!state.front().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod checkpoint;
+pub mod engine;
+pub mod json;
+pub mod space;
+pub mod spec;
+
+pub use cache::EvalCache;
+pub use checkpoint::Checkpoint;
+pub use engine::{pareto_indices, ExploreConfig, ExploreError, ExploreState, Explorer, WalkState};
+pub use json::Json;
+pub use space::ExploreSpace;
+pub use spec::{BusSpec, CandidateSpec, Evaluated, Objectives, PlacementVariant};

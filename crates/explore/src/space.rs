@@ -1,0 +1,355 @@
+//! The search space: knob bounds, layout variants, and perturbation
+//! moves over one profiled program.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use qpd_circuit::Circuit;
+use qpd_core::{
+    candidate_squares, place_auxiliary, place_qubits, select_buses_random, select_buses_weighted,
+};
+use qpd_profile::CouplingProfile;
+use qpd_topology::{Coord, Square};
+
+use crate::spec::{BusSpec, CandidateSpec, PlacementVariant};
+
+/// One precomputed layout: the coordinates and square universe for an
+/// (auxiliary count, placement variant) combination.
+#[derive(Debug, Clone)]
+struct Layout {
+    coords: Vec<Coord>,
+    /// All squares with >= 3 placed corners, ascending by origin.
+    candidates: Vec<Square>,
+    /// Algorithm 2's full weighted selection order.
+    weighted_order: Vec<Square>,
+}
+
+/// The design space over one profiled program: every knob combination a
+/// [`CandidateSpec`] can name, with the layouts precomputed so resolving
+/// and mutating candidates is cheap and allocation-free of surprises.
+#[derive(Debug, Clone)]
+pub struct ExploreSpace {
+    profile: CouplingProfile,
+    circuit: Circuit,
+    max_aux: usize,
+    /// Indexed `[variant][aux]`, variant 0 = identity, 1 = transposed.
+    layouts: Vec<Vec<Layout>>,
+}
+
+fn transpose(coords: &[Coord]) -> Vec<Coord> {
+    coords.iter().map(|c| Coord::new(c.col, c.row)).collect()
+}
+
+impl ExploreSpace {
+    /// Builds the space for a program: its coupling profile (placement,
+    /// bus weights) and the circuit itself (the routing objective), with
+    /// auxiliary-qubit counts `0..=max_aux` in scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no qubits.
+    pub fn new(circuit: Circuit, max_aux: usize) -> Self {
+        let profile = CouplingProfile::of(&circuit);
+        assert!(profile.num_qubits() > 0, "cannot explore an empty program");
+        let base = place_qubits(&profile);
+        let layouts = [false, true]
+            .iter()
+            .map(|&transposed| {
+                let placed = if transposed { transpose(&base) } else { base.clone() };
+                (0..=max_aux)
+                    .map(|aux| {
+                        let mut coords = placed.clone();
+                        if aux > 0 {
+                            coords.extend(place_auxiliary(&coords, aux));
+                        }
+                        let candidates = candidate_squares(&coords);
+                        let weighted_order = select_buses_weighted(&coords, &profile, usize::MAX);
+                        Layout { coords, candidates, weighted_order }
+                    })
+                    .collect()
+            })
+            .collect();
+        ExploreSpace { profile, circuit, max_aux, layouts }
+    }
+
+    /// The profiled program's coupling profile.
+    pub fn profile(&self) -> &CouplingProfile {
+        &self.profile
+    }
+
+    /// The program being routed against every candidate.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The largest auxiliary-qubit count in scope.
+    pub fn max_aux(&self) -> usize {
+        self.max_aux
+    }
+
+    /// Length of the full weighted bus order for the identity layout —
+    /// the `eff-full` bus count.
+    pub fn full_weighted_len(&self) -> usize {
+        self.layouts[0][0].weighted_order.len()
+    }
+
+    fn layout(&self, spec: &CandidateSpec) -> &Layout {
+        let variant = match spec.placement {
+            PlacementVariant::Identity => 0,
+            PlacementVariant::Transposed => 1,
+        };
+        &self.layouts[variant][spec.aux_qubits.min(self.max_aux)]
+    }
+
+    /// Materializes a spec into coordinates and a concrete square set.
+    /// Explicit sets pass through; strategy-derived sets are resolved
+    /// against the spec's layout.
+    pub fn resolve(&self, spec: &CandidateSpec) -> (Vec<Coord>, Vec<Square>) {
+        let layout = self.layout(spec);
+        let squares = match &spec.bus {
+            BusSpec::Weighted { count } => {
+                let k = (*count).min(layout.weighted_order.len());
+                layout.weighted_order[..k].to_vec()
+            }
+            BusSpec::Random { seed, count } => select_buses_random(&layout.coords, *count, *seed),
+            BusSpec::Explicit(squares) => squares.clone(),
+        };
+        (layout.coords.clone(), squares)
+    }
+
+    /// Squares of `layout` that can join `set` without violating the
+    /// prohibited condition, ascending.
+    fn addable(&self, layout: &Layout, set: &[Square]) -> Vec<Square> {
+        layout
+            .candidates
+            .iter()
+            .copied()
+            .filter(|s| !set.contains(s) && !set.iter().any(|t| s.neighbors4().contains(t)))
+            .collect()
+    }
+
+    /// One perturbation move: a new spec differing from `spec` in one
+    /// knob — frequency strategy, auxiliary count, placement variant, a
+    /// bus-set square move (add / remove / swap under the prohibited
+    /// condition), or a reseeded random selection. Deterministic in the
+    /// RNG state; inapplicable moves fall through to the next kind.
+    pub fn mutate(&self, spec: &CandidateSpec, rng: &mut ChaCha8Rng) -> CandidateSpec {
+        const KINDS: u32 = 6;
+        let base_kind = rng.gen_range(0..KINDS);
+        for attempt in 0..KINDS {
+            let kind = (base_kind + attempt) % KINDS;
+            if let Some(next) = self.apply_move(spec, kind, rng) {
+                return next;
+            }
+        }
+        spec.clone()
+    }
+
+    fn apply_move(
+        &self,
+        spec: &CandidateSpec,
+        kind: u32,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<CandidateSpec> {
+        use qpd_core::FrequencyStrategy;
+        let mut next = spec.clone();
+        match kind {
+            // Toggle the frequency strategy.
+            0 => {
+                next.frequency = match spec.frequency {
+                    FrequencyStrategy::Optimized => FrequencyStrategy::FiveFrequency,
+                    FrequencyStrategy::FiveFrequency => FrequencyStrategy::Optimized,
+                };
+                Some(next)
+            }
+            // Re-draw the auxiliary count (always different from the
+            // current one).
+            1 => {
+                if self.max_aux == 0 {
+                    return None;
+                }
+                let offset = rng.gen_range(0..self.max_aux as u32) as usize;
+                next.aux_qubits = (spec.aux_qubits + 1 + offset) % (self.max_aux + 1);
+                self.rebase_buses(&mut next);
+                Some(next)
+            }
+            // Toggle the placement variant.
+            2 => {
+                next.placement = match spec.placement {
+                    PlacementVariant::Identity => PlacementVariant::Transposed,
+                    PlacementVariant::Transposed => PlacementVariant::Identity,
+                };
+                self.rebase_buses(&mut next);
+                Some(next)
+            }
+            // Square moves on the explicit set.
+            3 => self.square_add(spec, rng),
+            4 => self.square_remove(spec, rng),
+            5 => self.square_swap(spec, rng),
+            _ => unreachable!("move kind out of range"),
+        }
+    }
+
+    /// After a layout change (auxiliary count or placement variant) the
+    /// old square set may reference coordinates that no longer exist;
+    /// re-derive it from the weighted order at the same budget.
+    fn rebase_buses(&self, spec: &mut CandidateSpec) {
+        let budget = match &spec.bus {
+            BusSpec::Weighted { count } => *count,
+            BusSpec::Random { count, .. } => *count,
+            BusSpec::Explicit(squares) => squares.len(),
+        };
+        let order_len = self.layout(spec).weighted_order.len();
+        spec.bus = BusSpec::Weighted { count: budget.min(order_len) };
+    }
+
+    fn square_add(&self, spec: &CandidateSpec, rng: &mut ChaCha8Rng) -> Option<CandidateSpec> {
+        let layout = self.layout(spec);
+        let (_, set) = self.resolve(spec);
+        let avail = self.addable(layout, &set);
+        if avail.is_empty() {
+            return None;
+        }
+        let pick = avail[rng.gen_range(0..avail.len())];
+        let mut squares = set;
+        squares.push(pick);
+        squares.sort_unstable();
+        Some(CandidateSpec { bus: BusSpec::Explicit(squares), ..spec.clone() })
+    }
+
+    fn square_remove(&self, spec: &CandidateSpec, rng: &mut ChaCha8Rng) -> Option<CandidateSpec> {
+        let (_, mut squares) = self.resolve(spec);
+        if squares.is_empty() {
+            return None;
+        }
+        squares.remove(rng.gen_range(0..squares.len()));
+        squares.sort_unstable();
+        Some(CandidateSpec { bus: BusSpec::Explicit(squares), ..spec.clone() })
+    }
+
+    fn square_swap(&self, spec: &CandidateSpec, rng: &mut ChaCha8Rng) -> Option<CandidateSpec> {
+        let layout = self.layout(spec);
+        let (_, mut squares) = self.resolve(spec);
+        if squares.is_empty() {
+            return None;
+        }
+        squares.remove(rng.gen_range(0..squares.len()));
+        let avail = self.addable(layout, &squares);
+        if avail.is_empty() {
+            return None;
+        }
+        squares.push(avail[rng.gen_range(0..avail.len())]);
+        squares.sort_unstable();
+        Some(CandidateSpec { bus: BusSpec::Explicit(squares), ..spec.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A 6-qubit program with enough diagonal demand to make squares
+    /// attractive.
+    fn demo_circuit() -> Circuit {
+        let mut c = Circuit::new(6);
+        for _ in 0..4 {
+            c.cx(0, 1).cx(1, 2).cx(3, 4).cx(4, 5).cx(0, 3).cx(1, 4).cx(2, 5);
+        }
+        c.cx(0, 4).cx(1, 3).cx(1, 5).cx(2, 4);
+        c
+    }
+
+    fn space() -> ExploreSpace {
+        ExploreSpace::new(demo_circuit(), 2)
+    }
+
+    #[test]
+    fn eff_full_resolves_to_the_weighted_selection() {
+        let space = space();
+        let spec = CandidateSpec::eff_full(space.full_weighted_len());
+        let (coords, squares) = space.resolve(&spec);
+        assert_eq!(coords.len(), 6);
+        assert_eq!(squares.len(), space.full_weighted_len());
+        assert!(space.full_weighted_len() >= 1, "demo profile should want a bus");
+    }
+
+    #[test]
+    fn transposed_layout_swaps_rows_and_columns() {
+        let space = space();
+        let id =
+            CandidateSpec { placement: PlacementVariant::Identity, ..CandidateSpec::eff_full(0) };
+        let tr =
+            CandidateSpec { placement: PlacementVariant::Transposed, ..CandidateSpec::eff_full(0) };
+        let (a, _) = space.resolve(&id);
+        let (b, _) = space.resolve(&tr);
+        assert_eq!(b, transpose(&a));
+    }
+
+    #[test]
+    fn aux_qubits_extend_coords() {
+        let space = space();
+        let spec = CandidateSpec { aux_qubits: 2, ..CandidateSpec::eff_full(0) };
+        let (coords, _) = space.resolve(&spec);
+        assert_eq!(coords.len(), 8);
+        // All distinct.
+        let mut sorted = coords.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn mutation_preserves_prohibited_condition() {
+        let space = space();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut spec = CandidateSpec::eff_full(space.full_weighted_len());
+        for step in 0..60 {
+            spec = space.mutate(&spec, &mut rng);
+            let (coords, squares) = space.resolve(&spec);
+            for (i, a) in squares.iter().enumerate() {
+                for b in &squares[i + 1..] {
+                    assert!(!a.neighbors4().contains(b), "step {step}: adjacent {a:?} {b:?}");
+                }
+                // Each square still has >= 3 placed corners.
+                let corners = a.corners().iter().filter(|c| coords.contains(c)).count();
+                assert!(corners >= 3, "step {step}: floating square {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_in_the_stream() {
+        let space = space();
+        let spec = CandidateSpec::eff_full(space.full_weighted_len());
+        let walk = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut s = spec.clone();
+            (0..20)
+                .map(|_| {
+                    s = space.mutate(&s, &mut rng);
+                    s.clone()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(walk(3), walk(3));
+        assert_ne!(walk(3), walk(4), "different seeds should diverge");
+    }
+
+    #[test]
+    fn mutation_changes_something() {
+        let space = space();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let spec = CandidateSpec::eff_full(space.full_weighted_len());
+        let mut changed = 0;
+        let mut s = spec.clone();
+        for _ in 0..30 {
+            let next = space.mutate(&s, &mut rng);
+            if next != s {
+                changed += 1;
+            }
+            s = next;
+        }
+        assert!(changed >= 25, "only {changed}/30 moves changed the spec");
+    }
+}

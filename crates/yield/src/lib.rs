@@ -32,4 +32,4 @@ pub use analytic::{pair_collision_probability, pairwise_yield_estimate};
 pub use collision::{CollisionChecker, CollisionEvent, CollisionParams};
 pub use local::{CompiledRegions, LocalYieldEvaluator};
 pub use model::FabricationModel;
-pub use simulator::{YieldError, YieldEstimate, YieldSimulator};
+pub use simulator::{Fnv64, YieldError, YieldEstimate, YieldSimulator};

@@ -418,6 +418,205 @@ fn pass2_block(
     counts
 }
 
+/// The candidate-independent context of one decision: the remapped
+/// constraint lists pass 1 filters trials against, shared by the scalar
+/// and SIMD filter kernels (and by the record emitter, which reads
+/// frequencies through an accessor so both layouts reuse it).
+struct Pass1Ctx<'a> {
+    params: &'a CollisionParams,
+    /// Designed frequencies of the active columns (`0.0` at `qi`).
+    base: &'a [f64],
+    /// Active column count.
+    m: usize,
+    /// Column of the qubit being decided.
+    qi: usize,
+    /// `f64`s per emitted record.
+    stride: usize,
+    q_pair_others: &'a [u32],
+    ctx_pairs: &'a [(u32, u32)],
+    triples_j: &'a [(u32, u32)],
+    triples_i: &'a [(u32, u32)],
+    triples_k: &'a [(u32, u32)],
+    ctx_triples: &'a [(u32, u32, u32)],
+}
+
+impl Pass1Ctx<'_> {
+    /// Whether a trial's candidate-independent constraints collide: the
+    /// pure-context pairs and triples, plus conditions 5/6 of the j==q
+    /// triples (which never read q's frequency). `get` maps an active
+    /// column to the trial's noisy frequency.
+    fn context_collides(&self, get: impl Fn(usize) -> f64 + Copy) -> bool {
+        let p = self.params;
+        let gap = -p.anharmonicity_ghz;
+        self.ctx_pairs.iter().any(|&(a, b)| p.pair_collides(get(a as usize), get(b as usize)))
+            || self.ctx_triples.iter().any(|&(j, i, k)| {
+                p.triple_collides(get(j as usize), get(i as usize), get(k as usize))
+            })
+            || self.triples_j.iter().any(|&(i, k)| {
+                let d = (get(i as usize) - get(k as usize)).abs();
+                d < p.t_degenerate_ghz || (d - gap).abs() < p.t_full_ghz
+            })
+    }
+
+    /// Appends one surviving trial's flat record (see the layout comment
+    /// in [`LocalYieldEvaluator::evaluate_region`]).
+    fn emit_record(&self, get: impl Fn(usize) -> f64 + Copy, block: &mut Vec<f64>) {
+        let gap = -self.params.anharmonicity_ghz;
+        block.push(get(self.qi));
+        for &o in self.q_pair_others {
+            block.push(get(o as usize));
+        }
+        for &(i, k) in self.triples_j {
+            block.push(get(i as usize));
+            block.push(get(k as usize));
+        }
+        for &(j, k) in self.triples_i {
+            block.push(2.0 * get(j as usize) - gap);
+            block.push(get(k as usize));
+        }
+        for &(j, i) in self.triples_k {
+            let fi = get(i as usize);
+            block.push((2.0 * get(j as usize) - gap) - fi);
+            block.push(fi);
+        }
+    }
+
+    /// Filters a row-major block of noise rows into surviving records,
+    /// on the best kernel the host supports. All kernels use the same
+    /// IEEE-exact operations, so the surviving set — and the record
+    /// bytes — never depend on host SIMD support (or on the dispatch
+    /// heuristic below, which only picks who computes them).
+    fn filter_rows(&self, noise: &[f64], block: &mut Vec<f64>) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // The vector kernel pays a per-row-block transpose; with
+            // only a couple of context constraints the scalar kernel's
+            // early exit wins, so dispatch on the constraint count.
+            let constraints = self.ctx_pairs.len() + self.ctx_triples.len() + self.triples_j.len();
+            if constraints >= 3 && std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 was just detected.
+                unsafe { self.filter_rows_avx2(noise, block) };
+                return;
+            }
+        }
+        self.filter_rows_scalar(noise, block);
+    }
+
+    fn filter_rows_scalar(&self, noise: &[f64], block: &mut Vec<f64>) {
+        let mut freqs = vec![0.0f64; self.m];
+        for noise_row in noise.chunks_exact(self.m) {
+            for ((f, &b), &n) in freqs.iter_mut().zip(self.base).zip(noise_row) {
+                *f = b + n;
+            }
+            if !self.context_collides(|i| freqs[i]) {
+                self.emit_record(|i| freqs[i], block);
+            }
+        }
+    }
+
+    /// Four trials per vector: rows are transposed into column-major
+    /// lanes, every context constraint is checked across the four trials
+    /// at once, and survivors are emitted in row order. The ragged tail
+    /// falls back to the scalar kernel.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn filter_rows_avx2(&self, noise: &[f64], block: &mut Vec<f64>) {
+        const LANES: usize = 4;
+        let m = self.m;
+        let rows = noise.len() / m;
+        let full_blocks = rows / LANES;
+        let mut tf = vec![0.0f64; m * LANES];
+        for blk in 0..full_blocks {
+            let quad = &noise[blk * LANES * m..(blk + 1) * LANES * m];
+            // Transpose: tf[c * LANES + lane] = base[c] + noise[lane][c]
+            // — the same addition the scalar kernel performs.
+            for (lane, row) in quad.chunks_exact(m).enumerate() {
+                for ((c, &b), &n) in self.base.iter().enumerate().zip(row) {
+                    tf[c * LANES + lane] = b + n;
+                }
+            }
+            let collided = self.context_collided_avx2(&tf);
+            for lane in 0..LANES {
+                if collided & (1 << lane) == 0 {
+                    self.emit_record(|i| tf[i * LANES + lane], block);
+                }
+            }
+        }
+        self.filter_rows_scalar(&noise[full_blocks * LANES * m..], block);
+    }
+
+    /// Lane mask (bit set = collided) of the four transposed trials in
+    /// `tf`. Every operation is an IEEE-exact counterpart of
+    /// [`Self::context_collides`] — add/sub/mul/abs/ordered-compare, no
+    /// FMA, no reassociation — so the mask is bit-identical to four
+    /// scalar evaluations.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn context_collided_avx2(&self, tf: &[f64]) -> u32 {
+        use std::arch::x86_64::*;
+        const LANES: usize = 4;
+        const ALL: u32 = 0xF;
+        let p = self.params;
+        let gap = -p.anharmonicity_ghz;
+        let sign = _mm256_set1_pd(-0.0);
+        let v_gap = _mm256_set1_pd(gap);
+        let v_g2 = _mm256_set1_pd(gap / 2.0);
+        let v_deg = _mm256_set1_pd(p.t_degenerate_ghz);
+        let v_half = _mm256_set1_pd(p.t_half_ghz);
+        let v_full = _mm256_set1_pd(p.t_full_ghz);
+        let v_two = _mm256_set1_pd(p.t_two_photon_ghz);
+        let v_2 = _mm256_set1_pd(2.0);
+        let abs = |x: __m256d| _mm256_andnot_pd(sign, x);
+        let col = |i: u32| _mm256_loadu_pd(tf.as_ptr().add(i as usize * LANES));
+
+        let mut coll = _mm256_setzero_pd();
+        for &(a, b) in self.ctx_pairs {
+            let d = abs(_mm256_sub_pd(col(a), col(b)));
+            let m = _mm256_or_pd(
+                _mm256_or_pd(
+                    _mm256_cmp_pd::<_CMP_LT_OQ>(d, v_deg),
+                    _mm256_cmp_pd::<_CMP_LT_OQ>(abs(_mm256_sub_pd(d, v_g2)), v_half),
+                ),
+                _mm256_or_pd(
+                    _mm256_cmp_pd::<_CMP_LT_OQ>(abs(_mm256_sub_pd(d, v_gap)), v_full),
+                    _mm256_cmp_pd::<_CMP_GT_OQ>(d, v_gap),
+                ),
+            );
+            coll = _mm256_or_pd(coll, m);
+        }
+        if _mm256_movemask_pd(coll) as u32 == ALL {
+            return ALL;
+        }
+        for &(j, i, k) in self.ctx_triples {
+            let (fj, fi, fk) = (col(j), col(i), col(k));
+            let d = abs(_mm256_sub_pd(fi, fk));
+            // ((2 f_j - gap) - f_i) - f_k: the scalar association.
+            let term =
+                _mm256_sub_pd(_mm256_sub_pd(_mm256_sub_pd(_mm256_mul_pd(v_2, fj), v_gap), fi), fk);
+            let m = _mm256_or_pd(
+                _mm256_or_pd(
+                    _mm256_cmp_pd::<_CMP_LT_OQ>(d, v_deg),
+                    _mm256_cmp_pd::<_CMP_LT_OQ>(abs(_mm256_sub_pd(d, v_gap)), v_full),
+                ),
+                _mm256_cmp_pd::<_CMP_LT_OQ>(abs(term), v_two),
+            );
+            coll = _mm256_or_pd(coll, m);
+        }
+        if _mm256_movemask_pd(coll) as u32 == ALL {
+            return ALL;
+        }
+        for &(i, k) in self.triples_j {
+            let d = abs(_mm256_sub_pd(col(i), col(k)));
+            let m = _mm256_or_pd(
+                _mm256_cmp_pd::<_CMP_LT_OQ>(d, v_deg),
+                _mm256_cmp_pd::<_CMP_LT_OQ>(abs(_mm256_sub_pd(d, v_gap)), v_full),
+            );
+            coll = _mm256_or_pd(coll, m);
+        }
+        _mm256_movemask_pd(coll) as u32
+    }
+}
+
 /// One qubit's precompiled local region: membership and constraint lists
 /// in region-local slots, independent of any particular partial
 /// assignment.
@@ -729,7 +928,6 @@ impl LocalYieldEvaluator {
         self.fill_noise(q, &mut noise);
 
         let p = self.params;
-        let gap = -p.anharmonicity_ghz;
 
         // Pass 1 — context filtering into flat SoA records. A surviving
         // trial's record holds exactly the operands the per-candidate
@@ -742,60 +940,30 @@ impl LocalYieldEvaluator {
         //     ((2 f_j - gap) - f_i, f_i)       per k==q triple ]
         // The j==q triples' conditions 5/6 do not involve q's frequency
         // at all, so they are folded into this pass: a trial tripping
-        // them fails for *every* candidate and is dropped here.
+        // them fails for *every* candidate and is dropped here. The
+        // constraint checks run four trials per vector on AVX2 hosts
+        // ([`Pass1Ctx::filter_rows`]), bit-identically to the scalar
+        // kernel, and fan out over the pool in fixed row chunks.
         let stride =
             1 + q_pair_others.len() + 2 * (triples_j.len() + triples_i.len() + triples_k.len());
+        let ctx = Pass1Ctx {
+            params: &p,
+            base: &base,
+            m,
+            qi,
+            stride,
+            q_pair_others: &q_pair_others,
+            ctx_pairs: &ctx_pairs,
+            triples_j: &triples_j,
+            triples_i: &triples_i,
+            triples_k: &triples_k,
+            ctx_triples: &ctx_triples,
+        };
         let chunk_rows =
             self.trials.div_ceil(4 * qpd_par::threads()).max(64).min(self.trials.max(1));
         let blocks: Vec<Vec<f64>> = qpd_par::par_chunks(&noise, chunk_rows * m, |_, slice| {
-            let rows = slice.len() / m;
-            let mut block = Vec::with_capacity(rows * stride);
-            let mut freqs = vec![0.0f64; m];
-            let mut record = vec![0.0f64; stride];
-            for noise_row in slice.chunks_exact(m) {
-                for ((f, &b), &n) in freqs.iter_mut().zip(&base).zip(noise_row) {
-                    *f = b + n;
-                }
-                let ctx_ok = ctx_pairs
-                    .iter()
-                    .all(|&(a, b)| !p.pair_collides(freqs[a as usize], freqs[b as usize]))
-                    && ctx_triples.iter().all(|&(j, i, k)| {
-                        !p.triple_collides(freqs[j as usize], freqs[i as usize], freqs[k as usize])
-                    });
-                if !ctx_ok {
-                    continue;
-                }
-                let shared_neighbor_clean = triples_j.iter().all(|&(i, k)| {
-                    let d = (freqs[i as usize] - freqs[k as usize]).abs();
-                    d >= p.t_degenerate_ghz && (d - gap).abs() >= p.t_full_ghz
-                });
-                if !shared_neighbor_clean {
-                    continue;
-                }
-                record[0] = freqs[qi];
-                let mut at = 1;
-                for &o in &q_pair_others {
-                    record[at] = freqs[o as usize];
-                    at += 1;
-                }
-                for &(i, k) in &triples_j {
-                    record[at] = freqs[i as usize];
-                    record[at + 1] = freqs[k as usize];
-                    at += 2;
-                }
-                for &(j, k) in &triples_i {
-                    record[at] = 2.0 * freqs[j as usize] - gap;
-                    record[at + 1] = freqs[k as usize];
-                    at += 2;
-                }
-                for &(j, i) in &triples_k {
-                    let fi = freqs[i as usize];
-                    record[at] = (2.0 * freqs[j as usize] - gap) - fi;
-                    record[at + 1] = fi;
-                    at += 2;
-                }
-                block.extend_from_slice(&record);
-            }
+            let mut block = Vec::with_capacity((slice.len() / m) * ctx.stride);
+            ctx.filter_rows(slice, &mut block);
             block
         });
         let live = blocks.concat();
@@ -1144,6 +1312,51 @@ mod tests {
             assert_eq!(scalar, run_simd(pass2_avx512::LANES, true), "avx512");
         }
         assert!(scalar.iter().any(|&c| c > 0) && scalar.iter().any(|&c| c < 257));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_pass1_matches_scalar_filter() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        // A synthetic decision context exercising every constraint class.
+        let p = CollisionParams::default();
+        let base = [0.0, 5.10, 5.20, 5.05, 5.15, 5.25];
+        let ctx = Pass1Ctx {
+            params: &p,
+            base: &base,
+            m: 6,
+            qi: 0,
+            stride: 1 + 2 + 2 * (2 + 1 + 1),
+            q_pair_others: &[1, 2],
+            ctx_pairs: &[(1, 2), (3, 4)],
+            triples_j: &[(1, 2), (3, 5)],
+            triples_i: &[(1, 4)],
+            triples_k: &[(2, 3)],
+            ctx_triples: &[(1, 3, 4), (2, 4, 5)],
+        };
+        // 1,003 rows (ragged tail included) of deterministic pseudo-noise
+        // wide enough to trip and clear every condition.
+        let mut x = 0.618f64;
+        let noise: Vec<f64> = (0..1_003 * 6)
+            .map(|_| {
+                x = (x * 997.0 + 0.1234).fract();
+                0.40 * x - 0.20
+            })
+            .collect();
+        let mut scalar = Vec::new();
+        ctx.filter_rows_scalar(&noise, &mut scalar);
+        let mut simd = Vec::new();
+        unsafe { ctx.filter_rows_avx2(&noise, &mut simd) };
+        assert_eq!(scalar.len(), simd.len(), "different survivor counts");
+        assert!(
+            scalar.iter().zip(&simd).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "record bytes differ"
+        );
+        // The filter is doing real work: some survive, some do not.
+        let survivors = scalar.len() / ctx.stride;
+        assert!(survivors > 0 && survivors < 1_003, "survivors {survivors}");
     }
 
     #[test]

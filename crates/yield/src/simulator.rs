@@ -92,6 +92,40 @@ impl fmt::Display for YieldEstimate {
     }
 }
 
+/// Incremental FNV-1a 64-bit hasher over `u64` words — tiny, stable, and
+/// dependency-free, which is all a content-addressed memo key needs.
+/// Public so evaluation caches (the design-space explorer) derive their
+/// own content keys with the same function [`YieldSimulator::content_key`]
+/// uses.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one word into the hash, byte by byte.
+    pub fn push(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The final hash value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
 /// Monte Carlo yield simulator.
 ///
 /// Defaults follow the paper's evaluation setup (§5.1): 10,000 trials and
@@ -192,6 +226,41 @@ impl YieldSimulator {
     pub fn estimate(&self, arch: &Architecture) -> Result<YieldEstimate, YieldError> {
         let plan = arch.frequencies().ok_or(YieldError::MissingFrequencyPlan)?;
         Ok(self.estimate_with_frequencies(arch, plan.as_slice()))
+    }
+
+    /// Content key for memoizing [`Self::estimate`]: an FNV-1a hash of
+    /// everything the estimate depends on — the simulator's trials, seed,
+    /// noise model, and collision parameters, plus the architecture's
+    /// coupling structure and designed frequencies. Two calls with equal
+    /// keys return identical estimates, so evaluation caches (the
+    /// design-space explorer's memo table) can safely key on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YieldError::MissingFrequencyPlan`] if none is attached.
+    pub fn content_key(&self, arch: &Architecture) -> Result<u64, YieldError> {
+        let plan = arch.frequencies().ok_or(YieldError::MissingFrequencyPlan)?;
+        let mut h = Fnv64::new();
+        h.push(self.trials);
+        h.push(self.seed);
+        h.push(self.model.sigma_ghz().to_bits());
+        for t in [
+            self.params.anharmonicity_ghz,
+            self.params.t_degenerate_ghz,
+            self.params.t_half_ghz,
+            self.params.t_full_ghz,
+            self.params.t_two_photon_ghz,
+        ] {
+            h.push(t.to_bits());
+        }
+        h.push(arch.num_qubits() as u64);
+        for &(a, b) in arch.coupling_edges() {
+            h.push(((a as u64) << 32) | b as u64);
+        }
+        for &f in plan.as_slice() {
+            h.push(f.to_bits());
+        }
+        Ok(h.finish())
     }
 
     /// Estimates yield for an explicit designed-frequency vector (GHz).
@@ -413,6 +482,39 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_panics() {
         let _ = YieldSimulator::new().with_trials(0);
+    }
+
+    #[test]
+    fn content_key_distinguishes_what_matters() {
+        let arch = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+        let sim = YieldSimulator::new().with_trials(2_000).with_seed(3);
+        let k = sim.content_key(&arch).unwrap();
+        // Stable across calls.
+        assert_eq!(k, sim.content_key(&arch).unwrap());
+        // Sensitive to simulator settings...
+        assert_ne!(k, sim.with_seed(4).content_key(&arch).unwrap());
+        assert_ne!(k, sim.with_trials(2_001).content_key(&arch).unwrap());
+        assert_ne!(k, sim.with_sigma_ghz(0.031).content_key(&arch).unwrap());
+        // ...to the coupling structure...
+        let dense = ibm::ibm_16q_2x8(BusMode::MaxFourQubit);
+        assert_ne!(k, sim.content_key(&dense).unwrap());
+        // ...and to the designed frequencies.
+        let plan = arch.frequencies().unwrap().clone();
+        let mut shifted = plan.as_slice().to_vec();
+        shifted[0] += 0.001;
+        let moved = arch.clone().with_frequencies(FrequencyPlan::new(shifted)).unwrap();
+        assert_ne!(k, sim.content_key(&moved).unwrap());
+    }
+
+    #[test]
+    fn content_key_requires_a_plan() {
+        let mut b = Architecture::builder("bare");
+        b.qubit(0, 0).qubit(0, 1);
+        let arch = b.build().unwrap();
+        assert_eq!(
+            YieldSimulator::new().content_key(&arch).unwrap_err(),
+            YieldError::MissingFrequencyPlan
+        );
     }
 
     #[test]

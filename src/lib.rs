@@ -18,6 +18,7 @@
 //! | [`yield_sim`] | `qpd-yield` | collision model, Monte Carlo yield |
 //! | [`mapping`] | `qpd-mapping` | SABRE routing (performance metric) |
 //! | [`design`] | `qpd-core` | the three-subroutine design flow |
+//! | [`explore`] | `qpd-explore` | multi-objective design-space search over the flow's knobs |
 //! | [`eval`] | `qpd-eval` | the §5 experiment harness |
 //! | [`par`] | `qpd-par` | deterministic worker pool for the hot kernels |
 //!
@@ -59,6 +60,7 @@ pub use qpd_benchmarks as benchmarks;
 pub use qpd_circuit as circuit;
 pub use qpd_core as design;
 pub use qpd_eval as eval;
+pub use qpd_explore as explore;
 pub use qpd_mapping as mapping;
 pub use qpd_par as par;
 pub use qpd_profile as profile;
@@ -69,6 +71,7 @@ pub use qpd_yield as yield_sim;
 pub mod prelude {
     pub use qpd_circuit::{Circuit, Gate, Qubit};
     pub use qpd_core::{BusStrategy, DesignFlow, FrequencyAllocator, FrequencyStrategy};
+    pub use qpd_explore::{ExploreConfig, ExploreSpace, Explorer};
     pub use qpd_mapping::{GreedyRouter, SabreRouter};
     pub use qpd_profile::{CouplingProfile, PatternReport, PatternShape};
     pub use qpd_topology::{Architecture, BusMode, Coord, FrequencyPlan, Square};

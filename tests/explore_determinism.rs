@@ -1,0 +1,90 @@
+//! Determinism of the design-space explorer (the PR 3 subsystem): the
+//! Pareto front and the checkpoint *bytes* must be identical for every
+//! `QPD_THREADS` value, and a killed-then-resumed run must reproduce the
+//! uninterrupted run exactly — including when the resume crosses a
+//! process boundary (state round-tripped through checkpoint bytes and a
+//! fresh engine with cold caches).
+
+use proptest::prelude::*;
+
+use qpd::explore::{Checkpoint, ExploreConfig, ExploreSpace, Explorer};
+use qpd::prelude::*;
+
+/// A small program with enough diagonal demand for square moves.
+fn demo_circuit(extra_layers: usize) -> Circuit {
+    let mut c = Circuit::new(6);
+    for _ in 0..(1 + extra_layers) {
+        c.cx(0, 1).cx(1, 2).cx(3, 4).cx(4, 5).cx(0, 3).cx(1, 4).cx(2, 5);
+    }
+    c.cx(0, 4).cx(1, 3).cx(1, 5).cx(2, 4);
+    c
+}
+
+fn tiny_config(seed: u64) -> ExploreConfig {
+    ExploreConfig {
+        walks: 3,
+        rounds: 2,
+        steps_per_round: 2,
+        seed,
+        max_aux: 1,
+        alloc_trials: 60,
+        yield_trials: 400,
+        ..ExploreConfig::quick()
+    }
+}
+
+fn explorer(seed: u64, extra_layers: usize) -> Explorer {
+    let config = tiny_config(seed);
+    Explorer::new(ExploreSpace::new(demo_circuit(extra_layers), config.max_aux), config).unwrap()
+}
+
+fn checkpoint_bytes(seed: u64, state: &qpd::explore::ExploreState) -> String {
+    Checkpoint { run: "prop".into(), config: tiny_config(seed), state: state.clone() }.render()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The satellite requirement: front and checkpoint bytes are
+    /// bit-identical for `QPD_THREADS` ∈ {1, 2, 8}.
+    #[test]
+    fn front_and_checkpoint_bytes_invariant_under_thread_count(
+        seed in 0u64..1_000,
+        extra_layers in 0usize..2,
+    ) {
+        let serial = qpd::par::with_threads(1, || explorer(seed, extra_layers).run().unwrap());
+        let serial_bytes = checkpoint_bytes(seed, &serial);
+        prop_assert!(!serial.front_indices().is_empty());
+        for threads in [2usize, 8] {
+            let pooled =
+                qpd::par::with_threads(threads, || explorer(seed, extra_layers).run().unwrap());
+            prop_assert_eq!(&serial.front_indices(), &pooled.front_indices(),
+                "front differs at {} threads", threads);
+            prop_assert_eq!(&serial_bytes, &checkpoint_bytes(seed, &pooled),
+                "checkpoint bytes differ at {} threads", threads);
+        }
+    }
+
+    /// A run cut after one round, persisted to checkpoint bytes, and
+    /// resumed on a fresh engine (cold caches, as after a process kill)
+    /// reproduces the uninterrupted run exactly.
+    #[test]
+    fn resume_from_checkpoint_equals_uninterrupted(seed in 0u64..1_000) {
+        let engine = explorer(seed, 0);
+        let uninterrupted = engine.run().unwrap();
+
+        let mut partial = engine.initial_state().unwrap();
+        engine.advance_round(&mut partial).unwrap();
+        let bytes = checkpoint_bytes(seed, &partial);
+        let restored = Checkpoint::parse(&bytes).unwrap();
+        prop_assert_eq!(&restored.state, &partial);
+
+        let fresh = explorer(seed, 0);
+        let resumed = fresh.resume(restored.state).unwrap();
+        prop_assert_eq!(&resumed, &uninterrupted);
+        prop_assert_eq!(
+            checkpoint_bytes(seed, &resumed),
+            checkpoint_bytes(seed, &uninterrupted)
+        );
+    }
+}
