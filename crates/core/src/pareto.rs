@@ -62,6 +62,98 @@ pub fn pareto_front_nd(points: &[Vec<f64>]) -> Vec<usize> {
         .collect()
 }
 
+/// The ε-grid cell of a point: each coordinate mapped to its box index
+/// on an additive grid of width `eps` (larger is better, so a larger box
+/// index is a better box). The comparison helpers below compare boxes,
+/// which is what makes ε-dominance transitive.
+fn epsilon_grid(p: &[f64], eps: f64) -> Vec<f64> {
+    p.iter().map(|&x| (x / eps).floor()).collect()
+}
+
+/// Whether `a` ε-dominates `b` (strictly, larger is better on every
+/// axis): `a`'s ε-grid cell Pareto-dominates `b`'s — at least as good
+/// on every axis and strictly better on one, at grid resolution `eps`.
+///
+/// Unlike raw [`dominates_nd`], this relation is insensitive to
+/// sub-`eps` noise (Monte Carlo jitter in a yield estimate cannot flip
+/// it), and it stays **anti-symmetric and transitive**, because it is
+/// plain Pareto dominance on the integer grid cells. `eps <= 0` falls
+/// back to exact dominance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn epsilon_dominates_nd(a: &[f64], b: &[f64], eps: f64) -> bool {
+    if eps <= 0.0 {
+        return dominates_nd(a, b);
+    }
+    dominates_nd(&epsilon_grid(a, eps), &epsilon_grid(b, eps))
+}
+
+/// Whether `a` weakly ε-dominates `b`: `a`'s ε-grid cell is at least as
+/// good as `b`'s on **every** axis (equal cells dominate each other both
+/// ways — the relation is reflexive). This is the archive-acceptance
+/// test of Laumanns-style ε-archives: a candidate weakly ε-dominated by
+/// an archived point adds no new grid cell to the front. `eps <= 0`
+/// degenerates to componentwise `>=`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn epsilon_weakly_dominates_nd(a: &[f64], b: &[f64], eps: f64) -> bool {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    if eps <= 0.0 {
+        return a.iter().zip(b).all(|(&x, &y)| x >= y);
+    }
+    a.iter().zip(b).all(|(&x, &y)| (x / eps).floor() >= (y / eps).floor())
+}
+
+/// NSGA-II crowding distances of a point set (larger is better on every
+/// axis, as everywhere in this module). Boundary points of each
+/// discriminating objective get `f64::INFINITY`; interior points
+/// accumulate the normalized gap between their neighbors along every
+/// objective. An axis on which all points are equal discriminates
+/// nothing and contributes nothing (no arbitrary boundary picks). The
+/// result is a pure function of the input — and permutation-equivariant
+/// whenever each axis has distinct values; exact ties within an axis
+/// are broken by input position, as in standard NSGA-II.
+///
+/// An empty input returns an empty vector; a set whose every axis is
+/// constant gets all-zero distances.
+///
+/// # Panics
+///
+/// Panics if the points have inconsistent dimensions.
+pub fn crowding_distances(points: &[Vec<f64>]) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dims = points[0].len();
+    for p in points {
+        assert_eq!(p.len(), dims, "dimension mismatch");
+    }
+    let mut distance = vec![0.0f64; n];
+    for (m, _) in points[0].iter().enumerate() {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| {
+            points[i][m].partial_cmp(&points[j][m]).expect("finite objective").then(i.cmp(&j))
+        });
+        let (lo, hi) = (points[order[0]][m], points[order[n - 1]][m]);
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        for w in 1..n - 1 {
+            let gap = (points[order[w + 1]][m] - points[order[w - 1]][m]) / span;
+            distance[order[w]] += gap;
+        }
+    }
+    distance
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +229,76 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn nd_dimension_mismatch_panics() {
         dominates_nd(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn epsilon_dominance_ignores_sub_grid_noise() {
+        // Raw dominance sees the 0.004 edge; a 0.01 grid does not.
+        let a = [0.504, 1.0];
+        let b = [0.500, 1.0];
+        assert!(dominates_nd(&a, &b));
+        assert!(!epsilon_dominates_nd(&a, &b, 0.01));
+        // A full-cell edge survives the grid.
+        let c = [0.52, 1.0];
+        assert!(epsilon_dominates_nd(&c, &b, 0.01));
+        // eps <= 0 falls back to exact dominance.
+        assert!(epsilon_dominates_nd(&a, &b, 0.0));
+    }
+
+    #[test]
+    fn weak_epsilon_dominance_is_reflexive_and_covers_equal_cells() {
+        let a = [0.501, -3.0];
+        let b = [0.509, -3.0];
+        // Same cells: each weakly dominates the other, neither strictly.
+        assert!(epsilon_weakly_dominates_nd(&a, &b, 0.01));
+        assert!(epsilon_weakly_dominates_nd(&b, &a, 0.01));
+        assert!(!epsilon_dominates_nd(&a, &b, 0.01));
+        assert!(!epsilon_dominates_nd(&b, &a, 0.01));
+        assert!(epsilon_weakly_dominates_nd(&a, &a, 0.01));
+    }
+
+    #[test]
+    fn epsilon_dominance_handles_negative_axes() {
+        // Minimized axes arrive negated; the grid floors work there too.
+        let better = [0.5, -100.0];
+        let worse = [0.5, -130.0];
+        assert!(epsilon_dominates_nd(&better, &worse, 10.0));
+        assert!(!epsilon_dominates_nd(&worse, &better, 10.0));
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite_and_interior_ordered() {
+        // Four collinear points: ends infinite, the denser interior pair
+        // less crowded than ... the middle gap dominates.
+        let pts = vec![vec![0.0, 0.0], vec![0.1, -0.1], vec![0.5, -0.5], vec![1.0, -1.0]];
+        let d = crowding_distances(&pts);
+        assert!(d[0].is_infinite() && d[3].is_infinite());
+        assert!(d[1].is_finite() && d[2].is_finite());
+        assert!(d[2] > d[1], "wider gaps mean less crowded: {d:?}");
+    }
+
+    #[test]
+    fn crowding_is_equivariant_under_permutation() {
+        let pts = vec![vec![0.0, 1.0], vec![0.3, 0.6], vec![0.7, 0.2], vec![1.0, 0.0]];
+        let d = crowding_distances(&pts);
+        let perm = vec![pts[2].clone(), pts[0].clone(), pts[3].clone(), pts[1].clone()];
+        let dp = crowding_distances(&perm);
+        assert_eq!(dp, vec![d[2], d[0], d[3], d[1]]);
+    }
+
+    #[test]
+    fn crowding_degenerate_inputs() {
+        assert!(crowding_distances(&[]).is_empty());
+        // A single point spans nothing: no axis discriminates.
+        assert_eq!(crowding_distances(&[vec![1.0, 2.0]]), vec![0.0]);
+        let two = crowding_distances(&[vec![1.0], vec![2.0]]);
+        assert!(two.iter().all(|d| d.is_infinite()));
+        // An all-equal axis contributes nothing — no division by zero,
+        // and no arbitrary input-position boundary picks.
+        let flat = crowding_distances(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]);
+        assert!(flat[0].is_infinite() && flat[2].is_infinite());
+        assert!(flat[1].is_finite());
+        let all_flat = crowding_distances(&[vec![5.0], vec![5.0], vec![5.0]]);
+        assert_eq!(all_flat, vec![0.0, 0.0, 0.0]);
     }
 }

@@ -15,6 +15,10 @@
 //!   explorer's candidate evaluation sweep with an empty vs. pre-warmed
 //!   memo cache (PR 3's explore-throughput kernel; the summary reports
 //!   candidate evaluations per second for both);
+//! - `explore/round_v2` — one full v2 engine round (dominance
+//!   acceptance against the front snapshot + cross-walk recombination)
+//!   on warm caches: the per-round orchestration cost of the second-
+//!   generation engine (PR 4's explore-throughput kernel);
 //! - `end_to_end/sym6_145` — one full benchmark evaluation (design flow,
 //!   routing, yield) at `EvalSettings::quick()`.
 //!
@@ -22,7 +26,13 @@
 //! default 3), `QPD_BENCH_QUICK=1` shrinks trial counts for CI smoke
 //! runs, `QPD_THREADS` sizes the worker pool.
 //!
-//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_3.json`).
+//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_4.json`), or
+//! `bench_snapshot --check-schema FRESH.json COMMITTED.json...` to
+//! validate snapshot *schemas* without timing anything: every file must
+//! carry the snapshot fields and well-formed kernel entries, and the
+//! newest committed snapshot's kernel set must be covered by the fresh
+//! one (so the snapshot machinery cannot silently drop a kernel). No
+//! timing values are ever compared.
 
 use criterion::Criterion;
 use qpd_core::{place_qubits, FrequencyAllocator, FrequencyStrategy};
@@ -37,7 +47,7 @@ use qpd_yield::YieldSimulator;
 
 /// The current perf-trajectory point; bump alongside the default
 /// `--out` path when a later PR appends a snapshot.
-const PR: u64 = 3;
+const PR: u64 = 4;
 
 fn designed_topology(name: &str) -> Architecture {
     let circuit = qpd_benchmarks::build(name).expect("benchmark");
@@ -77,13 +87,114 @@ fn explore_candidates(space: &ExploreSpace) -> Vec<CandidateSpec> {
     specs
 }
 
+/// Reads one snapshot document, returning `(pr, kernel ids)` after
+/// checking the schema fields; pushes one message per problem.
+fn check_snapshot_schema(path: &str, failures: &mut Vec<String>) -> Option<(u64, Vec<String>)> {
+    let fail = |failures: &mut Vec<String>, what: &str| {
+        failures.push(format!("{path}: {what}"));
+        None
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return fail(failures, "unreadable");
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => return fail(failures, &format!("unparseable: {e}")),
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some("qpd-bench-snapshot/1") {
+        return fail(failures, "missing or unknown `schema` tag");
+    }
+    let Some(pr) = doc.get("pr").and_then(Json::as_u64) else {
+        return fail(failures, "missing `pr`");
+    };
+    for field in ["threads", "alloc_trials", "yield_trials"] {
+        if doc.get(field).and_then(Json::as_u64).is_none() {
+            return fail(failures, &format!("missing numeric `{field}`"));
+        }
+    }
+    if doc.get("quick").and_then(Json::as_bool).is_none() {
+        return fail(failures, "missing boolean `quick`");
+    }
+    if !matches!(doc.get("speedups"), Some(Json::Obj(pairs)) if !pairs.is_empty()) {
+        return fail(failures, "missing `speedups` object");
+    }
+    let Some(kernels) = doc.get("kernels").and_then(Json::as_arr) else {
+        return fail(failures, "missing `kernels` array");
+    };
+    if kernels.is_empty() {
+        return fail(failures, "empty `kernels` array");
+    }
+    let mut ids = Vec::new();
+    for k in kernels {
+        let Some(id) = k.get("id").and_then(Json::as_str) else {
+            return fail(failures, "kernel entry without `id`");
+        };
+        for field in ["mean_s", "median_s", "min_s"] {
+            if k.get(field).and_then(Json::as_f64).is_none() {
+                return fail(failures, &format!("kernel {id}: missing `{field}`"));
+            }
+        }
+        ids.push(id.to_string());
+    }
+    Some((pr, ids))
+}
+
+/// `--check-schema FRESH COMMITTED...`: schema/coverage validation only,
+/// no timing comparisons. Exits non-zero on any finding.
+fn check_schema_mode(paths: &[String]) -> ! {
+    let (fresh_path, committed) =
+        paths.split_first().expect("--check-schema needs a fresh snapshot path");
+    let mut failures = Vec::new();
+    let fresh = check_snapshot_schema(fresh_path, &mut failures);
+    let mut newest: Option<(u64, String, Vec<String>)> = None;
+    for path in committed {
+        if let Some((pr, ids)) = check_snapshot_schema(path, &mut failures) {
+            if newest.as_ref().is_none_or(|(best, _, _)| pr > *best) {
+                newest = Some((pr, path.clone(), ids));
+            }
+        }
+    }
+    // The fresh snapshot must still produce every kernel the newest
+    // committed snapshot recorded — fields and kernels present, nothing
+    // about how fast they ran.
+    if let (Some((_, fresh_ids)), Some((pr, path, ids))) = (&fresh, &newest) {
+        for id in ids {
+            if !fresh_ids.contains(id) {
+                failures.push(format!(
+                    "{fresh_path}: kernel `{id}` from {path} (PR {pr}) is gone from the \
+                     fresh snapshot"
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "check-schema: {} snapshot(s) well-formed; fresh covers the PR {} kernel set",
+            paths.len(),
+            newest.map(|(pr, _, _)| pr).unwrap_or(0)
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("check-schema FAILED: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let mut out_path = format!("BENCH_{PR}.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other:?} (usage: bench_snapshot [--out PATH])"),
+            "--check-schema" => {
+                let paths: Vec<String> = args.collect();
+                check_schema_mode(&paths);
+            }
+            other => panic!(
+                "unknown argument {other:?} (usage: bench_snapshot [--out PATH] | \
+                 bench_snapshot --check-schema FRESH COMMITTED...)"
+            ),
         }
     }
 
@@ -145,6 +256,19 @@ fn main() {
         })
     });
 
+    // The v2 engine's per-round orchestration: dominance acceptance
+    // against the front snapshot plus cross-walk recombination, on the
+    // same warm caches (fresh candidates hit the memo after the first
+    // sample, so this times the engine, not the simulators).
+    let v2_state = explorer.initial_state().expect("initial state");
+    group.bench_function("explore/round_v2", |b| {
+        b.iter(|| {
+            let mut state = v2_state.clone();
+            explorer.advance_round(&mut state).expect("v2 round");
+            state
+        })
+    });
+
     // End-to-end: one full Figure-10 style evaluation at quick settings
     // (kept quick in both modes so the trajectory stays comparable).
     group.bench_function("end_to_end/sym6_145", |b| {
@@ -184,6 +308,16 @@ fn main() {
                 ("candidates", Json::int(candidates.len() as u64)),
                 ("cold_evals_per_s", Json::num(round3(evals_per_s("explore/eval_cold")))),
                 ("warm_evals_per_s", Json::num(round3(evals_per_s("explore/eval_warm")))),
+                // v2 throughput: proposals a dominance+recombination
+                // round pushes through per second (walks x steps per
+                // round timed by `explore/round_v2`).
+                (
+                    "round_v2_proposals_per_s",
+                    Json::num(round3(
+                        (explore_config.walks * explore_config.steps_per_round) as f64
+                            / median_of("explore/round_v2"),
+                    )),
+                ),
             ]),
         ),
         (

@@ -1,28 +1,44 @@
 //! Design-space exploration over the paper's benchmark profiles.
 //!
 //! For each selected benchmark the run builds an [`ExploreSpace`], runs
-//! the seeded annealing search (bit-identical for every `QPD_THREADS`),
-//! writes an `EXPLORE_<benchmark>.json` checkpoint after every round,
-//! and prints a summary table: archive size, Pareto-front size, cache
-//! hit counts, and where the paper's `eff-full` configuration landed —
-//! on the front, or dominated by which front point.
+//! the archive-guided Pareto search (bit-identical for every
+//! `QPD_THREADS`), writes an `EXPLORE_<benchmark>.json` checkpoint after
+//! every round, and prints a summary table: archive size, Pareto-front
+//! size, front spread (mean finite crowding distance), cache hit counts,
+//! and where the paper's `eff-full` configuration landed — on the front,
+//! or dominated by which front point.
 //!
 //! Usage:
 //!   explore_run [--quick] [--check] [--seed N] [--rounds N] [--walks N]
-//!               [--steps N] [--out-dir DIR] [--resume FILE] [names...]
+//!               [--steps N] [--out-dir DIR] [--resume FILE] [--overlay]
+//!               [--adaptive] [--screen N] [--epsilon X]
+//!               [--acceptance scalarized|dominance] [--no-recombine]
+//!               [--max-seconds S] [names...]
 //!
 //! `--quick` shrinks every budget for smoke runs; `--check` additionally
 //! asserts the smoke invariants (non-empty front, round-tripping
 //! checkpoint, eff-full evaluated) and exits non-zero on violation.
-//! `--resume FILE` loads a checkpoint and continues that single run to
-//! its configured round budget; only `--rounds` may be combined with it
-//! (to extend a finished run), since the checkpoint's config governs
-//! the deterministic walk streams.
+//! `--adaptive` turns on 4x screening (`--screen N` picks the divisor
+//! explicitly), the budget shape that makes `qft_16` tractable.
+//! `--overlay` additionally writes `EXPLORE_<benchmark>_front.svg`, the
+//! Figure-10 style overlay of the explored archive and its front.
+//! `--max-seconds S` stops scheduling new rounds once the wall clock
+//! passes `S` seconds for a run (the state so far is checkpointed and
+//! reported; CI uses this to bound the qft_16 smoke job).
+//! `--resume FILE` loads a checkpoint — schema v1 files are migrated to
+//! v2 in memory, keeping their scalarized-era behavior — and continues
+//! that single run to its configured round budget; only `--rounds` and
+//! `--overlay`/`--max-seconds` may be combined with it, since the
+//! checkpoint's config governs the deterministic walk streams.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
-use qpd_core::dominates_nd;
-use qpd_explore::{Checkpoint, ExploreConfig, ExploreSpace, ExploreState, Explorer};
+use qpd_core::{crowding_distances, dominates_nd};
+use qpd_eval::plot::{svg_front_overlay, OverlayPoint};
+use qpd_explore::{
+    AcceptanceMode, Checkpoint, ExploreConfig, ExploreSpace, ExploreState, Explorer,
+};
 
 struct Args {
     quick: bool,
@@ -33,6 +49,12 @@ struct Args {
     steps: Option<usize>,
     out_dir: PathBuf,
     resume: Option<PathBuf>,
+    overlay: bool,
+    screen: Option<u64>,
+    epsilon: Option<f64>,
+    acceptance: Option<AcceptanceMode>,
+    no_recombine: bool,
+    max_seconds: Option<f64>,
     names: Vec<String>,
 }
 
@@ -46,6 +68,12 @@ fn parse_args() -> Args {
         steps: None,
         out_dir: PathBuf::from("."),
         resume: None,
+        overlay: false,
+        screen: None,
+        epsilon: None,
+        acceptance: None,
+        no_recombine: false,
+        max_seconds: None,
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -60,6 +88,21 @@ fn parse_args() -> Args {
             "--steps" => args.steps = Some(value("--steps").parse().expect("numeric steps")),
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")),
             "--resume" => args.resume = Some(PathBuf::from(value("--resume"))),
+            "--overlay" => args.overlay = true,
+            "--adaptive" => args.screen = args.screen.or(Some(4)),
+            "--screen" => args.screen = Some(value("--screen").parse().expect("numeric divisor")),
+            "--epsilon" => args.epsilon = Some(value("--epsilon").parse().expect("numeric eps")),
+            "--acceptance" => {
+                let tag = value("--acceptance");
+                args.acceptance = Some(
+                    AcceptanceMode::from_str_tag(&tag)
+                        .unwrap_or_else(|| panic!("unknown acceptance mode {tag:?}")),
+                );
+            }
+            "--no-recombine" => args.no_recombine = true,
+            "--max-seconds" => {
+                args.max_seconds = Some(value("--max-seconds").parse().expect("numeric seconds"))
+            }
             other if !other.starts_with("--") => args.names.push(other.to_string()),
             other => panic!("unknown argument {other:?}"),
         }
@@ -80,6 +123,18 @@ fn config_from(args: &Args) -> ExploreConfig {
     }
     if let Some(steps) = args.steps {
         config.steps_per_round = steps;
+    }
+    if let Some(screen) = args.screen {
+        config.screen_divisor = screen.max(1);
+    }
+    if let Some(eps) = args.epsilon {
+        config.epsilon = eps;
+    }
+    if let Some(acceptance) = args.acceptance {
+        config.acceptance = acceptance;
+    }
+    if args.no_recombine {
+        config.recombine = false;
     }
     config
 }
@@ -104,14 +159,52 @@ fn eff_full_status(space: &ExploreSpace, state: &ExploreState) -> Result<bool, S
     Err(dominator)
 }
 
+/// Mean finite NSGA-II crowding distance over the front — the spread
+/// figure in the summary table (0 when every point is a boundary).
+fn front_spread(state: &ExploreState, front: &[usize]) -> f64 {
+    let pts: Vec<Vec<f64>> =
+        front.iter().map(|&i| state.archive[i].objectives.as_maximization()).collect();
+    let finite: Vec<f64> = crowding_distances(&pts).into_iter().filter(|d| d.is_finite()).collect();
+    if finite.is_empty() {
+        0.0
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    }
+}
+
+/// Projects the archive onto the Figure-10 overlay axes: performance
+/// normalized to the best (smallest) post-mapping gate count on record.
+fn overlay_points(state: &ExploreState, front: &[usize]) -> Vec<OverlayPoint> {
+    let best_gates =
+        state.archive.iter().map(|e| e.objectives.total_gates).min().unwrap_or(1).max(1);
+    state
+        .archive
+        .iter()
+        .enumerate()
+        .map(|(i, e)| OverlayPoint {
+            arch: e.arch_name.clone(),
+            perf: best_gates as f64 / e.objectives.total_gates as f64,
+            yield_rate: e.objectives.yield_rate(),
+            on_front: front.contains(&i),
+        })
+        .collect()
+}
+
 struct RunReport {
     benchmark: String,
     evaluations: u64,
     archive: usize,
     front: usize,
+    spread: f64,
     yield_hits: u64,
     eff_full: Result<bool, String>,
     checkpoint: PathBuf,
+    overlay: Option<PathBuf>,
+}
+
+struct RunOptions {
+    overlay: bool,
+    max_seconds: Option<f64>,
 }
 
 fn run_one(
@@ -119,8 +212,10 @@ fn run_one(
     config: ExploreConfig,
     out_dir: &PathBuf,
     resume_state: Option<ExploreState>,
+    options: &RunOptions,
 ) -> RunReport {
     std::fs::create_dir_all(out_dir).expect("create output directory");
+    let start = Instant::now();
     let circuit = qpd_benchmarks::build(name).expect("known benchmark");
     let space = ExploreSpace::new(circuit, config.max_aux);
     let explorer = Explorer::new(space, config).expect("baseline design");
@@ -129,6 +224,15 @@ fn run_one(
         None => explorer.initial_state().expect("initial evaluations"),
     };
     while state.rounds_done < config.rounds {
+        if let Some(bound) = options.max_seconds {
+            if state.rounds_done > 0 && start.elapsed().as_secs_f64() > bound {
+                eprintln!(
+                    "{name}: wall-clock bound hit after {} rounds; stopping early",
+                    state.rounds_done
+                );
+                break;
+            }
+        }
         explorer.advance_round(&mut state).expect("round");
         // Checkpoint after every round: a killed run resumes from here.
         let checkpoint = Checkpoint { run: name.to_string(), config, state: state.clone() };
@@ -138,21 +242,33 @@ fn run_one(
     // happened to be sitting in the output directory.
     let checkpoint = Checkpoint { run: name.to_string(), config, state: state.clone() };
     let checkpoint_path = checkpoint.write(out_dir).expect("write checkpoint");
+    // The front is an O(archive^2) dominance sweep: compute it once and
+    // share it between the report, the spread figure, and the overlay.
+    let front = state.front_indices();
+    let overlay = options.overlay.then(|| {
+        let path = out_dir.join(format!("EXPLORE_{name}_front.svg"));
+        std::fs::write(&path, svg_front_overlay(name, &overlay_points(&state, &front)))
+            .expect("write overlay");
+        path
+    });
     let cache = explorer.cache();
     RunReport {
         benchmark: name.to_string(),
         evaluations: cache.yields.hits() + cache.yields.misses(),
         archive: state.archive.len(),
-        front: state.front_indices().len(),
+        front: front.len(),
+        spread: front_spread(&state, &front),
         yield_hits: cache.yields.hits(),
         eff_full: eff_full_status(explorer.space(), &state),
         checkpoint: checkpoint_path,
+        overlay,
     }
 }
 
 fn main() {
     let args = parse_args();
     let config = config_from(&args);
+    let options = RunOptions { overlay: args.overlay, max_seconds: args.max_seconds };
 
     // Resume mode: continue one checkpointed run. The checkpoint's
     // config governs the walk streams, so only the round budget may be
@@ -160,11 +276,28 @@ fn main() {
     // fresh `(seed, walk, round)` streams); every other override would
     // silently change what the original run was, so reject it loudly.
     if let Some(path) = &args.resume {
-        if args.walks.is_some() || args.steps.is_some() || args.seed.is_some() || args.quick {
+        if args.walks.is_some()
+            || args.steps.is_some()
+            || args.seed.is_some()
+            || args.quick
+            || args.screen.is_some()
+            || args.epsilon.is_some()
+            || args.acceptance.is_some()
+            || args.no_recombine
+        {
             panic!("--resume uses the checkpoint's config; only --rounds may be combined with it");
         }
         let text = std::fs::read_to_string(path).expect("readable checkpoint");
-        let mut checkpoint = Checkpoint::parse(&text).expect("valid checkpoint");
+        let (mut checkpoint, version) =
+            Checkpoint::parse_versioned(&text).expect("valid checkpoint");
+        if version != 2 {
+            eprintln!(
+                "migrating {} from schema v{version}: continuing with {} acceptance, \
+                 no recombination, no screening (the run's original semantics)",
+                path.display(),
+                checkpoint.config.acceptance.as_str()
+            );
+        }
         if let Some(rounds) = args.rounds {
             checkpoint.config.rounds = rounds;
         }
@@ -177,6 +310,7 @@ fn main() {
             checkpoint.config,
             &args.out_dir,
             Some(checkpoint.state),
+            &options,
         );
         print_table(&[report]);
         return;
@@ -198,7 +332,7 @@ fn main() {
     for name in &names {
         eprint!("exploring {name} ... ");
         let start = std::time::Instant::now();
-        let report = run_one(name, config, &args.out_dir, None);
+        let report = run_one(name, config, &args.out_dir, None, &options);
         eprintln!("done ({:.1?})", start.elapsed());
         reports.push(report);
     }
@@ -211,8 +345,8 @@ fn main() {
 
 fn print_table(reports: &[RunReport]) {
     println!(
-        "\n{:<16} {:>6} {:>8} {:>6} {:>10}  {:<26} checkpoint",
-        "benchmark", "evals", "archive", "front", "cache-hit", "eff-full"
+        "\n{:<16} {:>6} {:>8} {:>6} {:>7} {:>10}  {:<26} checkpoint",
+        "benchmark", "evals", "archive", "front", "spread", "cache-hit", "eff-full"
     );
     for r in reports {
         let eff = match &r.eff_full {
@@ -221,20 +355,25 @@ fn print_table(reports: &[RunReport]) {
             Err(by) => format!("dominated by {by}"),
         };
         println!(
-            "{:<16} {:>6} {:>8} {:>6} {:>10}  {:<26} {}",
+            "{:<16} {:>6} {:>8} {:>6} {:>7.3} {:>10}  {:<26} {}",
             r.benchmark,
             r.evaluations,
             r.archive,
             r.front,
+            r.spread,
             r.yield_hits,
             eff,
             r.checkpoint.display()
         );
+        if let Some(overlay) = &r.overlay {
+            println!("{:<16} overlay: {}", "", overlay.display());
+        }
     }
 }
 
-/// Smoke assertions for CI: non-empty front, eff-full evaluated, and a
-/// checkpoint that parses back to the exact same bytes.
+/// Smoke assertions for CI: non-empty front, eff-full evaluated, a
+/// checkpoint that parses back to the exact same bytes, and (when
+/// requested) an overlay that was actually written.
 fn check(reports: &[RunReport]) {
     let mut failures = Vec::new();
     for r in reports {
@@ -252,6 +391,12 @@ fn check(reports: &[RunReport]) {
                 }
             }
             Err(e) => failures.push(format!("{}: checkpoint unparseable: {e}", r.benchmark)),
+        }
+        if let Some(overlay) = &r.overlay {
+            match std::fs::read_to_string(overlay) {
+                Ok(svg) if svg.contains("</svg>") => {}
+                _ => failures.push(format!("{}: overlay SVG missing or truncated", r.benchmark)),
+            }
         }
     }
     if failures.is_empty() {

@@ -3,7 +3,9 @@
 //!
 //! Hand-rolled SVG (no dependencies): linear X = normalized reciprocal
 //! gate count, logarithmic Y = yield rate, one marker style per
-//! configuration, matching the paper's presentation.
+//! configuration, matching the paper's presentation. Both the per-run
+//! scatter ([`svg_scatter`]) and the explore-archive overlay
+//! ([`svg_front_overlay`]) draw on the same [`Frame`].
 
 use std::fmt::Write as _;
 
@@ -16,6 +18,8 @@ const MARGIN_L: f64 = 70.0;
 const MARGIN_R: f64 = 150.0;
 const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 55.0;
+const PLOT_W: f64 = WIDTH - MARGIN_L - MARGIN_R;
+const PLOT_H: f64 = HEIGHT - MARGIN_T - MARGIN_B;
 
 fn color(config: ConfigKind) -> &'static str {
     match config {
@@ -27,6 +31,106 @@ fn color(config: ConfigKind) -> &'static str {
     }
 }
 
+/// The shared Figure-10 plot frame: linear performance X (5% padding
+/// around the data extent), log-10 yield Y floored one decade below the
+/// smallest positive yield, plus the rendered chrome (title, border,
+/// decade gridlines, ticks, axis labels).
+struct Frame {
+    x_min: f64,
+    x_max: f64,
+    y_floor_exp: f64,
+}
+
+/// Yield never exceeds 1, so the top decade is fixed.
+const Y_TOP_EXP: f64 = 0.0;
+
+impl Frame {
+    fn new(xs: impl Iterator<Item = f64>, ys: impl Iterator<Item = f64>) -> Frame {
+        let (mut x_min_data, mut x_max_data) = (f64::INFINITY, f64::NEG_INFINITY);
+        for x in xs {
+            x_min_data = x_min_data.min(x);
+            x_max_data = x_max_data.max(x);
+        }
+        let span = (x_max_data - x_min_data).max(0.05);
+        let min_pos = ys.filter(|&y| y > 0.0).fold(f64::INFINITY, f64::min);
+        let y_floor_exp = if min_pos.is_finite() { min_pos.log10().floor() - 1.0 } else { -5.0 };
+        Frame { x_min: x_min_data - 0.05 * span, x_max: x_max_data + 0.05 * span, y_floor_exp }
+    }
+
+    fn x_of(&self, v: f64) -> f64 {
+        MARGIN_L + (v - self.x_min) / (self.x_max - self.x_min) * PLOT_W
+    }
+
+    /// Zero and sub-floor yields clip to the plot floor, mirroring how
+    /// the paper's log-scale axes clip them.
+    fn y_of(&self, y: f64) -> f64 {
+        let e =
+            if y > 0.0 { y.log10().clamp(self.y_floor_exp, Y_TOP_EXP) } else { self.y_floor_exp };
+        MARGIN_T + (Y_TOP_EXP - e) / (Y_TOP_EXP - self.y_floor_exp) * PLOT_H
+    }
+
+    /// The SVG document opening: background, title, plot border, decade
+    /// gridlines with Y tick labels, five X ticks, and both axis titles.
+    /// The caller appends marks and must close with `</svg>`.
+    fn open(&self, title: &str) -> String {
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="20" font-family="sans-serif" font-size="15" text-anchor="middle">{title}</text>"#,
+            MARGIN_L + PLOT_W / 2.0,
+        );
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{PLOT_W}" height="{PLOT_H}" fill="none" stroke="black" stroke-width="1"/>"#
+        );
+        // Y ticks: one per decade.
+        let mut exp = self.y_floor_exp as i64;
+        while exp <= Y_TOP_EXP as i64 {
+            let y = self.y_of(10f64.powi(exp as i32));
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#dddddd" stroke-width="0.5"/>"##,
+                MARGIN_L + PLOT_W
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="end">1e{exp}</text>"#,
+                MARGIN_L - 6.0,
+                y + 4.0
+            );
+            exp += 1;
+        }
+        // X ticks: five evenly spaced.
+        for i in 0..=4 {
+            let v = self.x_min + (self.x_max - self.x_min) * i as f64 / 4.0;
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{v:.2}</text>"#,
+                self.x_of(v),
+                MARGIN_T + PLOT_H + 18.0
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">normalized reciprocal of gate count</text>"#,
+            MARGIN_L + PLOT_W / 2.0,
+            HEIGHT - 12.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">yield rate</text>"#,
+            MARGIN_T + PLOT_H / 2.0,
+            MARGIN_T + PLOT_H / 2.0
+        );
+        svg
+    }
+}
+
 /// Renders one benchmark run as a standalone SVG document.
 ///
 /// Zero yields (no successes in the Monte Carlo budget) are drawn on the
@@ -34,88 +138,14 @@ fn color(config: ConfigKind) -> &'static str {
 /// axes clip them.
 pub fn svg_scatter(run: &BenchmarkRun) -> String {
     let points = &run.points;
-    let x_min_data = points.iter().map(|p| p.normalized_perf).fold(f64::INFINITY, f64::min);
-    let x_max_data = points.iter().map(|p| p.normalized_perf).fold(f64::NEG_INFINITY, f64::max);
-    let span = (x_max_data - x_min_data).max(0.05);
-    let (x_min, x_max) = (x_min_data - 0.05 * span, x_max_data + 0.05 * span);
-
-    // Y (log10): floor at one decade below the smallest positive yield.
-    let min_pos =
-        points.iter().map(|p| p.yield_rate).filter(|&y| y > 0.0).fold(f64::INFINITY, f64::min);
-    let y_floor_exp = if min_pos.is_finite() { min_pos.log10().floor() - 1.0 } else { -5.0 };
-    let y_top_exp = 0.0; // yield <= 1
-
-    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
-    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
-    let x_of = |v: f64| MARGIN_L + (v - x_min) / (x_max - x_min) * plot_w;
-    let y_of = |y: f64| {
-        let e = if y > 0.0 { y.log10().clamp(y_floor_exp, y_top_exp) } else { y_floor_exp };
-        MARGIN_T + (y_top_exp - e) / (y_top_exp - y_floor_exp) * plot_h
-    };
-
-    let mut svg = String::new();
-    let _ = writeln!(
-        svg,
-        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
-    );
-    let _ = writeln!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
-    let _ = writeln!(
-        svg,
-        r#"<text x="{}" y="20" font-family="sans-serif" font-size="15" text-anchor="middle">{} ({} qubits)</text>"#,
-        MARGIN_L + plot_w / 2.0,
-        run.benchmark,
-        run.qubits
-    );
-
-    // Axes.
-    let _ = writeln!(
-        svg,
-        r#"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="black" stroke-width="1"/>"#
-    );
-    // Y ticks: one per decade.
-    let mut exp = y_floor_exp as i64;
-    while exp <= y_top_exp as i64 {
-        let y = y_of(10f64.powi(exp as i32));
-        let _ = writeln!(
-            svg,
-            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#dddddd" stroke-width="0.5"/>"##,
-            MARGIN_L + plot_w
-        );
-        let _ = writeln!(
-            svg,
-            r#"<text x="{}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="end">1e{exp}</text>"#,
-            MARGIN_L - 6.0,
-            y + 4.0
-        );
-        exp += 1;
-    }
-    // X ticks: five evenly spaced.
-    for i in 0..=4 {
-        let v = x_min + (x_max - x_min) * i as f64 / 4.0;
-        let x = x_of(v);
-        let _ = writeln!(
-            svg,
-            r#"<text x="{x:.1}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{v:.2}</text>"#,
-            MARGIN_T + plot_h + 18.0
-        );
-    }
-    let _ = writeln!(
-        svg,
-        r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">normalized reciprocal of gate count</text>"#,
-        MARGIN_L + plot_w / 2.0,
-        HEIGHT - 12.0
-    );
-    let _ = writeln!(
-        svg,
-        r#"<text x="16" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">yield rate</text>"#,
-        MARGIN_T + plot_h / 2.0,
-        MARGIN_T + plot_h / 2.0
-    );
+    let frame =
+        Frame::new(points.iter().map(|p| p.normalized_perf), points.iter().map(|p| p.yield_rate));
+    let mut svg = frame.open(&format!("{} ({} qubits)", run.benchmark, run.qubits));
 
     // Points.
     let draw_point = |svg: &mut String, p: &DataPoint| {
-        let x = x_of(p.normalized_perf);
-        let y = y_of(p.yield_rate);
+        let x = frame.x_of(p.normalized_perf);
+        let y = frame.y_of(p.yield_rate);
         let fill = if p.yield_rate > 0.0 { color(p.config) } else { "none" };
         let _ = writeln!(
             svg,
@@ -133,7 +163,7 @@ pub fn svg_scatter(run: &BenchmarkRun) -> String {
     // Legend.
     for (i, kind) in ConfigKind::all().iter().enumerate() {
         let y = MARGIN_T + 14.0 + 20.0 * i as f64;
-        let x = MARGIN_L + plot_w + 14.0;
+        let x = MARGIN_L + PLOT_W + 14.0;
         let _ = writeln!(
             svg,
             r#"<circle cx="{x:.1}" cy="{y:.1}" r="4" fill="{0}" stroke="{0}"/>"#,
@@ -147,6 +177,99 @@ pub fn svg_scatter(run: &BenchmarkRun) -> String {
             kind.label()
         );
     }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// One explore-archive point projected onto the Figure-10 axes for the
+/// front overlay: performance (normalized reciprocal gate count, larger
+/// is better) against Monte Carlo yield rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayPoint {
+    /// Label shown in the marker tooltip (the candidate's architecture
+    /// name).
+    pub arch: String,
+    /// Normalized reciprocal gate count (best archive gate count over
+    /// this point's gate count — 1.0 is the best-performing candidate).
+    pub perf: f64,
+    /// Monte Carlo yield rate in `[0, 1]`.
+    pub yield_rate: f64,
+    /// Whether the point is on the run's 4-objective Pareto front.
+    pub on_front: bool,
+}
+
+/// Renders a design-space exploration archive as a Figure-10 style
+/// overlay: the whole archive as hollow gray markers, the Pareto-front
+/// points highlighted and chained (in performance order) by a dashed
+/// guide line. Same [`Frame`] as [`svg_scatter`]: linear performance,
+/// log yield with zero-yield points clipped to the plot floor.
+pub fn svg_front_overlay(benchmark: &str, points: &[OverlayPoint]) -> String {
+    const FRONT_COLOR: &str = "#1f77b4";
+    const ARCHIVE_COLOR: &str = "#999999";
+    let frame = Frame::new(points.iter().map(|p| p.perf), points.iter().map(|p| p.yield_rate));
+    let mut svg = frame.open(&format!("{benchmark} — explored design space"));
+
+    // Front guide line, performance-ordered (the stable sort keeps the
+    // path deterministic for equal-perf points).
+    let mut front: Vec<&OverlayPoint> = points.iter().filter(|p| p.on_front).collect();
+    front.sort_by(|a, b| a.perf.partial_cmp(&b.perf).expect("finite perf"));
+    if front.len() >= 2 {
+        let path: Vec<String> = front
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let cmd = if i == 0 { 'M' } else { 'L' };
+                format!("{cmd}{:.1} {:.1}", frame.x_of(p.perf), frame.y_of(p.yield_rate))
+            })
+            .collect();
+        let _ = writeln!(
+            svg,
+            r#"<path d="{}" fill="none" stroke="{FRONT_COLOR}" stroke-width="1.2" stroke-dasharray="5 3"/>"#,
+            path.join(" ")
+        );
+    }
+
+    // Archive first (underneath), then front markers on top.
+    for p in points.iter().filter(|p| !p.on_front) {
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="none" stroke="{ARCHIVE_COLOR}" stroke-width="1"><title>{}: perf={:.3} yield={:.3e}</title></circle>"#,
+            frame.x_of(p.perf),
+            frame.y_of(p.yield_rate),
+            p.arch,
+            p.perf,
+            p.yield_rate
+        );
+    }
+    for p in &front {
+        let fill = if p.yield_rate > 0.0 { FRONT_COLOR } else { "none" };
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="4.5" fill="{fill}" stroke="{FRONT_COLOR}" stroke-width="1.4"><title>{}: perf={:.3} yield={:.3e}</title></circle>"#,
+            frame.x_of(p.perf),
+            frame.y_of(p.yield_rate),
+            p.arch,
+            p.perf,
+            p.yield_rate
+        );
+    }
+
+    // Legend.
+    let lx = MARGIN_L + PLOT_W + 14.0;
+    let _ = writeln!(
+        svg,
+        r#"<circle cx="{lx:.1}" cy="{:.1}" r="4.5" fill="{FRONT_COLOR}" stroke="{FRONT_COLOR}"/><text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12">Pareto front</text>"#,
+        MARGIN_T + 14.0,
+        lx + 10.0,
+        MARGIN_T + 18.0
+    );
+    let _ = writeln!(
+        svg,
+        r#"<circle cx="{lx:.1}" cy="{:.1}" r="3" fill="none" stroke="{ARCHIVE_COLOR}"/><text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12">archive</text>"#,
+        MARGIN_T + 34.0,
+        lx + 10.0,
+        MARGIN_T + 38.0
+    );
     svg.push_str("</svg>\n");
     svg
 }
@@ -206,6 +329,85 @@ mod tests {
             let y: f64 = cap.split('"').next().unwrap().parse().unwrap();
             assert!((0.0..=HEIGHT).contains(&y), "y = {y}");
         }
+    }
+
+    fn overlay_points() -> Vec<OverlayPoint> {
+        let mk = |arch: &str, perf: f64, y: f64, on_front: bool| OverlayPoint {
+            arch: arch.into(),
+            perf,
+            yield_rate: y,
+            on_front,
+        };
+        vec![
+            mk("eff-6q-b0", 0.8, 0.4, true),
+            mk("eff-6q-b2", 1.0, 0.05, true),
+            mk("eff-6q-b1", 0.9, 0.02, false),
+            mk("eff-6q-b3", 0.95, 0.0, false),
+        ]
+    }
+
+    #[test]
+    fn overlay_draws_all_points_and_a_front_path() {
+        let svg = svg_front_overlay("sym6_145", &overlay_points());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 4 data markers + 2 legend markers.
+        assert_eq!(svg.matches("<circle").count(), 6);
+        // Two front points chained by one path.
+        assert_eq!(svg.matches("<path").count(), 1);
+        assert!(svg.contains("sym6_145"));
+        assert!(svg.contains("Pareto front"));
+    }
+
+    #[test]
+    fn overlay_front_path_needs_two_points() {
+        let mut pts = overlay_points();
+        for p in &mut pts[1..] {
+            p.on_front = false;
+        }
+        let svg = svg_front_overlay("z4_268", &pts);
+        assert_eq!(svg.matches("<path").count(), 0, "singleton front draws no path");
+    }
+
+    #[test]
+    fn overlay_coordinates_stay_inside_viewbox() {
+        let svg = svg_front_overlay("demo", &overlay_points());
+        for cap in svg.split("cx=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=WIDTH).contains(&x), "x = {x}");
+        }
+        for cap in svg.split("cy=\"").skip(1) {
+            let y: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=HEIGHT).contains(&y), "y = {y}");
+        }
+    }
+
+    #[test]
+    fn scatter_and_overlay_share_the_frame() {
+        // Identical data extents produce identical frame chrome: the
+        // gridlines, ticks, and axis labels of the two plot kinds must
+        // come from the same geometry.
+        let svg_a = svg_scatter(&run());
+        let svg_b = svg_front_overlay(
+            "demo",
+            &run()
+                .points
+                .iter()
+                .map(|p| OverlayPoint {
+                    arch: p.arch.clone(),
+                    perf: p.normalized_perf,
+                    yield_rate: p.yield_rate,
+                    on_front: false,
+                })
+                .collect::<Vec<_>>(),
+        );
+        let chrome = |svg: &str| {
+            svg.lines()
+                .filter(|l| l.starts_with("<line") || l.contains("1e-") || l.contains("axis"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(chrome(&svg_a), chrome(&svg_b));
     }
 
     #[test]

@@ -8,15 +8,29 @@
 //! the determinism tests compare checkpoint *bytes* across thread
 //! counts — and a resumed run continues the walk streams exactly where
 //! the file says they stopped.
+//!
+//! Schema v2 ([`SCHEMA`]) extends the config with the v2 engine knobs
+//! (acceptance mode, recombination, screening divisor, ε). v1 documents
+//! ([`SCHEMA_V1`]) still parse: their config migrates through
+//! [`ExploreConfig::v1_compat`], so a resumed PR 3 run continues with
+//! the scalarized acceptance it was started under.
 
 use std::path::{Path, PathBuf};
 
-use crate::engine::{pareto_indices, ExploreConfig, ExploreError, ExploreState, WalkState};
+use crate::engine::{
+    pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, WalkState,
+};
 use crate::json::Json;
 use crate::spec::{CandidateSpec, Evaluated, Objectives};
 
 /// On-disk schema tag; bump on breaking layout changes.
-pub const SCHEMA: &str = "qpd-explore-checkpoint/1";
+pub const SCHEMA: &str = "qpd-explore-checkpoint/2";
+
+/// The PR 3 schema: no acceptance/recombination/screening fields.
+/// [`Checkpoint::parse`] still reads it, migrating the config onto
+/// [`ExploreConfig::v1_compat`] so a resumed v1 run keeps the scalarized
+/// acceptance it started with.
+pub const SCHEMA_V1: &str = "qpd-explore-checkpoint/1";
 
 /// A complete, resumable snapshot of one exploration run.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,24 +96,44 @@ impl Checkpoint {
         Ok(path)
     }
 
-    /// Parses a checkpoint document.
+    /// Parses a checkpoint document, accepting the current schema and
+    /// migrating [`SCHEMA_V1`] documents transparently (see
+    /// [`Checkpoint::parse_versioned`] to learn which one was read).
     ///
     /// # Errors
     ///
     /// Returns [`ExploreError::Checkpoint`] on malformed input.
     pub fn parse(text: &str) -> Result<Checkpoint, ExploreError> {
+        Self::parse_versioned(text).map(|(cp, _)| cp)
+    }
+
+    /// Like [`Checkpoint::parse`], also reporting the schema version the
+    /// document carried (`1` documents are migrated to the in-memory v2
+    /// form: the missing config fields take their scalarized-era
+    /// defaults via [`ExploreConfig::v1_compat`], so resuming continues
+    /// the run the way it started).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Checkpoint`] on malformed input or an
+    /// unknown schema tag.
+    pub fn parse_versioned(text: &str) -> Result<(Checkpoint, u32), ExploreError> {
         let bad = |what: &str| ExploreError::Checkpoint(what.to_string());
         let doc = Json::parse(text).map_err(|e| ExploreError::Checkpoint(e.to_string()))?;
-        match doc.get("schema").and_then(Json::as_str) {
-            Some(SCHEMA) => {}
+        let version = match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => 2,
+            Some(SCHEMA_V1) => 1,
             Some(other) => {
                 return Err(ExploreError::Checkpoint(format!("unsupported schema `{other}`")))
             }
             None => return Err(bad("missing schema")),
-        }
+        };
         let run = doc.get("run").and_then(Json::as_str).ok_or_else(|| bad("missing run"))?;
-        let config = config_from_json(doc.get("config").ok_or_else(|| bad("missing config"))?)
-            .ok_or_else(|| bad("malformed config"))?;
+        let config_json = doc.get("config").ok_or_else(|| bad("missing config"))?;
+        let config = match version {
+            2 => config_from_json(config_json).ok_or_else(|| bad("malformed config"))?,
+            _ => config_from_json_v1(config_json).ok_or_else(|| bad("malformed v1 config"))?,
+        };
         let rounds_done = doc
             .get("rounds_done")
             .and_then(Json::as_u64)
@@ -123,11 +157,14 @@ impl Checkpoint {
         if walks.len() != config.walks {
             return Err(bad("walk count does not match config"));
         }
-        Ok(Checkpoint {
-            run: run.to_string(),
-            config,
-            state: ExploreState { rounds_done, walks, archive },
-        })
+        Ok((
+            Checkpoint {
+                run: run.to_string(),
+                config,
+                state: ExploreState { rounds_done, walks, archive },
+            },
+            version,
+        ))
     }
 }
 
@@ -143,27 +180,47 @@ fn config_to_json(c: &ExploreConfig) -> Json {
         ("sigma_ghz", Json::num(c.sigma_ghz)),
         ("initial_temperature", Json::num(c.initial_temperature)),
         ("cooling", Json::num(c.cooling)),
+        ("acceptance", Json::str(c.acceptance.as_str())),
+        ("recombine", Json::Bool(c.recombine)),
+        ("screen_divisor", Json::int(c.screen_divisor)),
+        ("epsilon", Json::num(c.epsilon)),
     ])
+}
+
+/// The fields shared by both schema versions.
+fn config_from_json_v1(json: &Json) -> Option<ExploreConfig> {
+    Some(
+        ExploreConfig {
+            walks: json.get("walks")?.as_u64()? as usize,
+            rounds: json.get("rounds")?.as_u64()? as usize,
+            steps_per_round: json.get("steps_per_round")?.as_u64()? as usize,
+            seed: json.get("seed")?.as_str()?.parse().ok()?,
+            max_aux: json.get("max_aux")?.as_u64()? as usize,
+            alloc_trials: json.get("alloc_trials")?.as_u64()? as usize,
+            yield_trials: json.get("yield_trials")?.as_u64()?,
+            sigma_ghz: json.get("sigma_ghz")?.as_f64()?,
+            initial_temperature: json.get("initial_temperature")?.as_f64()?,
+            cooling: json.get("cooling")?.as_f64()?,
+            ..ExploreConfig::default()
+        }
+        .v1_compat(),
+    )
 }
 
 fn config_from_json(json: &Json) -> Option<ExploreConfig> {
     Some(ExploreConfig {
-        walks: json.get("walks")?.as_u64()? as usize,
-        rounds: json.get("rounds")?.as_u64()? as usize,
-        steps_per_round: json.get("steps_per_round")?.as_u64()? as usize,
-        seed: json.get("seed")?.as_str()?.parse().ok()?,
-        max_aux: json.get("max_aux")?.as_u64()? as usize,
-        alloc_trials: json.get("alloc_trials")?.as_u64()? as usize,
-        yield_trials: json.get("yield_trials")?.as_u64()?,
-        sigma_ghz: json.get("sigma_ghz")?.as_f64()?,
-        initial_temperature: json.get("initial_temperature")?.as_f64()?,
-        cooling: json.get("cooling")?.as_f64()?,
+        acceptance: AcceptanceMode::from_str_tag(json.get("acceptance")?.as_str()?)?,
+        recombine: json.get("recombine")?.as_bool()?,
+        screen_divisor: json.get("screen_divisor")?.as_u64()?,
+        epsilon: json.get("epsilon")?.as_f64()?,
+        ..config_from_json_v1(json)?
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::AcceptanceMode;
     use crate::spec::BusSpec;
     use qpd_core::FrequencyStrategy;
     use qpd_topology::Square;
@@ -235,6 +292,46 @@ mod tests {
             Checkpoint::parse(&cp.render()),
             Err(ExploreError::Checkpoint(m)) if m.contains("walk count")
         ));
+    }
+
+    #[test]
+    fn v1_documents_parse_and_migrate_to_scalarized_compat() {
+        // A v2 render with the v1 tag and the v2-only config fields
+        // stripped is exactly what PR 3 wrote.
+        let cp = sample_checkpoint();
+        let v1_text = cp
+            .render()
+            .replace(SCHEMA, SCHEMA_V1)
+            .lines()
+            .filter(|l| {
+                !["\"acceptance\"", "\"recombine\"", "\"screen_divisor\"", "\"epsilon\""]
+                    .iter()
+                    .any(|k| l.trim_start().starts_with(k))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            // The stripped fields were the config object's tail: drop
+            // the now-dangling comma on `cooling`.
+            .replace("\"cooling\": 0.92,", "\"cooling\": 0.92");
+        let (migrated, version) = Checkpoint::parse_versioned(&v1_text).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(migrated.config.acceptance, AcceptanceMode::Scalarized);
+        assert!(!migrated.config.recombine);
+        assert_eq!(migrated.config.screen_divisor, 1);
+        assert_eq!(migrated.state, cp.state);
+        // A migrated checkpoint re-renders as v2 and round-trips.
+        let rerendered = migrated.render();
+        assert!(rerendered.contains(SCHEMA));
+        let (back, version2) = Checkpoint::parse_versioned(&rerendered).unwrap();
+        assert_eq!(version2, 2);
+        assert_eq!(back, migrated);
+    }
+
+    #[test]
+    fn current_documents_report_version_2() {
+        let cp = sample_checkpoint();
+        let (_, version) = Checkpoint::parse_versioned(&cp.render()).unwrap();
+        assert_eq!(version, 2);
     }
 
     #[test]

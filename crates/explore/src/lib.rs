@@ -14,14 +14,35 @@
 //!   pattern);
 //! - auxiliary-qubit count and placement variants.
 //!
-//! [`Explorer`] runs seeded simulated-annealing walks fanned out on the
-//! [`qpd_par`] pool, maintains a Pareto archive over four objectives
-//! (Monte Carlo yield, post-mapping gate count, routed depth, hardware
-//! cost = buses + auxiliary qubits), and memoizes evaluations behind
-//! content keys ([`cache`]) so no candidate architecture is ever
-//! simulated twice. Runs are **bit-identical for every `QPD_THREADS`
-//! value**, and [`Checkpoint`] persists the state as hand-rolled JSON
-//! (`EXPLORE_<run>.json`) from which a killed run resumes exactly.
+//! [`Explorer`] runs seeded walks fanned out on the [`qpd_par`] pool,
+//! maintains a Pareto archive over four objectives (Monte Carlo yield,
+//! post-mapping gate count, routed depth, hardware cost = buses +
+//! auxiliary qubits), and memoizes evaluations behind content keys
+//! ([`cache`]) so no candidate architecture is ever simulated twice.
+//!
+//! Since the v2 engine, acceptance is **archive-guided Pareto
+//! dominance** by default ([`AcceptanceMode::Dominance`]): a walk moves
+//! onto a candidate that dominates its position or that no round-start
+//! front point weakly ε-dominates (the ε-grid lives on the normalized
+//! objective vector; see [`qpd_core::epsilon_weakly_dominates_nd`]),
+//! with the v1 scalarized temperature rule kept as the escape hatch for
+//! dominated moves — and as a full engine mode
+//! ([`AcceptanceMode::Scalarized`]) that reproduces the PR 3 engine
+//! bit-for-bit. At every round barrier, adjacent walk pairs may
+//! **recombine**, exchanging the bus-layout knob block against the
+//! frequency/aux/placement block under an RNG keyed by `(seed, round,
+//! walk_pair)` only; offspring that dominate their parent's position
+//! (or spread the front, by crowding distance) replace it. With
+//! [`ExploreConfig::screen_divisor`] > 1, proposals are first screened
+//! at reduced Monte Carlo trials and only survivors are re-simulated at
+//! full fidelity before archive insertion — the adaptive budget that
+//! makes `qft_16`-scale profiles tractable.
+//!
+//! Runs are **bit-identical for every `QPD_THREADS` value**, and
+//! [`Checkpoint`] persists the state as hand-rolled JSON
+//! (`EXPLORE_<run>.json`, schema [`SCHEMA`]) from which a killed run
+//! resumes exactly; schema-v1 files from the PR 3 engine are migrated
+//! on parse, keeping their scalarized-era semantics.
 //!
 //! ```
 //! use qpd_circuit::Circuit;
@@ -52,8 +73,10 @@ pub mod space;
 pub mod spec;
 
 pub use cache::EvalCache;
-pub use checkpoint::Checkpoint;
-pub use engine::{pareto_indices, ExploreConfig, ExploreError, ExploreState, Explorer, WalkState};
+pub use checkpoint::{Checkpoint, SCHEMA, SCHEMA_V1};
+pub use engine::{
+    pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, Explorer, WalkState,
+};
 pub use json::Json;
 pub use space::ExploreSpace;
 pub use spec::{BusSpec, CandidateSpec, Evaluated, Objectives, PlacementVariant};

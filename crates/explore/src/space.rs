@@ -203,6 +203,33 @@ impl ExploreSpace {
         spec.bus = BusSpec::Weighted { count: budget.min(order_len) };
     }
 
+    /// Makes a spec assembled from foreign knob blocks (cross-walk
+    /// recombination) valid for its own layout: an explicit square set
+    /// carried over from a different (auxiliary count, placement)
+    /// combination may reference squares that no longer have three
+    /// placed corners, or collide under the prohibited condition — such
+    /// sets are rebased onto the weighted order at the same budget.
+    /// Strategy-derived sets are already layout-independent and pass
+    /// through untouched.
+    pub fn sanitize(&self, spec: CandidateSpec) -> CandidateSpec {
+        let BusSpec::Explicit(squares) = &spec.bus else {
+            return spec;
+        };
+        let layout = self.layout(&spec);
+        let valid = squares.iter().all(|s| layout.candidates.contains(s))
+            && squares
+                .iter()
+                .enumerate()
+                .all(|(i, a)| squares[i + 1..].iter().all(|b| !a.neighbors4().contains(b)));
+        if valid {
+            spec
+        } else {
+            let mut rebased = spec;
+            self.rebase_buses(&mut rebased);
+            rebased
+        }
+    }
+
     fn square_add(&self, spec: &CandidateSpec, rng: &mut ChaCha8Rng) -> Option<CandidateSpec> {
         let layout = self.layout(spec);
         let (_, set) = self.resolve(spec);
@@ -334,6 +361,34 @@ mod tests {
         };
         assert_eq!(walk(3), walk(3));
         assert_ne!(walk(3), walk(4), "different seeds should diverge");
+    }
+
+    #[test]
+    fn sanitize_rebases_foreign_explicit_sets_and_keeps_valid_ones() {
+        let space = space();
+        // A valid explicit set for the identity/0-aux layout.
+        let (_, squares) = space.resolve(&CandidateSpec::eff_full(space.full_weighted_len()));
+        let valid =
+            CandidateSpec { bus: BusSpec::Explicit(squares.clone()), ..CandidateSpec::eff_full(0) };
+        assert_eq!(space.sanitize(valid.clone()), valid, "valid sets pass through");
+        // The same squares under the transposed layout are (generally)
+        // floating; sanitize must produce a resolvable spec either way.
+        let foreign = CandidateSpec { placement: PlacementVariant::Transposed, ..valid };
+        let fixed = space.sanitize(foreign);
+        let (coords, fixed_squares) = space.resolve(&fixed);
+        for (i, a) in fixed_squares.iter().enumerate() {
+            assert!(a.corners().iter().filter(|c| coords.contains(c)).count() >= 3);
+            for b in &fixed_squares[i + 1..] {
+                assert!(!a.neighbors4().contains(b));
+            }
+        }
+        // A square that exists on no layout is always rebased.
+        let bogus = CandidateSpec {
+            bus: BusSpec::Explicit(vec![Square::new(99, 99)]),
+            ..CandidateSpec::eff_full(0)
+        };
+        let rebased = space.sanitize(bogus);
+        assert!(matches!(rebased.bus, BusSpec::Weighted { count: 1 }));
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Quality regression gate for the v2 explore engine (dominance-based
+//! acceptance + cross-walk recombination), against recorded PR 3
+//! scalarized-acceptance fronts.
+//!
+//! The fixtures under `tests/fixtures/pr3_front_*.json` were produced by
+//! the PR 3 engine (scalarized acceptance, no recombination) at a fixed
+//! quick config — `engine::AcceptanceMode::Scalarized` reproduces that
+//! engine bit-for-bit, so the fixtures are re-derivable. The v2 run gets
+//! the **same candidate budget** (its proposal count plus its worst-case
+//! recombination offspring equals the fixture's evaluation count) and
+//! must produce a front that *weakly dominates* the recorded one: every
+//! recorded front point is matched or beaten on all four objectives by
+//! some v2 front point. The v2 run must also be bit-identical across
+//! `QPD_THREADS` ∈ {1, 2, 8} and across a kill/resume, so the quality
+//! claim is a property of the engine, not of a lucky schedule.
+
+use qpd::explore::{Checkpoint, ExploreConfig, ExploreSpace, ExploreState, Explorer, Json};
+
+/// The recorded fixture config/front for one benchmark.
+struct Fixture {
+    benchmark: String,
+    seed: u64,
+    evaluations: u64,
+    front: Vec<Vec<f64>>,
+}
+
+fn load_fixture(name: &str) -> Fixture {
+    let path = format!("{}/tests/fixtures/pr3_front_{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let doc = Json::parse(&text).expect("fixture parses");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("qpd-pr3-front/1"));
+    let front = doc
+        .get("front")
+        .and_then(Json::as_arr)
+        .expect("front array")
+        .iter()
+        .map(|o| {
+            let objectives =
+                qpd::explore::Objectives::from_json(o).expect("well-formed objectives");
+            objectives.as_maximization()
+        })
+        .collect();
+    Fixture {
+        benchmark: doc.get("benchmark").and_then(Json::as_str).expect("benchmark").to_string(),
+        seed: doc
+            .get("config")
+            .and_then(|c| c.get("seed"))
+            .and_then(Json::as_str)
+            .expect("seed")
+            .parse()
+            .expect("numeric seed"),
+        evaluations: doc.get("evaluations").and_then(Json::as_u64).expect("evaluations"),
+        front,
+    }
+}
+
+/// The v2 configuration holding the candidate budget at the fixture's:
+/// 4 walks x (1 initial + 2 rounds x 3 steps) proposals = 28, plus at
+/// most 2 offspring x 2 pairs x 2 rounds = 8 recombination evaluations,
+/// totalling the fixture's 36.
+fn v2_config(seed: u64) -> ExploreConfig {
+    ExploreConfig { walks: 4, rounds: 2, steps_per_round: 3, seed, ..ExploreConfig::quick() }
+}
+
+fn run_v2(benchmark: &str, seed: u64) -> (Explorer, ExploreState) {
+    let config = v2_config(seed);
+    let circuit = qpd::benchmarks::build(benchmark).expect("known benchmark");
+    let explorer =
+        Explorer::new(ExploreSpace::new(circuit, config.max_aux), config).expect("baseline design");
+    let state = explorer.run().expect("search");
+    (explorer, state)
+}
+
+fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x >= y)
+}
+
+fn assert_front_weakly_dominates_fixture(name: &str) -> ExploreState {
+    let fixture = load_fixture(name);
+    assert_eq!(fixture.benchmark, name);
+    let (explorer, state) = run_v2(name, fixture.seed);
+
+    // Equal candidate budget: every yield lookup is one candidate
+    // evaluation, screening is off in this config.
+    let cache = explorer.cache();
+    let evaluations = cache.yields.hits() + cache.yields.misses();
+    assert!(
+        evaluations <= fixture.evaluations,
+        "{name}: v2 spent {evaluations} evaluations, fixture budget is {}",
+        fixture.evaluations
+    );
+
+    let v2_front: Vec<Vec<f64>> = state
+        .front_indices()
+        .into_iter()
+        .map(|i| state.archive[i].objectives.as_maximization())
+        .collect();
+    assert!(!v2_front.is_empty(), "{name}: empty v2 front");
+    for recorded in &fixture.front {
+        assert!(
+            v2_front.iter().any(|p| weakly_dominates(p, recorded)),
+            "{name}: recorded PR 3 front point {recorded:?} is not weakly dominated \
+             by any v2 front point"
+        );
+    }
+    state
+}
+
+#[test]
+fn v2_front_weakly_dominates_pr3_front_sym6_145() {
+    assert_front_weakly_dominates_fixture("sym6_145");
+}
+
+#[test]
+fn v2_front_weakly_dominates_pr3_front_z4_268() {
+    assert_front_weakly_dominates_fixture("z4_268");
+}
+
+/// The quality-gate run itself is bit-identical for every thread count
+/// and across a checkpoint/kill/resume cycle — checkpoint *bytes*
+/// compared, not just fronts.
+#[test]
+fn quality_run_is_thread_invariant_and_resumable() {
+    let fixture = load_fixture("sym6_145");
+    let config = v2_config(fixture.seed);
+    let bytes_of = |state: &ExploreState| {
+        Checkpoint { run: "quality".into(), config, state: state.clone() }.render()
+    };
+
+    let serial = qpd::par::with_threads(1, || run_v2("sym6_145", fixture.seed).1);
+    let serial_bytes = bytes_of(&serial);
+    for threads in [2usize, 8] {
+        let pooled = qpd::par::with_threads(threads, || run_v2("sym6_145", fixture.seed).1);
+        assert_eq!(serial_bytes, bytes_of(&pooled), "checkpoint differs at {threads} threads");
+    }
+
+    // Kill after round 1, round-trip through checkpoint bytes, resume on
+    // a fresh engine with cold caches.
+    let circuit = qpd::benchmarks::build("sym6_145").expect("known benchmark");
+    let engine = Explorer::new(ExploreSpace::new(circuit.clone(), config.max_aux), config)
+        .expect("baseline");
+    let mut partial = engine.initial_state().expect("initial");
+    engine.advance_round(&mut partial).expect("round 1");
+    let restored = Checkpoint::parse(&bytes_of(&partial)).expect("parse").state;
+    let fresh =
+        Explorer::new(ExploreSpace::new(circuit, config.max_aux), config).expect("baseline");
+    let resumed = fresh.resume(restored).expect("resume");
+    assert_eq!(serial_bytes, bytes_of(&resumed), "kill/resume diverged from uninterrupted run");
+}
+
+/// The PR 3 checkpoint-schema bugfix: a committed v1 document (written
+/// by the actual PR 3 binary) parses, reports version 1, migrates onto
+/// scalarized-compat config, and **resumes** to the same state the PR 3
+/// engine reached uninterrupted (also committed, also v1).
+#[test]
+fn resuming_a_committed_v1_checkpoint_matches_its_recorded_completion() {
+    let fixtures = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let partial_text =
+        std::fs::read_to_string(format!("{fixtures}/explore_v1_partial_sym6_145.json"))
+            .expect("partial v1 fixture");
+    let full_text = std::fs::read_to_string(format!("{fixtures}/explore_v1_sym6_145.json"))
+        .expect("full v1 fixture");
+
+    let (mut partial, version) = Checkpoint::parse_versioned(&partial_text).expect("v1 parses");
+    assert_eq!(version, 1);
+    assert_eq!(partial.config.acceptance, qpd::explore::AcceptanceMode::Scalarized);
+    assert!(!partial.config.recombine);
+    assert_eq!(partial.config.screen_divisor, 1);
+
+    let (full, version) = Checkpoint::parse_versioned(&full_text).expect("v1 parses");
+    assert_eq!(version, 1);
+    assert_eq!(partial.state.rounds_done, 1, "fixture should be mid-run");
+    assert_eq!(full.state.rounds_done, 2, "fixture should be complete");
+
+    // The partial fixture was cut by running one round of the same
+    // seed/budget; extend its round budget to the full run's and resume.
+    partial.config.rounds = full.config.rounds;
+    let circuit = qpd::benchmarks::build("sym6_145").expect("known benchmark");
+    let engine = Explorer::new(ExploreSpace::new(circuit, partial.config.max_aux), partial.config)
+        .expect("baseline");
+    let resumed = engine.resume(partial.state).expect("resume");
+    assert_eq!(
+        resumed, full.state,
+        "migrated v1 resume diverged from the PR 3 engine's recorded completion"
+    );
+}

@@ -1,0 +1,163 @@
+//! Property tests for the `qpd_core::pareto` helpers the v2 explore
+//! acceptor is built on: ε-dominance is a strict partial order on the
+//! ε-grid (anti-symmetric, transitive), the N-dimensional front is
+//! invariant under input permutation, and crowding distances are
+//! permutation-equivariant.
+
+use proptest::prelude::*;
+
+use qpd::design::{
+    crowding_distances, dominates_nd, epsilon_dominates_nd, epsilon_weakly_dominates_nd,
+    pareto_front_nd,
+};
+
+/// A point with coordinates on a coarse lattice (`k / 8` for small `k`),
+/// so ε-grid cell collisions and dominance chains actually occur instead
+/// of every random pair being incomparable.
+fn arb_point() -> impl Strategy<Value = Vec<f64>> {
+    (-16i64..17, -16i64..17, -16i64..17)
+        .prop_map(|(a, b, c)| vec![a as f64 / 8.0, b as f64 / 8.0, c as f64 / 8.0])
+}
+
+/// A point on a much finer lattice, for properties that need per-axis
+/// distinct values with high probability.
+fn arb_fine_point() -> impl Strategy<Value = Vec<f64>> {
+    (-100_000i64..100_000, -100_000i64..100_000)
+        .prop_map(|(a, b)| vec![a as f64 / 512.0, b as f64 / 512.0])
+}
+
+/// Deterministic Fisher–Yates from a seed (splitmix64 stream).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Strict ε-dominance is anti-symmetric for every grid width,
+    /// including the `eps <= 0` exact-dominance fallback.
+    #[test]
+    fn epsilon_dominance_is_antisymmetric(
+        a in arb_point(),
+        b in arb_point(),
+        eps_k in 0usize..4,
+    ) {
+        let eps = [0.0, 0.05, 0.25, 1.0][eps_k];
+        if epsilon_dominates_nd(&a, &b, eps) {
+            prop_assert!(!epsilon_dominates_nd(&b, &a, eps),
+                "both directions dominate at eps {eps}: {a:?} vs {b:?}");
+        }
+        // Irreflexivity comes with anti-symmetry in a strict order.
+        prop_assert!(!epsilon_dominates_nd(&a, &a, eps));
+    }
+
+    /// Strict ε-dominance is transitive on the ε-grid: it is plain
+    /// Pareto dominance on grid cells, so chains compose.
+    #[test]
+    fn epsilon_dominance_is_transitive(
+        a in arb_point(),
+        b in arb_point(),
+        c in arb_point(),
+        eps_k in 0usize..4,
+    ) {
+        let eps = [0.0, 0.05, 0.25, 1.0][eps_k];
+        if epsilon_dominates_nd(&a, &b, eps) && epsilon_dominates_nd(&b, &c, eps) {
+            prop_assert!(epsilon_dominates_nd(&a, &c, eps),
+                "transitivity broken at eps {eps}: {a:?} > {b:?} > {c:?}");
+        }
+        // The weak relation is transitive too (and reflexive).
+        if epsilon_weakly_dominates_nd(&a, &b, eps) && epsilon_weakly_dominates_nd(&b, &c, eps) {
+            prop_assert!(epsilon_weakly_dominates_nd(&a, &c, eps));
+        }
+        prop_assert!(epsilon_weakly_dominates_nd(&a, &a, eps));
+    }
+
+    /// Strict ε-dominance implies the weak form, and exact dominance
+    /// implies weak ε-dominance... does not hold in general for eps > 0
+    /// (a sub-grid edge vanishes) — but weak-at-zero implies weak at any
+    /// eps, because floors are monotone.
+    #[test]
+    fn weak_dominance_weakens_monotonically(
+        a in arb_point(),
+        b in arb_point(),
+        eps_k in 1usize..4,
+    ) {
+        let eps = [0.0, 0.05, 0.25, 1.0][eps_k];
+        if epsilon_dominates_nd(&a, &b, eps) {
+            prop_assert!(epsilon_weakly_dominates_nd(&a, &b, eps));
+        }
+        if epsilon_weakly_dominates_nd(&a, &b, 0.0) {
+            prop_assert!(epsilon_weakly_dominates_nd(&a, &b, eps),
+                "componentwise >= must survive any grid: {a:?} vs {b:?} at eps {eps}");
+        }
+    }
+
+    /// The front is invariant under permutation: permuting the input
+    /// selects exactly the same points (as a set), and every non-front
+    /// point is dominated by some front point.
+    #[test]
+    fn front_is_invariant_under_permutation(
+        points in proptest::collection::vec(arb_point(), 1..12),
+        seed in 0u64..1_000,
+    ) {
+        let front = pareto_front_nd(&points);
+        prop_assert!(!front.is_empty(), "a nonempty set has a nonempty front");
+        // Completeness: everything off the front is dominated by
+        // something on it.
+        for (i, p) in points.iter().enumerate() {
+            if !front.contains(&i) {
+                prop_assert!(front.iter().any(|&f| dominates_nd(&points[f], p)),
+                    "point {i} is off the front yet undominated");
+            }
+        }
+        let perm = permutation(points.len(), seed);
+        let shuffled: Vec<Vec<f64>> = perm.iter().map(|&i| points[i].clone()).collect();
+        let shuffled_front = pareto_front_nd(&shuffled);
+        let mut mapped: Vec<usize> = shuffled_front.iter().map(|&i| perm[i]).collect();
+        mapped.sort_unstable();
+        let mut original = front.clone();
+        original.sort_unstable();
+        prop_assert_eq!(original, mapped, "permutation changed the front membership");
+    }
+
+    /// Crowding distances are permutation-equivariant: shuffling the
+    /// points shuffles the distances the same way, bit for bit. (Holds
+    /// when each axis has distinct values — with exact ties the sorted
+    /// neighbor sets are tie-order dependent in NSGA-II, so tied draws
+    /// are skipped; the fine lattice makes them rare.)
+    #[test]
+    fn crowding_is_permutation_equivariant(
+        points in proptest::collection::vec(arb_fine_point(), 1..10),
+        seed in 0u64..1_000,
+    ) {
+        let dims = points[0].len();
+        let untied = (0..dims).all(|m| {
+            let mut vals: Vec<u64> = points.iter().map(|p| p[m].to_bits()).collect();
+            vals.sort_unstable();
+            vals.windows(2).all(|w| w[0] != w[1])
+        });
+        if untied {
+            let d = crowding_distances(&points);
+            let perm = permutation(points.len(), seed);
+            let shuffled: Vec<Vec<f64>> = perm.iter().map(|&i| points[i].clone()).collect();
+            let ds = crowding_distances(&shuffled);
+            for (slot, &src) in perm.iter().enumerate() {
+                prop_assert_eq!(ds[slot].to_bits(), d[src].to_bits(),
+                    "distance of point {src} changed under permutation");
+            }
+        }
+    }
+}
