@@ -20,6 +20,14 @@
 //! emits a *series* of architectures trading performance against yield by
 //! varying the number of 4-qubit buses (the paper's `eff-full` curve).
 //!
+//! Internally the pipeline is an explicit **stage graph** ([`stage`]):
+//! each subroutine is a [`stage::Stage`] with a content key derived from
+//! its true inputs, served through a bounded per-stage cache
+//! ([`stage::StageCache`], `QPD_MEMO_CAP`) owned by a
+//! [`stage::StagePlan`]. [`DesignFlow`] is a thin facade over the plan —
+//! caching is bit-transparent, and a knob change recomputes only the
+//! stages it dirties ([`stage::StageKind::invalidates`]).
+//!
 //! ```
 //! use qpd_circuit::Circuit;
 //! use qpd_profile::CouplingProfile;
@@ -45,6 +53,7 @@ pub mod freq;
 pub mod pareto;
 pub mod pipeline;
 pub mod placement;
+pub mod stage;
 
 pub use bus::{
     candidate_squares, select_buses_maximal, select_buses_random, select_buses_weighted,
@@ -57,3 +66,7 @@ pub use pareto::{
 };
 pub use pipeline::{BusStrategy, DesignFlow, FrequencyStrategy};
 pub use placement::{place_auxiliary, place_qubits};
+pub use stage::{
+    profile_key, AssembleStage, BusOrderStage, PlacementStage, Stage, StageCache, StageCacheStats,
+    StageKind, StagePlan, StageSet, MEMO_CAP_ENV,
+};

@@ -1,4 +1,15 @@
 //! The end-to-end design flow (paper Figure 1).
+//!
+//! Since the stage-graph refactor, [`DesignFlow`] is a thin facade over
+//! a [`StagePlan`]: each subroutine (placement, bus selection,
+//! frequency allocation + assembly) is a [`crate::stage::Stage`] served
+//! through a per-stage content-keyed cache, so repeated calls — and
+//! calls differing only in downstream knobs — skip the upstream work.
+//! Caching is bit-transparent: every stage is a pure function of its
+//! content key, and [`DesignFlow::design_reference`] retains the
+//! monolithic computation the equivalence tests compare against.
+
+use std::sync::Arc;
 
 use qpd_profile::CouplingProfile;
 use qpd_topology::{five_frequency_plan, Architecture, FrequencyPlan, Square};
@@ -7,6 +18,7 @@ use crate::bus::{select_buses_random, select_buses_weighted};
 use crate::error::DesignError;
 use crate::freq::FrequencyAllocator;
 use crate::placement::place_qubits;
+use crate::stage::{AssembleStage, BusOrderStage, PlacementStage, StagePlan};
 
 /// How the flow assigns qubit frequencies (paper §5.2's configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +44,13 @@ pub enum BusStrategy {
 }
 
 /// The composed design flow: profile in, architecture (series) out.
+///
+/// Internally a facade over a [`StagePlan`]: every `design*` call runs
+/// the placement → bus → frequency cascade through per-stage
+/// content-keyed caches. Clones share the plan (an `Arc`), so a cloned
+/// flow — e.g. the same flow with a different frequency strategy —
+/// reuses every upstream result; sharing is always safe because stage
+/// keys embed the full stage configuration.
 #[derive(Debug, Clone)]
 pub struct DesignFlow {
     bus_strategy: BusStrategy,
@@ -43,6 +62,7 @@ pub struct DesignFlow {
     allocation_seed: u64,
     sigma_ghz: f64,
     name_prefix: String,
+    plan: Arc<StagePlan>,
 }
 
 impl Default for DesignFlow {
@@ -65,7 +85,23 @@ impl DesignFlow {
             allocation_seed: 0,
             sigma_ghz: qpd_yield::FabricationModel::PAPER_SIGMA_GHZ,
             name_prefix: "eff".into(),
+            plan: Arc::new(StagePlan::new()),
         }
+    }
+
+    /// The stage plan (and its caches) this flow runs through. Exposed
+    /// for cache statistics and for explicit cache management.
+    pub fn plan(&self) -> &StagePlan {
+        &self.plan
+    }
+
+    /// Replaces the stage plan with a fresh one whose caches hold at
+    /// most `cap` entries each (`None` = unbounded). Detaches this flow
+    /// from any plan shared with earlier clones; caching stays
+    /// bit-transparent at every cap because stages are pure.
+    pub fn with_memo_cap(mut self, cap: Option<usize>) -> Self {
+        self.plan = Arc::new(StagePlan::with_cap(cap));
+        self
     }
 
     /// Sets the bus selection strategy.
@@ -250,14 +286,7 @@ impl DesignFlow {
         &self,
         profile: &CouplingProfile,
     ) -> Result<Vec<qpd_topology::Coord>, DesignError> {
-        if profile.num_qubits() == 0 {
-            return Err(DesignError::EmptyProgram);
-        }
-        let mut coords = place_qubits(profile);
-        if self.auxiliary_qubits > 0 {
-            coords.extend(crate::placement::place_auxiliary(&coords, self.auxiliary_qubits));
-        }
-        Ok(coords)
+        self.plan.place(&self.placement_stage(), profile)
     }
 
     /// The bus selection order for this flow's strategy: prefixes of the
@@ -268,11 +297,29 @@ impl DesignFlow {
     /// Returns [`DesignError::EmptyProgram`] for a 0-qubit profile.
     pub fn bus_order(&self, profile: &CouplingProfile) -> Result<Vec<Square>, DesignError> {
         let coords = self.place(profile)?;
-        let cap = self.max_buses.unwrap_or(usize::MAX);
-        Ok(match self.bus_strategy {
-            BusStrategy::Weighted => select_buses_weighted(&coords, profile, cap),
-            BusStrategy::Random { seed } => select_buses_random(&coords, cap, seed),
-        })
+        self.plan.bus_order(&self.bus_stage(), &coords, profile)
+    }
+
+    /// The placement stage this flow's knobs configure.
+    fn placement_stage(&self) -> PlacementStage {
+        PlacementStage { auxiliary_qubits: self.auxiliary_qubits }
+    }
+
+    /// The bus-selection stage this flow's knobs configure.
+    fn bus_stage(&self) -> BusOrderStage {
+        BusOrderStage { strategy: self.bus_strategy, max_buses: self.max_buses }
+    }
+
+    /// The frequency/assembly stage this flow's knobs configure.
+    fn assemble_stage(&self) -> AssembleStage {
+        AssembleStage {
+            frequency: self.frequency,
+            allocation_trials: self.allocation_trials,
+            allocation_sweeps: self.allocation_sweeps,
+            allocation_seed: self.allocation_seed,
+            sigma_ghz: self.sigma_ghz,
+            name_prefix: self.name_prefix.clone(),
+        }
     }
 
     fn assemble(
@@ -280,6 +327,30 @@ impl DesignFlow {
         coords: &[qpd_topology::Coord],
         squares: &[Square],
     ) -> Result<Architecture, DesignError> {
+        self.plan.assemble(&self.assemble_stage(), coords, squares)
+    }
+
+    /// The retained **monolithic** flow: the pre-stage-graph computation,
+    /// with no stage decomposition and no caching. Kept as the reference
+    /// the equivalence tests compare the facade against, exactly like
+    /// the frequency allocator's `with_reference_path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::EmptyProgram`] for a 0-qubit profile.
+    pub fn design_reference(&self, profile: &CouplingProfile) -> Result<Architecture, DesignError> {
+        if profile.num_qubits() == 0 {
+            return Err(DesignError::EmptyProgram);
+        }
+        let mut coords = place_qubits(profile);
+        if self.auxiliary_qubits > 0 {
+            coords.extend(crate::placement::place_auxiliary(&coords, self.auxiliary_qubits));
+        }
+        let cap = self.max_buses.unwrap_or(usize::MAX);
+        let squares = match self.bus_strategy {
+            BusStrategy::Weighted => select_buses_weighted(&coords, profile, cap),
+            BusStrategy::Random { seed } => select_buses_random(&coords, cap, seed),
+        };
         let name = format!(
             "{}-{}q-b{}{}",
             self.name_prefix,
@@ -292,7 +363,7 @@ impl DesignFlow {
         );
         let mut builder = Architecture::builder(name);
         builder.qubits(coords.iter().copied());
-        for &s in squares {
+        for &s in &squares {
             builder.four_qubit_bus_at(s);
         }
         let arch = builder.build()?;
@@ -470,6 +541,45 @@ mod tests {
         assert_eq!(flow.allocation_sweeps(), 4);
         assert_eq!(flow.allocation_seed(), 11);
         assert_eq!(flow.sigma_ghz(), 0.02);
+    }
+
+    #[test]
+    fn facade_matches_the_monolithic_reference() {
+        // The stage-graph facade must be bit-identical to the retained
+        // monolithic path, cold and warm (the workspace-level proptests
+        // widen this over random profiles and knobs).
+        let profile = grid_profile();
+        for flow in [
+            fast_flow(),
+            fast_flow().with_frequency_strategy(FrequencyStrategy::FiveFrequency),
+            fast_flow().with_bus_strategy(BusStrategy::Random { seed: 5 }).with_auxiliary_qubits(1),
+        ] {
+            let reference = flow.design_reference(&profile).unwrap();
+            let cold = flow.design(&profile).unwrap();
+            let warm = flow.design(&profile).unwrap();
+            assert_eq!(cold, reference);
+            assert_eq!(warm, reference);
+        }
+    }
+
+    #[test]
+    fn clones_share_the_stage_plan() {
+        // A frequency-only variant of a flow reuses the placement and
+        // bus work of the original: the load-bearing property for the
+        // explorer's freq-only moves.
+        let profile = grid_profile();
+        let flow = fast_flow();
+        flow.design(&profile).unwrap();
+        let assemble_misses = flow.plan().assemble_cache().misses();
+        let five = flow.clone().with_frequency_strategy(FrequencyStrategy::FiveFrequency);
+        five.design(&profile).unwrap();
+        let stats = five.plan().stats();
+        // Placement and bus selection were served from the shared cache…
+        assert_eq!(stats[0].kind, crate::stage::StageKind::Placement);
+        assert!(stats[0].hits >= 1, "placement re-ran on a freq-only change");
+        assert!(stats[1].hits >= 1, "bus selection re-ran on a freq-only change");
+        // …while the frequency stage (different strategy => new key) ran.
+        assert!(five.plan().assemble_cache().misses() > assemble_misses);
     }
 
     #[test]

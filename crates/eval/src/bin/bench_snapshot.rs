@@ -19,6 +19,14 @@
 //!   acceptance against the front snapshot + cross-walk recombination)
 //!   on warm caches: the per-round orchestration cost of the second-
 //!   generation engine (PR 4's explore-throughput kernel);
+//! - `explore/stage_incremental` — the same v2 round on the stage-graph
+//!   engine with every stage cache fully warm (an identical round ran
+//!   first): placement, bus insertion, frequency allocation, routing,
+//!   and yield are all served by content key, so this times the true
+//!   warm-round hot path the per-stage memoization buys (PR 5's
+//!   explore-throughput kernel — same candidate budget as
+//!   `explore/round_v2`, which under the pre-stage-graph engine re-ran
+//!   frequency allocation on every proposal);
 //! - `end_to_end/sym6_145` — one full benchmark evaluation (design flow,
 //!   routing, yield) at `EvalSettings::quick()`.
 //!
@@ -26,7 +34,7 @@
 //! default 3), `QPD_BENCH_QUICK=1` shrinks trial counts for CI smoke
 //! runs, `QPD_THREADS` sizes the worker pool.
 //!
-//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_4.json`), or
+//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_5.json`), or
 //! `bench_snapshot --check-schema FRESH.json COMMITTED.json...` to
 //! validate snapshot *schemas* without timing anything: every file must
 //! carry the snapshot fields and well-formed kernel entries, and the
@@ -47,7 +55,7 @@ use qpd_yield::YieldSimulator;
 
 /// The current perf-trajectory point; bump alongside the default
 /// `--out` path when a later PR appends a snapshot.
-const PR: u64 = 4;
+const PR: u64 = 5;
 
 fn designed_topology(name: &str) -> Architecture {
     let circuit = qpd_benchmarks::build(name).expect("benchmark");
@@ -241,7 +249,7 @@ fn main() {
     let explorer = Explorer::new(space, explore_config).expect("baseline");
     group.bench_function("explore/eval_cold", |b| {
         b.iter(|| {
-            explorer.cache().clear();
+            explorer.clear_stage_caches();
             for spec in &candidates {
                 explorer.evaluate(spec).expect("candidate evaluates");
             }
@@ -265,6 +273,26 @@ fn main() {
         b.iter(|| {
             let mut state = v2_state.clone();
             explorer.advance_round(&mut state).expect("v2 round");
+            state
+        })
+    });
+
+    // The stage-graph warm-round hot path: the identical round at the
+    // identical candidate budget, guaranteed fully warm (the round_v2
+    // samples above already replayed it), so every stage — placement,
+    // buses, frequency allocation, routing, yield — is served by
+    // content key and the timing isolates engine orchestration plus
+    // cache lookups. Compare against the PR 4 `explore/round_v2`
+    // figure, whose engine re-ran frequency allocation on every
+    // proposal even with warm yield/route memos.
+    {
+        let mut warm_up = v2_state.clone();
+        explorer.advance_round(&mut warm_up).expect("warm-up round");
+    }
+    group.bench_function("explore/stage_incremental", |b| {
+        b.iter(|| {
+            let mut state = v2_state.clone();
+            explorer.advance_round(&mut state).expect("stage-incremental round");
             state
         })
     });
@@ -316,6 +344,16 @@ fn main() {
                     Json::num(round3(
                         (explore_config.walks * explore_config.steps_per_round) as f64
                             / median_of("explore/round_v2"),
+                    )),
+                ),
+                // The stage-graph warm round at the same budget: the
+                // cross-PR comparison point against BENCH_4's
+                // round_v2_proposals_per_s.
+                (
+                    "stage_incremental_proposals_per_s",
+                    Json::num(round3(
+                        (explore_config.walks * explore_config.steps_per_round) as f64
+                            / median_of("explore/stage_incremental"),
                     )),
                 ),
             ]),

@@ -4,16 +4,22 @@
 //! the archive-guided Pareto search (bit-identical for every
 //! `QPD_THREADS`), writes an `EXPLORE_<benchmark>.json` checkpoint after
 //! every round, and prints a summary table: archive size, Pareto-front
-//! size, front spread (mean finite crowding distance), cache hit counts,
-//! and where the paper's `eff-full` configuration landed — on the front,
-//! or dominated by which front point.
+//! size, front spread (mean finite crowding distance), yield-cache hit
+//! counts, the aggregate stage-cache hit rate (placement, bus,
+//! frequency, routing, and yield stages together), and where the
+//! paper's `eff-full` configuration landed — on the front, or dominated
+//! by which front point.
 //!
 //! Usage:
 //!   explore_run [--quick] [--check] [--seed N] [--rounds N] [--walks N]
 //!               [--steps N] [--out-dir DIR] [--resume FILE] [--overlay]
 //!               [--adaptive] [--screen N] [--epsilon X]
 //!               [--acceptance scalarized|dominance] [--no-recombine]
-//!               [--max-seconds S] [names...]
+//!               [--archive-cap N] [--max-seconds S] [names...]
+//!
+//! `--archive-cap N` bounds the Pareto archive: at every round barrier
+//! the archive is pruned to `N` points by ε-grid occupancy and crowding
+//! distance (front points kept first); `0` keeps every point.
 //!
 //! `--quick` shrinks every budget for smoke runs; `--check` additionally
 //! asserts the smoke invariants (non-empty front, round-tripping
@@ -54,6 +60,7 @@ struct Args {
     epsilon: Option<f64>,
     acceptance: Option<AcceptanceMode>,
     no_recombine: bool,
+    archive_cap: Option<usize>,
     max_seconds: Option<f64>,
     names: Vec<String>,
 }
@@ -73,6 +80,7 @@ fn parse_args() -> Args {
         epsilon: None,
         acceptance: None,
         no_recombine: false,
+        archive_cap: None,
         max_seconds: None,
         names: Vec::new(),
     };
@@ -100,6 +108,10 @@ fn parse_args() -> Args {
                 );
             }
             "--no-recombine" => args.no_recombine = true,
+            "--archive-cap" => {
+                args.archive_cap =
+                    Some(value("--archive-cap").parse().expect("numeric archive cap"))
+            }
             "--max-seconds" => {
                 args.max_seconds = Some(value("--max-seconds").parse().expect("numeric seconds"))
             }
@@ -135,6 +147,9 @@ fn config_from(args: &Args) -> ExploreConfig {
     }
     if args.no_recombine {
         config.recombine = false;
+    }
+    if let Some(cap) = args.archive_cap {
+        config.archive_cap = (cap > 0).then_some(cap);
     }
     config
 }
@@ -197,6 +212,9 @@ struct RunReport {
     front: usize,
     spread: f64,
     yield_hits: u64,
+    /// Aggregate stage-cache hit rate across every cached stage of the
+    /// cascade (placement, bus, frequency, routing, yield).
+    stage_hit_rate: f64,
     eff_full: Result<bool, String>,
     checkpoint: PathBuf,
     overlay: Option<PathBuf>,
@@ -251,7 +269,11 @@ fn run_one(
             .expect("write overlay");
         path
     });
-    let cache = explorer.cache();
+    let cache = explorer.caches();
+    let (stage_hits, stage_lookups) = explorer
+        .stage_stats()
+        .iter()
+        .fold((0u64, 0u64), |(h, t), s| (h + s.hits, t + s.hits + s.misses));
     RunReport {
         benchmark: name.to_string(),
         evaluations: cache.yields.hits() + cache.yields.misses(),
@@ -259,6 +281,11 @@ fn run_one(
         front: front.len(),
         spread: front_spread(&state, &front),
         yield_hits: cache.yields.hits(),
+        stage_hit_rate: if stage_lookups == 0 {
+            0.0
+        } else {
+            stage_hits as f64 / stage_lookups as f64
+        },
         eff_full: eff_full_status(explorer.space(), &state),
         checkpoint: checkpoint_path,
         overlay,
@@ -284,6 +311,7 @@ fn main() {
             || args.epsilon.is_some()
             || args.acceptance.is_some()
             || args.no_recombine
+            || args.archive_cap.is_some()
         {
             panic!("--resume uses the checkpoint's config; only --rounds may be combined with it");
         }
@@ -345,8 +373,8 @@ fn main() {
 
 fn print_table(reports: &[RunReport]) {
     println!(
-        "\n{:<16} {:>6} {:>8} {:>6} {:>7} {:>10}  {:<26} checkpoint",
-        "benchmark", "evals", "archive", "front", "spread", "cache-hit", "eff-full"
+        "\n{:<16} {:>6} {:>8} {:>6} {:>7} {:>10} {:>9}  {:<26} checkpoint",
+        "benchmark", "evals", "archive", "front", "spread", "cache-hit", "stage-hit", "eff-full"
     );
     for r in reports {
         let eff = match &r.eff_full {
@@ -355,13 +383,14 @@ fn print_table(reports: &[RunReport]) {
             Err(by) => format!("dominated by {by}"),
         };
         println!(
-            "{:<16} {:>6} {:>8} {:>6} {:>7.3} {:>10}  {:<26} {}",
+            "{:<16} {:>6} {:>8} {:>6} {:>7.3} {:>10} {:>8.1}%  {:<26} {}",
             r.benchmark,
             r.evaluations,
             r.archive,
             r.front,
             r.spread,
             r.yield_hits,
+            100.0 * r.stage_hit_rate,
             eff,
             r.checkpoint.display()
         );

@@ -5,7 +5,7 @@
 //! gate count, logarithmic Y = yield rate, one marker style per
 //! configuration, matching the paper's presentation. Both the per-run
 //! scatter ([`svg_scatter`]) and the explore-archive overlay
-//! ([`svg_front_overlay`]) draw on the same [`Frame`].
+//! ([`svg_front_overlay`]) draw on the same `Frame`.
 
 use std::fmt::Write as _;
 
@@ -201,7 +201,7 @@ pub struct OverlayPoint {
 /// Renders a design-space exploration archive as a Figure-10 style
 /// overlay: the whole archive as hollow gray markers, the Pareto-front
 /// points highlighted and chained (in performance order) by a dashed
-/// guide line. Same [`Frame`] as [`svg_scatter`]: linear performance,
+/// guide line. Same `Frame` as [`svg_scatter`]: linear performance,
 /// log yield with zero-yield points clipped to the plot floor.
 pub fn svg_front_overlay(benchmark: &str, points: &[OverlayPoint]) -> String {
     const FRONT_COLOR: &str = "#1f77b4";

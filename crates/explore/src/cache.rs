@@ -1,165 +1,203 @@
-//! Content-keyed memoization of candidate evaluations.
+//! The downstream stages of the design cascade — routing and yield —
+//! and the per-stage caches one exploration run shares across walks.
 //!
-//! The search revisits architectures constantly — walks cross paths,
-//! swap moves undo themselves, the weighted prefix reappears after a
-//! layout toggle. Every evaluation is deterministic in its content key,
-//! so a repeated candidate is **never** re-simulated: the yield memo
-//! keys on [`qpd_yield::YieldSimulator::content_key`] (structure +
-//! designed frequencies + simulator settings) and the routing memo keys
-//! on the coupling structure alone (routing never reads frequencies).
+//! Since the stage-graph refactor this module no longer owns a memo
+//! implementation: the tables are [`qpd_core::StageCache`]s (bounded by
+//! `QPD_MEMO_CAP`, deterministic second-chance eviction), and the
+//! evaluation pipeline is expressed as [`qpd_core::Stage`]s:
 //!
-//! Sharing the table across worker threads cannot break determinism:
-//! whichever walk inserts first, the value is the same one every other
-//! walk would have computed.
+//! - placement and bus insertion (square perturbations included) are
+//!   served by [`crate::space::ExploreSpace`]'s precomputed layouts — a
+//!   perfect, always-warm cache over the small `(variant, aux)` grid;
+//! - frequency allocation + assembly run through the shared
+//!   [`qpd_core::StagePlan`] of the explorer's [`qpd_core::DesignFlow`];
+//! - [`RouteStage`] and [`YieldStage`] (this module) run through
+//!   [`StageCaches`]. **Screening is the same yield stage at a reduced
+//!   trial budget** — the trial count is part of the content key, so
+//!   screened and full-fidelity results never collide.
+//!
+//! Sharing the tables across worker threads cannot break determinism:
+//! every stage is a pure function of its content key, so whichever walk
+//! inserts first, the value is the one every other walk would have
+//! computed — and an evicted entry is recomputed, never changed.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use qpd_circuit::Circuit;
+use qpd_core::{Stage, StageCache, StageCacheStats, StageKind};
+use qpd_mapping::{MappingError, SabreRouter};
+use qpd_topology::Architecture;
+use qpd_yield::{YieldError, YieldSimulator};
 
-/// A shared memo table from content key to value, with hit/miss
-/// counters for throughput reporting.
+// The routing and yield keys use the same FNV-1a hasher the upstream
+// stage keys are built from.
+pub use qpd_yield::Fnv64;
+
+/// The topology fingerprint routing keys on: placed coordinates and
+/// coupling edges only — the router never reads frequencies, which is
+/// why a frequency-only change leaves routing results valid.
+pub fn topology_key(arch: &Architecture) -> u64 {
+    let mut h = Fnv64::new();
+    h.push(arch.num_qubits() as u64);
+    for c in arch.coords() {
+        h.push(((c.row as u32 as u64) << 32) | c.col as u32 as u64);
+    }
+    for &(a, b) in arch.coupling_edges() {
+        h.push(((a as u64) << 32) | b as u64);
+    }
+    h.finish()
+}
+
+/// A content fingerprint of the routed program: qubit count plus every
+/// instruction (gate, parameters, and operands) in program order —
+/// single-qubit gates included, since the routed *depth* the route
+/// stage caches depends on them. Computed once per run and folded into
+/// every routing key, so the route cache's keys derive from *all* of
+/// the stage's true inputs and two circuits with equal two-qubit
+/// structure but different 1q placement never collide.
+pub fn circuit_key(circuit: &Circuit) -> u64 {
+    let mut h = Fnv64::new();
+    h.push(circuit.num_qubits() as u64);
+    h.push(circuit.gate_count() as u64);
+    for inst in circuit.iter() {
+        // The Debug form carries the gate's variant and exact angle
+        // bits; the key is in-memory only, so its stability across
+        // builds does not matter — only injectivity per build.
+        for byte in format!("{:?}", inst.gate()).into_bytes() {
+            h.push(byte as u64);
+        }
+        h.push(inst.qubits().len() as u64);
+        for q in inst.qubits() {
+            h.push(q.index() as u64);
+        }
+    }
+    h.finish()
+}
+
+/// Stage 4 — SABRE routing of the profiled program onto a candidate
+/// topology, yielding `(total_gates, routed_depth)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteStage {
+    /// [`circuit_key`] of the routed program (fixed per run).
+    pub circuit_key: u64,
+}
+
+impl Stage for RouteStage {
+    type Input<'a> = (&'a Architecture, &'a Circuit);
+    type Output = (u64, u64);
+    type Error = MappingError;
+    const KIND: StageKind = StageKind::Routing;
+
+    fn content_key(&self, input: &Self::Input<'_>) -> u64 {
+        let mut h = Fnv64::new();
+        h.push(Self::KIND as u64);
+        h.push(topology_key(input.0));
+        h.push(self.circuit_key);
+        h.finish()
+    }
+
+    fn run(&self, input: &Self::Input<'_>) -> Result<(u64, u64), MappingError> {
+        let (arch, circuit) = input;
+        let mapped = SabreRouter::new(arch).route(circuit)?;
+        let stats = mapped.stats();
+        Ok((stats.total_gates as u64, stats.routed_depth as u64))
+    }
+}
+
+/// Stage 5 — Monte Carlo yield estimation, yielding
+/// `(successes, trials)`. The trial budget is a stage knob: the adaptive
+/// screening path is this same stage at `yield_trials / screen_divisor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldStage {
+    /// Monte Carlo trials.
+    pub trials: u64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Fabrication precision in GHz.
+    pub sigma_ghz: f64,
+}
+
+impl YieldStage {
+    /// The configured simulator.
+    pub fn simulator(&self) -> YieldSimulator {
+        YieldSimulator::new()
+            .with_trials(self.trials)
+            .with_seed(self.seed)
+            .with_sigma_ghz(self.sigma_ghz)
+    }
+}
+
+impl Stage for YieldStage {
+    type Input<'a> = &'a Architecture;
+    type Output = (u64, u64);
+    type Error = YieldError;
+    const KIND: StageKind = StageKind::Yield;
+
+    /// The simulator's content key (structure + designed frequencies +
+    /// simulator settings) — unchanged from the pre-stage-graph memo, so
+    /// archived [`crate::Evaluated::key`]s stay stable.
+    ///
+    /// An architecture without a frequency plan (which the assembly
+    /// stage never produces) keys on its topology alone; [`Self::run`]
+    /// then reports [`YieldError::MissingFrequencyPlan`], and errors are
+    /// never cached, so the sentinel key can't serve a stale value.
+    fn content_key(&self, input: &Self::Input<'_>) -> u64 {
+        self.simulator().content_key(input).unwrap_or_else(|_| {
+            let mut h = Fnv64::new();
+            h.push(Self::KIND as u64);
+            h.push(topology_key(input));
+            h.finish()
+        })
+    }
+
+    fn run(&self, input: &Self::Input<'_>) -> Result<(u64, u64), YieldError> {
+        let estimate = self.simulator().estimate(input)?;
+        Ok((estimate.successes(), estimate.trials()))
+    }
+}
+
+/// The downstream stage caches one exploration run shares across its
+/// walks (the upstream placement/bus/frequency caches live in the
+/// explorer's [`qpd_core::StagePlan`]).
 #[derive(Debug, Default)]
-pub struct Memo<V: Clone> {
-    table: Mutex<HashMap<u64, V>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+pub struct StageCaches {
+    /// Routing results by topology + circuit content key.
+    pub routes: StageCache<(u64, u64)>,
+    /// Yield estimates by the simulator's full content key (screened
+    /// and full-fidelity budgets key separately).
+    pub yields: StageCache<(u64, u64)>,
 }
 
-impl<V: Clone> Memo<V> {
-    /// An empty table.
+impl StageCaches {
+    /// Empty caches (bounded by `QPD_MEMO_CAP` when set).
     pub fn new() -> Self {
-        Memo {
-            table: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        StageCaches::default()
     }
 
-    /// The cached value for `key`, counting a hit when present.
-    pub fn get(&self, key: u64) -> Option<V> {
-        let found = self.table.lock().expect("memo poisoned").get(&key).cloned();
-        if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        }
-        found
-    }
-
-    /// Records a freshly computed value, counting a miss. The value must
-    /// be a pure function of the key's content — that is what makes
-    /// cross-thread sharing deterministic: two threads may race to
-    /// compute the same key, but both produce the identical value.
-    pub fn insert(&self, key: u64, value: V) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.table.lock().expect("memo poisoned").entry(key).or_insert(value);
-    }
-
-    /// The value for `key`, computing and inserting it on first demand
-    /// (compute runs outside the lock: evaluations are expensive and fan
-    /// out onto the same worker pool).
-    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
-        if let Some(v) = self.get(key) {
-            return v;
-        }
-        let v = compute();
-        self.insert(key, v.clone());
-        v
-    }
-
-    /// Number of lookups served from the table.
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Number of lookups that had to compute.
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    /// Number of distinct keys stored.
-    pub fn len(&self) -> usize {
-        self.table.lock().expect("memo poisoned").len()
-    }
-
-    /// Whether the table is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Drops every stored value; the counters keep accumulating.
-    pub fn clear(&self) {
-        self.table.lock().expect("memo poisoned").clear();
-    }
-}
-
-/// The two memo tables one exploration run shares across its walks.
-#[derive(Debug, Default)]
-pub struct EvalCache {
-    /// Yield estimates: `(successes, trials)` by yield content key.
-    pub yields: Memo<(u64, u64)>,
-    /// Routing results: `(total_gates, routed_depth)` by topology key.
-    pub routes: Memo<(u64, u64)>,
-}
-
-impl EvalCache {
-    /// Empty caches.
-    pub fn new() -> Self {
-        EvalCache::default()
+    /// Empty caches with an explicit per-table entry bound
+    /// (`None` = unbounded).
+    pub fn with_cap(cap: Option<usize>) -> Self {
+        StageCaches { routes: StageCache::with_cap(cap), yields: StageCache::with_cap(cap) }
     }
 
     /// Drops every stored value (hit/miss counters keep accumulating).
     /// `bench_snapshot`'s cold-cache kernel uses this to re-measure
     /// uncached evaluation without rebuilding the engine.
     pub fn clear(&self) {
-        self.yields.clear();
         self.routes.clear();
+        self.yields.clear();
+    }
+
+    /// Hit/miss counters of the two downstream stages, pipeline order.
+    pub fn stats(&self) -> Vec<StageCacheStats> {
+        vec![
+            StageCacheStats::of(StageKind::Routing, &self.routes),
+            StageCacheStats::of(StageKind::Yield, &self.yields),
+        ]
     }
 }
-
-// The routing (topology-only) keys use the same FNV-1a hasher the yield
-// content keys are built from.
-pub use qpd_yield::Fnv64;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn memo_computes_once_per_key() {
-        let memo: Memo<u64> = Memo::new();
-        let mut calls = 0;
-        for _ in 0..3 {
-            let v = memo.get_or_insert_with(42, || {
-                calls += 1;
-                7
-            });
-            assert_eq!(v, 7);
-        }
-        assert_eq!(calls, 1);
-        assert_eq!(memo.hits(), 2);
-        assert_eq!(memo.misses(), 1);
-        assert_eq!(memo.len(), 1);
-    }
-
-    #[test]
-    fn distinct_keys_are_distinct_entries() {
-        let memo: Memo<u64> = Memo::new();
-        assert_eq!(memo.get_or_insert_with(1, || 10), 10);
-        assert_eq!(memo.get_or_insert_with(2, || 20), 20);
-        assert_eq!(memo.len(), 2);
-        assert!(!memo.is_empty());
-    }
-
-    #[test]
-    fn clear_drops_values_not_counters() {
-        let memo: Memo<u64> = Memo::new();
-        memo.insert(1, 10);
-        assert_eq!(memo.len(), 1);
-        memo.clear();
-        assert!(memo.is_empty());
-        assert_eq!(memo.misses(), 1, "counters survive a clear");
-        // A cleared key recomputes.
-        assert_eq!(memo.get(1), None);
-    }
 
     #[test]
     fn fnv_is_order_sensitive_and_stable() {
@@ -174,5 +212,70 @@ mod tests {
         c.push(1);
         c.push(2);
         assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn circuit_key_distinguishes_programs() {
+        let mut a = Circuit::new(4);
+        a.cx(0, 1).cx(1, 2);
+        let mut b = Circuit::new(4);
+        b.cx(0, 1).cx(2, 3);
+        assert_ne!(circuit_key(&a), circuit_key(&b));
+        let mut a2 = Circuit::new(4);
+        a2.cx(0, 1).cx(1, 2);
+        assert_eq!(circuit_key(&a), circuit_key(&a2));
+    }
+
+    #[test]
+    fn circuit_key_sees_single_qubit_structure() {
+        // Routed depth depends on where 1q gates sit, so circuits with
+        // identical two-qubit streams but different 1q placement must
+        // key apart (they'd otherwise share a wrong cached depth).
+        let mut a = Circuit::new(2);
+        a.h(0).h(0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).h(1).cx(0, 1);
+        assert_ne!(circuit_key(&a), circuit_key(&b));
+    }
+
+    #[test]
+    fn yield_stage_screening_keys_differ_from_full_fidelity() {
+        // The screening path is the yield stage at a reduced budget; the
+        // budget is part of the key, so the two can share one table.
+        let chip = qpd_topology::ibm::ibm_16q_2x8(qpd_topology::BusMode::TwoQubitOnly);
+        let full = YieldStage { trials: 2_000, seed: 0, sigma_ghz: 0.03 };
+        let screened = YieldStage { trials: 500, ..full };
+        assert_ne!(full.content_key(&&chip), screened.content_key(&&chip));
+        assert_eq!(full.content_key(&&chip), full.content_key(&&chip));
+    }
+
+    #[test]
+    fn plan_less_architecture_errors_instead_of_panicking() {
+        // Running the yield stage on a bare topology (no frequency
+        // plan) must surface MissingFrequencyPlan through run_stage —
+        // never a panic, and never a cached value.
+        let mut b = Architecture::builder("bare");
+        b.qubit(0, 0).qubit(0, 1);
+        let bare = b.build().unwrap();
+        let stage = YieldStage { trials: 100, seed: 0, sigma_ghz: 0.03 };
+        let cache: StageCache<(u64, u64)> = StageCache::with_cap(None);
+        let err = cache.run_stage(&stage, &&bare).unwrap_err();
+        assert_eq!(err, YieldError::MissingFrequencyPlan);
+        assert!(cache.is_empty(), "an error was cached");
+    }
+
+    #[test]
+    fn stage_caches_report_both_stages() {
+        let caches = StageCaches::new();
+        caches.routes.insert(1, (10, 5));
+        assert_eq!(caches.routes.get(1), Some((10, 5)));
+        let stats = caches.stats();
+        assert_eq!(stats[0].kind, StageKind::Routing);
+        assert_eq!(stats[1].kind, StageKind::Yield);
+        assert_eq!(stats[0].hits, 1);
+        assert_eq!(stats[0].misses, 1);
+        caches.clear();
+        assert!(caches.routes.is_empty());
+        assert_eq!(caches.routes.misses(), 1, "counters survive a clear");
     }
 }

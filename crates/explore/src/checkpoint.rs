@@ -169,7 +169,7 @@ impl Checkpoint {
 }
 
 fn config_to_json(c: &ExploreConfig) -> Json {
-    Json::obj([
+    let mut pairs = vec![
         ("walks", Json::int(c.walks as u64)),
         ("rounds", Json::int(c.rounds as u64)),
         ("steps_per_round", Json::int(c.steps_per_round as u64)),
@@ -184,7 +184,16 @@ fn config_to_json(c: &ExploreConfig) -> Json {
         ("recombine", Json::Bool(c.recombine)),
         ("screen_divisor", Json::int(c.screen_divisor)),
         ("epsilon", Json::num(c.epsilon)),
-    ])
+    ];
+    // Written only when pruning is on: an uncapped config renders the
+    // exact bytes the pre-pruning schema produced, and pre-pruning v2
+    // documents parse as uncapped. `Some(0)` means "no pruning" just
+    // like `None` (see `ExploreConfig::archive_cap`), so it renders the
+    // same way, keeping render/parse coherent.
+    if let Some(cap) = c.archive_cap.filter(|&cap| cap > 0) {
+        pairs.push(("archive_cap", Json::int(cap as u64)));
+    }
+    Json::obj(pairs)
 }
 
 /// The fields shared by both schema versions.
@@ -208,11 +217,18 @@ fn config_from_json_v1(json: &Json) -> Option<ExploreConfig> {
 }
 
 fn config_from_json(json: &Json) -> Option<ExploreConfig> {
+    // Absent in pre-pruning v2 documents (and in uncapped renders):
+    // both mean an unbounded archive. A present value must be numeric.
+    let archive_cap = match json.get("archive_cap") {
+        None => None,
+        Some(v) => Some(v.as_u64()? as usize).filter(|&cap| cap > 0),
+    };
     Some(ExploreConfig {
         acceptance: AcceptanceMode::from_str_tag(json.get("acceptance")?.as_str()?)?,
         recombine: json.get("recombine")?.as_bool()?,
         screen_divisor: json.get("screen_divisor")?.as_u64()?,
         epsilon: json.get("epsilon")?.as_f64()?,
+        archive_cap,
         ..config_from_json_v1(json)?
     })
 }
@@ -325,6 +341,29 @@ mod tests {
         let (back, version2) = Checkpoint::parse_versioned(&rerendered).unwrap();
         assert_eq!(version2, 2);
         assert_eq!(back, migrated);
+    }
+
+    #[test]
+    fn archive_cap_round_trips_and_is_optional() {
+        // A capped config round-trips…
+        let mut cp = sample_checkpoint();
+        cp.config.archive_cap = Some(40);
+        let back = Checkpoint::parse(&cp.render()).unwrap();
+        assert_eq!(back.config.archive_cap, Some(40));
+        assert_eq!(back.render(), cp.render());
+        // …an uncapped config renders without the field (byte
+        // compatibility with pre-pruning v2 documents)…
+        cp.config.archive_cap = None;
+        let text = cp.render();
+        assert!(!text.contains("archive_cap"));
+        // …and a pre-pruning v2 document (no field) parses as uncapped.
+        assert_eq!(Checkpoint::parse(&text).unwrap().config.archive_cap, None);
+        // `Some(0)` means "no pruning" and renders like `None`, so a
+        // resumed run can never diverge from the live one.
+        cp.config.archive_cap = Some(0);
+        let zero = cp.render();
+        assert!(!zero.contains("archive_cap"));
+        assert_eq!(Checkpoint::parse(&zero).unwrap().config.archive_cap, None);
     }
 
     #[test]

@@ -53,13 +53,13 @@ use rand_chacha::ChaCha8Rng;
 
 use qpd_core::{
     crowding_distances, dominates_nd, epsilon_weakly_dominates_nd, DesignError, DesignFlow,
-    FrequencyStrategy,
+    FrequencyStrategy, StageCacheStats,
 };
-use qpd_mapping::{MappingError, SabreRouter};
+use qpd_mapping::MappingError;
 use qpd_topology::Architecture;
-use qpd_yield::{YieldError, YieldSimulator};
+use qpd_yield::YieldError;
 
-use crate::cache::{EvalCache, Fnv64};
+use crate::cache::{circuit_key, RouteStage, StageCaches, YieldStage};
 use crate::space::ExploreSpace;
 use crate::spec::{CandidateSpec, Evaluated, Objectives};
 
@@ -129,6 +129,16 @@ pub struct ExploreConfig {
     /// ε-grid width of the dominance acceptor, applied to the
     /// normalized objective vector (every axis lives in `(0, 1]`).
     pub epsilon: f64,
+    /// Bound on the Pareto archive (`None` — or `Some(0)`, which the
+    /// checkpoint writer normalizes to the same thing — keeps every
+    /// full-fidelity point, the pre-pruning behavior). When set, the
+    /// archive is pruned at
+    /// every round barrier by ε-grid occupancy and crowding distance:
+    /// front points are kept first, then points opening a new ε-cell,
+    /// then the rest — evicting the most crowded (then newest) points
+    /// first. Pruning happens at a deterministic point of the round, so
+    /// runs stay bit-identical across `QPD_THREADS` and kill/resume.
+    pub archive_cap: Option<usize>,
 }
 
 impl Default for ExploreConfig {
@@ -148,6 +158,7 @@ impl Default for ExploreConfig {
             recombine: true,
             screen_divisor: 1,
             epsilon: 0.02,
+            archive_cap: None,
         }
     }
 }
@@ -181,6 +192,7 @@ impl ExploreConfig {
             acceptance: AcceptanceMode::Scalarized,
             recombine: false,
             screen_divisor: 1,
+            archive_cap: None,
             ..self
         }
     }
@@ -272,12 +284,51 @@ pub fn pareto_indices(archive: &[Evaluated]) -> Vec<usize> {
     qpd_core::pareto_front_nd(&points)
 }
 
-/// The engine: a space, a budget, and the shared evaluation cache.
+/// Entries per stage cache when `QPD_MEMO_CAP` is unset: the explorer's
+/// frequency/assembly cache holds whole [`Architecture`]s, so an
+/// unbounded table would grow with every distinct candidate of a very
+/// long adaptive run — exactly what `archive_cap` bounds on the archive
+/// side. 4096 keeps CI- and paper-scale runs fully warm.
+pub const DEFAULT_MEMO_CAP: usize = 4096;
+
+/// The explorer's per-stage cache bound: `QPD_MEMO_CAP` when set (an
+/// explicit `0` means unbounded, matching [`qpd_core::StageCache::new`]),
+/// [`DEFAULT_MEMO_CAP`] otherwise — including when the variable is set
+/// but unparsable, so a typo can never silently disable the memory
+/// bound. Caching never changes outputs; the bound trades recomputation
+/// for memory only.
+fn explorer_memo_cap() -> Option<usize> {
+    match std::env::var(qpd_core::MEMO_CAP_ENV) {
+        Err(_) => Some(DEFAULT_MEMO_CAP),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(0) => None,
+            Ok(cap) => Some(cap),
+            Err(_) => Some(DEFAULT_MEMO_CAP),
+        },
+    }
+}
+
+/// The engine: a space, a budget, and the shared per-stage caches.
+///
+/// Evaluation runs the explicit stage cascade: placement and bus
+/// resolution from the space's precomputed layouts, frequency
+/// allocation + assembly through the flow's shared
+/// [`qpd_core::StagePlan`], routing and yield through [`StageCaches`].
+/// Every stage is content-keyed, so a knob change recomputes only the
+/// stages it dirties ([`CandidateSpec::dirty_stages`]) — a freq-only
+/// move skips placement, bus insertion, and routing entirely.
 #[derive(Debug)]
 pub struct Explorer {
     space: ExploreSpace,
     config: ExploreConfig,
-    cache: EvalCache,
+    /// The base design flow (allocation knobs fixed by the config); its
+    /// stage plan is shared by every per-candidate clone, so the
+    /// frequency/assembly cache persists across evaluations.
+    flow: DesignFlow,
+    caches: StageCaches,
+    /// Content fingerprint of the routed program, folded into routing
+    /// keys.
+    circuit_key: u64,
     /// Gate count of the zero-bus identity design — the normalization
     /// scale for the performance and depth axes (and the scalarization
     /// fallback).
@@ -293,10 +344,19 @@ impl Explorer {
     ///
     /// Fails only if the baseline design cannot be built or routed.
     pub fn new(space: ExploreSpace, config: ExploreConfig) -> Result<Self, ExploreError> {
+        let cap = explorer_memo_cap();
+        let flow = DesignFlow::new()
+            .with_allocation_trials(config.alloc_trials)
+            .with_allocation_seed(config.seed)
+            .with_sigma_ghz(config.sigma_ghz)
+            .with_memo_cap(cap);
+        let program_key = circuit_key(space.circuit());
         let mut explorer = Explorer {
             space,
             config,
-            cache: EvalCache::new(),
+            flow,
+            caches: StageCaches::with_cap(cap),
+            circuit_key: program_key,
             baseline_gates: 1,
             baseline_depth: 1,
         };
@@ -323,24 +383,38 @@ impl Explorer {
         &self.space
     }
 
-    /// The shared evaluation cache (hit/miss counters for reporting).
-    pub fn cache(&self) -> &EvalCache {
-        &self.cache
+    /// The shared downstream (routing, yield) stage caches, with their
+    /// hit/miss counters for reporting.
+    pub fn caches(&self) -> &StageCaches {
+        &self.caches
+    }
+
+    /// Hit/miss counters of every cached stage of the cascade, pipeline
+    /// order: placement, bus, and frequency from the flow's shared
+    /// [`qpd_core::StagePlan`], then routing and yield.
+    pub fn stage_stats(&self) -> Vec<StageCacheStats> {
+        let mut stats = self.flow.plan().stats();
+        stats.extend(self.caches.stats());
+        stats
+    }
+
+    /// Drops every cached stage value — the upstream plan caches and the
+    /// downstream routing/yield tables (counters keep accumulating).
+    /// `bench_snapshot`'s cold-cache kernel uses this to re-measure
+    /// uncached evaluation without rebuilding the engine.
+    pub fn clear_stage_caches(&self) {
+        self.flow.plan().clear();
+        self.caches.clear();
     }
 
     fn flow(&self, frequency: FrequencyStrategy) -> DesignFlow {
-        DesignFlow::new()
-            .with_frequency_strategy(frequency)
-            .with_allocation_trials(self.config.alloc_trials)
-            .with_allocation_seed(self.config.seed)
-            .with_sigma_ghz(self.config.sigma_ghz)
+        // The clone shares the base flow's stage plan, so every
+        // frequency variant draws from one assembly cache.
+        self.flow.clone().with_frequency_strategy(frequency)
     }
 
-    fn simulator(&self, trials: u64) -> YieldSimulator {
-        YieldSimulator::new()
-            .with_trials(trials)
-            .with_seed(self.config.seed)
-            .with_sigma_ghz(self.config.sigma_ghz)
+    fn yield_stage(&self, trials: u64) -> YieldStage {
+        YieldStage { trials, seed: self.config.seed, sigma_ghz: self.config.sigma_ghz }
     }
 
     fn materialize(&self, spec: &CandidateSpec) -> Result<Architecture, ExploreError> {
@@ -348,29 +422,9 @@ impl Explorer {
         Ok(self.flow(spec.frequency).design_with_layout(&coords, &squares)?)
     }
 
-    /// Routing key: the coupling structure only (frequencies are
-    /// invisible to the router).
-    fn topology_key(arch: &Architecture) -> u64 {
-        let mut h = Fnv64::new();
-        h.push(arch.num_qubits() as u64);
-        for c in arch.coords() {
-            h.push(((c.row as u32 as u64) << 32) | c.col as u32 as u64);
-        }
-        for &(a, b) in arch.coupling_edges() {
-            h.push(((a as u64) << 32) | b as u64);
-        }
-        h.finish()
-    }
-
     fn route(&self, arch: &Architecture) -> Result<(u64, u64), ExploreError> {
-        let key = Self::topology_key(arch);
-        if let Some(v) = self.cache.routes.get(key) {
-            return Ok(v);
-        }
-        let mapped = SabreRouter::new(arch).route(self.space.circuit())?;
-        let stats = mapped.stats();
-        let v = (stats.total_gates as u64, stats.routed_depth as u64);
-        self.cache.routes.insert(key, v);
+        let stage = RouteStage { circuit_key: self.circuit_key };
+        let (_, v) = self.caches.routes.run_stage(&stage, &(arch, self.space.circuit()))?;
         Ok(v)
     }
 
@@ -397,17 +451,8 @@ impl Explorer {
     fn evaluate_at(&self, spec: &CandidateSpec, trials: u64) -> Result<Evaluated, ExploreError> {
         let arch = self.materialize(spec)?;
         let (total_gates, routed_depth) = self.route(&arch)?;
-        let sim = self.simulator(trials);
-        let key = sim.content_key(&arch)?;
-        let (yield_successes, yield_trials) = match self.cache.yields.get(key) {
-            Some(v) => v,
-            None => {
-                let estimate = sim.estimate(&arch)?;
-                let v = (estimate.successes(), estimate.trials());
-                self.cache.yields.insert(key, v);
-                v
-            }
-        };
+        let (key, (yield_successes, yield_trials)) =
+            self.caches.yields.run_stage(&self.yield_stage(trials), &&arch)?;
         // The layout resolver clamps out-of-range auxiliary counts to
         // the space's bound; cost the clamped value actually built, so
         // equal content keys always carry equal objective vectors.
@@ -568,8 +613,71 @@ impl Explorer {
         if self.config.recombine && state.walks.len() >= 2 {
             self.recombine_round(state, round, &mut seen)?;
         }
+        self.prune_archive(state);
         state.rounds_done = round + 1;
         Ok(())
+    }
+
+    /// Bounds the archive to [`ExploreConfig::archive_cap`] at the round
+    /// barrier: keep-priority is front membership first, then ε-grid
+    /// novelty (the first point of each ε-cell of the normalized
+    /// objective space, first-evaluation order), with crowding distance
+    /// breaking ties inside each class — the most crowded point is
+    /// evicted first, and among equals the newest goes. Survivors keep
+    /// their first-evaluation order, so checkpoint bytes stay a pure
+    /// function of the search trajectory (thread count and kill/resume
+    /// invariant).
+    ///
+    /// An evicted point is not blacklisted: if a walk re-proposes it,
+    /// the stage caches re-serve its evaluation and it re-enters the
+    /// archive — pruning bounds memory, it does not narrow the space.
+    fn prune_archive(&self, state: &mut ExploreState) {
+        // `Some(0)` is "no pruning", like `None`: the checkpoint writer
+        // omits both, so resume behavior always matches the live run.
+        let Some(cap) = self.config.archive_cap.filter(|&cap| cap > 0) else {
+            return;
+        };
+        if state.archive.len() <= cap {
+            return;
+        }
+        let points: Vec<Vec<f64>> =
+            state.archive.iter().map(|e| self.normalized(&e.objectives).to_vec()).collect();
+        let front: std::collections::HashSet<usize> = state.front_indices().into_iter().collect();
+        let eps = self.config.epsilon;
+        let mut seen_cells: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+        let novel: Vec<bool> = points
+            .iter()
+            .map(|p| {
+                // ε = 0 degenerates to every point being its own cell.
+                eps <= 0.0
+                    || seen_cells.insert(p.iter().map(|x| (x / eps).floor() as i64).collect())
+            })
+            .collect();
+        let crowd = crowding_distances(&points);
+        let class = |i: usize| -> u8 {
+            if front.contains(&i) {
+                2
+            } else if novel[i] {
+                1
+            } else {
+                0
+            }
+        };
+        // Lowest keep-priority first: class ascending, crowding distance
+        // ascending (most crowded = smallest distance evicted first),
+        // newest (largest index) first on exact ties.
+        let mut order: Vec<usize> = (0..state.archive.len()).collect();
+        order.sort_by(|&a, &b| {
+            class(a).cmp(&class(b)).then(crowd[a].total_cmp(&crowd[b])).then(b.cmp(&a))
+        });
+        let evicted: std::collections::HashSet<usize> =
+            order.into_iter().take(state.archive.len() - cap).collect();
+        let mut index = 0;
+        state.archive.retain(|_| {
+            let keep = !evicted.contains(&index);
+            index += 1;
+            keep
+        });
     }
 
     fn walk_round(
@@ -880,9 +988,9 @@ mod tests {
         // Evaluations happened, and memoization actually served repeats:
         // the dedup'd archive is smaller than the evaluation count, and
         // every one of those repeats must have been a yield-cache hit.
-        assert!(explorer.cache().yields.misses() > 0);
+        assert!(explorer.caches().yields.misses() > 0);
         assert!(
-            explorer.cache().yields.hits() > 0,
+            explorer.caches().yields.hits() > 0,
             "no memo hits: the content-keyed cache is not being consulted"
         );
         let evaluations = explorer.config().walks
@@ -937,7 +1045,7 @@ mod tests {
         let config = ExploreConfig { seed: 4, ..ExploreConfig::quick() }.v1_compat();
         let explorer = explorer_with(config);
         let state = explorer.run().unwrap();
-        let cache = explorer.cache();
+        let cache = explorer.caches();
         let budget = config.walks * (1 + config.rounds * config.steps_per_round);
         assert_eq!(cache.yields.hits() + cache.yields.misses(), budget as u64);
         assert!(!state.front_indices().is_empty());
@@ -950,7 +1058,7 @@ mod tests {
         let config = ExploreConfig { seed: 4, ..ExploreConfig::quick() };
         let explorer = explorer_with(config);
         explorer.run().unwrap();
-        let cache = explorer.cache();
+        let cache = explorer.caches();
         let proposals = config.walks * (1 + config.rounds * config.steps_per_round);
         let offspring_cap = 2 * (config.walks / 2) * config.rounds;
         assert!(cache.yields.hits() + cache.yields.misses() <= (proposals + offspring_cap) as u64);
@@ -969,6 +1077,103 @@ mod tests {
                 e.arch_name
             );
         }
+    }
+
+    #[test]
+    fn explorer_caches_are_bounded_by_default() {
+        // The archive_cap memory story only holds if the stage caches
+        // (the assembly cache retains whole architectures) are bounded
+        // too: without QPD_MEMO_CAP the explorer must apply the default.
+        let explorer = quick_explorer(0);
+        if std::env::var(qpd_core::MEMO_CAP_ENV).is_err() {
+            assert_eq!(explorer.caches().yields.cap(), Some(DEFAULT_MEMO_CAP));
+            assert_eq!(explorer.caches().routes.cap(), Some(DEFAULT_MEMO_CAP));
+        }
+    }
+
+    #[test]
+    fn freq_only_move_skips_placement_bus_and_routing() {
+        // The load-bearing stage-graph property: after evaluating a
+        // spec, the frequency-flipped variant is a new assembly (new
+        // frequency plan, new yield simulation) but never re-routes —
+        // routing reads topology only, which the flip leaves untouched.
+        let explorer = quick_explorer(0);
+        let spec = CandidateSpec::eff_full(explorer.space().full_weighted_len());
+        explorer.evaluate(&spec).unwrap();
+        let route_misses = explorer.caches().routes.misses();
+        let yield_misses = explorer.caches().yields.misses();
+        let flipped = CandidateSpec { frequency: FrequencyStrategy::FiveFrequency, ..spec.clone() };
+        assert_eq!(
+            flipped.dirty_stages(&spec).to_string(),
+            "{frequency, yield}",
+            "a frequency flip should dirty exactly the frequency and yield stages"
+        );
+        explorer.evaluate(&flipped).unwrap();
+        assert_eq!(
+            explorer.caches().routes.misses(),
+            route_misses,
+            "a freq-only move re-ran routing"
+        );
+        assert!(explorer.caches().routes.hits() > 0, "routing was not served from cache");
+        assert!(
+            explorer.caches().yields.misses() > yield_misses,
+            "the dirtied yield stage must re-run"
+        );
+    }
+
+    #[test]
+    fn repeated_evaluations_skip_every_stage() {
+        // A revisited candidate costs hash lookups only: the frequency
+        // allocation that the pre-stage-graph engine re-ran on every
+        // evaluate call is now served by the shared plan cache.
+        let explorer = quick_explorer(0);
+        let spec = CandidateSpec::eff_full(explorer.space().full_weighted_len());
+        let first = explorer.evaluate(&spec).unwrap();
+        let assemble_misses: u64 = explorer
+            .stage_stats()
+            .iter()
+            .find(|s| s.kind == qpd_core::StageKind::Frequency)
+            .unwrap()
+            .misses;
+        let second = explorer.evaluate(&spec).unwrap();
+        assert_eq!(first, second);
+        let stats = explorer.stage_stats();
+        let assemble = stats.iter().find(|s| s.kind == qpd_core::StageKind::Frequency).unwrap();
+        assert_eq!(assemble.misses, assemble_misses, "repeat evaluation re-ran frequency alloc");
+        assert!(assemble.hits > 0);
+    }
+
+    #[test]
+    fn archive_cap_bounds_the_archive_and_keeps_the_front() {
+        let uncapped = ExploreConfig { seed: 11, ..ExploreConfig::quick() };
+        let reference = explorer_with(uncapped).run().unwrap();
+        let cap = reference.front_indices().len().max(3);
+        let capped_config = ExploreConfig { archive_cap: Some(cap), ..uncapped };
+        let capped = explorer_with(capped_config).run().unwrap();
+        assert!(capped.archive.len() <= cap, "{} > cap {cap}", capped.archive.len());
+        assert!(!capped.front_indices().is_empty());
+        // Determinism: the capped run reproduces itself exactly.
+        let again = explorer_with(capped_config).run().unwrap();
+        assert_eq!(capped, again);
+    }
+
+    #[test]
+    fn pruning_prefers_front_points() {
+        // With a cap at exactly the front size after an uncapped run,
+        // pruning a snapshot of that run keeps a front that dominates
+        // the same region (front points have top keep-priority).
+        let config = ExploreConfig { seed: 2, ..ExploreConfig::quick() };
+        let explorer = explorer_with(config);
+        let mut state = explorer.run().unwrap();
+        let front_keys: Vec<u64> =
+            state.front_indices().iter().map(|&i| state.archive[i].key).collect();
+        let cap = front_keys.len();
+        let capped = ExploreConfig { archive_cap: Some(cap), ..config };
+        let pruner = explorer_with(capped);
+        pruner.prune_archive(&mut state);
+        assert_eq!(state.archive.len(), cap);
+        let kept: Vec<u64> = state.archive.iter().map(|e| e.key).collect();
+        assert_eq!(kept, front_keys, "pruning evicted a front point over a dominated one");
     }
 
     #[test]

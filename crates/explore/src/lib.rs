@@ -14,11 +14,21 @@
 //!   pattern);
 //! - auxiliary-qubit count and placement variants.
 //!
-//! [`Explorer`] runs seeded walks fanned out on the [`qpd_par`] pool,
-//! maintains a Pareto archive over four objectives (Monte Carlo yield,
-//! post-mapping gate count, routed depth, hardware cost = buses +
-//! auxiliary qubits), and memoizes evaluations behind content keys
-//! ([`cache`]) so no candidate architecture is ever simulated twice.
+//! [`Explorer`] runs seeded walks fanned out on the [`qpd_par`] pool
+//! and maintains a Pareto archive over four objectives (Monte Carlo
+//! yield, post-mapping gate count, routed depth, and hardware cost =
+//! buses plus auxiliary qubits). Since the stage-graph refactor,
+//! candidate
+//! evaluation is the explicit five-stage cascade of
+//! [`qpd_core::stage`]: placement and bus insertion resolve from
+//! [`ExploreSpace`]'s precomputed layouts, frequency allocation +
+//! assembly run through the shared [`qpd_core::StagePlan`], and routing
+//! and yield run through the [`cache::StageCaches`] — every stage
+//! content-keyed and bounded by `QPD_MEMO_CAP` (deterministic
+//! second-chance eviction). A knob change recomputes only the stages it
+//! dirties ([`CandidateSpec::dirty_stages`]): a frequency-only move
+//! skips placement, bus insertion, *and* routing entirely, and a
+//! revisited candidate costs hash lookups only.
 //!
 //! Since the v2 engine, acceptance is **archive-guided Pareto
 //! dominance** by default ([`AcceptanceMode::Dominance`]): a walk moves
@@ -36,7 +46,12 @@
 //! [`ExploreConfig::screen_divisor`] > 1, proposals are first screened
 //! at reduced Monte Carlo trials and only survivors are re-simulated at
 //! full fidelity before archive insertion — the adaptive budget that
-//! makes `qft_16`-scale profiles tractable.
+//! makes `qft_16`-scale profiles tractable (screening is the yield
+//! stage at a reduced trial budget; the budget is part of the content
+//! key). With [`ExploreConfig::archive_cap`] set, the archive is pruned
+//! at every round barrier by ε-grid occupancy and crowding distance
+//! (front points kept first), so arbitrarily long runs hold a bounded
+//! archive without losing the front.
 //!
 //! Runs are **bit-identical for every `QPD_THREADS` value**, and
 //! [`Checkpoint`] persists the state as hand-rolled JSON
@@ -72,10 +87,11 @@ pub mod json;
 pub mod space;
 pub mod spec;
 
-pub use cache::EvalCache;
+pub use cache::{circuit_key, topology_key, RouteStage, StageCaches, YieldStage};
 pub use checkpoint::{Checkpoint, SCHEMA, SCHEMA_V1};
 pub use engine::{
     pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, Explorer, WalkState,
+    DEFAULT_MEMO_CAP,
 };
 pub use json::Json;
 pub use space::ExploreSpace;

@@ -157,6 +157,84 @@ pub mod strategy {
             self.0.clone()
         }
     }
+
+    /// A type-erased strategy: the building block of
+    /// [`crate::prop_oneof!`], which needs to mix strategies of
+    /// different concrete types that share a value type.
+    pub struct BoxedStrategy<T> {
+        sampler: Box<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> core::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Uniformly picks one of several strategies with a common value
+    /// type. Real proptest supports per-arm weights; the workspace only
+    /// uses the unweighted form.
+    #[derive(Debug)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+            Union { options }
+        }
+
+        /// Type-erases one strategy for use in a union.
+        pub fn boxed<S: Strategy<Value = T> + 'static>(strategy: S) -> BoxedStrategy<T> {
+            BoxedStrategy { sampler: Box::new(move |rng| strategy.sample(rng)) }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
 }
 
 pub mod collection {
@@ -166,7 +244,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng;
 
-    /// Element-count bounds for [`vec`].
+    /// Element-count bounds for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -272,7 +350,7 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Asserts a condition inside a property; panics (failing the case)
@@ -292,6 +370,15 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniformly picks one of several strategies producing a common value
+/// type (the unweighted subset of real proptest's `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::boxed($strat)),+])
+    };
 }
 
 /// Declares property tests: an optional `#![proptest_config(...)]`
@@ -357,6 +444,37 @@ mod tests {
         fn map_transforms(s in (0u64..100).prop_map(|x| x.to_string())) {
             prop_assert!(s.parse::<u64>().unwrap() < 100);
         }
+
+        /// `prop_oneof!` mixes heterogeneous strategies with one value
+        /// type, and `bool::ANY` produces both values.
+        #[test]
+        fn oneof_and_bool(
+            v in prop_oneof![Just(None), (1u64..10).prop_map(Some)],
+            b in crate::bool::ANY,
+        ) {
+            match v {
+                None => {}
+                Some(x) => prop_assert!((1..10).contains(&x)),
+            }
+            // `b` sampled fine; its distribution is pinned by the
+            // non-proptest unit test below.
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm_and_bool_both_values() {
+        use crate::strategy::Strategy;
+        let strat = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut rng = TestRng::deterministic();
+        let mut seen = [false; 3];
+        let mut bools = [false; 2];
+        for _ in 0..200 {
+            seen[strat.sample(&mut rng)] = true;
+            bools[crate::bool::ANY.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3], "some prop_oneof! arm never sampled");
+        assert_eq!(bools, [true; 2], "bool::ANY is constant");
     }
 
     #[test]

@@ -22,11 +22,28 @@
 //! | [`eval`] | `qpd-eval` | the §5 experiment harness |
 //! | [`par`] | `qpd-par` | deterministic worker pool for the hot kernels |
 //!
+//! # The stage graph
+//!
+//! The design cascade is an explicit stage graph ([`design::stage`]):
+//! placement → bus insertion → frequency allocation/assembly →
+//! { routing, yield }. Each step is a [`design::Stage`] — typed input,
+//! typed output, and a content key derived only from its true inputs —
+//! served through a bounded [`design::StageCache`] owned by a
+//! [`design::StagePlan`]. [`design::DesignFlow`] is a thin facade over
+//! the plan (outputs are bit-identical to the retained monolithic
+//! reference, [`design::DesignFlow::design_reference`]), and the
+//! explorer rides the same graph: a knob change re-runs only the stages
+//! it dirties ([`explore::CandidateSpec::dirty_stages`] /
+//! [`design::StageKind::invalidates`]). Because routing reads the
+//! coupling topology but never the frequencies, a frequency-only move
+//! skips placement, bus insertion, *and* routing entirely.
+//!
 //! # Environment variables
 //!
 //! | variable | effect |
 //! |---|---|
 //! | `QPD_THREADS` | Worker count for the [`par`] pool (frequency allocation, yield simulation, the experiment runner). Defaults to `std::thread::available_parallelism()`; results are bit-identical for every value. [`par::with_threads`] is the in-process equivalent. |
+//! | `QPD_MEMO_CAP` | Entry bound per stage cache ([`design::StageCache`]), evicted with a deterministic second-chance rule; `0` = unbounded. When unset, bare [`design::DesignFlow`]s are unbounded and the explorer bounds its caches at [`explore::DEFAULT_MEMO_CAP`]. Caching only changes *when* a stage runs, never its output. |
 //! | `QPD_BENCH_SAMPLES` | Caps timed samples per benchmark in the criterion shim and `bench_snapshot` (default 3; raise for real measurements). |
 //! | `QPD_BENCH_JSON` | When set to a non-empty value other than `0`, `cargo bench` also prints one machine-readable JSON line per benchmark. |
 //! | `QPD_BENCH_QUICK` | Shrinks `bench_snapshot`'s trial counts for CI smoke runs. |

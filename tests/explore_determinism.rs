@@ -88,3 +88,54 @@ proptest! {
         );
     }
 }
+
+fn capped_config(seed: u64) -> ExploreConfig {
+    ExploreConfig { archive_cap: Some(5), ..tiny_config(seed) }
+}
+
+fn capped_explorer(seed: u64) -> Explorer {
+    let config = capped_config(seed);
+    Explorer::new(ExploreSpace::new(demo_circuit(0), config.max_aux), config).unwrap()
+}
+
+fn capped_checkpoint_bytes(seed: u64, state: &qpd::explore::ExploreState) -> String {
+    Checkpoint { run: "prop".into(), config: capped_config(seed), state: state.clone() }.render()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// ε-archive pruning is deterministic across `QPD_THREADS`: the
+    /// pruned archive's checkpoint bytes are bit-identical for every
+    /// worker count, and the archive respects the cap.
+    #[test]
+    fn pruned_archive_is_thread_invariant(seed in 0u64..1_000) {
+        let serial = qpd::par::with_threads(1, || capped_explorer(seed).run().unwrap());
+        prop_assert!(serial.archive.len() <= 5, "archive over its cap");
+        prop_assert!(!serial.front_indices().is_empty());
+        let serial_bytes = capped_checkpoint_bytes(seed, &serial);
+        for threads in [2usize, 8] {
+            let pooled =
+                qpd::par::with_threads(threads, || capped_explorer(seed).run().unwrap());
+            prop_assert_eq!(&serial_bytes, &capped_checkpoint_bytes(seed, &pooled),
+                "pruned checkpoint bytes differ at {} threads", threads);
+        }
+    }
+
+    /// A capped run cut mid-way, persisted, and resumed on a fresh
+    /// engine reproduces the uninterrupted capped run exactly — pruning
+    /// happens at the round barrier, inside the checkpointed state.
+    #[test]
+    fn pruned_resume_equals_uninterrupted(seed in 0u64..1_000) {
+        let engine = capped_explorer(seed);
+        let uninterrupted = engine.run().unwrap();
+        let mut partial = engine.initial_state().unwrap();
+        engine.advance_round(&mut partial).unwrap();
+        let bytes = capped_checkpoint_bytes(seed, &partial);
+        let restored = Checkpoint::parse(&bytes).unwrap();
+        prop_assert_eq!(restored.config.archive_cap, Some(5),
+            "archive_cap lost in the checkpoint round-trip");
+        let resumed = capped_explorer(seed).resume(restored.state).unwrap();
+        prop_assert_eq!(&resumed, &uninterrupted);
+    }
+}

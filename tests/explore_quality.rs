@@ -82,7 +82,7 @@ fn assert_front_weakly_dominates_fixture(name: &str) -> ExploreState {
 
     // Equal candidate budget: every yield lookup is one candidate
     // evaluation, screening is off in this config.
-    let cache = explorer.cache();
+    let cache = explorer.caches();
     let evaluations = cache.yields.hits() + cache.yields.misses();
     assert!(
         evaluations <= fixture.evaluations,

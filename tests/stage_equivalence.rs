@@ -1,0 +1,197 @@
+//! Flow-equivalence properties of the stage-graph refactor: the staged,
+//! memoized [`DesignFlow`] facade must reproduce the retained monolithic
+//! computation bit-for-bit — across bus/frequency strategies, auxiliary
+//! counts, and placement variants; cold, warm, and under cache-eviction
+//! pressure — and a dirtied-stage (warm-engine) evaluation must equal a
+//! cold-engine evaluation of the same candidate.
+
+use proptest::prelude::*;
+
+use qpd::design::StageKind;
+use qpd::explore::{
+    BusSpec, CandidateSpec, ExploreConfig, ExploreSpace, Explorer, PlacementVariant,
+};
+use qpd::prelude::*;
+use qpd::profile::CouplingProfile;
+
+/// Strategy: a random connected-ish weighted edge list over `3..=n`
+/// qubits (self-loops dropped; a chain backbone keeps placement happy).
+fn arb_profile(max_qubits: usize) -> impl Strategy<Value = CouplingProfile> {
+    (3..=max_qubits).prop_flat_map(move |n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n, 1u32..20), 1..=max_edges.min(16)).prop_map(
+            move |raw| {
+                let mut edges: Vec<(usize, usize, u32)> =
+                    (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+                edges.extend(
+                    raw.into_iter()
+                        .filter(|(a, b, _)| a != b)
+                        .map(|(a, b, w)| (a.min(b), a.max(b), w)),
+                );
+                CouplingProfile::from_edges(n, &edges)
+            },
+        )
+    })
+}
+
+/// Strategy: one full knob assignment of the flow.
+fn arb_flow() -> impl Strategy<Value = DesignFlow> {
+    (
+        prop_oneof![Just(None), (0u64..100).prop_map(Some)],
+        proptest::bool::ANY,
+        0usize..3,
+        prop_oneof![Just(None), Just(Some(1usize)), Just(Some(3usize))],
+        0u64..8,
+    )
+        .prop_map(|(random_seed, five_freq, aux, max_buses, alloc_seed)| {
+            let mut flow = DesignFlow::new()
+                .with_allocation_trials(60)
+                .with_allocation_seed(alloc_seed)
+                .with_auxiliary_qubits(aux)
+                .with_max_buses(max_buses);
+            if let Some(seed) = random_seed {
+                flow = flow.with_bus_strategy(BusStrategy::Random { seed });
+            }
+            if five_freq {
+                flow = flow.with_frequency_strategy(FrequencyStrategy::FiveFrequency);
+            }
+            flow
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The facade reproduces the monolithic reference bit-for-bit, on a
+    /// cold plan, on a warm plan, and with the caches squeezed to a
+    /// single entry per stage (eviction on almost every call).
+    #[test]
+    fn facade_equals_monolithic_reference(
+        profile in arb_profile(9),
+        flow in arb_flow(),
+    ) {
+        let reference = flow.design_reference(&profile).unwrap();
+        let cold = flow.design(&profile).unwrap();
+        prop_assert_eq!(&cold, &reference, "cold facade diverged");
+        let warm = flow.design(&profile).unwrap();
+        prop_assert_eq!(&warm, &reference, "warm facade diverged");
+        let squeezed = flow.clone().with_memo_cap(Some(1));
+        prop_assert_eq!(&squeezed.design(&profile).unwrap(), &reference,
+            "eviction changed an output");
+        prop_assert_eq!(&squeezed.design(&profile).unwrap(), &reference);
+    }
+
+    /// A frequency-strategy change on a warm plan reuses placement and
+    /// bus selection (cache hits, no new misses) — and still matches the
+    /// monolithic reference of the changed flow.
+    #[test]
+    fn freq_change_reuses_upstream_stages(
+        profile in arb_profile(8),
+        flow in arb_flow(),
+    ) {
+        let flow = flow.with_frequency_strategy(FrequencyStrategy::Optimized);
+        flow.design(&profile).unwrap();
+        let upstream_misses: u64 = flow.plan().stats()[..2].iter().map(|s| s.misses).sum();
+        let five = flow.clone().with_frequency_strategy(FrequencyStrategy::FiveFrequency);
+        let staged = five.design(&profile).unwrap();
+        let stats = five.plan().stats();
+        prop_assert_eq!(stats[..2].iter().map(|s| s.misses).sum::<u64>(), upstream_misses,
+            "a frequency-only change re-ran placement or bus selection");
+        prop_assert!(stats[0].hits >= 1);
+        prop_assert_eq!(&staged, &five.design_reference(&profile).unwrap());
+    }
+}
+
+/// A 6-qubit program with diagonal demand (squares are attractive).
+fn demo_circuit() -> Circuit {
+    let mut c = Circuit::new(6);
+    for _ in 0..3 {
+        c.cx(0, 1).cx(1, 2).cx(3, 4).cx(4, 5).cx(0, 3).cx(1, 4).cx(2, 5);
+    }
+    c.cx(0, 4).cx(1, 3).cx(1, 5).cx(2, 4);
+    c
+}
+
+fn tiny_config(seed: u64) -> ExploreConfig {
+    ExploreConfig {
+        alloc_trials: 60,
+        yield_trials: 400,
+        max_aux: 2,
+        seed,
+        ..ExploreConfig::quick()
+    }
+}
+
+fn fresh_explorer(seed: u64) -> Explorer {
+    let config = tiny_config(seed);
+    Explorer::new(ExploreSpace::new(demo_circuit(), config.max_aux), config).unwrap()
+}
+
+/// Strategy: a candidate spec over the demo space's knob surface,
+/// covering both placement variants, aux counts, and all bus kinds.
+fn arb_spec() -> impl Strategy<Value = CandidateSpec> {
+    (0usize..4, proptest::bool::ANY, 0usize..3, proptest::bool::ANY, 0u64..50).prop_map(
+        |(bus_kind, five, aux, transposed, seed)| CandidateSpec {
+            bus: match bus_kind {
+                0 => BusSpec::Weighted { count: 0 },
+                1 => BusSpec::Weighted { count: 2 },
+                2 => BusSpec::Random { seed, count: 1 },
+                _ => BusSpec::Random { seed, count: 2 },
+            },
+            frequency: if five {
+                FrequencyStrategy::FiveFrequency
+            } else {
+                FrequencyStrategy::Optimized
+            },
+            aux_qubits: aux,
+            placement: if transposed {
+                PlacementVariant::Transposed
+            } else {
+                PlacementVariant::Identity
+            },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The dirtied-stage run equals the cold run: evaluating `b` on an
+    /// engine warmed by `a` (only the stages `b` dirties re-run; the
+    /// rest come from cache) is bit-identical to evaluating `b` on a
+    /// fresh engine — for every knob-diff shape, including placement
+    /// variants and auxiliary counts.
+    #[test]
+    fn dirtied_stage_run_equals_cold_run(
+        seed in 0u64..100,
+        a in arb_spec(),
+        b in arb_spec(),
+    ) {
+        let warm_engine = fresh_explorer(seed);
+        let a_eval = warm_engine.evaluate(&a).unwrap();
+        let b_warm = warm_engine.evaluate(&b).unwrap();
+
+        let cold_engine = fresh_explorer(seed);
+        let b_cold = cold_engine.evaluate(&b).unwrap();
+        prop_assert_eq!(&b_warm, &b_cold, "warm-engine evaluation diverged from cold");
+
+        // And re-evaluating `a` afterwards still matches its original.
+        prop_assert_eq!(&warm_engine.evaluate(&a).unwrap(), &a_eval);
+
+        // The dirty set is consistent with what actually re-ran: when
+        // nothing upstream of routing is dirty, the route cache gained
+        // no misses serving `b`.
+        let dirty = b.dirty_stages(&a);
+        if !dirty.contains(StageKind::Routing) {
+            let before = cold_engine.caches().routes.misses();
+            cold_engine.evaluate(&a).unwrap();
+            prop_assert_eq!(cold_engine.caches().routes.misses(), before,
+                "clean routing stage re-ran");
+        }
+        // Sanity on the mapping itself: the dirty set is empty exactly
+        // when no knob differs (every spec field feeds some stage).
+        prop_assert!(a.dirty_stages(&a).is_empty());
+        prop_assert_eq!(dirty.is_empty(), a == b);
+        prop_assert_eq!(dirty, a.dirty_stages(&b), "dirty set should be symmetric");
+    }
+}
