@@ -3,7 +3,9 @@
 use std::collections::VecDeque;
 
 use qpd_topology::{Architecture, FrequencyPlan, ALLOWED_BAND_GHZ};
-use qpd_yield::{CollisionParams, CompiledRegions, FabricationModel, LocalYieldEvaluator};
+use qpd_yield::{
+    CollisionParams, CompiledRegions, FabricationModel, HardwareFamily, LocalYieldEvaluator,
+};
 
 /// Center-out breadth-first frequency allocator.
 ///
@@ -20,12 +22,14 @@ use qpd_yield::{CollisionParams, CompiledRegions, FabricationModel, LocalYieldEv
 #[derive(Debug, Clone)]
 pub struct FrequencyAllocator {
     candidates: Vec<f64>,
+    band: (f64, f64),
     trials: usize,
     model: FabricationModel,
     params: CollisionParams,
     seed: u64,
     refinement_sweeps: usize,
     reference_path: bool,
+    hardware: HardwareFamily,
 }
 
 impl Default for FrequencyAllocator {
@@ -39,18 +43,39 @@ impl FrequencyAllocator {
     /// simulations at `sigma = 30 MHz` (the paper's grid), plus up to
     /// eight refinement sweeps (they stop early at a fixed point).
     pub fn new() -> Self {
-        let (lo, hi) = ALLOWED_BAND_GHZ;
-        let steps = ((hi - lo) / 0.01).round() as usize;
-        let candidates = (0..=steps).map(|i| lo + 0.01 * i as f64).collect();
         FrequencyAllocator {
-            candidates,
+            candidates: Self::grid(ALLOWED_BAND_GHZ),
+            band: ALLOWED_BAND_GHZ,
             trials: 4_000,
             model: FabricationModel::default(),
             params: CollisionParams::default(),
             seed: 0,
             refinement_sweeps: 8,
             reference_path: false,
+            hardware: HardwareFamily::FixedFrequencyTransmon,
         }
+    }
+
+    /// The 10 MHz candidate grid spanning `band`, endpoints included.
+    fn grid(band: (f64, f64)) -> Vec<f64> {
+        let (lo, hi) = band;
+        let steps = ((hi - lo) / 0.01).round() as usize;
+        (0..=steps).map(|i| lo + 0.01 * i as f64).collect()
+    }
+
+    /// Retargets the allocator at a hardware family: adopts its allowed
+    /// band (and rebuilds the 10 MHz candidate grid over it), its
+    /// collision parameters, and — at evaluation time — its effective
+    /// fabrication noise. Call this *before* fine-grained overrides like
+    /// [`Self::with_candidates`] or [`Self::with_params`]; the default
+    /// family leaves the allocator exactly as [`Self::new`] built it.
+    pub fn with_hardware(mut self, hardware: HardwareFamily) -> Self {
+        let model = hardware.model();
+        self.hardware = hardware;
+        self.band = model.allowed_band_ghz();
+        self.candidates = Self::grid(self.band);
+        self.params = model.collision_params();
+        self
     }
 
     /// Switches candidate evaluation to the retained pre-overhaul
@@ -132,7 +157,7 @@ impl FrequencyAllocator {
     /// the seed and independent of the thread count.
     pub fn allocate(&self, arch: &Architecture) -> FrequencyPlan {
         let n = arch.num_qubits();
-        let (lo, hi) = ALLOWED_BAND_GHZ;
+        let (lo, hi) = self.band;
         let mid = (lo + hi) / 2.0;
         let regions = CompiledRegions::new(arch);
         let evaluate =
@@ -196,7 +221,10 @@ impl FrequencyAllocator {
     }
 
     fn evaluator(&self, seed: u64) -> LocalYieldEvaluator {
-        let evaluator = LocalYieldEvaluator::new(self.trials, self.model, self.params, seed);
+        let model = FabricationModel::new(
+            self.hardware.model().effective_sigma_ghz(self.model.sigma_ghz()),
+        );
+        let evaluator = LocalYieldEvaluator::new(self.trials, model, self.params, seed);
         if self.reference_path {
             evaluator.with_legacy_noise()
         } else {
@@ -218,7 +246,7 @@ impl FrequencyAllocator {
     /// deterministic tie-break (higher count, then nearer the band
     /// midpoint, then lower frequency).
     fn candidate_beats(&self, counts: &[u64], i: usize, best: usize) -> bool {
-        let (lo, hi) = ALLOWED_BAND_GHZ;
+        let (lo, hi) = self.band;
         let mid = (lo + hi) / 2.0;
         if counts[i] != counts[best] {
             return counts[i] > counts[best];
@@ -345,6 +373,40 @@ mod tests {
                 [5.05, 5.15, 5.25].iter().any(|&c| (c - f).abs() < 1e-12),
                 "frequency {f} not from the candidate grid"
             );
+        }
+    }
+
+    #[test]
+    fn default_hardware_is_transparent() {
+        // with_hardware(default) must reproduce the plain allocator's
+        // plan bit for bit — the refactor contract.
+        let arch = line(6);
+        let plain = fast_allocator().allocate(&arch);
+        let tagged =
+            fast_allocator().with_hardware(HardwareFamily::FixedFrequencyTransmon).allocate(&arch);
+        assert_eq!(plain, tagged);
+    }
+
+    #[test]
+    fn hardware_band_drives_grid_and_plan() {
+        use qpd_topology::{HEAVY_HEX_BAND_GHZ, TUNABLE_COUPLER_BAND_GHZ};
+        let arch = line(5);
+        for (family, band) in [
+            (HardwareFamily::TunableCoupler, TUNABLE_COUPLER_BAND_GHZ),
+            (HardwareFamily::HeavyHex, HEAVY_HEX_BAND_GHZ),
+        ] {
+            let allocator = FrequencyAllocator::new().with_hardware(family).with_trials(300);
+            let (lo, hi) = band;
+            let grid = allocator.candidates();
+            assert!((grid[0] - lo).abs() < 1e-9, "{family:?} grid start");
+            assert!((grid[grid.len() - 1] - hi).abs() < 1e-9, "{family:?} grid end");
+            let plan = allocator.allocate(&arch);
+            assert!(plan.check_band_within(band).is_ok(), "{family:?} plan in band");
+            // The center seed is the family band's midpoint, not the
+            // fixed-frequency one.
+            let mid = (lo + hi) / 2.0;
+            let single = allocator.with_refinement_sweeps(0).allocate(&line(1));
+            assert!((single.ghz(0) - mid).abs() < 0.011, "{family:?} center seed");
         }
     }
 

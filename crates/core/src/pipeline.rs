@@ -12,7 +12,8 @@
 use std::sync::Arc;
 
 use qpd_profile::CouplingProfile;
-use qpd_topology::{five_frequency_plan, Architecture, FrequencyPlan, Square};
+use qpd_topology::{pattern_frequency_plan, Architecture, FrequencyPlan, Square};
+use qpd_yield::HardwareFamily;
 
 use crate::bus::{select_buses_random, select_buses_weighted};
 use crate::error::DesignError;
@@ -62,6 +63,7 @@ pub struct DesignFlow {
     allocation_seed: u64,
     sigma_ghz: f64,
     name_prefix: String,
+    hardware: HardwareFamily,
     plan: Arc<StagePlan>,
 }
 
@@ -85,6 +87,7 @@ impl DesignFlow {
             allocation_seed: 0,
             sigma_ghz: qpd_yield::FabricationModel::PAPER_SIGMA_GHZ,
             name_prefix: "eff".into(),
+            hardware: HardwareFamily::FixedFrequencyTransmon,
             plan: Arc::new(StagePlan::new()),
         }
     }
@@ -101,6 +104,27 @@ impl DesignFlow {
     /// bit-transparent at every cap because stages are pure.
     pub fn with_memo_cap(mut self, cap: Option<usize>) -> Self {
         self.plan = Arc::new(StagePlan::with_cap(cap));
+        self
+    }
+
+    /// Attaches this flow to an existing (shared) stage plan: every
+    /// `design*` call is then served through — and populates — the given
+    /// caches. Sharing across flows with different knobs is always safe
+    /// because stage keys embed the full stage configuration; the
+    /// evaluation runner uses this to route every benchmark of a run
+    /// through one plan.
+    pub fn with_plan(mut self, plan: Arc<StagePlan>) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Sets the hardware family the flow designs for: its frequency
+    /// band, pattern menu, and collision constraints flow into the
+    /// frequency/assembly stage (placement and bus selection are
+    /// hardware-independent). The default family reproduces the
+    /// pre-hardware-layer flow bit for bit.
+    pub fn with_hardware(mut self, hardware: HardwareFamily) -> Self {
+        self.hardware = hardware;
         self
     }
 
@@ -204,6 +228,11 @@ impl DesignFlow {
     /// The configured fabrication precision in GHz.
     pub fn sigma_ghz(&self) -> f64 {
         self.sigma_ghz
+    }
+
+    /// The configured hardware family.
+    pub fn hardware(&self) -> HardwareFamily {
+        self.hardware
     }
 
     /// Runs the full flow with the maximum beneficial number of 4-qubit
@@ -319,6 +348,7 @@ impl DesignFlow {
             allocation_seed: self.allocation_seed,
             sigma_ghz: self.sigma_ghz,
             name_prefix: self.name_prefix.clone(),
+            hardware: self.hardware,
         }
     }
 
@@ -351,9 +381,11 @@ impl DesignFlow {
             BusStrategy::Weighted => select_buses_weighted(&coords, profile, cap),
             BusStrategy::Random { seed } => select_buses_random(&coords, cap, seed),
         };
+        let model = self.hardware.model();
         let name = format!(
-            "{}-{}q-b{}{}",
+            "{}{}-{}q-b{}{}",
             self.name_prefix,
+            self.hardware.name_suffix(),
             coords.len(),
             squares.len(),
             match self.frequency {
@@ -368,15 +400,18 @@ impl DesignFlow {
         }
         let arch = builder.build()?;
         let plan: FrequencyPlan = match self.frequency {
-            FrequencyStrategy::FiveFrequency => five_frequency_plan(&arch),
+            FrequencyStrategy::FiveFrequency => {
+                pattern_frequency_plan(&arch, model.pattern_frequencies_ghz())
+            }
             FrequencyStrategy::Optimized => FrequencyAllocator::new()
+                .with_hardware(self.hardware)
                 .with_trials(self.allocation_trials)
                 .with_refinement_sweeps(self.allocation_sweeps)
                 .with_sigma_ghz(self.sigma_ghz)
                 .with_seed(self.allocation_seed)
                 .allocate(&arch),
         };
-        Ok(arch.with_frequencies(plan)?)
+        Ok(arch.with_frequencies_in_band(plan, model.allowed_band_ghz())?)
     }
 }
 
@@ -580,6 +615,56 @@ mod tests {
         assert!(stats[1].hits >= 1, "bus selection re-ran on a freq-only change");
         // …while the frequency stage (different strategy => new key) ran.
         assert!(five.plan().assemble_cache().misses() > assemble_misses);
+    }
+
+    #[test]
+    fn hardware_family_threads_through_facade_and_reference() {
+        let profile = grid_profile();
+        for family in HardwareFamily::ALL {
+            let flow = fast_flow().with_hardware(family);
+            assert_eq!(flow.hardware(), family);
+            let facade = flow.design_with_buses(&profile, 0).unwrap();
+            let reference = flow.design_reference(&profile).unwrap();
+            // The facade stays bit-identical to the monolithic reference
+            // on every family, and the plan lands in the family band.
+            // (design_reference runs the full flow, so compare against
+            // the matching bus budget.)
+            let full = flow.design(&profile).unwrap();
+            assert_eq!(full, reference);
+            let band = family.model().allowed_band_ghz();
+            assert!(facade.frequencies().unwrap().check_band_within(band).is_ok());
+            let suffix = family.name_suffix();
+            assert!(
+                facade.name().starts_with(&format!("eff{suffix}-")),
+                "name {} missing family suffix {suffix:?}",
+                facade.name()
+            );
+        }
+        // Families produce genuinely different designs.
+        let fixed = fast_flow().design_with_buses(&profile, 0).unwrap();
+        let tc = fast_flow()
+            .with_hardware(HardwareFamily::TunableCoupler)
+            .design_with_buses(&profile, 0)
+            .unwrap();
+        assert_ne!(fixed.frequencies(), tc.frequencies());
+    }
+
+    #[test]
+    fn with_plan_shares_caches_across_flows() {
+        // Satellite: the evaluation runner routes every benchmark flow
+        // through one plan. Two flows built independently but attached
+        // to the same plan must reuse each other's upstream work.
+        let profile = grid_profile();
+        let plan = Arc::new(crate::stage::StagePlan::new());
+        let a = fast_flow().with_plan(Arc::clone(&plan));
+        a.design_with_buses(&profile, 0).unwrap();
+        let misses = plan.placement_cache().misses();
+        let b = fast_flow()
+            .with_frequency_strategy(FrequencyStrategy::FiveFrequency)
+            .with_plan(Arc::clone(&plan));
+        b.design_with_buses(&profile, 0).unwrap();
+        assert_eq!(plan.placement_cache().misses(), misses, "placement re-ran");
+        assert!(plan.placement_cache().hits() >= 1);
     }
 
     #[test]

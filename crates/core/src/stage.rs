@@ -38,8 +38,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use qpd_profile::CouplingProfile;
-use qpd_topology::{five_frequency_plan, Architecture, Coord, FrequencyPlan, Square};
-use qpd_yield::Fnv64;
+use qpd_topology::{pattern_frequency_plan, Architecture, Coord, FrequencyPlan, Square};
+use qpd_yield::{Fnv64, HardwareFamily};
 
 use crate::bus::{select_buses_random, select_buses_weighted};
 use crate::error::DesignError;
@@ -393,6 +393,18 @@ impl<V: Clone> StageCache<V> {
         inner.table.clear();
         inner.ring.clear();
     }
+
+    /// Snapshot of every `(key, value)` pair, sorted by key — a
+    /// deterministic serialization order for cache persistence (the
+    /// explorer's warm-start sidecars). Reading a snapshot does not
+    /// touch the hit/miss counters or the reference bits.
+    pub fn entries(&self) -> Vec<(u64, V)> {
+        let inner = self.inner.lock().expect("stage cache poisoned");
+        let mut out: Vec<(u64, V)> =
+            inner.table.iter().map(|(&k, e)| (k, e.value.clone())).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
 }
 
 /// Hit/miss/size counters of one stage's cache, for reporting.
@@ -567,6 +579,10 @@ pub struct AssembleStage {
     pub sigma_ghz: f64,
     /// Prefix for generated architecture names.
     pub name_prefix: String,
+    /// Hardware family: supplies the frequency band, pattern menu, and
+    /// collision parameters. The default family reproduces the
+    /// pre-hardware-layer stage bit for bit, content key included.
+    pub hardware: HardwareFamily,
 }
 
 impl Stage for AssembleStage {
@@ -590,14 +606,19 @@ impl Stage for AssembleStage {
         h.push(self.allocation_seed);
         h.push(self.sigma_ghz.to_bits());
         push_bytes(&mut h, self.name_prefix.as_bytes());
+        // Appended last, and only for non-default families, so every key
+        // minted before the hardware layer existed is reproduced exactly.
+        self.hardware.push_key_tag(&mut h);
         h.finish()
     }
 
     fn run(&self, input: &Self::Input<'_>) -> Result<Architecture, DesignError> {
         let (coords, squares) = input;
+        let model = self.hardware.model();
         let name = format!(
-            "{}-{}q-b{}{}",
+            "{}{}-{}q-b{}{}",
             self.name_prefix,
+            self.hardware.name_suffix(),
             coords.len(),
             squares.len(),
             match self.frequency {
@@ -612,15 +633,18 @@ impl Stage for AssembleStage {
         }
         let arch = builder.build()?;
         let plan: FrequencyPlan = match self.frequency {
-            FrequencyStrategy::FiveFrequency => five_frequency_plan(&arch),
+            FrequencyStrategy::FiveFrequency => {
+                pattern_frequency_plan(&arch, model.pattern_frequencies_ghz())
+            }
             FrequencyStrategy::Optimized => FrequencyAllocator::new()
+                .with_hardware(self.hardware)
                 .with_trials(self.allocation_trials)
                 .with_refinement_sweeps(self.allocation_sweeps)
                 .with_sigma_ghz(self.sigma_ghz)
                 .with_seed(self.allocation_seed)
                 .allocate(&arch),
         };
-        Ok(arch.with_frequencies(plan)?)
+        Ok(arch.with_frequencies_in_band(plan, model.allowed_band_ghz())?)
     }
 }
 
@@ -907,6 +931,7 @@ mod tests {
             allocation_seed: 0,
             sigma_ghz: qpd_yield::FabricationModel::PAPER_SIGMA_GHZ,
             name_prefix: "demo".into(),
+            hardware: HardwareFamily::FixedFrequencyTransmon,
         };
         let arch = stage.run(&(coords.as_slice(), &[][..])).unwrap();
         assert_eq!(arch.name(), "demo-6q-b0-5freq");
@@ -917,6 +942,48 @@ mod tests {
         assert_ne!(stage.content_key(&input), optimized.content_key(&input));
         let reseeded = AssembleStage { allocation_seed: 9, ..stage.clone() };
         assert_ne!(stage.content_key(&input), reseeded.content_key(&input));
+    }
+
+    #[test]
+    fn assemble_stage_threads_the_hardware_family() {
+        let p = profile();
+        let coords = PlacementStage { auxiliary_qubits: 0 }.run(&&p).unwrap();
+        let input = (coords.as_slice(), &[][..]);
+        let base = AssembleStage {
+            frequency: FrequencyStrategy::FiveFrequency,
+            allocation_trials: 100,
+            allocation_sweeps: 8,
+            allocation_seed: 0,
+            sigma_ghz: qpd_yield::FabricationModel::PAPER_SIGMA_GHZ,
+            name_prefix: "demo".into(),
+            hardware: HardwareFamily::FixedFrequencyTransmon,
+        };
+        let tc = AssembleStage { hardware: HardwareFamily::TunableCoupler, ..base.clone() };
+        let hh = AssembleStage { hardware: HardwareFamily::HeavyHex, ..base.clone() };
+        // Families key apart so one shared cache never mixes them.
+        assert_ne!(base.content_key(&input), tc.content_key(&input));
+        assert_ne!(base.content_key(&input), hh.content_key(&input));
+        assert_ne!(tc.content_key(&input), hh.content_key(&input));
+        // Names carry the family suffix; plans land in the family band.
+        let arch = tc.run(&input).unwrap();
+        assert_eq!(arch.name(), "demo-tc-6q-b0-5freq");
+        let plan = arch.frequencies().unwrap();
+        assert!(plan.check_band_within(qpd_topology::TUNABLE_COUPLER_BAND_GHZ).is_ok());
+        let arch = hh.run(&input).unwrap();
+        assert_eq!(arch.name(), "demo-hh-6q-b0-5freq");
+        let plan = arch.frequencies().unwrap();
+        assert!(plan.check_band_within(qpd_topology::HEAVY_HEX_BAND_GHZ).is_ok());
+    }
+
+    #[test]
+    fn entries_snapshot_is_sorted_and_counter_silent() {
+        let cache: StageCache<u64> = StageCache::with_cap(None);
+        cache.insert(9, 90);
+        cache.insert(1, 10);
+        cache.insert(5, 50);
+        let (hits, misses) = (cache.hits(), cache.misses());
+        assert_eq!(cache.entries(), vec![(1, 10), (5, 50), (9, 90)]);
+        assert_eq!((cache.hits(), cache.misses()), (hits, misses), "snapshot counted");
     }
 
     #[test]

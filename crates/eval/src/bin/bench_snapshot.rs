@@ -28,13 +28,19 @@
 //!   `explore/round_v2`, which under the pre-stage-graph engine re-ran
 //!   frequency allocation on every proposal);
 //! - `end_to_end/sym6_145` — one full benchmark evaluation (design flow,
-//!   routing, yield) at `EvalSettings::quick()`.
+//!   routing, yield) at `EvalSettings::quick()`;
+//! - `hardware/eval_fixed`, `hardware/eval_tunable`,
+//!   `hardware/eval_heavyhex` — the same end-to-end evaluation once per
+//!   [`HardwareFamily`], so the pluggable hardware layer's per-model
+//!   cost is on the perf trajectory (PR 6's kernel: the fixed-family
+//!   figure doubles as the refactor-overhead check against
+//!   `end_to_end/sym6_145`).
 //!
 //! Environment: `QPD_BENCH_SAMPLES` caps timed samples per kernel (shim
 //! default 3), `QPD_BENCH_QUICK=1` shrinks trial counts for CI smoke
 //! runs, `QPD_THREADS` sizes the worker pool.
 //!
-//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_5.json`), or
+//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_6.json`), or
 //! `bench_snapshot --check-schema FRESH.json COMMITTED.json...` to
 //! validate snapshot *schemas* without timing anything: every file must
 //! carry the snapshot fields and well-formed kernel entries, and the
@@ -51,11 +57,11 @@ use qpd_explore::{
 };
 use qpd_profile::CouplingProfile;
 use qpd_topology::{ibm, Architecture, BusMode};
-use qpd_yield::YieldSimulator;
+use qpd_yield::{HardwareFamily, YieldSimulator};
 
 /// The current perf-trajectory point; bump alongside the default
 /// `--out` path when a later PR appends a snapshot.
-const PR: u64 = 5;
+const PR: u64 = 6;
 
 fn designed_topology(name: &str) -> Architecture {
     let circuit = qpd_benchmarks::build(name).expect("benchmark");
@@ -83,6 +89,7 @@ fn explore_candidates(space: &ExploreSpace) -> Vec<CandidateSpec> {
                 frequency,
                 aux_qubits: 0,
                 placement: PlacementVariant::Identity,
+                hardware: HardwareFamily::FixedFrequencyTransmon,
             });
         }
     }
@@ -91,6 +98,7 @@ fn explore_candidates(space: &ExploreSpace) -> Vec<CandidateSpec> {
         frequency: FrequencyStrategy::Optimized,
         aux_qubits: 0,
         placement: PlacementVariant::Transposed,
+        hardware: HardwareFamily::FixedFrequencyTransmon,
     });
     specs
 }
@@ -302,6 +310,18 @@ fn main() {
     group.bench_function("end_to_end/sym6_145", |b| {
         b.iter(|| run_benchmark("sym6_145", &EvalSettings::quick()).expect("run"))
     });
+
+    // Per-hardware-model kernel: the same end-to-end evaluation once
+    // per family. `hardware/eval_fixed` runs the identical workload as
+    // `end_to_end/sym6_145`, so any drift between the two is pure
+    // hardware-layer dispatch overhead; the tunable and heavy-hex
+    // figures put the non-default collision models on the trajectory.
+    for family in HardwareFamily::ALL {
+        let settings = EvalSettings::quick().with_hardware(family);
+        group.bench_function(format!("hardware/eval_{}", family.as_str()), |b| {
+            b.iter(|| run_benchmark("sym6_145", &settings).expect("run"))
+        });
+    }
     group.finish();
 
     let results = criterion.take_results();
@@ -357,6 +377,13 @@ fn main() {
                     )),
                 ),
             ]),
+        ),
+        (
+            "hardware",
+            Json::obj(HardwareFamily::ALL.map(|family| {
+                let id = format!("hardware/eval_{}", family.as_str());
+                (family.as_str(), Json::num(round3(median_of(&id))))
+            })),
         ),
         (
             "speedups",

@@ -15,7 +15,28 @@
 //!               [--steps N] [--out-dir DIR] [--resume FILE] [--overlay]
 //!               [--adaptive] [--screen N] [--epsilon X]
 //!               [--acceptance scalarized|dominance] [--no-recombine]
-//!               [--archive-cap N] [--max-seconds S] [names...]
+//!               [--archive-cap N] [--max-seconds S]
+//!               [--hardware fixed|tunable|heavyhex|all] [--hit-rates]
+//!               [names...]
+//!
+//! `--hardware` picks the hardware family the candidates design for;
+//! `all` makes the family a search knob (walks spread across families
+//! and a dedicated move flips it), producing a cross-family front.
+//! `--hit-rates` records the per-stage cache hit counters in the
+//! checkpoint (display-only; upgrades its schema tag to v3). The
+//! counters describe the run's *actual* cache traffic, which depends on
+//! scheduling: two workers first-missing one key split a (hit, miss)
+//! pair differently than one worker visiting it twice. The search state
+//! stays bit-identical for every `QPD_THREADS`; only this block is
+//! byte-stable at a fixed thread count — which is why it is
+//! display-only and never parsed back into state.
+//!
+//! Alongside every checkpoint the run writes
+//! `EXPLORE_<benchmark>_caches.json`, a sidecar with the routing and
+//! yield stage-cache entries; `--resume` loads the sidecar sitting next
+//! to the checkpoint (when present) so the resumed run starts warm.
+//! Stages are pure functions of their content keys, so warm caches can
+//! never change results — only skip recomputation.
 //!
 //! `--archive-cap N` bounds the Pareto archive: at every round barrier
 //! the archive is pruned to `N` points by ε-grid occupancy and crowding
@@ -43,7 +64,8 @@ use std::time::Instant;
 use qpd_core::{crowding_distances, dominates_nd};
 use qpd_eval::plot::{svg_front_overlay, OverlayPoint};
 use qpd_explore::{
-    AcceptanceMode, Checkpoint, ExploreConfig, ExploreSpace, ExploreState, Explorer,
+    AcceptanceMode, Checkpoint, ExploreConfig, ExploreSpace, ExploreState, Explorer, HardwareSweep,
+    Json, StageCaches, StageHitRate,
 };
 
 struct Args {
@@ -62,6 +84,8 @@ struct Args {
     no_recombine: bool,
     archive_cap: Option<usize>,
     max_seconds: Option<f64>,
+    hardware: Option<HardwareSweep>,
+    hit_rates: bool,
     names: Vec<String>,
 }
 
@@ -82,6 +106,8 @@ fn parse_args() -> Args {
         no_recombine: false,
         archive_cap: None,
         max_seconds: None,
+        hardware: None,
+        hit_rates: false,
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -115,6 +141,14 @@ fn parse_args() -> Args {
             "--max-seconds" => {
                 args.max_seconds = Some(value("--max-seconds").parse().expect("numeric seconds"))
             }
+            "--hardware" => {
+                let tag = value("--hardware");
+                args.hardware = Some(
+                    HardwareSweep::parse(&tag)
+                        .unwrap_or_else(|| panic!("unknown hardware family {tag:?}")),
+                );
+            }
+            "--hit-rates" => args.hit_rates = true,
             other if !other.starts_with("--") => args.names.push(other.to_string()),
             other => panic!("unknown argument {other:?}"),
         }
@@ -151,13 +185,25 @@ fn config_from(args: &Args) -> ExploreConfig {
     if let Some(cap) = args.archive_cap {
         config.archive_cap = (cap > 0).then_some(cap);
     }
+    if let Some(hardware) = args.hardware {
+        config.hardware = hardware;
+    }
     config
 }
 
 /// Where `eff-full` landed: `Ok(true)` on the front, `Ok(false)` absent
-/// from the archive, `Err(name)` dominated by front point `name`.
-fn eff_full_status(space: &ExploreSpace, state: &ExploreState) -> Result<bool, String> {
-    let eff_full = qpd_explore::CandidateSpec::eff_full(space.full_weighted_len());
+/// from the archive, `Err(name)` dominated by front point `name`. In a
+/// pinned-family run walk 0 starts at eff-full *on that family*, so the
+/// probe follows the sweep.
+fn eff_full_status(
+    space: &ExploreSpace,
+    state: &ExploreState,
+    sweep: HardwareSweep,
+) -> Result<bool, String> {
+    let mut eff_full = qpd_explore::CandidateSpec::eff_full(space.full_weighted_len());
+    if let HardwareSweep::Pinned(family) = sweep {
+        eff_full.hardware = family;
+    }
     let Some(position) = state.archive.iter().position(|e| e.spec == eff_full) else {
         return Ok(false);
     };
@@ -223,6 +269,85 @@ struct RunReport {
 struct RunOptions {
     overlay: bool,
     max_seconds: Option<f64>,
+    /// Record display-only per-stage cache counters in the checkpoint
+    /// (upgrades its schema tag to v3).
+    hit_rates: bool,
+    /// Directory to load a `EXPLORE_<run>_caches.json` sidecar from
+    /// before the first resumed round.
+    warm_from: Option<PathBuf>,
+}
+
+/// Sidecar schema tag for the persisted stage-cache entries.
+const CACHES_SCHEMA: &str = "qpd-explore-caches/1";
+
+/// The cache sidecar riding along with `EXPLORE_<run>.json`.
+fn caches_file_name(run: &str) -> String {
+    format!("EXPLORE_{run}_caches.json")
+}
+
+/// Serializes the routing and yield cache entries (key-sorted, keys as
+/// decimal strings — beyond f64-exact range) so a resumed run starts
+/// warm instead of re-simulating everything it already paid for.
+fn render_cache_sidecar(caches: &StageCaches) -> String {
+    let table = |entries: Vec<(u64, (u64, u64))>| {
+        Json::Arr(
+            entries
+                .into_iter()
+                .map(|(key, (a, b))| {
+                    Json::obj([
+                        ("key", Json::str(key.to_string())),
+                        ("value", Json::Arr(vec![Json::int(a), Json::int(b)])),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    Json::obj([
+        ("schema", Json::str(CACHES_SCHEMA)),
+        ("routes", table(caches.routes.entries())),
+        ("yields", table(caches.yields.entries())),
+    ])
+    .render()
+}
+
+/// Loads a cache sidecar into `caches`. Every stage is a pure function
+/// of its content key, so warm entries can only skip recomputation,
+/// never change a result — which is why a missing, stale, or malformed
+/// sidecar is silently skipped rather than an error.
+fn load_cache_sidecar(path: &std::path::Path, caches: &StageCaches) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        eprintln!("ignoring unparseable cache sidecar {}", path.display());
+        return;
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some(CACHES_SCHEMA) {
+        eprintln!("ignoring cache sidecar {} with unknown schema", path.display());
+        return;
+    }
+    let mut loaded = 0usize;
+    for (field, cache) in [("routes", &caches.routes), ("yields", &caches.yields)] {
+        let Some(entries) = doc.get(field).and_then(Json::as_arr) else {
+            continue;
+        };
+        for e in entries {
+            let key = e.get("key").and_then(Json::as_str).and_then(|s| s.parse::<u64>().ok());
+            let value = e.get("value").and_then(Json::as_arr).and_then(|pair| {
+                match (pair.first().and_then(Json::as_u64), pair.get(1).and_then(Json::as_u64)) {
+                    (Some(a), Some(b)) => Some((a, b)),
+                    _ => None,
+                }
+            });
+            if let (Some(key), Some(value)) = (key, value) {
+                cache.insert(key, value);
+                loaded += 1;
+            }
+        }
+    }
+    if loaded > 0 {
+        eprintln!("warmed {loaded} stage-cache entries from {}", path.display());
+    }
 }
 
 fn run_one(
@@ -237,9 +362,22 @@ fn run_one(
     let circuit = qpd_benchmarks::build(name).expect("known benchmark");
     let space = ExploreSpace::new(circuit, config.max_aux);
     let explorer = Explorer::new(space, config).expect("baseline design");
+    if let Some(dir) = &options.warm_from {
+        load_cache_sidecar(&dir.join(caches_file_name(name)), explorer.caches());
+    }
     let mut state = match resume_state {
         Some(state) => state,
         None => explorer.initial_state().expect("initial evaluations"),
+    };
+    let snapshot = |state: &ExploreState| Checkpoint {
+        run: name.to_string(),
+        config,
+        state: state.clone(),
+        stage_hit_rates: if options.hit_rates {
+            StageHitRate::from_stats(&explorer.stage_stats())
+        } else {
+            Vec::new()
+        },
     };
     while state.rounds_done < config.rounds {
         if let Some(bound) = options.max_seconds {
@@ -252,14 +390,20 @@ fn run_one(
             }
         }
         explorer.advance_round(&mut state).expect("round");
-        // Checkpoint after every round: a killed run resumes from here.
-        let checkpoint = Checkpoint { run: name.to_string(), config, state: state.clone() };
-        checkpoint.write(out_dir).expect("write checkpoint");
+        // Checkpoint after every round: a killed run resumes from here,
+        // and the cache sidecar lets it resume *warm*.
+        snapshot(&state).write(out_dir).expect("write checkpoint");
+        std::fs::write(
+            out_dir.join(caches_file_name(name)),
+            render_cache_sidecar(explorer.caches()),
+        )
+        .expect("write cache sidecar");
     }
     // Always (re)write the final state: never report a stale file that
     // happened to be sitting in the output directory.
-    let checkpoint = Checkpoint { run: name.to_string(), config, state: state.clone() };
-    let checkpoint_path = checkpoint.write(out_dir).expect("write checkpoint");
+    let checkpoint_path = snapshot(&state).write(out_dir).expect("write checkpoint");
+    std::fs::write(out_dir.join(caches_file_name(name)), render_cache_sidecar(explorer.caches()))
+        .expect("write cache sidecar");
     // The front is an O(archive^2) dominance sweep: compute it once and
     // share it between the report, the spread figure, and the overlay.
     let front = state.front_indices();
@@ -286,7 +430,7 @@ fn run_one(
         } else {
             stage_hits as f64 / stage_lookups as f64
         },
-        eff_full: eff_full_status(explorer.space(), &state),
+        eff_full: eff_full_status(explorer.space(), &state, config.hardware),
         checkpoint: checkpoint_path,
         overlay,
     }
@@ -295,7 +439,12 @@ fn run_one(
 fn main() {
     let args = parse_args();
     let config = config_from(&args);
-    let options = RunOptions { overlay: args.overlay, max_seconds: args.max_seconds };
+    let mut options = RunOptions {
+        overlay: args.overlay,
+        max_seconds: args.max_seconds,
+        hit_rates: args.hit_rates,
+        warm_from: None,
+    };
 
     // Resume mode: continue one checkpointed run. The checkpoint's
     // config governs the walk streams, so only the round budget may be
@@ -312,13 +461,14 @@ fn main() {
             || args.acceptance.is_some()
             || args.no_recombine
             || args.archive_cap.is_some()
+            || args.hardware.is_some()
         {
             panic!("--resume uses the checkpoint's config; only --rounds may be combined with it");
         }
         let text = std::fs::read_to_string(path).expect("readable checkpoint");
         let (mut checkpoint, version) =
             Checkpoint::parse_versioned(&text).expect("valid checkpoint");
-        if version != 2 {
+        if version == 1 {
             eprintln!(
                 "migrating {} from schema v{version}: continuing with {} acceptance, \
                  no recombination, no screening (the run's original semantics)",
@@ -329,6 +479,8 @@ fn main() {
         if let Some(rounds) = args.rounds {
             checkpoint.config.rounds = rounds;
         }
+        // A sidecar next to the checkpoint warms the resumed caches.
+        options.warm_from = path.parent().map(|p| p.to_path_buf());
         eprintln!(
             "resuming {} at round {}/{}",
             checkpoint.run, checkpoint.state.rounds_done, checkpoint.config.rounds

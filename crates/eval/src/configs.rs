@@ -1,10 +1,11 @@
 //! The five experiment configurations of paper §5.2.
 
 use std::fmt;
+use std::sync::Arc;
 
-use qpd_core::{BusStrategy, DesignFlow, FrequencyStrategy};
+use qpd_core::{BusStrategy, DesignFlow, FrequencyStrategy, StagePlan};
 use qpd_profile::CouplingProfile;
-use qpd_topology::{five_frequency_plan, ibm, Architecture, BusMode};
+use qpd_topology::{ibm, pattern_frequency_plan, Architecture, BusMode};
 
 use crate::runner::{EvalError, EvalSettings};
 
@@ -56,7 +57,10 @@ impl fmt::Display for ConfigKind {
 }
 
 /// Generates the architectures a configuration contributes for one
-/// profiled benchmark.
+/// profiled benchmark. Every design flow attaches to `plan`, the
+/// benchmark's shared stage plan: the five configurations place the
+/// same profile, so the placement (and any repeated assembly) is
+/// computed once per benchmark instead of once per configuration.
 ///
 /// # Errors
 ///
@@ -65,18 +69,21 @@ pub fn architectures(
     kind: ConfigKind,
     profile: &CouplingProfile,
     settings: &EvalSettings,
+    plan: &Arc<StagePlan>,
 ) -> Result<Vec<Architecture>, EvalError> {
+    let base_flow =
+        || DesignFlow::new().with_plan(Arc::clone(plan)).with_hardware(settings.hardware);
     match kind {
         ConfigKind::Ibm => Ok(ibm::all_baselines().to_vec()),
         ConfigKind::EffFull => {
-            let flow = DesignFlow::new()
+            let flow = base_flow()
                 .with_allocation_trials(settings.alloc_trials)
                 .with_allocation_seed(settings.seed)
                 .with_sigma_ghz(settings.sigma_ghz);
             Ok(flow.design_series(profile)?)
         }
         ConfigKind::Eff5Freq => {
-            let flow = DesignFlow::new()
+            let flow = base_flow()
                 .with_frequency_strategy(FrequencyStrategy::FiveFrequency)
                 .with_name_prefix("eff5");
             Ok(flow.design_series(profile)?)
@@ -85,7 +92,7 @@ pub fn architectures(
             // One point per sample: a seeded random bus set whose size
             // sweeps the available range, so the samples scatter across
             // the trade-off plane like the paper's orange points.
-            let coords = DesignFlow::new().place(profile)?;
+            let coords = base_flow().place(profile)?;
             let max = qpd_core::select_buses_maximal(&coords).len();
             let mut archs = Vec::new();
             for s in 0..settings.rd_bus_samples {
@@ -94,7 +101,7 @@ pub fn architectures(
                 if budget == 0 {
                     continue;
                 }
-                let flow = DesignFlow::new()
+                let flow = base_flow()
                     .with_bus_strategy(BusStrategy::Random { seed: settings.seed + s as u64 })
                     .with_max_buses(Some(budget))
                     .with_allocation_trials(settings.alloc_trials)
@@ -106,15 +113,20 @@ pub fn architectures(
             Ok(archs)
         }
         ConfigKind::EffLayoutOnly => {
-            let coords = DesignFlow::new().place(profile)?;
+            let coords = base_flow().place(profile)?;
+            let model = settings.hardware.model();
+            let menu = model.pattern_frequencies_ghz();
+            let band = model.allowed_band_ghz();
             let mut out = Vec::new();
             // Option A: 2-qubit buses only.
             let mut builder =
                 Architecture::builder(format!("efflayout-{}q-2qbus", profile.num_qubits()));
             builder.qubits(coords.iter().copied());
             let plain = builder.build().map_err(qpd_core::DesignError::from)?;
-            let plan = five_frequency_plan(&plain);
-            out.push(plain.with_frequencies(plan).map_err(qpd_core::DesignError::from)?);
+            let freqs = pattern_frequency_plan(&plain, menu);
+            out.push(
+                plain.with_frequencies_in_band(freqs, band).map_err(qpd_core::DesignError::from)?,
+            );
             // Option B: as many 4-qubit buses as possible.
             let mut builder =
                 Architecture::builder(format!("efflayout-{}q-max4q", profile.num_qubits()));
@@ -123,8 +135,10 @@ pub fn architectures(
                 builder.four_qubit_bus_at(s);
             }
             let dense = builder.build().map_err(qpd_core::DesignError::from)?;
-            let plan = five_frequency_plan(&dense);
-            out.push(dense.with_frequencies(plan).map_err(qpd_core::DesignError::from)?);
+            let freqs = pattern_frequency_plan(&dense, menu);
+            out.push(
+                dense.with_frequencies_in_band(freqs, band).map_err(qpd_core::DesignError::from)?,
+            );
             Ok(out)
         }
     }
@@ -153,6 +167,10 @@ mod tests {
         EvalSettings::quick()
     }
 
+    fn generate(kind: ConfigKind, settings: &EvalSettings) -> Vec<Architecture> {
+        architectures(kind, &profile(), settings, &Arc::new(StagePlan::new())).unwrap()
+    }
+
     #[test]
     fn labels() {
         assert_eq!(ConfigKind::EffFull.label(), "eff-full");
@@ -162,13 +180,12 @@ mod tests {
 
     #[test]
     fn ibm_contributes_four() {
-        let archs = architectures(ConfigKind::Ibm, &profile(), &quick()).unwrap();
-        assert_eq!(archs.len(), 4);
+        assert_eq!(generate(ConfigKind::Ibm, &quick()).len(), 4);
     }
 
     #[test]
     fn eff_full_series_has_bus_range() {
-        let archs = architectures(ConfigKind::EffFull, &profile(), &quick()).unwrap();
+        let archs = generate(ConfigKind::EffFull, &quick());
         assert!(!archs.is_empty());
         assert_eq!(archs[0].four_qubit_buses().len(), 0);
         for a in &archs {
@@ -178,7 +195,7 @@ mod tests {
 
     #[test]
     fn layout_only_has_two_options() {
-        let archs = architectures(ConfigKind::EffLayoutOnly, &profile(), &quick()).unwrap();
+        let archs = generate(ConfigKind::EffLayoutOnly, &quick());
         assert_eq!(archs.len(), 2);
         assert!(archs[0].four_qubit_buses().is_empty());
         assert!(archs[1].four_qubit_buses().len() >= archs[0].four_qubit_buses().len());
@@ -186,10 +203,40 @@ mod tests {
 
     #[test]
     fn rd_bus_samples_are_bounded() {
-        let archs = architectures(ConfigKind::EffRdBus, &profile(), &quick()).unwrap();
+        let archs = generate(ConfigKind::EffRdBus, &quick());
         assert!(archs.len() <= quick().rd_bus_samples);
         for a in &archs {
             assert!(!a.four_qubit_buses().is_empty());
+        }
+    }
+
+    #[test]
+    fn shared_plan_places_once_across_configurations() {
+        // Satellite of the hardware refactor: the per-benchmark plan is
+        // shared, so the second configuration's placement is a cache
+        // hit, not a recomputation.
+        let plan = Arc::new(StagePlan::new());
+        let p = profile();
+        architectures(ConfigKind::EffFull, &p, &quick(), &plan).unwrap();
+        let misses_after_first = plan.stats().iter().map(|s| s.misses).sum::<u64>();
+        architectures(ConfigKind::Eff5Freq, &p, &quick(), &plan).unwrap();
+        let placement =
+            plan.stats().into_iter().find(|s| s.kind == qpd_core::StageKind::Placement).unwrap();
+        assert!(placement.hits > 0, "second configuration re-placed the profile");
+        assert!(misses_after_first > 0);
+    }
+
+    #[test]
+    fn hardware_family_reshapes_the_designs() {
+        use qpd_yield::HardwareFamily;
+        let fixed = generate(ConfigKind::EffLayoutOnly, &quick());
+        let hh =
+            generate(ConfigKind::EffLayoutOnly, &quick().with_hardware(HardwareFamily::HeavyHex));
+        let (lo, hi) = HardwareFamily::HeavyHex.model().allowed_band_ghz();
+        let freqs = |a: &Architecture| a.frequencies().unwrap().as_slice().to_vec();
+        assert_ne!(freqs(&fixed[0]), freqs(&hh[0]), "family change left the plan unchanged");
+        for f in freqs(&hh[0]) {
+            assert!((lo..=hi).contains(&f), "{f} outside the heavy-hex band");
         }
     }
 }

@@ -2,13 +2,14 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use qpd_circuit::Circuit;
-use qpd_core::DesignError;
+use qpd_core::{DesignError, StagePlan};
 use qpd_mapping::{MappingError, SabreRouter};
 use qpd_profile::CouplingProfile;
 use qpd_topology::Architecture;
-use qpd_yield::{YieldError, YieldSimulator};
+use qpd_yield::{HardwareFamily, YieldError, YieldSimulator};
 
 use crate::configs::{architectures, ConfigKind};
 
@@ -26,6 +27,12 @@ pub struct EvalSettings {
     pub seed: u64,
     /// Number of random-bus-selection samples (`eff-rd-bus`).
     pub rd_bus_samples: usize,
+    /// Hardware family of the run: the `eff-*` flows design for its
+    /// band and constraints, and the yield simulator applies its
+    /// collision model to every chip (the IBM baselines keep their
+    /// fixed layouts and frequencies). The default family reproduces
+    /// the pre-hardware-layer harness bit-for-bit.
+    pub hardware: HardwareFamily,
 }
 
 impl Default for EvalSettings {
@@ -36,6 +43,7 @@ impl Default for EvalSettings {
             sigma_ghz: 0.030,
             seed: 0,
             rd_bus_samples: 5,
+            hardware: HardwareFamily::FixedFrequencyTransmon,
         }
     }
 }
@@ -49,7 +57,14 @@ impl EvalSettings {
             sigma_ghz: 0.030,
             seed: 0,
             rd_bus_samples: 3,
+            hardware: HardwareFamily::FixedFrequencyTransmon,
         }
+    }
+
+    /// The same settings targeting another hardware family.
+    pub fn with_hardware(mut self, hardware: HardwareFamily) -> Self {
+        self.hardware = hardware;
+        self
     }
 }
 
@@ -184,15 +199,22 @@ pub fn run_circuit(
     let sim = YieldSimulator::new()
         .with_trials(settings.yield_trials)
         .with_sigma_ghz(settings.sigma_ghz)
-        .with_seed(settings.seed);
+        .with_seed(settings.seed)
+        .with_hardware(settings.hardware);
 
     // Normalization denominator: IBM baseline (1) = 16Q 2x8, 2-qubit
     // buses (Figure 10 normalizes performance so baseline (1) sits at 1).
     let baseline1 = qpd_topology::ibm::ibm_16q_2x8(qpd_topology::BusMode::TwoQubitOnly);
     let baseline_gates = route_gates(circuit, &baseline1)?;
 
+    // One stage plan for the whole benchmark: every configuration's
+    // design flow attaches to it, so the placement the configurations
+    // share is computed once and the assembly cache is common across
+    // the eff-* families. Stages are pure, so sharing is result-neutral.
+    let plan = Arc::new(StagePlan::new());
     let kinds = ConfigKind::all();
-    let generated = qpd_par::par_map(&kinds, |&kind| architectures(kind, &profile, settings));
+    let generated =
+        qpd_par::par_map(&kinds, |&kind| architectures(kind, &profile, settings, &plan));
     let mut flat: Vec<(ConfigKind, Architecture)> = Vec::new();
     for (kind, archs) in kinds.iter().zip(generated) {
         for arch in archs? {
@@ -252,6 +274,32 @@ mod tests {
         for p in &run.points {
             assert!((0.0..=1.0).contains(&p.yield_rate), "{}", p.arch);
             assert!(p.total_gates > 0);
+        }
+    }
+
+    #[test]
+    fn hardware_setting_redesigns_eff_but_keeps_ibm_layouts() {
+        let fixed = run_benchmark("sym6_145", &EvalSettings::quick()).unwrap();
+        let tc = run_benchmark(
+            "sym6_145",
+            &EvalSettings::quick().with_hardware(HardwareFamily::TunableCoupler),
+        )
+        .unwrap();
+        // IBM chips are fixed layouts: routing is untouched by the
+        // family (yield may move — the collision model differs).
+        let b1f = fixed.ibm_baseline(1).unwrap();
+        let b1t = tc.ibm_baseline(1).unwrap();
+        assert_eq!(b1f.total_gates, b1t.total_gates);
+        assert_eq!(b1f.arch, b1t.arch);
+        // The eff flows design for the family: names carry its suffix.
+        let eff = tc.of_config(ConfigKind::EffFull);
+        assert!(!eff.is_empty());
+        assert!(
+            eff.iter().all(|p| p.arch.contains("-tc-")),
+            "eff-full designs missing the family suffix"
+        );
+        for p in &tc.points {
+            assert!((0.0..=1.0).contains(&p.yield_rate), "{}", p.arch);
         }
     }
 

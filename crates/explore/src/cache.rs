@@ -25,7 +25,7 @@ use qpd_circuit::Circuit;
 use qpd_core::{Stage, StageCache, StageCacheStats, StageKind};
 use qpd_mapping::{MappingError, SabreRouter};
 use qpd_topology::Architecture;
-use qpd_yield::{YieldError, YieldSimulator};
+use qpd_yield::{HardwareFamily, YieldError, YieldSimulator};
 
 // The routing and yield keys use the same FNV-1a hasher the upstream
 // stage keys are built from.
@@ -113,6 +113,10 @@ pub struct YieldStage {
     pub seed: u64,
     /// Fabrication precision in GHz.
     pub sigma_ghz: f64,
+    /// Hardware family: collision constraints and effective noise. The
+    /// default family keeps keys and estimates bit-identical to the
+    /// pre-hardware-layer stage.
+    pub hardware: HardwareFamily,
 }
 
 impl YieldStage {
@@ -122,6 +126,7 @@ impl YieldStage {
             .with_trials(self.trials)
             .with_seed(self.seed)
             .with_sigma_ghz(self.sigma_ghz)
+            .with_hardware(self.hardware)
     }
 }
 
@@ -243,10 +248,19 @@ mod tests {
         // The screening path is the yield stage at a reduced budget; the
         // budget is part of the key, so the two can share one table.
         let chip = qpd_topology::ibm::ibm_16q_2x8(qpd_topology::BusMode::TwoQubitOnly);
-        let full = YieldStage { trials: 2_000, seed: 0, sigma_ghz: 0.03 };
+        let full = YieldStage {
+            trials: 2_000,
+            seed: 0,
+            sigma_ghz: 0.03,
+            hardware: HardwareFamily::FixedFrequencyTransmon,
+        };
         let screened = YieldStage { trials: 500, ..full };
         assert_ne!(full.content_key(&&chip), screened.content_key(&&chip));
         assert_eq!(full.content_key(&&chip), full.content_key(&&chip));
+        // The hardware family is part of the key: one shared yield table
+        // can never serve a fixed-frequency estimate to a tunable walk.
+        let tc = YieldStage { hardware: HardwareFamily::TunableCoupler, ..full };
+        assert_ne!(full.content_key(&&chip), tc.content_key(&&chip));
     }
 
     #[test]
@@ -257,7 +271,12 @@ mod tests {
         let mut b = Architecture::builder("bare");
         b.qubit(0, 0).qubit(0, 1);
         let bare = b.build().unwrap();
-        let stage = YieldStage { trials: 100, seed: 0, sigma_ghz: 0.03 };
+        let stage = YieldStage {
+            trials: 100,
+            seed: 0,
+            sigma_ghz: 0.03,
+            hardware: HardwareFamily::FixedFrequencyTransmon,
+        };
         let cache: StageCache<(u64, u64)> = StageCache::with_cap(None);
         let err = cache.run_stage(&stage, &&bare).unwrap_err();
         assert_eq!(err, YieldError::MissingFrequencyPlan);

@@ -14,23 +14,85 @@
 //! ([`SCHEMA_V1`]) still parse: their config migrates through
 //! [`ExploreConfig::v1_compat`], so a resumed PR 3 run continues with
 //! the scalarized acceptance it was started under.
+//!
+//! Schema v3 ([`SCHEMA_V3`]) adds the hardware-sweep config knob and a
+//! display-only per-stage cache hit-rate block. The writer emits the v3
+//! tag **only when a v3 feature is present** (a non-default sweep, a
+//! non-default spec family, or recorded hit rates); a default-config
+//! checkpoint renders the exact v2 bytes it always did, and v2 readers
+//! of such documents never see an unknown field.
 
 use std::path::{Path, PathBuf};
 
 use crate::engine::{
-    pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, WalkState,
+    pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, HardwareSweep,
+    WalkState,
 };
 use crate::json::Json;
 use crate::spec::{CandidateSpec, Evaluated, Objectives};
+use qpd_core::StageCacheStats;
 
-/// On-disk schema tag; bump on breaking layout changes.
+/// On-disk schema tag of feature-less documents; see [`SCHEMA_V3`].
 pub const SCHEMA: &str = "qpd-explore-checkpoint/2";
+
+/// The v3 schema tag, written only when a document actually carries a
+/// v3 feature (hardware sweep or stage hit rates) so default-config
+/// checkpoints stay byte-identical to the v2 era.
+pub const SCHEMA_V3: &str = "qpd-explore-checkpoint/3";
 
 /// The PR 3 schema: no acceptance/recombination/screening fields.
 /// [`Checkpoint::parse`] still reads it, migrating the config onto
 /// [`ExploreConfig::v1_compat`] so a resumed v1 run keeps the scalarized
 /// acceptance it started with.
 pub const SCHEMA_V1: &str = "qpd-explore-checkpoint/1";
+
+/// Display-only per-stage cache counters recorded at checkpoint time
+/// (schema v3). Resume never reads them — a resumed engine starts with
+/// cold counters — they exist so a human (or the CLI's `--hit-rates`
+/// report) can see how effective the stage caches were when the
+/// checkpoint was cut.
+///
+/// Unlike everything else in a checkpoint, these counters describe the
+/// run's *actual* cache traffic, which is scheduling-dependent: two
+/// workers first-missing the same key record (miss, miss) where one
+/// worker visiting it twice records (miss, hit). Totals and every piece
+/// of search state stay bit-identical across `QPD_THREADS`; the
+/// hit/miss split is only byte-stable at a fixed thread count. That is
+/// the reason this block is display-only and excluded from
+/// [`Checkpoint::parse`]'s contribution to resumed state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageHitRate {
+    /// Stage name ([`qpd_core::StageKind::name`]).
+    pub stage: String,
+    /// Lookups served from the table.
+    pub hits: u64,
+    /// Lookups that computed.
+    pub misses: u64,
+}
+
+impl StageHitRate {
+    /// Snapshot of live stage counters, pipeline order.
+    pub fn from_stats(stats: &[StageCacheStats]) -> Vec<StageHitRate> {
+        stats
+            .iter()
+            .map(|s| StageHitRate {
+                stage: s.kind.name().to_string(),
+                hits: s.hits,
+                misses: s.misses,
+            })
+            .collect()
+    }
+
+    /// Fraction of lookups served from cache (`0.0` before any lookup).
+    pub fn rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// A complete, resumable snapshot of one exploration run.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,12 +104,24 @@ pub struct Checkpoint {
     pub config: ExploreConfig,
     /// The search state after `state.rounds_done` rounds.
     pub state: ExploreState,
+    /// Display-only stage-cache counters (schema v3). Empty means
+    /// "not recorded" and keeps the document on the v2 byte layout.
+    pub stage_hit_rates: Vec<StageHitRate>,
 }
 
 impl Checkpoint {
     /// The conventional file name for a run label: `EXPLORE_<run>.json`.
     pub fn file_name(run: &str) -> String {
         format!("EXPLORE_{run}.json")
+    }
+
+    /// Whether the document carries any schema-v3 feature. Feature-less
+    /// checkpoints render under the v2 tag with the exact v2 bytes.
+    fn has_v3_features(&self) -> bool {
+        !self.config.hardware.is_default()
+            || !self.stage_hit_rates.is_empty()
+            || self.state.walks.iter().any(|w| !w.spec.hardware.is_default())
+            || self.state.archive.iter().any(|e| !e.spec.hardware.is_default())
     }
 
     /// Renders the checkpoint document (stable bytes: insertion-ordered
@@ -57,8 +131,9 @@ impl Checkpoint {
             .into_iter()
             .map(|i| Json::str(self.state.archive[i].key.to_string()))
             .collect();
-        Json::obj([
-            ("schema", Json::str(SCHEMA)),
+        let schema = if self.has_v3_features() { SCHEMA_V3 } else { SCHEMA };
+        let mut fields = vec![
+            ("schema", Json::str(schema)),
             ("run", Json::str(&self.run)),
             ("config", config_to_json(&self.config)),
             ("rounds_done", Json::int(self.state.rounds_done as u64)),
@@ -81,8 +156,25 @@ impl Checkpoint {
             // recomputed (not trusted) on load.
             ("front", Json::Arr(front_keys)),
             ("archive", Json::Arr(self.state.archive.iter().map(Evaluated::to_json).collect())),
-        ])
-        .render()
+        ];
+        if !self.stage_hit_rates.is_empty() {
+            fields.push((
+                "stage_hit_rates",
+                Json::Arr(
+                    self.stage_hit_rates
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("stage", Json::str(&s.stage)),
+                                ("hits", Json::int(s.hits)),
+                                ("misses", Json::int(s.misses)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields).render()
     }
 
     /// Writes `EXPLORE_<run>.json` under `dir`, returning the path.
@@ -121,6 +213,7 @@ impl Checkpoint {
         let bad = |what: &str| ExploreError::Checkpoint(what.to_string());
         let doc = Json::parse(text).map_err(|e| ExploreError::Checkpoint(e.to_string()))?;
         let version = match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA_V3) => 3,
             Some(SCHEMA) => 2,
             Some(SCHEMA_V1) => 1,
             Some(other) => {
@@ -131,7 +224,7 @@ impl Checkpoint {
         let run = doc.get("run").and_then(Json::as_str).ok_or_else(|| bad("missing run"))?;
         let config_json = doc.get("config").ok_or_else(|| bad("missing config"))?;
         let config = match version {
-            2 => config_from_json(config_json).ok_or_else(|| bad("malformed config"))?,
+            2 | 3 => config_from_json(config_json).ok_or_else(|| bad("malformed config"))?,
             _ => config_from_json_v1(config_json).ok_or_else(|| bad("malformed v1 config"))?,
         };
         let rounds_done = doc
@@ -157,11 +250,33 @@ impl Checkpoint {
         if walks.len() != config.walks {
             return Err(bad("walk count does not match config"));
         }
+        // Optional in every version (pre-v3 documents simply lack it).
+        let mut stage_hit_rates = Vec::new();
+        if let Some(rates) = doc.get("stage_hit_rates").and_then(Json::as_arr) {
+            for r in rates {
+                stage_hit_rates.push(StageHitRate {
+                    stage: r
+                        .get("stage")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("malformed stage hit rate"))?
+                        .to_string(),
+                    hits: r
+                        .get("hits")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("malformed stage hit rate"))?,
+                    misses: r
+                        .get("misses")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("malformed stage hit rate"))?,
+                });
+            }
+        }
         Ok((
             Checkpoint {
                 run: run.to_string(),
                 config,
                 state: ExploreState { rounds_done, walks, archive },
+                stage_hit_rates,
             },
             version,
         ))
@@ -185,6 +300,12 @@ fn config_to_json(c: &ExploreConfig) -> Json {
         ("screen_divisor", Json::int(c.screen_divisor)),
         ("epsilon", Json::num(c.epsilon)),
     ];
+    // Written only for non-default sweeps: a default-family config
+    // renders the exact bytes the pre-hardware schema produced (and the
+    // document keeps the v2 tag).
+    if !c.hardware.is_default() {
+        pairs.push(("hardware", Json::str(c.hardware.as_str())));
+    }
     // Written only when pruning is on: an uncapped config renders the
     // exact bytes the pre-pruning schema produced, and pre-pruning v2
     // documents parse as uncapped. `Some(0)` means "no pruning" just
@@ -223,11 +344,18 @@ fn config_from_json(json: &Json) -> Option<ExploreConfig> {
         None => None,
         Some(v) => Some(v.as_u64()? as usize).filter(|&cap| cap > 0),
     };
+    // Absent in v2 documents and in default-sweep v3 renders: both mean
+    // the default (pinned to the default family).
+    let hardware = match json.get("hardware") {
+        None => HardwareSweep::default(),
+        Some(tag) => HardwareSweep::parse(tag.as_str()?)?,
+    };
     Some(ExploreConfig {
         acceptance: AcceptanceMode::from_str_tag(json.get("acceptance")?.as_str()?)?,
         recombine: json.get("recombine")?.as_bool()?,
         screen_divisor: json.get("screen_divisor")?.as_u64()?,
         epsilon: json.get("epsilon")?.as_f64()?,
+        hardware,
         archive_cap,
         ..config_from_json_v1(json)?
     })
@@ -240,6 +368,7 @@ mod tests {
     use crate::spec::BusSpec;
     use qpd_core::FrequencyStrategy;
     use qpd_topology::Square;
+    use qpd_yield::HardwareFamily;
 
     fn sample_checkpoint() -> Checkpoint {
         let objectives = Objectives {
@@ -254,6 +383,7 @@ mod tests {
             frequency: FrequencyStrategy::Optimized,
             aux_qubits: 1,
             placement: crate::spec::PlacementVariant::Transposed,
+            hardware: HardwareFamily::FixedFrequencyTransmon,
         };
         Checkpoint {
             run: "sym6_145".into(),
@@ -268,6 +398,7 @@ mod tests {
                     objectives,
                 }],
             },
+            stage_hit_rates: Vec::new(),
         }
     }
 
@@ -371,6 +502,74 @@ mod tests {
         let cp = sample_checkpoint();
         let (_, version) = Checkpoint::parse_versioned(&cp.render()).unwrap();
         assert_eq!(version, 2);
+    }
+
+    #[test]
+    fn default_documents_carry_no_v3_markers() {
+        // The hardware layer must be invisible to feature-less
+        // checkpoints: no v3 tag, no hardware field, no hit rates — the
+        // exact v2 byte layout.
+        let text = sample_checkpoint().render();
+        assert!(text.contains(SCHEMA));
+        assert!(!text.contains(SCHEMA_V3));
+        // ("hardware_cost" is a v1 objectives field; the v3 markers are
+        // the exact "hardware" key and the hit-rate block.)
+        assert!(!text.contains("\"hardware\":"));
+        assert!(!text.contains("stage_hit_rates"));
+    }
+
+    #[test]
+    fn hardware_sweep_upgrades_the_schema_and_round_trips() {
+        let mut cp = sample_checkpoint();
+        cp.config.hardware = HardwareSweep::All;
+        let text = cp.render();
+        assert!(text.contains(SCHEMA_V3));
+        assert!(text.contains("\"hardware\": \"all\""));
+        let (back, version) = Checkpoint::parse_versioned(&text).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(back, cp);
+        assert_eq!(back.render(), text);
+        // Pinned non-default sweeps carry the family tag.
+        cp.config.hardware = HardwareSweep::Pinned(HardwareFamily::HeavyHex);
+        let pinned = cp.render();
+        assert!(pinned.contains("\"hardware\": \"heavyhex\""));
+        assert_eq!(Checkpoint::parse(&pinned).unwrap(), cp);
+    }
+
+    #[test]
+    fn non_default_spec_family_upgrades_the_schema() {
+        // Even under a default sweep (hand-edited or future configs), a
+        // non-default family in the state forces the v3 tag so old
+        // readers fail loudly instead of resuming the wrong family.
+        let mut cp = sample_checkpoint();
+        cp.state.walks[0].spec.hardware = HardwareFamily::TunableCoupler;
+        cp.state.archive[0].spec.hardware = HardwareFamily::TunableCoupler;
+        let text = cp.render();
+        assert!(text.contains(SCHEMA_V3));
+        assert_eq!(Checkpoint::parse(&text).unwrap(), cp);
+    }
+
+    #[test]
+    fn stage_hit_rates_are_display_only_and_round_trip() {
+        let mut cp = sample_checkpoint();
+        cp.stage_hit_rates = vec![
+            StageHitRate { stage: "frequency".into(), hits: 30, misses: 10 },
+            StageHitRate { stage: "yield".into(), hits: 0, misses: 0 },
+        ];
+        let text = cp.render();
+        assert!(text.contains(SCHEMA_V3));
+        assert!(text.contains("stage_hit_rates"));
+        let back = Checkpoint::parse(&text).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.render(), text);
+        assert!((back.stage_hit_rates[0].rate() - 0.75).abs() < 1e-12);
+        assert_eq!(back.stage_hit_rates[1].rate(), 0.0);
+        // Display-only: a document without the block parses with empty
+        // counters.
+        cp.stage_hit_rates.clear();
+        let clean = cp.render();
+        assert!(!clean.contains("stage_hit_rates"));
+        assert!(Checkpoint::parse(&clean).unwrap().stage_hit_rates.is_empty());
     }
 
     #[test]

@@ -57,7 +57,7 @@ use qpd_core::{
 };
 use qpd_mapping::MappingError;
 use qpd_topology::Architecture;
-use qpd_yield::YieldError;
+use qpd_yield::{HardwareFamily, YieldError};
 
 use crate::cache::{circuit_key, RouteStage, StageCaches, YieldStage};
 use crate::space::ExploreSpace;
@@ -96,6 +96,53 @@ impl AcceptanceMode {
     }
 }
 
+/// Which hardware families a run searches over — the fifth knob's
+/// scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HardwareSweep {
+    /// Every candidate designs for the one given family. Pinned to the
+    /// default family this is bit-identical to the pre-hardware-layer
+    /// engine: walks draw the exact same RNG streams (no extra draws)
+    /// and every content key is unchanged.
+    Pinned(HardwareFamily),
+    /// Mixed mode: walk starting points spread across all families and
+    /// a dedicated move kind can flip a candidate's family, so the
+    /// archive grows a cross-family Pareto front.
+    All,
+}
+
+impl Default for HardwareSweep {
+    fn default() -> Self {
+        HardwareSweep::Pinned(HardwareFamily::FixedFrequencyTransmon)
+    }
+}
+
+impl HardwareSweep {
+    /// Checkpoint tag: the pinned family's tag, or `"all"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HardwareSweep::Pinned(family) => family.as_str(),
+            HardwareSweep::All => "all",
+        }
+    }
+
+    /// Parses a checkpoint / CLI tag (`fixed`, `tunable`, `heavyhex`,
+    /// or `all`).
+    pub fn parse(tag: &str) -> Option<Self> {
+        if tag == "all" {
+            return Some(HardwareSweep::All);
+        }
+        HardwareFamily::parse(tag).map(HardwareSweep::Pinned)
+    }
+
+    /// True for the default sweep (pinned to the default family) — the
+    /// checkpoint writer omits the field in that case so default-config
+    /// checkpoints stay byte-identical to the pre-hardware schema.
+    pub fn is_default(self) -> bool {
+        self == HardwareSweep::default()
+    }
+}
+
 /// Budgets and knob bounds of one exploration run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExploreConfig {
@@ -129,6 +176,10 @@ pub struct ExploreConfig {
     /// ε-grid width of the dominance acceptor, applied to the
     /// normalized objective vector (every axis lives in `(0, 1]`).
     pub epsilon: f64,
+    /// Hardware families in scope: pinned to one family (the default
+    /// family reproduces the pre-hardware engine bit-for-bit) or `All`
+    /// for a mixed-family search with the family as a mutable knob.
+    pub hardware: HardwareSweep,
     /// Bound on the Pareto archive (`None` — or `Some(0)`, which the
     /// checkpoint writer normalizes to the same thing — keeps every
     /// full-fidelity point, the pre-pruning behavior). When set, the
@@ -158,6 +209,7 @@ impl Default for ExploreConfig {
             recombine: true,
             screen_divisor: 1,
             epsilon: 0.02,
+            hardware: HardwareSweep::default(),
             archive_cap: None,
         }
     }
@@ -360,11 +412,16 @@ impl Explorer {
             baseline_gates: 1,
             baseline_depth: 1,
         };
+        // The normalization anchor is always the default family's
+        // zero-bus design: routing never reads frequencies, so the
+        // scale is family-independent, and keeping it fixed means a
+        // pinned-family run and a mixed run normalize identically.
         let baseline = CandidateSpec {
             bus: crate::spec::BusSpec::Weighted { count: 0 },
             frequency: FrequencyStrategy::FiveFrequency,
             aux_qubits: 0,
             placement: crate::spec::PlacementVariant::Identity,
+            hardware: HardwareFamily::FixedFrequencyTransmon,
         };
         let arch = explorer.materialize(&baseline)?;
         let (gates, depth) = explorer.route(&arch)?;
@@ -407,19 +464,26 @@ impl Explorer {
         self.caches.clear();
     }
 
-    fn flow(&self, frequency: FrequencyStrategy) -> DesignFlow {
+    fn flow(&self, spec: &CandidateSpec) -> DesignFlow {
         // The clone shares the base flow's stage plan, so every
-        // frequency variant draws from one assembly cache.
-        self.flow.clone().with_frequency_strategy(frequency)
+        // frequency/hardware variant draws from one assembly cache (the
+        // family is part of the assembly content key, so families never
+        // collide in it).
+        self.flow.clone().with_frequency_strategy(spec.frequency).with_hardware(spec.hardware)
     }
 
-    fn yield_stage(&self, trials: u64) -> YieldStage {
-        YieldStage { trials, seed: self.config.seed, sigma_ghz: self.config.sigma_ghz }
+    fn yield_stage(&self, spec: &CandidateSpec, trials: u64) -> YieldStage {
+        YieldStage {
+            trials,
+            seed: self.config.seed,
+            sigma_ghz: self.config.sigma_ghz,
+            hardware: spec.hardware,
+        }
     }
 
     fn materialize(&self, spec: &CandidateSpec) -> Result<Architecture, ExploreError> {
         let (coords, squares) = self.space.resolve(spec);
-        Ok(self.flow(spec.frequency).design_with_layout(&coords, &squares)?)
+        Ok(self.flow(spec).design_with_layout(&coords, &squares)?)
     }
 
     fn route(&self, arch: &Architecture) -> Result<(u64, u64), ExploreError> {
@@ -452,7 +516,7 @@ impl Explorer {
         let arch = self.materialize(spec)?;
         let (total_gates, routed_depth) = self.route(&arch)?;
         let (key, (yield_successes, yield_trials)) =
-            self.caches.yields.run_stage(&self.yield_stage(trials), &&arch)?;
+            self.caches.yields.run_stage(&self.yield_stage(spec, trials), &&arch)?;
         // The layout resolver clamps out-of-range auxiliary counts to
         // the space's bound; cost the clamped value actually built, so
         // equal content keys always carry equal objective vectors.
@@ -507,15 +571,47 @@ impl Explorer {
         self.config.initial_temperature * self.config.cooling.powi(global_step)
     }
 
+    /// The family a walk starts on: the pinned family, or — in mixed
+    /// mode — the families round-robined across walks so every family
+    /// is represented from the first evaluation (walk 0 stays on the
+    /// default family, keeping `eff-full` the paper's design).
+    fn initial_family(&self, walk: usize) -> HardwareFamily {
+        match self.config.hardware {
+            HardwareSweep::Pinned(family) => family,
+            HardwareSweep::All => HardwareFamily::ALL[walk % HardwareFamily::ALL.len()],
+        }
+    }
+
+    /// One proposal move. Pinned to a family this is exactly the space
+    /// mutation (identical RNG stream to the pre-hardware engine); in
+    /// mixed mode one extra move kind — drawn *before* the space
+    /// mutation so the gate is a pure function of the walk stream —
+    /// cycles the candidate's hardware family instead.
+    fn propose(&self, spec: &CandidateSpec, rng: &mut ChaCha8Rng) -> CandidateSpec {
+        if let HardwareSweep::All = self.config.hardware {
+            // Six space move kinds plus one family move: weight the
+            // family flip as a seventh equally likely kind.
+            if rng.gen_range(0..7u32) == 6 {
+                let all = HardwareFamily::ALL;
+                let at = all.iter().position(|&f| f == spec.hardware).unwrap_or(0);
+                return CandidateSpec { hardware: all[(at + 1) % all.len()], ..spec.clone() };
+            }
+        }
+        self.space.mutate(spec, rng)
+    }
+
     /// The walk's starting point. Walk 0 always starts at the paper's
     /// `eff-full` configuration, so that design is an evaluated point of
-    /// every run; the rest spread over bus budgets, strategies, and
-    /// layout variants.
+    /// every run; the rest spread over bus budgets, strategies, layout
+    /// variants, and (in mixed mode) hardware families.
     fn initial_spec(&self, walk: usize) -> CandidateSpec {
         use crate::spec::{BusSpec, PlacementVariant};
         let full = self.space.full_weighted_len();
         if walk == 0 {
-            return CandidateSpec::eff_full(full);
+            return CandidateSpec {
+                hardware: self.initial_family(walk),
+                ..CandidateSpec::eff_full(full)
+            };
         }
         let bus = if walk % 3 == 2 {
             BusSpec::Random {
@@ -538,6 +634,7 @@ impl Explorer {
             } else {
                 PlacementVariant::Identity
             },
+            hardware: self.initial_family(walk),
         }
     }
 
@@ -707,7 +804,7 @@ impl Explorer {
         let mut current = start.clone();
         let mut evals = Vec::with_capacity(self.config.steps_per_round);
         for step in 0..self.config.steps_per_round {
-            let candidate_spec = self.space.mutate(&current.spec, &mut rng);
+            let candidate_spec = self.propose(&current.spec, &mut rng);
             let eval = self.evaluate(&candidate_spec)?;
             let delta = self.energy(&eval.objectives, &weights)
                 - self.energy(&current.objectives, &weights);
@@ -755,7 +852,7 @@ impl Explorer {
         let mut current = start.clone();
         let mut evals = Vec::with_capacity(self.config.steps_per_round);
         for step in 0..self.config.steps_per_round {
-            let candidate_spec = self.space.mutate(&current.spec, &mut rng);
+            let candidate_spec = self.propose(&current.spec, &mut rng);
             let screened = if screening {
                 self.evaluate_at(&candidate_spec, self.screen_trials())?
             } else {
@@ -825,6 +922,9 @@ impl Explorer {
                     frequency: rest_from.frequency,
                     aux_qubits: rest_from.aux_qubits,
                     placement: rest_from.placement,
+                    // The family rides with the frequency block: both
+                    // knobs shape the same frequency-plan stage.
+                    hardware: rest_from.hardware,
                 })
             };
             jobs.push((i, cross(a, b)));
@@ -1174,6 +1274,78 @@ mod tests {
         assert_eq!(state.archive.len(), cap);
         let kept: Vec<u64> = state.archive.iter().map(|e| e.key).collect();
         assert_eq!(kept, front_keys, "pruning evicted a front point over a dominated one");
+    }
+
+    #[test]
+    fn pinned_default_sweep_matches_the_pre_hardware_stream() {
+        // `Pinned(default)` is the default config: the sweep must be
+        // invisible — explicitly spelling it out changes nothing.
+        let implicit = quick_explorer(7).run().unwrap();
+        let spelled = ExploreConfig {
+            seed: 7,
+            hardware: HardwareSweep::Pinned(HardwareFamily::FixedFrequencyTransmon),
+            ..ExploreConfig::quick()
+        };
+        let explicit = explorer_with(spelled).run().unwrap();
+        assert_eq!(implicit, explicit);
+        assert!(implicit.archive.iter().all(|e| e.spec.hardware.is_default()));
+    }
+
+    #[test]
+    fn pinned_family_runs_stay_on_that_family() {
+        let config = ExploreConfig {
+            seed: 3,
+            hardware: HardwareSweep::Pinned(HardwareFamily::TunableCoupler),
+            ..ExploreConfig::quick()
+        };
+        let state = explorer_with(config).run().unwrap();
+        assert!(!state.front_indices().is_empty());
+        for e in &state.archive {
+            assert_eq!(
+                e.spec.hardware,
+                HardwareFamily::TunableCoupler,
+                "pinned run archived a foreign family: {}",
+                e.arch_name
+            );
+        }
+        // The family rides into the design names.
+        assert!(state.archive.iter().any(|e| e.arch_name.contains("-tc-")));
+    }
+
+    #[test]
+    fn mixed_sweep_builds_a_cross_family_archive_deterministically() {
+        let config =
+            ExploreConfig { seed: 5, hardware: HardwareSweep::All, ..ExploreConfig::quick() };
+        let state = explorer_with(config).run().unwrap();
+        let mut families: Vec<HardwareFamily> =
+            state.archive.iter().map(|e| e.spec.hardware).collect();
+        families.sort_by_key(|f| *f as u8);
+        families.dedup();
+        assert!(families.len() >= 2, "mixed sweep never left one family: {families:?}");
+        assert!(!state.front_indices().is_empty());
+        // Bit-identical on repeat, and kill/resume invariant.
+        let again = explorer_with(config).run().unwrap();
+        assert_eq!(state, again);
+        let resumer = explorer_with(config);
+        let mut partial = resumer.initial_state().unwrap();
+        resumer.advance_round(&mut partial).unwrap();
+        let resumed = explorer_with(config).resume(partial).unwrap();
+        assert_eq!(state, resumed);
+    }
+
+    #[test]
+    fn hardware_sweep_tags_round_trip() {
+        for sweep in [
+            HardwareSweep::Pinned(HardwareFamily::FixedFrequencyTransmon),
+            HardwareSweep::Pinned(HardwareFamily::TunableCoupler),
+            HardwareSweep::Pinned(HardwareFamily::HeavyHex),
+            HardwareSweep::All,
+        ] {
+            assert_eq!(HardwareSweep::parse(sweep.as_str()), Some(sweep));
+        }
+        assert_eq!(HardwareSweep::parse("warp-core"), None);
+        assert!(HardwareSweep::default().is_default());
+        assert!(!HardwareSweep::All.is_default());
     }
 
     #[test]

@@ -88,11 +88,12 @@ pub mod space;
 pub mod spec;
 
 pub use cache::{circuit_key, topology_key, RouteStage, StageCaches, YieldStage};
-pub use checkpoint::{Checkpoint, SCHEMA, SCHEMA_V1};
+pub use checkpoint::{Checkpoint, StageHitRate, SCHEMA, SCHEMA_V1, SCHEMA_V3};
 pub use engine::{
-    pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, Explorer, WalkState,
-    DEFAULT_MEMO_CAP,
+    pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, Explorer,
+    HardwareSweep, WalkState, DEFAULT_MEMO_CAP,
 };
 pub use json::Json;
+pub use qpd_yield::HardwareFamily;
 pub use space::ExploreSpace;
 pub use spec::{BusSpec, CandidateSpec, Evaluated, Objectives, PlacementVariant};

@@ -2,6 +2,7 @@
 
 use qpd_core::{FrequencyStrategy, StageKind, StageSet};
 use qpd_topology::Square;
+use qpd_yield::HardwareFamily;
 
 use crate::json::Json;
 
@@ -56,6 +57,11 @@ pub struct CandidateSpec {
     pub aux_qubits: usize,
     /// Layout transform.
     pub placement: PlacementVariant,
+    /// Hardware family the candidate is designed for — the fifth knob.
+    /// Supplies the frequency band, pattern menu, collision constraints,
+    /// and effective fabrication noise of the frequency and yield stages
+    /// (placement, buses, and routing are hardware-independent).
+    pub hardware: HardwareFamily,
 }
 
 impl CandidateSpec {
@@ -68,6 +74,7 @@ impl CandidateSpec {
             frequency: FrequencyStrategy::Optimized,
             aux_qubits: 0,
             placement: PlacementVariant::Identity,
+            hardware: HardwareFamily::FixedFrequencyTransmon,
         }
     }
 
@@ -87,6 +94,12 @@ impl CandidateSpec {
             dirty = dirty.union(StageKind::Bus.invalidates());
         }
         if self.frequency != baseline.frequency {
+            dirty = dirty.union(StageKind::Frequency.invalidates());
+        }
+        if self.hardware != baseline.hardware {
+            // A family change re-bands frequency allocation and re-runs
+            // yield under the family's constraints; topology (and hence
+            // routing) is untouched.
             dirty = dirty.union(StageKind::Frequency.invalidates());
         }
         dirty
@@ -121,7 +134,7 @@ impl CandidateSpec {
                 ),
             ]),
         };
-        Json::obj([
+        let mut fields = vec![
             ("bus", bus),
             (
                 "frequency",
@@ -138,7 +151,13 @@ impl CandidateSpec {
                     PlacementVariant::Transposed => "transposed",
                 }),
             ),
-        ])
+        ];
+        // Written only for non-default families, so default-config
+        // checkpoints stay byte-identical to the pre-hardware schema.
+        if !self.hardware.is_default() {
+            fields.push(("hardware", Json::str(self.hardware.as_str())));
+        }
+        Json::obj(fields)
     }
 
     /// Deserializes a spec from checkpoint JSON.
@@ -175,11 +194,16 @@ impl CandidateSpec {
             "transposed" => PlacementVariant::Transposed,
             _ => return None,
         };
+        let hardware = match json.get("hardware") {
+            None => HardwareFamily::FixedFrequencyTransmon,
+            Some(tag) => HardwareFamily::parse(tag.as_str()?)?,
+        };
         Some(CandidateSpec {
             bus,
             frequency,
             aux_qubits: json.get("aux")?.as_u64()? as usize,
             placement,
+            hardware,
         })
     }
 }
@@ -291,13 +315,20 @@ mod tests {
                 frequency: FrequencyStrategy::FiveFrequency,
                 aux_qubits: 3,
                 placement: PlacementVariant::Transposed,
+                hardware: HardwareFamily::FixedFrequencyTransmon,
             },
             CandidateSpec {
                 bus: BusSpec::Explicit(vec![Square::new(-1, 2), Square::new(3, 0)]),
                 frequency: FrequencyStrategy::Optimized,
                 aux_qubits: 0,
                 placement: PlacementVariant::Identity,
+                hardware: HardwareFamily::FixedFrequencyTransmon,
             },
+            CandidateSpec {
+                hardware: HardwareFamily::TunableCoupler,
+                ..CandidateSpec::eff_full(1)
+            },
+            CandidateSpec { hardware: HardwareFamily::HeavyHex, ..CandidateSpec::eff_full(0) },
         ]
     }
 
@@ -328,6 +359,21 @@ mod tests {
         let dirty = both.dirty_stages(&base);
         assert_eq!(dirty.len(), 4);
         assert!(!dirty.contains(StageKind::Placement));
+        // The fifth knob: a hardware flip re-runs frequency allocation
+        // and yield but leaves the topology (and routing) clean.
+        let hw = CandidateSpec { hardware: HardwareFamily::TunableCoupler, ..base.clone() };
+        assert_eq!(hw.dirty_stages(&base), StageSet::of(&[StageKind::Frequency, StageKind::Yield]),);
+    }
+
+    #[test]
+    fn default_hardware_is_json_silent() {
+        // Default-config checkpoints must not change by a byte: the
+        // hardware key appears only for non-default families.
+        let spec = CandidateSpec::eff_full(2);
+        assert!(!spec.to_json().render().contains("hardware"));
+        let tc = CandidateSpec { hardware: HardwareFamily::TunableCoupler, ..spec };
+        let bytes = tc.to_json().render();
+        assert!(bytes.contains("\"hardware\": \"tunable\""), "{bytes}");
     }
 
     #[test]

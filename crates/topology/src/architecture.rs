@@ -224,20 +224,37 @@ impl Architecture {
         self.frequencies.as_ref()
     }
 
-    /// Attaches a frequency plan, validating its size and band.
+    /// Attaches a frequency plan, validating its size and the default
+    /// fixed-frequency band ([`crate::ALLOWED_BAND_GHZ`]).
     ///
     /// # Errors
     ///
     /// Returns [`TopologyError::FrequencyPlanSize`] or
     /// [`TopologyError::FrequencyOutOfBand`].
-    pub fn with_frequencies(mut self, plan: FrequencyPlan) -> Result<Self, TopologyError> {
+    pub fn with_frequencies(self, plan: FrequencyPlan) -> Result<Self, TopologyError> {
+        self.with_frequencies_in_band(plan, crate::ALLOWED_BAND_GHZ)
+    }
+
+    /// Attaches a frequency plan, validating its size against an explicit
+    /// allowed band — the entry point for hardware families whose bands
+    /// differ from the paper's fixed-frequency transmon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::FrequencyPlanSize`] or
+    /// [`TopologyError::FrequencyOutOfBand`].
+    pub fn with_frequencies_in_band(
+        mut self,
+        plan: FrequencyPlan,
+        band: (f64, f64),
+    ) -> Result<Self, TopologyError> {
         if plan.len() != self.num_qubits() {
             return Err(TopologyError::FrequencyPlanSize {
                 provided: plan.len(),
                 qubits: self.num_qubits(),
             });
         }
-        plan.check_band()?;
+        plan.check_band_within(band)?;
         self.frequencies = Some(plan);
         Ok(self)
     }

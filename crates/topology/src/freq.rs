@@ -15,6 +15,27 @@ pub const ALLOWED_BAND_GHZ: (f64, f64) = (5.00, 5.34);
 /// figure displays.
 pub const FIVE_FREQUENCIES_GHZ: [f64; 5] = [5.00, 5.07, 5.13, 5.20, 5.27];
 
+/// The allowed qubit band of the tunable-coupler family in GHz (Li &
+/// Jin, arXiv:2212.13751): couplers absorb part of the collision budget,
+/// so data qubits may spread over a band wider than one anharmonicity.
+pub const TUNABLE_COUPLER_BAND_GHZ: (f64, f64) = (4.80, 5.40);
+
+/// The tunable-coupler pattern menu in GHz: six frequencies spanning the
+/// wider band, used where the fixed-frequency family uses
+/// [`FIVE_FREQUENCIES_GHZ`].
+pub const TUNABLE_COUPLER_FREQUENCIES_GHZ: [f64; 6] = [4.80, 4.92, 5.04, 5.16, 5.28, 5.40];
+
+/// The allowed band of the heavy-hexagon family in GHz (Bunyk et al.,
+/// arXiv:1401.5504 lineage; IBM's degree-3 lattices run lower and
+/// narrower than the dense-lattice band).
+pub const HEAVY_HEX_BAND_GHZ: (f64, f64) = (4.90, 5.20);
+
+/// The heavy-hexagon pattern menu in GHz: degree-3 connectivity needs
+/// only three frequency groups to keep neighbors (and
+/// next-but-one-neighbors through a bridge) apart. The values sit off
+/// the five-frequency menu so mixed-family reports stay unambiguous.
+pub const HEAVY_HEX_FREQUENCIES_GHZ: [f64; 3] = [4.90, 5.04, 5.18];
+
 /// A designed (pre-fabrication) frequency assignment, one value per qubit,
 /// in GHz.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,14 +73,27 @@ impl FrequencyPlan {
         &self.ghz
     }
 
-    /// Checks every frequency against the allowed band.
+    /// Checks every frequency against the default fixed-frequency band
+    /// ([`ALLOWED_BAND_GHZ`]).
     ///
     /// # Errors
     ///
     /// Returns [`TopologyError::FrequencyOutOfBand`] for the first
     /// violation.
     pub fn check_band(&self) -> Result<(), TopologyError> {
-        let (lo, hi) = ALLOWED_BAND_GHZ;
+        self.check_band_within(ALLOWED_BAND_GHZ)
+    }
+
+    /// Checks every frequency against an explicit band (hardware families
+    /// other than the paper's fixed-frequency transmon carry their own
+    /// bands).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::FrequencyOutOfBand`] for the first
+    /// violation.
+    pub fn check_band_within(&self, band: (f64, f64)) -> Result<(), TopologyError> {
+        let (lo, hi) = band;
         for (q, &f) in self.ghz.iter().enumerate() {
             if !(lo..=hi).contains(&f) {
                 return Err(TopologyError::FrequencyOutOfBand { qubit: q, ghz: f });
@@ -83,11 +117,26 @@ impl FromIterator<f64> for FrequencyPlan {
 /// the `eff-5-freq` and `eff-layout-only` experiment configurations apply
 /// the baseline scheme to generated layouts (§5.2).
 pub fn five_frequency_plan(arch: &Architecture) -> FrequencyPlan {
+    pattern_frequency_plan(arch, &FIVE_FREQUENCIES_GHZ)
+}
+
+/// Assigns a fixed frequency menu by lattice position — the
+/// [`five_frequency_plan`] tiling rule generalized to an arbitrary menu:
+/// the qubit at `(row, col)` takes `menu[(2*row + col) mod menu.len()]`.
+/// Hardware families with their own pattern menus (tunable-coupler,
+/// heavy-hex) tile exactly like the fixed-frequency family does with
+/// IBM's five frequencies.
+///
+/// # Panics
+///
+/// Panics if `menu` is empty.
+pub fn pattern_frequency_plan(arch: &Architecture, menu: &[f64]) -> FrequencyPlan {
+    assert!(!menu.is_empty(), "pattern menu must be non-empty");
     (0..arch.num_qubits())
         .map(|q| {
             let c = arch.coord(q);
-            let idx = (2 * c.row + c.col).rem_euclid(5) as usize;
-            FIVE_FREQUENCIES_GHZ[idx]
+            let idx = (2 * c.row + c.col).rem_euclid(menu.len() as i32) as usize;
+            menu[idx]
         })
         .collect()
 }
@@ -128,6 +177,42 @@ mod tests {
         for (q, &f) in plan.as_slice().iter().enumerate() {
             let (r, c) = (q / 5, q % 5);
             assert_eq!(f, FIVE_FREQUENCIES_GHZ[expected_indices[r][c]], "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn explicit_band_check_matches_family_bands() {
+        let plan = FrequencyPlan::new(vec![4.80, 5.40]);
+        assert!(plan.check_band().is_err(), "outside the fixed-frequency band");
+        assert!(plan.check_band_within(TUNABLE_COUPLER_BAND_GHZ).is_ok());
+        let hh = FrequencyPlan::new(HEAVY_HEX_FREQUENCIES_GHZ.to_vec());
+        assert!(hh.check_band_within(HEAVY_HEX_BAND_GHZ).is_ok());
+        assert!(hh.check_band_within((5.0, 5.1)).is_err());
+    }
+
+    #[test]
+    fn pattern_plan_generalizes_the_five_frequency_rule() {
+        let mut b = Architecture::builder("3x3");
+        for r in 0..3 {
+            for c in 0..3 {
+                b.qubit(r, c);
+            }
+        }
+        let arch = b.build().unwrap();
+        // With the five-frequency menu the generalized rule is the
+        // original plan, bit for bit.
+        assert_eq!(
+            pattern_frequency_plan(&arch, &FIVE_FREQUENCIES_GHZ),
+            five_frequency_plan(&arch)
+        );
+        // A 3-entry menu wraps with the same (2r + c) tiling.
+        let plan = pattern_frequency_plan(&arch, &HEAVY_HEX_FREQUENCIES_GHZ);
+        assert_eq!(plan.ghz(0), HEAVY_HEX_FREQUENCIES_GHZ[0]);
+        assert_eq!(plan.ghz(1), HEAVY_HEX_FREQUENCIES_GHZ[1]);
+        assert_eq!(plan.ghz(3), HEAVY_HEX_FREQUENCIES_GHZ[2]); // (1,0): 2 mod 3
+                                                               // No lattice edge joins two same-frequency qubits.
+        for &(a, b) in arch.coupling_edges() {
+            assert!((plan.ghz(a) - plan.ghz(b)).abs() > 1e-9, "degenerate edge {a},{b}");
         }
     }
 

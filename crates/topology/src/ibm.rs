@@ -1,11 +1,17 @@
-//! IBM's general-purpose baseline architectures (paper Figure 9).
+//! IBM's general-purpose baseline architectures (paper Figure 9), plus
+//! the heavy-hexagon lattice family.
 //!
-//! Four designs: {16 qubits on 2×8, 20 qubits on 4×5} × {2-qubit buses
-//! only, maximum non-adjacent 4-qubit buses}, each carrying the
-//! 5-frequency scheme in the arrangement the figure shows.
+//! Four dense-lattice designs: {16 qubits on 2×8, 20 qubits on 4×5} ×
+//! {2-qubit buses only, maximum non-adjacent 4-qubit buses}, each
+//! carrying the 5-frequency scheme in the arrangement the figure shows —
+//! and [`heavy_hex`], the degree-3 lattice (Bunyk et al.,
+//! arXiv:1401.5504 lineage) backing the `HeavyHex` hardware family.
 
 use crate::architecture::{Architecture, BusMode};
-use crate::freq::{FrequencyPlan, FIVE_FREQUENCIES_GHZ};
+use crate::freq::{
+    pattern_frequency_plan, FrequencyPlan, FIVE_FREQUENCIES_GHZ, HEAVY_HEX_BAND_GHZ,
+    HEAVY_HEX_FREQUENCIES_GHZ,
+};
 
 /// The 16-qubit 2×8 baseline (Figure 9 (1)/(2)).
 ///
@@ -73,6 +79,47 @@ pub fn ibm_20q_4x5(mode: BusMode) -> Architecture {
         })
         .collect();
     arch.with_frequencies(plan).expect("baseline frequencies are in band")
+}
+
+/// A heavy-hexagon lattice of `cells_down × cells_across` hexagon cells.
+///
+/// The layout is IBM's degree-3 pattern: full qubit rows on even lattice
+/// rows (`4 * cells_across + 1` qubits each), joined by *bridge* qubits
+/// on the odd rows — at columns `c ≡ 0 (mod 4)` under even-indexed
+/// bridge rows and `c ≡ 2 (mod 4)` under odd-indexed ones, so adjacent
+/// cell rows are offset by half a hexagon. Every qubit has at most three
+/// neighbors (row qubits: two row neighbors plus at most one bridge;
+/// bridges: exactly the two row qubits above and below), which is what
+/// lets the attached 3-frequency pattern
+/// ([`crate::HEAVY_HEX_FREQUENCIES_GHZ`], tiled by the same `(2r + c)`
+/// rule as the 5-frequency scheme) keep every coupled pair
+/// non-degenerate. The plan lives in [`HEAVY_HEX_BAND_GHZ`].
+///
+/// There are no 4-qubit buses: the square upgrade is a dense-lattice
+/// device, and the heavy-hex family's whole point is sparse coupling.
+///
+/// # Panics
+///
+/// Panics if either cell count is zero.
+pub fn heavy_hex(cells_down: usize, cells_across: usize) -> Architecture {
+    assert!(cells_down > 0 && cells_across > 0, "need at least one hexagon cell");
+    let cols = 4 * cells_across as i32 + 1;
+    let mut b = Architecture::builder(format!("ibm-hh-{cells_down}x{cells_across}"));
+    for row_idx in 0..=cells_down as i32 {
+        for c in 0..cols {
+            b.qubit(2 * row_idx, c);
+        }
+    }
+    for bridge_idx in 0..cells_down as i32 {
+        let phase = if bridge_idx % 2 == 0 { 0 } else { 2 };
+        for c in (phase..cols).step_by(4) {
+            b.qubit(2 * bridge_idx + 1, c);
+        }
+    }
+    let arch = b.build().expect("heavy-hex lattice is valid by construction");
+    let plan = pattern_frequency_plan(&arch, &HEAVY_HEX_FREQUENCIES_GHZ);
+    arch.with_frequencies_in_band(plan, HEAVY_HEX_BAND_GHZ)
+        .expect("heavy-hex frequencies are in the heavy-hex band")
 }
 
 /// All four baselines in Figure 9 order: (1) 16Q 2-qubit bus, (2) 16Q
@@ -156,6 +203,73 @@ mod tests {
         for q in 0..20 {
             assert_eq!(plan.ghz(q), expected[q / 5][q % 5], "qubit {q}");
         }
+    }
+
+    #[test]
+    fn heavy_hex_counts_and_degrees() {
+        let hh = heavy_hex(2, 2);
+        // 3 full rows of 9 qubits + bridge rows of 3 (c = 0, 4, 8) and
+        // 2 (c = 2, 6).
+        assert_eq!(hh.num_qubits(), 3 * 9 + 3 + 2);
+        assert!(hh.is_connected());
+        assert!(hh.four_qubit_buses().is_empty());
+        for q in 0..hh.num_qubits() {
+            let deg = hh.neighbors(q).len();
+            assert!(deg <= 3, "qubit {q} has degree {deg} > 3");
+            if hh.coord(q).row % 2 == 1 {
+                assert_eq!(deg, 2, "bridge {q} must join exactly two rows");
+            }
+        }
+        // Two degree-3 row qubits per *interior* bridge (a bridge at a
+        // row end joins two degree-2 corner qubits instead).
+        let interior_bridges = (0..hh.num_qubits())
+            .filter(|&q| {
+                let c = hh.coord(q);
+                c.row % 2 == 1 && c.col != 0 && c.col != 8
+            })
+            .count();
+        let degree3 = (0..hh.num_qubits()).filter(|&q| hh.neighbors(q).len() == 3).count();
+        assert_eq!(degree3, 2 * interior_bridges);
+    }
+
+    #[test]
+    fn heavy_hex_coords_follow_the_offset_pattern() {
+        let hh = heavy_hex(3, 1);
+        for q in 0..hh.num_qubits() {
+            let c = hh.coord(q);
+            if c.row % 2 == 0 {
+                assert!((0..=4).contains(&c.col), "row qubit off the row: {c:?}");
+            } else {
+                let phase = if (c.row / 2) % 2 == 0 { 0 } else { 2 };
+                assert_eq!(c.col.rem_euclid(4), phase, "bridge column off-phase: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hex_frequencies_are_in_band_and_non_degenerate() {
+        let hh = heavy_hex(2, 3);
+        let plan = hh.frequencies().expect("heavy-hex ships a plan");
+        assert!(plan.check_band_within(crate::freq::HEAVY_HEX_BAND_GHZ).is_ok());
+        for &(a, b) in hh.coupling_edges() {
+            assert!(
+                (plan.ghz(a) - plan.ghz(b)).abs() > 1e-9,
+                "coupled pair {a},{b} is frequency-degenerate"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hex_render_round_trip() {
+        // The ASCII rendering is deterministic and draws every qubit
+        // (heavy-hex frequencies are off the 5-frequency menu, so each
+        // qubit renders as the generic `[q]` glyph).
+        let hh = heavy_hex(1, 1);
+        let art = crate::render::ascii(&hh);
+        assert_eq!(art, crate::render::ascii(&heavy_hex(1, 1)), "render not deterministic");
+        assert!(art.starts_with("ibm-hh-1x1 "));
+        assert_eq!(art.matches("[q]").count(), hh.num_qubits());
+        assert!(!art.contains('#'), "heavy-hex must carry no 4-qubit buses");
     }
 
     #[test]

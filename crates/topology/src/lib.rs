@@ -35,4 +35,8 @@ pub mod render;
 pub use architecture::{Architecture, ArchitectureBuilder, BusMode, Square};
 pub use coord::Coord;
 pub use error::TopologyError;
-pub use freq::{five_frequency_plan, FrequencyPlan, ALLOWED_BAND_GHZ, FIVE_FREQUENCIES_GHZ};
+pub use freq::{
+    five_frequency_plan, pattern_frequency_plan, FrequencyPlan, ALLOWED_BAND_GHZ,
+    FIVE_FREQUENCIES_GHZ, HEAVY_HEX_BAND_GHZ, HEAVY_HEX_FREQUENCIES_GHZ, TUNABLE_COUPLER_BAND_GHZ,
+    TUNABLE_COUPLER_FREQUENCIES_GHZ,
+};

@@ -24,12 +24,17 @@
 
 pub mod analytic;
 pub mod collision;
+pub mod hardware;
 pub mod local;
 pub mod model;
 pub mod simulator;
 
 pub use analytic::{pair_collision_probability, pairwise_yield_estimate};
 pub use collision::{CollisionChecker, CollisionEvent, CollisionParams};
+pub use hardware::{
+    FixedFrequencyTransmon, HardwareFamily, HardwareModel, HeavyHex, TunableCoupler,
+    HARDWARE_KEY_SALT,
+};
 pub use local::{CompiledRegions, LocalYieldEvaluator};
 pub use model::FabricationModel;
 pub use simulator::{Fnv64, YieldError, YieldEstimate, YieldSimulator};

@@ -9,6 +9,7 @@ use rand_chacha::ChaCha8Rng;
 use qpd_topology::Architecture;
 
 use crate::collision::{CollisionChecker, CollisionParams};
+use crate::hardware::HardwareFamily;
 use crate::model::FabricationModel;
 
 /// Error from the yield simulator.
@@ -142,6 +143,7 @@ pub struct YieldSimulator {
     params: CollisionParams,
     seed: u64,
     parallel: bool,
+    hardware: HardwareFamily,
 }
 
 impl Default for YieldSimulator {
@@ -169,6 +171,7 @@ impl YieldSimulator {
             params: CollisionParams::default(),
             seed: 0,
             parallel: true,
+            hardware: HardwareFamily::FixedFrequencyTransmon,
         }
     }
 
@@ -201,6 +204,16 @@ impl YieldSimulator {
         self
     }
 
+    /// Selects the hardware family: adopts its collision parameters and,
+    /// at sampling time, its effective fabrication noise. The default
+    /// family leaves both the behavior and [`Self::content_key`] exactly
+    /// as they were before the hardware layer existed.
+    pub fn with_hardware(mut self, hardware: HardwareFamily) -> Self {
+        self.hardware = hardware;
+        self.params = hardware.model().collision_params();
+        self
+    }
+
     /// Disables multithreading (results are identical either way).
     pub fn single_threaded(mut self) -> Self {
         self.parallel = false;
@@ -215,6 +228,19 @@ impl YieldSimulator {
     /// The configured fabrication model.
     pub fn model(&self) -> &FabricationModel {
         &self.model
+    }
+
+    /// The configured hardware family.
+    pub fn hardware(&self) -> HardwareFamily {
+        self.hardware
+    }
+
+    /// The fabrication model actually sampled from: the configured sigma
+    /// mapped through the hardware family's
+    /// [`effective_sigma_ghz`](crate::hardware::HardwareModel::effective_sigma_ghz)
+    /// (the identity for the default family).
+    fn effective_model(&self) -> FabricationModel {
+        FabricationModel::new(self.hardware.model().effective_sigma_ghz(self.model.sigma_ghz()))
     }
 
     /// Estimates the yield of an architecture using its attached frequency
@@ -260,6 +286,9 @@ impl YieldSimulator {
         for &f in plan.as_slice() {
             h.push(f.to_bits());
         }
+        // Appended last, and only for non-default families, so every key
+        // minted before the hardware layer existed is reproduced exactly.
+        self.hardware.push_key_tag(&mut h);
         Ok(h.finish())
     }
 
@@ -295,6 +324,7 @@ impl YieldSimulator {
         let plan = arch.frequencies().ok_or(YieldError::MissingFrequencyPlan)?;
         let designed = plan.as_slice();
         let checker = CollisionChecker::with_params(arch, self.params);
+        let model = self.effective_model();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut breakdown = [0u64; 7];
         let mut clean = 0u64;
@@ -311,7 +341,7 @@ impl YieldSimulator {
         while remaining > 0 {
             let rows = (batch_rows as u64).min(remaining) as usize;
             let buf = &mut noise[..rows * n];
-            self.model.sample_into(&mut rng, buf);
+            model.sample_into(&mut rng, buf);
             for row in buf.chunks_exact(n) {
                 for ((slot, &f), &e) in post.iter_mut().zip(designed).zip(row) {
                     *slot = f + e;
@@ -340,6 +370,7 @@ impl YieldSimulator {
         let chunk_bounds: Vec<(u64, u64, u64)> = (0..CHUNKS)
             .map(|c| (c, self.trials * c / CHUNKS, self.trials * (c + 1) / CHUNKS))
             .collect();
+        let model = self.effective_model();
         let run_chunk = |chunk_idx: u64, lo: u64, hi: u64| -> u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(
                 self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk_idx + 1)),
@@ -358,7 +389,7 @@ impl YieldSimulator {
             while remaining > 0 {
                 let rows = (batch_rows as u64).min(remaining) as usize;
                 let buf = &mut noise[..rows * n];
-                self.model.sample_into(&mut rng, buf);
+                model.sample_into(&mut rng, buf);
                 for row in buf.chunks_exact(n) {
                     for ((slot, &f), &e) in post.iter_mut().zip(designed).zip(row) {
                         *slot = f + e;
@@ -504,6 +535,50 @@ mod tests {
         shifted[0] += 0.001;
         let moved = arch.clone().with_frequencies(FrequencyPlan::new(shifted)).unwrap();
         assert_ne!(k, sim.content_key(&moved).unwrap());
+    }
+
+    #[test]
+    fn default_hardware_is_transparent() {
+        // with_hardware(default) must be a no-op in both the estimate and
+        // the content key, so pre-hardware-layer results are reproduced
+        // bit for bit.
+        let arch = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+        let plain = YieldSimulator::new().with_trials(2_000).with_seed(9);
+        let tagged = plain.with_hardware(HardwareFamily::FixedFrequencyTransmon);
+        assert_eq!(plain.estimate(&arch).unwrap(), tagged.estimate(&arch).unwrap());
+        assert_eq!(plain.content_key(&arch).unwrap(), tagged.content_key(&arch).unwrap());
+    }
+
+    #[test]
+    fn hardware_families_key_and_estimate_apart() {
+        let arch = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+        let sim = YieldSimulator::new().with_trials(2_000).with_seed(9);
+        let fixed = sim.content_key(&arch).unwrap();
+        let tc = sim.with_hardware(HardwareFamily::TunableCoupler);
+        let hh = sim.with_hardware(HardwareFamily::HeavyHex);
+        assert_ne!(fixed, tc.content_key(&arch).unwrap());
+        assert_ne!(fixed, hh.content_key(&arch).unwrap());
+        assert_ne!(tc.content_key(&arch).unwrap(), hh.content_key(&arch).unwrap());
+        // Tunable couplers relax the collision thresholds and halve the
+        // effective noise, so the same chip yields at least as well.
+        let y_fixed = sim.estimate(&arch).unwrap().successes();
+        let y_tc = tc.estimate(&arch).unwrap().successes();
+        assert!(y_tc >= y_fixed, "tunable-coupler yield regressed: {y_tc} < {y_fixed}");
+    }
+
+    #[test]
+    fn hardware_estimates_stay_thread_invariant() {
+        let arch = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+        let sim = YieldSimulator::new()
+            .with_trials(4_000)
+            .with_seed(11)
+            .with_hardware(HardwareFamily::TunableCoupler);
+        let a = sim.estimate(&arch).unwrap();
+        assert_eq!(a, sim.single_threaded().estimate(&arch).unwrap());
+        for threads in [1, 2, 8] {
+            let pooled = qpd_par::with_threads(threads, || sim.estimate(&arch).unwrap());
+            assert_eq!(a, pooled, "threads {threads}");
+        }
     }
 
     #[test]

@@ -145,6 +145,8 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C);
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
 
     /// A strategy that always produces a clone of one value.
     #[derive(Debug, Clone)]

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use qpd::explore::{Checkpoint, ExploreConfig, ExploreSpace, Explorer};
+use qpd::explore::{Checkpoint, ExploreConfig, ExploreSpace, Explorer, HardwareSweep};
 use qpd::prelude::*;
 
 /// A small program with enough diagonal demand for square moves.
@@ -39,7 +39,13 @@ fn explorer(seed: u64, extra_layers: usize) -> Explorer {
 }
 
 fn checkpoint_bytes(seed: u64, state: &qpd::explore::ExploreState) -> String {
-    Checkpoint { run: "prop".into(), config: tiny_config(seed), state: state.clone() }.render()
+    Checkpoint {
+        run: "prop".into(),
+        config: tiny_config(seed),
+        state: state.clone(),
+        stage_hit_rates: Vec::new(),
+    }
+    .render()
 }
 
 proptest! {
@@ -99,7 +105,13 @@ fn capped_explorer(seed: u64) -> Explorer {
 }
 
 fn capped_checkpoint_bytes(seed: u64, state: &qpd::explore::ExploreState) -> String {
-    Checkpoint { run: "prop".into(), config: capped_config(seed), state: state.clone() }.render()
+    Checkpoint {
+        run: "prop".into(),
+        config: capped_config(seed),
+        state: state.clone(),
+        stage_hit_rates: Vec::new(),
+    }
+    .render()
 }
 
 proptest! {
@@ -137,5 +149,71 @@ proptest! {
             "archive_cap lost in the checkpoint round-trip");
         let resumed = capped_explorer(seed).resume(restored.state).unwrap();
         prop_assert_eq!(&resumed, &uninterrupted);
+    }
+}
+
+fn mixed_config(seed: u64) -> ExploreConfig {
+    ExploreConfig { hardware: HardwareSweep::All, ..tiny_config(seed) }
+}
+
+fn mixed_explorer(seed: u64) -> Explorer {
+    let config = mixed_config(seed);
+    Explorer::new(ExploreSpace::new(demo_circuit(0), config.max_aux), config).unwrap()
+}
+
+fn mixed_checkpoint_bytes(seed: u64, state: &qpd::explore::ExploreState) -> String {
+    Checkpoint {
+        run: "prop".into(),
+        config: mixed_config(seed),
+        state: state.clone(),
+        stage_hit_rates: Vec::new(),
+    }
+    .render()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The hardware knob keeps the determinism contract: a model-mix
+    /// sweep (`--hardware all`, walks seeded across the three families
+    /// and family-cycling moves in the proposal stream) produces
+    /// bit-identical checkpoint bytes for every `QPD_THREADS` value.
+    #[test]
+    fn model_mix_sweep_is_thread_invariant(seed in 0u64..1_000) {
+        let serial = qpd::par::with_threads(1, || mixed_explorer(seed).run().unwrap());
+        prop_assert!(!serial.front_indices().is_empty());
+        let serial_bytes = mixed_checkpoint_bytes(seed, &serial);
+        prop_assert!(serial_bytes.contains("qpd-explore-checkpoint/3"),
+            "mixed sweep should carry the v3 schema tag");
+        for threads in [2usize, 8] {
+            let pooled =
+                qpd::par::with_threads(threads, || mixed_explorer(seed).run().unwrap());
+            prop_assert_eq!(&serial_bytes, &mixed_checkpoint_bytes(seed, &pooled),
+                "mixed-sweep checkpoint bytes differ at {} threads", threads);
+        }
+    }
+
+    /// A model-mix run cut after one round, persisted through the v3
+    /// checkpoint, and resumed on a fresh engine reproduces the
+    /// uninterrupted run exactly — the family knob survives the
+    /// round-trip inside every walk and archive spec.
+    #[test]
+    fn model_mix_resume_equals_uninterrupted(seed in 0u64..1_000) {
+        let engine = mixed_explorer(seed);
+        let uninterrupted = engine.run().unwrap();
+        let mut partial = engine.initial_state().unwrap();
+        engine.advance_round(&mut partial).unwrap();
+        let bytes = mixed_checkpoint_bytes(seed, &partial);
+        let restored = Checkpoint::parse(&bytes).unwrap();
+        prop_assert_eq!(&restored.state, &partial,
+            "v3 round-trip changed the mixed-sweep state");
+        prop_assert_eq!(restored.config.hardware, HardwareSweep::All,
+            "hardware sweep lost in the checkpoint round-trip");
+        let resumed = mixed_explorer(seed).resume(restored.state).unwrap();
+        prop_assert_eq!(&resumed, &uninterrupted);
+        prop_assert_eq!(
+            mixed_checkpoint_bytes(seed, &resumed),
+            mixed_checkpoint_bytes(seed, &uninterrupted)
+        );
     }
 }

@@ -124,7 +124,13 @@ fn quality_run_is_thread_invariant_and_resumable() {
     let fixture = load_fixture("sym6_145");
     let config = v2_config(fixture.seed);
     let bytes_of = |state: &ExploreState| {
-        Checkpoint { run: "quality".into(), config, state: state.clone() }.render()
+        Checkpoint {
+            run: "quality".into(),
+            config,
+            state: state.clone(),
+            stage_hit_rates: Vec::new(),
+        }
+        .render()
     };
 
     let serial = qpd::par::with_threads(1, || run_v2("sym6_145", fixture.seed).1);

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 use qpd::design::StageKind;
 use qpd::explore::{
-    BusSpec, CandidateSpec, ExploreConfig, ExploreSpace, Explorer, PlacementVariant,
+    BusSpec, CandidateSpec, ExploreConfig, ExploreSpace, Explorer, HardwareFamily, PlacementVariant,
 };
 use qpd::prelude::*;
 use qpd::profile::CouplingProfile;
@@ -128,10 +128,11 @@ fn fresh_explorer(seed: u64) -> Explorer {
 }
 
 /// Strategy: a candidate spec over the demo space's knob surface,
-/// covering both placement variants, aux counts, and all bus kinds.
+/// covering both placement variants, aux counts, all bus kinds, and
+/// every hardware family (the fifth knob).
 fn arb_spec() -> impl Strategy<Value = CandidateSpec> {
-    (0usize..4, proptest::bool::ANY, 0usize..3, proptest::bool::ANY, 0u64..50).prop_map(
-        |(bus_kind, five, aux, transposed, seed)| CandidateSpec {
+    (0usize..4, proptest::bool::ANY, 0usize..3, proptest::bool::ANY, 0u64..50, 0usize..3).prop_map(
+        |(bus_kind, five, aux, transposed, seed, family)| CandidateSpec {
             bus: match bus_kind {
                 0 => BusSpec::Weighted { count: 0 },
                 1 => BusSpec::Weighted { count: 2 },
@@ -149,6 +150,7 @@ fn arb_spec() -> impl Strategy<Value = CandidateSpec> {
             } else {
                 PlacementVariant::Identity
             },
+            hardware: HardwareFamily::ALL[family],
         },
     )
 }
