@@ -33,7 +33,7 @@
 //! the retained monolithic reference path
 //! ([`crate::DesignFlow::design_reference`]).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -228,6 +228,11 @@ struct CacheInner<V> {
     /// Clock ring: every cached key exactly once, insertion order, with
     /// spared keys rotated to the back.
     ring: VecDeque<u64>,
+    /// Every key ever inserted, surviving both eviction and
+    /// [`StageCache::clear`]: the basis of the deterministic
+    /// unique-miss counter (distinct work items computed, independent
+    /// of thread scheduling and duplicate-compute races).
+    seen: HashSet<u64>,
 }
 
 /// A bounded, shared, content-keyed memo table — the per-stage cache of
@@ -274,7 +279,11 @@ impl<V: Clone> StageCache<V> {
     /// An empty cache with an explicit bound (`None` = unbounded).
     pub fn with_cap(cap: Option<usize>) -> Self {
         StageCache {
-            inner: Mutex::new(CacheInner { table: HashMap::new(), ring: VecDeque::new() }),
+            inner: Mutex::new(CacheInner {
+                table: HashMap::new(),
+                ring: VecDeque::new(),
+                seen: HashSet::new(),
+            }),
             cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -309,6 +318,7 @@ impl<V: Clone> StageCache<V> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = self.inner.lock().expect("stage cache poisoned");
         let inner = &mut *guard;
+        inner.seen.insert(key);
         if inner.table.contains_key(&key) {
             return;
         }
@@ -368,8 +378,26 @@ impl<V: Clone> StageCache<V> {
     }
 
     /// Number of lookups that had to compute.
+    ///
+    /// Scheduling-dependent: two threads racing on one key can both
+    /// miss (each computes, each inserts, first wins), so this counter
+    /// may differ run-to-run under a parallel workload. For a
+    /// thread-stable figure use [`StageCache::unique_misses`].
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of **distinct** keys ever inserted — the deterministic
+    /// companion to [`StageCache::misses`].
+    ///
+    /// A fixed workload demands a fixed set of content keys, so this
+    /// count is identical at every `QPD_THREADS`: a duplicate-compute
+    /// race inflates `misses` but inserts the same key twice, and the
+    /// set deduplicates it. The set survives eviction and
+    /// [`StageCache::clear`], mirroring how the other counters
+    /// accumulate for the cache's lifetime.
+    pub fn unique_misses(&self) -> u64 {
+        self.inner.lock().expect("stage cache poisoned").seen.len() as u64
     }
 
     /// Number of entries evicted by the second-chance rule.
@@ -414,8 +442,12 @@ pub struct StageCacheStats {
     pub kind: StageKind,
     /// Lookups served from the table.
     pub hits: u64,
-    /// Lookups that computed.
+    /// Lookups that computed (scheduling-dependent under parallelism;
+    /// see [`StageCache::misses`]).
     pub misses: u64,
+    /// Distinct keys ever inserted (thread-stable; see
+    /// [`StageCache::unique_misses`]).
+    pub unique_misses: u64,
     /// Entries evicted by the second-chance rule.
     pub evictions: u64,
     /// Entries currently stored.
@@ -429,6 +461,7 @@ impl StageCacheStats {
             kind,
             hits: cache.hits(),
             misses: cache.misses(),
+            unique_misses: cache.unique_misses(),
             evictions: cache.evictions(),
             len: cache.len(),
         }
@@ -847,6 +880,30 @@ mod tests {
         assert_eq!(cache.get_or_insert_with(3, || f(3)), 9);
         assert_eq!(cache.get_or_insert_with(4, || f(4)), 16); // evicts 3
         assert_eq!(cache.get_or_insert_with(3, || f(3)), 9); // recomputed
+    }
+
+    #[test]
+    fn unique_misses_deduplicate_racy_inserts() {
+        let cache: StageCache<u64> = StageCache::with_cap(Some(1));
+        // A duplicate-compute race is two inserts of the same key: the
+        // raw miss counter sees both, the unique counter sees one.
+        cache.insert(1, 10);
+        cache.insert(1, 10);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.unique_misses(), 1);
+        // Eviction then re-insertion of a key does not re-count it.
+        cache.insert(2, 20); // evicts 1 (cap = 1)
+        cache.insert(1, 10);
+        assert_eq!(cache.unique_misses(), 2);
+        // clear() drops values but the seen-set keeps accumulating,
+        // like every other counter.
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.unique_misses(), 2);
+        cache.insert(3, 30);
+        assert_eq!(cache.unique_misses(), 3);
+        let stats = StageCacheStats::of(StageKind::Yield, &cache);
+        assert_eq!(stats.unique_misses, 3);
     }
 
     #[test]

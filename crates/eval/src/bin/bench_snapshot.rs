@@ -34,13 +34,21 @@
 //!   [`HardwareFamily`], so the pluggable hardware layer's per-model
 //!   cost is on the perf trajectory (PR 6's kernel: the fixed-family
 //!   figure doubles as the refactor-overhead check against
-//!   `end_to_end/sym6_145`).
+//!   `end_to_end/sym6_145`);
+//! - `yield/singletons` and `yield/batched` — the same 16 candidates
+//!   (one dense topology under 16 distinct frequency plans, so they
+//!   share one fabrication-noise trial stream and one SoA lane group)
+//!   estimated as 16 independent `estimate` calls vs one
+//!   `evaluate_batch` call (PR 7's kernel: the batch generates the
+//!   stream once for the group and runs the collision predicates
+//!   SIMD-wide across candidates, where each singleton pays its own
+//!   stream and checks its own lanes scalar).
 //!
 //! Environment: `QPD_BENCH_SAMPLES` caps timed samples per kernel (shim
 //! default 3), `QPD_BENCH_QUICK=1` shrinks trial counts for CI smoke
 //! runs, `QPD_THREADS` sizes the worker pool.
 //!
-//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_6.json`), or
+//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_7.json`), or
 //! `bench_snapshot --check-schema FRESH.json COMMITTED.json...` to
 //! validate snapshot *schemas* without timing anything: every file must
 //! carry the snapshot fields and well-formed kernel entries, and the
@@ -56,12 +64,12 @@ use qpd_explore::{
     BusSpec, CandidateSpec, ExploreConfig, ExploreSpace, Explorer, Json, PlacementVariant,
 };
 use qpd_profile::CouplingProfile;
-use qpd_topology::{ibm, Architecture, BusMode};
-use qpd_yield::{HardwareFamily, YieldSimulator};
+use qpd_topology::{ibm, Architecture, BusMode, FrequencyPlan};
+use qpd_yield::{BatchRequest, HardwareFamily, YieldSimulator};
 
 /// The current perf-trajectory point; bump alongside the default
 /// `--out` path when a later PR appends a snapshot.
-const PR: u64 = 6;
+const PR: u64 = 7;
 
 fn designed_topology(name: &str) -> Architecture {
     let circuit = qpd_benchmarks::build(name).expect("benchmark");
@@ -322,6 +330,46 @@ fn main() {
             b.iter(|| run_benchmark("sym6_145", &settings).expect("run"))
         });
     }
+    // Batched cross-candidate kernel: sixteen frequency-plan variants
+    // of the dense chip — same topology, trials, seed, and sigma, so
+    // all sixteen share one fabrication-noise trial stream and one SoA
+    // lane group. `yield/singletons` pays sixteen scalar estimates
+    // (sixteen private noise streams, predicates one candidate at a
+    // time); `yield/batched` generates the stream once for the group
+    // and checks the collision predicates SIMD-wide across candidates.
+    const BATCH_CANDIDATES: usize = 16;
+    let plan_variants: Vec<Architecture> = (0..BATCH_CANDIDATES)
+        .map(|i| {
+            // Compress toward 5.00 GHz and shift up: distinct plans per
+            // candidate, all inside the allowed 5.00-5.34 GHz band.
+            let moved: Vec<f64> = chip
+                .frequencies()
+                .expect("baseline plan")
+                .as_slice()
+                .iter()
+                .map(|f| 5.00 + (f - 5.00) * 0.90 + 0.002 * i as f64)
+                .collect();
+            chip.clone().with_frequencies(FrequencyPlan::new(moved)).expect("in band")
+        })
+        .collect();
+    group.bench_function("yield/singletons", |b| {
+        b.iter(|| {
+            plan_variants
+                .iter()
+                .map(|arch| serial.estimate(arch).expect("plan attached").successes())
+                .sum::<u64>()
+        })
+    });
+    let batch_requests: Vec<BatchRequest<'_>> =
+        plan_variants.iter().map(|arch| BatchRequest { simulator: serial, arch }).collect();
+    group.bench_function("yield/batched", |b| {
+        b.iter(|| {
+            YieldSimulator::evaluate_batch(&batch_requests)
+                .into_iter()
+                .map(|r| r.expect("plan attached").successes())
+                .sum::<u64>()
+        })
+    });
     group.finish();
 
     let results = criterion.take_results();
@@ -331,6 +379,7 @@ fn main() {
     let alloc_speedup = median_of("freq_alloc/reference") / median_of("freq_alloc/compiled");
     let yield_speedup = median_of("yield_sim/serial") / median_of("yield_sim/pooled");
     let cache_speedup = median_of("explore/eval_cold") / median_of("explore/eval_warm");
+    let batch_speedup = median_of("yield/singletons") / median_of("yield/batched");
     let evals_per_s = |id: &str| candidates.len() as f64 / median_of(id);
 
     let threads = qpd_par::threads();
@@ -386,11 +435,28 @@ fn main() {
             })),
         ),
         (
+            "batch",
+            Json::obj([
+                ("candidates", Json::int(BATCH_CANDIDATES as u64)),
+                // Grouped candidates a batch pushes through per second
+                // vs the same workload as independent estimates.
+                (
+                    "batched_candidates_per_s",
+                    Json::num(round3(BATCH_CANDIDATES as f64 / median_of("yield/batched"))),
+                ),
+                (
+                    "singleton_candidates_per_s",
+                    Json::num(round3(BATCH_CANDIDATES as f64 / median_of("yield/singletons"))),
+                ),
+            ]),
+        ),
+        (
             "speedups",
             Json::obj([
                 ("freq_alloc_compiled_over_reference", Json::num(round3(alloc_speedup))),
                 ("yield_sim_pooled_over_serial", Json::num(round3(yield_speedup))),
                 ("explore_eval_warm_over_cold", Json::num(round3(cache_speedup))),
+                ("yield_batched_over_singletons", Json::num(round3(batch_speedup))),
             ]),
         ),
     ]);
@@ -401,6 +467,7 @@ fn main() {
     println!(
         "freq_alloc speedup vs pre-overhaul reference: {alloc_speedup:.2}x; \
          yield_sim pooled vs serial: {yield_speedup:.2}x; \
-         explore cache warm vs cold: {cache_speedup:.2}x"
+         explore cache warm vs cold: {cache_speedup:.2}x; \
+         yield batched vs {BATCH_CANDIDATES} singletons: {batch_speedup:.2}x"
     );
 }

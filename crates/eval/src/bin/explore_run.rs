@@ -261,6 +261,11 @@ struct RunReport {
     /// Aggregate stage-cache hit rate across every cached stage of the
     /// cascade (placement, bus, frequency, routing, yield).
     stage_hit_rate: f64,
+    /// Distinct stage keys computed across the cascade. Unlike the
+    /// hit/miss tallies this is deterministic: duplicate computations
+    /// from scheduling races dedupe, so the figure is identical at
+    /// every `QPD_THREADS`.
+    stage_unique: u64,
     eff_full: Result<bool, String>,
     checkpoint: PathBuf,
     overlay: Option<PathBuf>,
@@ -414,10 +419,10 @@ fn run_one(
         path
     });
     let cache = explorer.caches();
-    let (stage_hits, stage_lookups) = explorer
-        .stage_stats()
-        .iter()
-        .fold((0u64, 0u64), |(h, t), s| (h + s.hits, t + s.hits + s.misses));
+    let (stage_hits, stage_lookups, stage_unique) =
+        explorer.stage_stats().iter().fold((0u64, 0u64, 0u64), |(h, t, u), s| {
+            (h + s.hits, t + s.hits + s.misses, u + s.unique_misses)
+        });
     RunReport {
         benchmark: name.to_string(),
         evaluations: cache.yields.hits() + cache.yields.misses(),
@@ -430,6 +435,7 @@ fn run_one(
         } else {
             stage_hits as f64 / stage_lookups as f64
         },
+        stage_unique,
         eff_full: eff_full_status(explorer.space(), &state, config.hardware),
         checkpoint: checkpoint_path,
         overlay,
@@ -525,8 +531,16 @@ fn main() {
 
 fn print_table(reports: &[RunReport]) {
     println!(
-        "\n{:<16} {:>6} {:>8} {:>6} {:>7} {:>10} {:>9}  {:<26} checkpoint",
-        "benchmark", "evals", "archive", "front", "spread", "cache-hit", "stage-hit", "eff-full"
+        "\n{:<16} {:>6} {:>8} {:>6} {:>7} {:>10} {:>9} {:>6}  {:<26} checkpoint",
+        "benchmark",
+        "evals",
+        "archive",
+        "front",
+        "spread",
+        "cache-hit",
+        "stage-hit",
+        "uniq",
+        "eff-full"
     );
     for r in reports {
         let eff = match &r.eff_full {
@@ -535,7 +549,7 @@ fn print_table(reports: &[RunReport]) {
             Err(by) => format!("dominated by {by}"),
         };
         println!(
-            "{:<16} {:>6} {:>8} {:>6} {:>7.3} {:>10} {:>8.1}%  {:<26} {}",
+            "{:<16} {:>6} {:>8} {:>6} {:>7.3} {:>10} {:>8.1}% {:>6}  {:<26} {}",
             r.benchmark,
             r.evaluations,
             r.archive,
@@ -543,6 +557,7 @@ fn print_table(reports: &[RunReport]) {
             r.spread,
             r.yield_hits,
             100.0 * r.stage_hit_rate,
+            r.stage_unique,
             eff,
             r.checkpoint.display()
         );

@@ -52,22 +52,29 @@ pub const SCHEMA_V1: &str = "qpd-explore-checkpoint/1";
 /// report) can see how effective the stage caches were when the
 /// checkpoint was cut.
 ///
-/// Unlike everything else in a checkpoint, these counters describe the
-/// run's *actual* cache traffic, which is scheduling-dependent: two
-/// workers first-missing the same key record (miss, miss) where one
-/// worker visiting it twice records (miss, hit). Totals and every piece
-/// of search state stay bit-identical across `QPD_THREADS`; the
-/// hit/miss split is only byte-stable at a fixed thread count. That is
-/// the reason this block is display-only and excluded from
-/// [`Checkpoint::parse`]'s contribution to resumed state.
+/// Unlike everything else in a checkpoint, the hit/miss counters
+/// describe the run's *actual* cache traffic, which is
+/// scheduling-dependent: two workers first-missing the same key record
+/// (miss, miss) where one worker visiting it twice records (miss, hit).
+/// Totals and every piece of search state stay bit-identical across
+/// `QPD_THREADS`; the hit/miss split is only byte-stable at a fixed
+/// thread count. That is the reason this block is display-only and
+/// excluded from [`Checkpoint::parse`]'s contribution to resumed state.
+///
+/// `unique_misses` is the exception: it counts **distinct** content
+/// keys computed ([`qpd_core::StageCache::unique_misses`]), which a
+/// fixed workload pins regardless of scheduling — the thread-stable
+/// figure to quote when comparing runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageHitRate {
     /// Stage name ([`qpd_core::StageKind::name`]).
     pub stage: String,
     /// Lookups served from the table.
     pub hits: u64,
-    /// Lookups that computed.
+    /// Lookups that computed (scheduling-dependent).
     pub misses: u64,
+    /// Distinct keys computed (thread-stable).
+    pub unique_misses: u64,
 }
 
 impl StageHitRate {
@@ -79,6 +86,7 @@ impl StageHitRate {
                 stage: s.kind.name().to_string(),
                 hits: s.hits,
                 misses: s.misses,
+                unique_misses: s.unique_misses,
             })
             .collect()
     }
@@ -168,6 +176,7 @@ impl Checkpoint {
                                 ("stage", Json::str(&s.stage)),
                                 ("hits", Json::int(s.hits)),
                                 ("misses", Json::int(s.misses)),
+                                ("unique_misses", Json::int(s.unique_misses)),
                             ])
                         })
                         .collect(),
@@ -268,6 +277,9 @@ impl Checkpoint {
                         .get("misses")
                         .and_then(Json::as_u64)
                         .ok_or_else(|| bad("malformed stage hit rate"))?,
+                    // Absent in documents written before the counter
+                    // existed: zero, the "not recorded" value.
+                    unique_misses: r.get("unique_misses").and_then(Json::as_u64).unwrap_or(0),
                 });
             }
         }
@@ -553,17 +565,29 @@ mod tests {
     fn stage_hit_rates_are_display_only_and_round_trip() {
         let mut cp = sample_checkpoint();
         cp.stage_hit_rates = vec![
-            StageHitRate { stage: "frequency".into(), hits: 30, misses: 10 },
-            StageHitRate { stage: "yield".into(), hits: 0, misses: 0 },
+            StageHitRate { stage: "frequency".into(), hits: 30, misses: 10, unique_misses: 8 },
+            StageHitRate { stage: "yield".into(), hits: 0, misses: 0, unique_misses: 0 },
         ];
         let text = cp.render();
         assert!(text.contains(SCHEMA_V3));
         assert!(text.contains("stage_hit_rates"));
+        assert!(text.contains("unique_misses"));
         let back = Checkpoint::parse(&text).unwrap();
         assert_eq!(back, cp);
         assert_eq!(back.render(), text);
         assert!((back.stage_hit_rates[0].rate() - 0.75).abs() < 1e-12);
         assert_eq!(back.stage_hit_rates[1].rate(), 0.0);
+        // Documents written before the deterministic counter existed
+        // (no `unique_misses` key) parse with the "not recorded" zero.
+        let legacy = text
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"unique_misses\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("\"misses\": 10,", "\"misses\": 10")
+            .replace("\"misses\": 0,", "\"misses\": 0");
+        let old = Checkpoint::parse(&legacy).unwrap();
+        assert_eq!(old.stage_hit_rates[0].unique_misses, 0);
         // Display-only: a document without the block parses with empty
         // counters.
         cp.stage_hit_rates.clear();

@@ -14,6 +14,23 @@
 //! retains the PR 3 rule exactly — resumed v1 checkpoints keep their
 //! original semantics.
 //!
+//! # Batched evaluation
+//!
+//! Rounds are **step-synchronized**: at every step each walk proposes
+//! one candidate from its own RNG stream (walk order), and the whole
+//! round's worth of proposals is submitted as *one batch* —
+//! materialization and routing fan out per candidate on the `qpd-par`
+//! pool, and every yield-cache miss runs through
+//! [`qpd_yield::YieldSimulator::evaluate_batch`], which groups
+//! candidates sharing a fabrication-noise trial stream (same seed,
+//! trial budget, effective sigma, and qubit count) and generates each
+//! stream once for the group instead of once per candidate. Acceptance
+//! then replays per walk in walk order. Because each walk's stream is
+//! consumed by that walk alone, and evaluation is a pure function of
+//! content, the batched round is bit-identical to running the walks'
+//! steps sequentially — the batch changes *when* simulations run and
+//! how wide the SIMD kernels operate, never what any walk observes.
+//!
 //! # Determinism
 //!
 //! The run is bit-identical for every `QPD_THREADS` value and for a
@@ -22,6 +39,10 @@
 //! - each walk's RNG stream is derived from `(seed, walk, round)` only —
 //!   never from thread identity or timing — and a walk consumes its
 //!   stream exclusively for move selection and acceptance;
+//! - steps are synchronized barriers: a step's proposals are drawn
+//!   before any of them evaluates, and acceptance decisions replay in
+//!   walk order against values that are pure functions of content, so
+//!   batching cannot reorder anything a walk can see;
 //! - the dominance acceptor compares against a front snapshot taken at
 //!   the round barrier, never against the live archive, so mid-round
 //!   insertion order is invisible to every walk;
@@ -53,11 +74,11 @@ use rand_chacha::ChaCha8Rng;
 
 use qpd_core::{
     crowding_distances, dominates_nd, epsilon_weakly_dominates_nd, DesignError, DesignFlow,
-    FrequencyStrategy, StageCacheStats,
+    FrequencyStrategy, Stage, StageCacheStats,
 };
 use qpd_mapping::MappingError;
 use qpd_topology::Architecture;
-use qpd_yield::{HardwareFamily, YieldError};
+use qpd_yield::{BatchRequest, HardwareFamily, YieldError, YieldSimulator};
 
 use crate::cache::{circuit_key, RouteStage, StageCaches, YieldStage};
 use crate::space::ExploreSpace;
@@ -536,6 +557,105 @@ impl Explorer {
         })
     }
 
+    /// Evaluates a round's worth of candidates as **one batch** — the
+    /// engine half of the batched-yield path.
+    ///
+    /// Materialization and routing fan out per candidate on the worker
+    /// pool (each job runs the exact stage calls a singleton
+    /// [`Self::evaluate`] would, so upstream cache totals are
+    /// unchanged). The yield stage then runs in three passes that
+    /// together preserve the singleton cache accounting exactly — every
+    /// candidate contributes precisely one hit or one miss:
+    ///
+    /// 1. probe the yield cache per candidate, in order (hits counted);
+    /// 2. hand the *distinct* missed keys to
+    ///    [`YieldSimulator::evaluate_batch`], which groups jobs by
+    ///    shared trial stream and runs the collision kernels SoA across
+    ///    the whole batch;
+    /// 3. insert once per missed occurrence (misses counted), so
+    ///    `hits + misses` equals the candidate count just as it would
+    ///    for N singleton calls.
+    ///
+    /// Results return in input order; the first failure (in input
+    /// order) propagates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design, routing, and yield failures.
+    fn evaluate_batch_at(
+        &self,
+        specs: &[CandidateSpec],
+        trials: u64,
+    ) -> Result<Vec<Evaluated>, ExploreError> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let routed =
+            qpd_par::par_map(specs, |spec| -> Result<(Architecture, u64, u64), ExploreError> {
+                let arch = self.materialize(spec)?;
+                let (gates, depth) = self.route(&arch)?;
+                Ok((arch, gates, depth))
+            });
+        let mut archs = Vec::with_capacity(specs.len());
+        for r in routed {
+            archs.push(r?);
+        }
+        let stages: Vec<YieldStage> =
+            specs.iter().map(|spec| self.yield_stage(spec, trials)).collect();
+        let keys: Vec<u64> =
+            stages.iter().zip(&archs).map(|(s, (arch, _, _))| s.content_key(&arch)).collect();
+        // Pass 1: probe in order. A found key counts its hit here; a
+        // missed key counts its miss at insertion below.
+        let cached: Vec<Option<(u64, u64)>> =
+            keys.iter().map(|&k| self.caches.yields.get(k)).collect();
+        // Pass 2: one grouped simulation over the distinct misses.
+        let mut first_miss: Vec<usize> = Vec::new();
+        let mut miss_keys: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for i in 0..specs.len() {
+            if cached[i].is_none() && miss_keys.insert(keys[i]) {
+                first_miss.push(i);
+            }
+        }
+        let requests: Vec<BatchRequest<'_>> = first_miss
+            .iter()
+            .map(|&i| BatchRequest { simulator: stages[i].simulator(), arch: &archs[i].0 })
+            .collect();
+        let mut computed: HashMap<u64, (u64, u64)> = HashMap::with_capacity(first_miss.len());
+        for (&i, outcome) in first_miss.iter().zip(YieldSimulator::evaluate_batch(&requests)) {
+            let estimate = outcome?;
+            computed.insert(keys[i], (estimate.successes(), estimate.trials()));
+        }
+        // Pass 3: insert per missed occurrence and assemble results in
+        // input order.
+        let mut out = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let (yield_successes, yield_trials) = match cached[i] {
+                Some(v) => v,
+                None => {
+                    let v = computed[&keys[i]];
+                    self.caches.yields.insert(keys[i], v);
+                    v
+                }
+            };
+            let (arch, total_gates, routed_depth) = &archs[i];
+            let aux_built = spec.aux_qubits.min(self.space.max_aux()) as u64;
+            let hardware_cost = arch.four_qubit_buses().len() as u64 + aux_built;
+            out.push(Evaluated {
+                spec: spec.clone(),
+                arch_name: arch.name().to_string(),
+                key: keys[i],
+                objectives: Objectives {
+                    yield_successes,
+                    yield_trials,
+                    total_gates: *total_gates,
+                    routed_depth: *routed_depth,
+                    hardware_cost,
+                },
+            });
+        }
+        Ok(out)
+    }
+
     /// The objectives as a normalized larger-is-better vector with every
     /// axis in `(0, 1]`: yield rate, baseline-relative reciprocal gate
     /// count and depth, and reciprocal hardware cost. The dominance
@@ -661,12 +781,11 @@ impl Explorer {
     pub fn initial_state(&self) -> Result<ExploreState, ExploreError> {
         let specs: Vec<CandidateSpec> =
             (0..self.config.walks).map(|w| self.initial_spec(w)).collect();
-        let evals = qpd_par::par_map(&specs, |spec| self.evaluate(spec));
+        let evals = self.evaluate_batch_at(&specs, self.config.yield_trials)?;
         let mut archive = Vec::new();
         let mut seen = HashMap::new();
         let mut walks = Vec::with_capacity(specs.len());
         for (spec, eval) in specs.into_iter().zip(evals) {
-            let eval = eval?;
             walks.push(WalkState { spec, objectives: eval.objectives });
             push_dedup(&mut archive, &mut seen, eval);
         }
@@ -683,25 +802,50 @@ impl Explorer {
             .collect()
     }
 
-    /// Runs one round: every walk takes `steps_per_round` acceptance
-    /// steps in parallel, the results merge in walk order, then (when
-    /// enabled) adjacent walk pairs recombine at the barrier.
+    /// Runs one round: `steps_per_round` synchronized steps in which
+    /// every walk proposes from its own `(seed, walk, round)` stream,
+    /// the step's proposals evaluate as one batch, and acceptance
+    /// replays per walk in walk order. Results merge in walk order,
+    /// then (when enabled) adjacent walk pairs recombine at the
+    /// barrier. Bit-identical to running each walk's round serially:
+    /// no walk's RNG stream or observed values depend on the batch.
     ///
     /// # Errors
     ///
-    /// Propagates the first evaluation failure, in walk order.
+    /// Propagates the first evaluation failure of the earliest failing
+    /// step, in walk order; `state` is left unmodified.
     pub fn advance_round(&self, state: &mut ExploreState) -> Result<(), ExploreError> {
         let round = state.rounds_done;
         let front = self.front_snapshot(state);
-        let walk_inputs: Vec<(usize, WalkState)> =
-            state.walks.iter().cloned().enumerate().collect();
-        let outcomes = qpd_par::par_map(&walk_inputs, |(walk, start)| {
-            self.walk_round(*walk, start, round, &front)
-        });
+        let walks = state.walks.len();
+        let mut rngs: Vec<ChaCha8Rng> = (0..walks).map(|w| self.walk_rng(w, round)).collect();
+        let weights: Vec<[f64; 4]> = (0..walks).map(|w| self.walk_weights(w)).collect();
+        let mut currents: Vec<WalkState> = state.walks.clone();
+        let mut round_evals: Vec<Vec<Evaluated>> = vec![Vec::new(); walks];
+        for step in 0..self.config.steps_per_round {
+            match self.config.acceptance {
+                AcceptanceMode::Scalarized => self.step_scalarized(
+                    round,
+                    step,
+                    &mut rngs,
+                    &weights,
+                    &mut currents,
+                    &mut round_evals,
+                )?,
+                AcceptanceMode::Dominance => self.step_dominance(
+                    round,
+                    step,
+                    &front,
+                    &mut rngs,
+                    &weights,
+                    &mut currents,
+                    &mut round_evals,
+                )?,
+            }
+        }
         let mut seen: HashMap<u64, usize> =
             state.archive.iter().enumerate().map(|(i, e)| (e.key, i)).collect();
-        for (walk, outcome) in outcomes.into_iter().enumerate() {
-            let (end, evals) = outcome?;
+        for (walk, (end, evals)) in currents.into_iter().zip(round_evals).enumerate() {
             state.walks[walk] = end;
             for eval in evals {
                 push_dedup(&mut state.archive, &mut seen, eval);
@@ -777,53 +921,48 @@ impl Explorer {
         });
     }
 
-    fn walk_round(
+    /// One synchronized step under the PR 3 acceptance rule,
+    /// bit-for-bit: every walk proposes (walk order), the proposals
+    /// evaluate as one full-fidelity batch, and the scalarized
+    /// temperature rule replays per walk. Each walk's RNG sees exactly
+    /// the draws the sequential rule made: propose, then one uphill
+    /// draw when `delta > 0`.
+    #[allow(clippy::too_many_arguments)]
+    fn step_scalarized(
         &self,
-        walk: usize,
-        start: &WalkState,
         round: usize,
-        front: &[[f64; 4]],
-    ) -> Result<(WalkState, Vec<Evaluated>), ExploreError> {
-        match self.config.acceptance {
-            AcceptanceMode::Scalarized => self.walk_round_scalarized(walk, start, round),
-            AcceptanceMode::Dominance => self.walk_round_dominance(walk, start, round, front),
-        }
-    }
-
-    /// The PR 3 acceptance rule, bit-for-bit: scalarized energy with a
-    /// temperature-controlled uphill probability, every proposal
-    /// archived at full fidelity.
-    fn walk_round_scalarized(
-        &self,
-        walk: usize,
-        start: &WalkState,
-        round: usize,
-    ) -> Result<(WalkState, Vec<Evaluated>), ExploreError> {
-        let mut rng = self.walk_rng(walk, round);
-        let weights = self.walk_weights(walk);
-        let mut current = start.clone();
-        let mut evals = Vec::with_capacity(self.config.steps_per_round);
-        for step in 0..self.config.steps_per_round {
-            let candidate_spec = self.propose(&current.spec, &mut rng);
-            let eval = self.evaluate(&candidate_spec)?;
-            let delta = self.energy(&eval.objectives, &weights)
-                - self.energy(&current.objectives, &weights);
+        step: usize,
+        rngs: &mut [ChaCha8Rng],
+        weights: &[[f64; 4]],
+        currents: &mut [WalkState],
+        round_evals: &mut [Vec<Evaluated>],
+    ) -> Result<(), ExploreError> {
+        let proposals: Vec<CandidateSpec> = currents
+            .iter()
+            .zip(rngs.iter_mut())
+            .map(|(current, rng)| self.propose(&current.spec, rng))
+            .collect();
+        let evals = self.evaluate_batch_at(&proposals, self.config.yield_trials)?;
+        for (walk, eval) in evals.into_iter().enumerate() {
+            let delta = self.energy(&eval.objectives, &weights[walk])
+                - self.energy(&currents[walk].objectives, &weights[walk]);
             let accept = if delta <= 0.0 {
                 true
             } else {
                 let p = (-delta / self.temperature(round, step)).exp();
-                rng.gen::<f64>() < p
+                rngs[walk].gen::<f64>() < p
             };
             if accept {
-                current = WalkState { spec: eval.spec.clone(), objectives: eval.objectives };
+                currents[walk] = WalkState { spec: eval.spec.clone(), objectives: eval.objectives };
             }
-            evals.push(eval);
+            round_evals[walk].push(eval);
         }
-        Ok((current, evals))
+        Ok(())
     }
 
-    /// The v2 acceptance rule. Each proposal is screened (at reduced
-    /// trials when `screen_divisor > 1`), then:
+    /// One synchronized step under the v2 acceptance rule. Every walk's
+    /// proposal is screened in one batch (at reduced trials when
+    /// `screen_divisor > 1`), then per walk, in walk order:
     ///
     /// - **improve**: it dominates the walk's position — accept;
     /// - **extend**: no front-snapshot point weakly ε-dominates it — it
@@ -831,75 +970,103 @@ impl Explorer {
     /// - otherwise a dominated move: accept with the temperature rule on
     ///   scalarized energy (the annealing escape hatch).
     ///
-    /// Accepted proposals are re-evaluated at full fidelity before they
-    /// enter the archive; the walk only moves onto the full-fidelity
-    /// point if the re-check still passes (annealing escapes move
-    /// unconditionally), but a survivor whose re-check fails has been
-    /// paid for and stays archived. Proposals rejected at the screening
-    /// stage cost the screening simulation only and are never archived
-    /// when screening is on.
-    fn walk_round_dominance(
+    /// The step's surviving proposals are re-evaluated at full fidelity
+    /// in a second batch before they enter the archive; a walk only
+    /// moves onto the full-fidelity point if the re-check still passes
+    /// (annealing escapes move unconditionally), but a survivor whose
+    /// re-check fails has been paid for and stays archived. Proposals
+    /// rejected at the screening stage cost the screening simulation
+    /// only and are never archived when screening is on.
+    ///
+    /// RNG parity with the sequential rule: each walk draws for its
+    /// proposal, then one uphill draw iff its screened candidate
+    /// neither improves nor extends — both pure functions of the walk's
+    /// own stream and content, so batching adds or removes no draw.
+    #[allow(clippy::too_many_arguments)]
+    fn step_dominance(
         &self,
-        walk: usize,
-        start: &WalkState,
         round: usize,
+        step: usize,
         front: &[[f64; 4]],
-    ) -> Result<(WalkState, Vec<Evaluated>), ExploreError> {
+        rngs: &mut [ChaCha8Rng],
+        weights: &[[f64; 4]],
+        currents: &mut [WalkState],
+        round_evals: &mut [Vec<Evaluated>],
+    ) -> Result<(), ExploreError> {
         let screening = self.config.screen_divisor > 1;
         let eps = self.config.epsilon;
-        let mut rng = self.walk_rng(walk, round);
-        let weights = self.walk_weights(walk);
-        let mut current = start.clone();
-        let mut evals = Vec::with_capacity(self.config.steps_per_round);
-        for step in 0..self.config.steps_per_round {
-            let candidate_spec = self.propose(&current.spec, &mut rng);
-            let screened = if screening {
-                self.evaluate_at(&candidate_spec, self.screen_trials())?
-            } else {
-                self.evaluate(&candidate_spec)?
-            };
-            let cur_n = self.normalized(&current.objectives);
-            let cand_n = self.normalized(&screened.objectives);
+        let proposals: Vec<CandidateSpec> = currents
+            .iter()
+            .zip(rngs.iter_mut())
+            .map(|(current, rng)| self.propose(&current.spec, rng))
+            .collect();
+        let screen_trials = if screening { self.screen_trials() } else { self.config.yield_trials };
+        let screened = self.evaluate_batch_at(&proposals, screen_trials)?;
+        // Decision pass, walk order: who survives to full fidelity, and
+        // whether annealing (which moves unconditionally) let them in.
+        let mut survivors: Vec<(usize, bool)> = Vec::with_capacity(proposals.len());
+        for (walk, candidate) in screened.iter().enumerate() {
+            let cur_n = self.normalized(&currents[walk].objectives);
+            let cand_n = self.normalized(&candidate.objectives);
             let improves = dominates_nd(&cand_n, &cur_n);
             let extends = !front.iter().any(|f| epsilon_weakly_dominates_nd(f, &cand_n, eps));
             let mut annealed = false;
             if !(improves || extends) {
                 // A dominated move: the v1 temperature rule decides.
-                let delta = self.energy(&screened.objectives, &weights)
-                    - self.energy(&current.objectives, &weights);
+                let delta = self.energy(&candidate.objectives, &weights[walk])
+                    - self.energy(&currents[walk].objectives, &weights[walk]);
                 annealed = delta <= 0.0 || {
                     let p = (-delta / self.temperature(round, step)).exp();
-                    rng.gen::<f64>() < p
+                    rngs[walk].gen::<f64>() < p
                 };
                 if !annealed {
                     // Clearly dominated: when screening, the full-trial
                     // simulation never runs and nothing is archived.
                     if !screening {
-                        evals.push(screened);
+                        round_evals[walk].push(candidate.clone());
                     }
                     continue;
                 }
             }
-            // Full-fidelity re-check before archive insertion.
-            let full = if screening { self.evaluate(&candidate_spec)? } else { screened };
+            survivors.push((walk, annealed));
+        }
+        // Full-fidelity re-check batch before archive insertion.
+        let fulls: Vec<Evaluated> = if screening {
+            let specs: Vec<CandidateSpec> =
+                survivors.iter().map(|&(walk, _)| proposals[walk].clone()).collect();
+            self.evaluate_batch_at(&specs, self.config.yield_trials)?
+        } else {
+            survivors.iter().map(|&(walk, _)| screened[walk].clone()).collect()
+        };
+        for (&(walk, annealed), full) in survivors.iter().zip(fulls) {
+            let cur_n = self.normalized(&currents[walk].objectives);
             let full_n = self.normalized(&full.objectives);
             let still_good = dominates_nd(&full_n, &cur_n)
                 || !front.iter().any(|f| epsilon_weakly_dominates_nd(f, &full_n, eps));
             if annealed || still_good {
-                current = WalkState { spec: full.spec.clone(), objectives: full.objectives };
+                currents[walk] = WalkState { spec: full.spec.clone(), objectives: full.objectives };
             }
-            evals.push(full);
+            round_evals[walk].push(full);
         }
-        Ok((current, evals))
+        Ok(())
     }
 
     /// Cross-walk recombination at the round barrier: adjacent walk
     /// pairs `(2p, 2p+1)` exchange knob blocks — the bus layout block
     /// against the frequency/aux/placement block — producing two
-    /// offspring per exchanging pair. Offspring are evaluated at full
-    /// fidelity, archived, and replace their parent's position when they
-    /// dominate it (or, if mutually non-dominated, when they sit in a
-    /// less crowded region of the front).
+    /// offspring per exchanging pair, evaluated together as one batch.
+    /// Offspring are archived and replace their parent's position when
+    /// they dominate it (or, if mutually non-dominated, when they sit
+    /// in a less crowded region of the front).
+    ///
+    /// In mixed-family sweeps ([`HardwareSweep::All`]) the hardware
+    /// knob is its **own exchange block**: one extra draw per
+    /// exchanging pair decides whether offspring inherit the family
+    /// from the bus-block parent instead of the frequency-block parent,
+    /// so family × layout combinations recombine independently of the
+    /// frequency knobs. Pinned sweeps make no such draw (both parents
+    /// share the family anyway), so their exchange streams — and every
+    /// pre-mixed-mode trajectory — are preserved exactly.
     fn recombine_round(
         &self,
         state: &mut ExploreState,
@@ -914,6 +1081,8 @@ impl Explorer {
             if rng.gen::<f64>() >= 0.5 {
                 continue;
             }
+            let family_with_bus =
+                self.config.hardware == HardwareSweep::All && rng.gen::<f64>() < 0.5;
             let (i, j) = (2 * pair, 2 * pair + 1);
             let (a, b) = (&state.walks[i].spec, &state.walks[j].spec);
             let cross = |bus_from: &CandidateSpec, rest_from: &CandidateSpec| {
@@ -922,9 +1091,7 @@ impl Explorer {
                     frequency: rest_from.frequency,
                     aux_qubits: rest_from.aux_qubits,
                     placement: rest_from.placement,
-                    // The family rides with the frequency block: both
-                    // knobs shape the same frequency-plan stage.
-                    hardware: rest_from.hardware,
+                    hardware: if family_with_bus { bus_from.hardware } else { rest_from.hardware },
                 })
             };
             jobs.push((i, cross(a, b)));
@@ -933,10 +1100,10 @@ impl Explorer {
         if jobs.is_empty() {
             return Ok(());
         }
-        let evals = qpd_par::par_map(&jobs, |(_, spec)| self.evaluate(spec));
+        let specs: Vec<CandidateSpec> = jobs.iter().map(|(_, spec)| spec.clone()).collect();
+        let evals = self.evaluate_batch_at(&specs, self.config.yield_trials)?;
         let mut offspring: Vec<(usize, Evaluated)> = Vec::with_capacity(jobs.len());
         for ((walk, _), eval) in jobs.into_iter().zip(evals) {
-            let eval = eval?;
             push_dedup(&mut state.archive, seen, eval.clone());
             offspring.push((walk, eval));
         }

@@ -376,6 +376,20 @@ where
     })
 }
 
+/// Computes `f(i)` for every `i in 0..len` on the pool, returning results
+/// in index order — the batch-shaped fan-out for callers whose work units
+/// are a flat grid (e.g. candidate-group x RNG-chunk cells) rather than a
+/// slice. Deterministic: the output is identical for any thread count,
+/// and the calling thread participates, so this never blocks on pool
+/// capacity.
+pub fn par_indices<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run_indexed(len, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +411,16 @@ mod tests {
             let got = with_threads(threads, || par_map(&items, |&i| mix(i)));
             assert_eq!(got, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn indices_preserve_order_and_values() {
+        let expected: Vec<u64> = (0..1_003).map(mix).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = with_threads(threads, || par_indices(1_003, |i| mix(i as u64)));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        assert!(par_indices(0, |i| i).is_empty());
     }
 
     #[test]

@@ -143,6 +143,19 @@ impl CollisionChecker {
         self.triples.len()
     }
 
+    /// The connected pairs checked per trial, as qubit indices `(a, b)` in
+    /// the order [`Self::has_collision`] visits them — the batch kernels
+    /// lay their per-candidate operands out in exactly this order.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// The common-neighbor triples checked per trial, as qubit indices
+    /// `(j; i, k)` in [`Self::has_collision`] order.
+    pub fn triples(&self) -> &[(u32, u32, u32)] {
+        &self.triples
+    }
+
     /// Whether the (post-fabrication) frequencies collide anywhere.
     ///
     /// `freqs[q]` is the frequency of qubit `q` in GHz. This is the

@@ -117,6 +117,18 @@ impl HardwareFamily {
         self == HardwareFamily::FixedFrequencyTransmon
     }
 
+    /// The noise sigma actually sampled under this family for a
+    /// configured `sigma_ghz` — shorthand for the model's
+    /// [`HardwareModel::effective_sigma_ghz`]. This value (not the
+    /// family itself) is what decides whether two batch candidates may
+    /// share a fabrication-noise trial stream ([`crate::batch`]):
+    /// families mapping a sigma identically (fixed-frequency and
+    /// heavy-hex both leave it untouched) legitimately share streams,
+    /// because their estimates differ only in the collision check.
+    pub fn effective_sigma_ghz(self, sigma_ghz: f64) -> f64 {
+        self.model().effective_sigma_ghz(sigma_ghz)
+    }
+
     /// Folds this family into a content-key hash stream — **a no-op for
     /// the default family**, which is what keeps every pre-refactor key
     /// (and therefore every golden fingerprint and default-config

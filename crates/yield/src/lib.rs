@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analytic;
+pub mod batch;
 pub mod collision;
 pub mod hardware;
 pub mod local;
@@ -30,6 +31,7 @@ pub mod model;
 pub mod simulator;
 
 pub use analytic::{pair_collision_probability, pairwise_yield_estimate};
+pub use batch::BatchRequest;
 pub use collision::{CollisionChecker, CollisionEvent, CollisionParams};
 pub use hardware::{
     FixedFrequencyTransmon, HardwareFamily, HardwareModel, HeavyHex, TunableCoupler,

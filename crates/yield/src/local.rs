@@ -342,9 +342,11 @@ mod pass2_avx512 {
     }
 }
 
-/// SIMD tier for the pass-2 kernel, detected once per process.
+/// SIMD tier for the candidate-lane kernels, detected once per process.
+/// Shared with the batch evaluator ([`crate::batch`]), whose kernels use
+/// the same lanes-are-candidates layout.
 #[derive(Clone, Copy, PartialEq)]
-enum SimdTier {
+pub(crate) enum SimdTier {
     Scalar,
     #[cfg(target_arch = "x86_64")]
     Avx2,
@@ -352,7 +354,20 @@ enum SimdTier {
     Avx512,
 }
 
-fn pass2_simd_tier() -> SimdTier {
+impl SimdTier {
+    /// Candidate lanes per vector at this tier (1 = scalar).
+    pub(crate) fn lanes(self) -> usize {
+        match self {
+            SimdTier::Scalar => 1,
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => pass2_avx2::LANES,
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => pass2_avx512::LANES,
+        }
+    }
+}
+
+pub(crate) fn pass2_simd_tier() -> SimdTier {
     #[cfg(target_arch = "x86_64")]
     {
         use std::sync::atomic::{AtomicU8, Ordering};

@@ -1,4 +1,21 @@
 //! Monte Carlo yield simulation (paper §4.3.1 and §5.1).
+//!
+//! # Singleton and batch paths
+//!
+//! [`YieldSimulator::estimate`] evaluates one candidate; a round's worth
+//! of candidates should go through [`YieldSimulator::evaluate_batch`]
+//! (the [`crate::batch`] module), which returns bit-identical estimates
+//! while generating each fabrication-noise trial stream once per group
+//! of candidates that share it. The stream is fully determined by the
+//! simulator `seed` and `trials` (fixed 16-chunk decomposition with
+//! counter-derived per-chunk seeds), the *effective* sigma (configured
+//! sigma mapped through the hardware family), and the qubit count (the
+//! bulk-fill cadence draws `max(8192 / n, 1)` rows per fill, making `n`
+//! part of the RNG consumption pattern). Collision parameters, coupling
+//! structure, and designed frequencies affect only the per-trial check,
+//! never the stream — so candidates differing in those may share one
+//! stream, exactly as if each had generated it privately. See the batch
+//! module docs for why determinism holds lane by lane.
 
 use std::error::Error;
 use std::fmt;
@@ -153,13 +170,33 @@ impl Default for YieldSimulator {
 }
 
 /// Number of independent RNG streams; fixed so results are reproducible
-/// regardless of how many threads execute them.
-const CHUNKS: u64 = 16;
+/// regardless of how many threads execute them. Shared with the batch
+/// evaluator ([`crate::batch`]), whose per-chunk streams must be the
+/// same ones for batch results to stay bit-identical to singleton runs.
+pub(crate) const CHUNKS: u64 = 16;
 
 /// Noise samples drawn per bulk fill (~64 KiB of `f64`s): large enough
 /// to amortize the sampler's batching, small enough that memory stays
-/// flat no matter the trial count.
-const BULK_NOISE_SAMPLES: usize = 8_192;
+/// flat no matter the trial count. Also shared with [`crate::batch`]:
+/// the fill cadence is part of the RNG consumption pattern, so both
+/// paths must cut trials into the same row batches.
+pub(crate) const BULK_NOISE_SAMPLES: usize = 8_192;
+
+/// The RNG-stream constant deriving per-chunk seeds from the simulator
+/// seed (`seed ^ GOLDEN * (chunk + 1)`), shared with [`crate::batch`].
+pub(crate) const CHUNK_SEED_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Minimum trial count for the pooled chunk fan-out; below it a singleton
+/// estimate runs serially. Measured on the dev host (`with_threads(2)`,
+/// `ibm_16q_2x8`): one 16-job pool dispatch costs ~2.7us and a trial
+/// costs >= 0.2us (sparse bus mode; dense is ~0.4us), so ~1,350 trials
+/// are needed before the dispatch drops below 1% of the serial work —
+/// below that the pool's best case cannot clear its own overhead with
+/// any margin (BENCH_6's `yield_sim/pooled` 1.003x was exactly this
+/// overhead-plus-noise regime). The dev host has a single worker, so
+/// multi-core wins are projected from the dispatch/trial-cost ratio, not
+/// observed end to end.
+const POOL_MIN_TRIALS: u64 = 1_350;
 
 impl YieldSimulator {
     /// A simulator with the paper's defaults: 10,000 trials,
@@ -235,12 +272,23 @@ impl YieldSimulator {
         self.hardware
     }
 
+    /// The configured RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The collision parameters in effect (the hardware family's, once
+    /// [`Self::with_hardware`] has run).
+    pub fn params(&self) -> CollisionParams {
+        self.params
+    }
+
     /// The fabrication model actually sampled from: the configured sigma
     /// mapped through the hardware family's
     /// [`effective_sigma_ghz`](crate::hardware::HardwareModel::effective_sigma_ghz)
     /// (the identity for the default family).
-    fn effective_model(&self) -> FabricationModel {
-        FabricationModel::new(self.hardware.model().effective_sigma_ghz(self.model.sigma_ghz()))
+    pub(crate) fn effective_model(&self) -> FabricationModel {
+        FabricationModel::new(self.hardware.effective_sigma_ghz(self.model.sigma_ghz()))
     }
 
     /// Estimates the yield of an architecture using its attached frequency
@@ -372,9 +420,8 @@ impl YieldSimulator {
             .collect();
         let model = self.effective_model();
         let run_chunk = |chunk_idx: u64, lo: u64, hi: u64| -> u64 {
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk_idx + 1)),
-            );
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(self.seed ^ (CHUNK_SEED_MUL.wrapping_mul(chunk_idx + 1)));
             let n = designed.len();
             if n == 0 {
                 return hi - lo; // no qubits, no collisions
@@ -407,7 +454,7 @@ impl YieldSimulator {
         // `available_parallelism`, or `QPD_THREADS`), the caller included.
         // Integer sums over the fixed chunk decomposition are exact, so
         // the estimate is byte-identical to the serial path.
-        if self.parallel && self.trials >= 2_000 && qpd_par::threads() > 1 {
+        if self.parallel && self.trials >= POOL_MIN_TRIALS && qpd_par::threads() > 1 {
             qpd_par::par_map(&chunk_bounds, |&(i, lo, hi)| run_chunk(i, lo, hi)).into_iter().sum()
         } else {
             chunk_bounds.iter().map(|&(i, lo, hi)| run_chunk(i, lo, hi)).sum()

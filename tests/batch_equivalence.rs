@@ -1,0 +1,157 @@
+//! The batched-yield contract (PR 7 tentpole): one
+//! `YieldSimulator::evaluate_batch` call over a round's worth of
+//! candidates is **bit-identical** to N singleton `estimate` calls —
+//! success counts, content keys, and (through the explorer) checkpoint
+//! bytes — for every `QPD_THREADS` value, with mixed hardware families
+//! in one batch, and across a kill/resume mid-round.
+
+use proptest::prelude::*;
+
+use qpd::explore::{
+    Checkpoint, ExploreConfig, ExploreSpace, ExploreState, Explorer, HardwareSweep,
+};
+use qpd::prelude::*;
+use qpd::yield_sim::{BatchRequest, HardwareFamily};
+
+/// A mixed batch over both IBM baselines: every family, two seeds, two
+/// trial budgets (one below the chunk count to exercise the empty-chunk
+/// path), plus a duplicate request that must land in an existing group.
+fn mixed_requests(arches: &[Architecture], seed: u64) -> Vec<(YieldSimulator, &Architecture)> {
+    let mut requests = Vec::new();
+    for (i, arch) in arches.iter().enumerate() {
+        for (j, family) in HardwareFamily::ALL.iter().enumerate() {
+            let sim = YieldSimulator::new()
+                .with_trials(if j == 1 { 7 } else { 300 })
+                .with_seed(seed ^ (i as u64))
+                .with_hardware(*family);
+            requests.push((sim, arch));
+        }
+    }
+    // Duplicate of the first request: identical stream *and* lane group.
+    let first = requests[0];
+    requests.push(first);
+    requests
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `evaluate_batch` over a mixed-family, mixed-topology batch
+    /// returns exactly the estimates N singleton `estimate` calls
+    /// produce — same successes, trials, and content keys — at every
+    /// worker count.
+    #[test]
+    fn batch_equals_singletons_across_thread_counts(seed in 0u64..1_000) {
+        let arches = [
+            qpd::topology::ibm::ibm_16q_2x8(BusMode::TwoQubitOnly),
+            qpd::topology::ibm::ibm_20q_4x5(BusMode::TwoQubitOnly),
+        ];
+        let requests = mixed_requests(&arches, seed);
+        let singles: Vec<_> = requests
+            .iter()
+            .map(|(sim, arch)| sim.estimate(arch).unwrap())
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let batched = qpd::par::with_threads(threads, || {
+                YieldSimulator::evaluate_batch(
+                    &requests
+                        .iter()
+                        .map(|(sim, arch)| BatchRequest { simulator: *sim, arch })
+                        .collect::<Vec<_>>(),
+                )
+            });
+            prop_assert_eq!(batched.len(), singles.len());
+            for (i, (batch, single)) in batched.into_iter().zip(&singles).enumerate() {
+                let batch = batch.unwrap();
+                prop_assert_eq!(&batch, single,
+                    "request {} diverged at {} threads", i, threads);
+            }
+        }
+    }
+}
+
+/// An adaptive (screened) mixed-family config: every step runs *two*
+/// batches — the screening batch and the full-fidelity re-check batch —
+/// with all three families in flight, the heaviest batched path.
+fn batched_config(seed: u64) -> ExploreConfig {
+    ExploreConfig {
+        walks: 3,
+        rounds: 2,
+        steps_per_round: 2,
+        seed,
+        max_aux: 1,
+        alloc_trials: 60,
+        yield_trials: 400,
+        hardware: HardwareSweep::All,
+        ..ExploreConfig::adaptive_quick()
+    }
+}
+
+fn batched_explorer(seed: u64) -> Explorer {
+    let mut c = Circuit::new(6);
+    c.cx(0, 1).cx(1, 2).cx(3, 4).cx(4, 5).cx(0, 3).cx(1, 4).cx(2, 5);
+    c.cx(0, 4).cx(1, 3).cx(1, 5).cx(2, 4);
+    let config = batched_config(seed);
+    Explorer::new(ExploreSpace::new(c, config.max_aux), config).unwrap()
+}
+
+fn batched_bytes(seed: u64, state: &ExploreState) -> String {
+    Checkpoint {
+        run: "batch".into(),
+        config: batched_config(seed),
+        state: state.clone(),
+        stage_hit_rates: Vec::new(),
+    }
+    .render()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Batched rounds submit each step's mixed-family proposals as one
+    /// batch; the resulting checkpoint bytes must be identical for
+    /// `QPD_THREADS` ∈ {1, 2, 8}, and every archived point must be
+    /// exactly what a singleton `evaluate` of its spec produces (same
+    /// content key, same objectives).
+    #[test]
+    fn batched_rounds_are_thread_invariant_and_singleton_exact(seed in 0u64..1_000) {
+        let serial = qpd::par::with_threads(1, || batched_explorer(seed).run().unwrap());
+        prop_assert!(!serial.front_indices().is_empty());
+        let serial_bytes = batched_bytes(seed, &serial);
+        for threads in [2usize, 8] {
+            let pooled =
+                qpd::par::with_threads(threads, || batched_explorer(seed).run().unwrap());
+            prop_assert_eq!(&serial_bytes, &batched_bytes(seed, &pooled),
+                "batched checkpoint bytes differ at {} threads", threads);
+        }
+        // Every archived point is bit-equal to a fresh singleton
+        // evaluation of its spec: the batch landed the same values
+        // under the same content keys.
+        let fresh = batched_explorer(seed);
+        for entry in &serial.archive {
+            let single = fresh.evaluate(&entry.spec).unwrap();
+            prop_assert_eq!(&single, entry,
+                "batched archive entry diverges from singleton evaluation");
+        }
+    }
+
+    /// A batched run killed after one round and resumed on a fresh
+    /// engine (cold caches, as after a process kill) reproduces the
+    /// uninterrupted run exactly, checkpoint bytes included.
+    #[test]
+    fn batched_kill_resume_mid_round_matches_uninterrupted(seed in 0u64..1_000) {
+        let engine = batched_explorer(seed);
+        let uninterrupted = engine.run().unwrap();
+        let mut partial = engine.initial_state().unwrap();
+        engine.advance_round(&mut partial).unwrap();
+        let bytes = batched_bytes(seed, &partial);
+        let restored = Checkpoint::parse(&bytes).unwrap();
+        prop_assert_eq!(&restored.state, &partial);
+        let resumed = batched_explorer(seed).resume(restored.state).unwrap();
+        prop_assert_eq!(&resumed, &uninterrupted);
+        prop_assert_eq!(
+            batched_bytes(seed, &resumed),
+            batched_bytes(seed, &uninterrupted)
+        );
+    }
+}
