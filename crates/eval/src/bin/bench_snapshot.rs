@@ -42,13 +42,19 @@
 //!   `evaluate_batch` call (PR 7's kernel: the batch generates the
 //!   stream once for the group and runs the collision predicates
 //!   SIMD-wide across candidates, where each singleton pays its own
-//!   stream and checks its own lanes scalar).
+//!   stream and checks its own lanes scalar);
+//! - `serve/throughput` — eight warm `design` requests through a real
+//!   in-process `qpd-serve` daemon (TCP loopback, line protocol,
+//!   shared warm stage graph), so the resident-service round-trip cost
+//!   is on the trajectory (PR 8's kernel; the snapshot's `serve` block
+//!   also records the one-shot cold-vs-warm request latencies the
+//!   shared caches buy).
 //!
 //! Environment: `QPD_BENCH_SAMPLES` caps timed samples per kernel (shim
 //! default 3), `QPD_BENCH_QUICK=1` shrinks trial counts for CI smoke
 //! runs, `QPD_THREADS` sizes the worker pool.
 //!
-//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_7.json`), or
+//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_8.json`), or
 //! `bench_snapshot --check-schema FRESH.json COMMITTED.json...` to
 //! validate snapshot *schemas* without timing anything: every file must
 //! carry the snapshot fields and well-formed kernel entries, and the
@@ -64,12 +70,13 @@ use qpd_explore::{
     BusSpec, CandidateSpec, ExploreConfig, ExploreSpace, Explorer, Json, PlacementVariant,
 };
 use qpd_profile::CouplingProfile;
+use qpd_serve::{Client, Server, ServerConfig};
 use qpd_topology::{ibm, Architecture, BusMode, FrequencyPlan};
 use qpd_yield::{BatchRequest, HardwareFamily, YieldSimulator};
 
 /// The current perf-trajectory point; bump alongside the default
 /// `--out` path when a later PR appends a snapshot.
-const PR: u64 = 7;
+const PR: u64 = 8;
 
 fn designed_topology(name: &str) -> Architecture {
     let circuit = qpd_benchmarks::build(name).expect("benchmark");
@@ -370,6 +377,41 @@ fn main() {
                 .sum::<u64>()
         })
     });
+    // Resident-daemon kernel: the same design request through a real
+    // qpd-serve daemon on TCP loopback. The first request pays the cold
+    // stage cascade, the repeat is served from the shared warm caches —
+    // both one-shot latencies land in the snapshot's `serve` block —
+    // and the timed kernel pushes eight warm requests per iteration so
+    // the protocol + dispatch round-trip cost is on the trajectory.
+    const SERVE_DESIGN: &str = r#"{"id":"bench","op":"design","benchmark":"sym6_145"}"#;
+    const SERVE_BATCH: usize = 8;
+    let serve_dir = std::env::temp_dir().join(format!("qpd_bench_serve_{}", std::process::id()));
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        out_dir: serve_dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let serve_addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut serve_client = Client::connect(serve_addr).expect("connect");
+    let timed_request = |client: &mut Client| {
+        let start = std::time::Instant::now();
+        client.request_raw(SERVE_DESIGN).expect("design served");
+        start.elapsed().as_secs_f64()
+    };
+    let serve_cold_s = timed_request(&mut serve_client);
+    let serve_warm_s = timed_request(&mut serve_client);
+    group.bench_function("serve/throughput", |b| {
+        b.iter(|| {
+            for _ in 0..SERVE_BATCH {
+                serve_client.request_raw(SERVE_DESIGN).expect("design served");
+            }
+        })
+    });
+    serve_client.request_raw(r#"{"id":"stop","op":"shutdown"}"#).expect("shutdown");
+    server_thread.join().expect("server thread").expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&serve_dir);
     group.finish();
 
     let results = criterion.take_results();
@@ -384,6 +426,7 @@ fn main() {
 
     let threads = qpd_par::threads();
     let round3 = |v: f64| (v * 1_000.0).round() / 1_000.0;
+    let round6 = |v: f64| (v * 1_000_000.0).round() / 1_000_000.0;
     let mut top = vec![
         ("schema", Json::str("qpd-bench-snapshot/1")),
         ("pr", Json::int(PR)),
@@ -451,12 +494,28 @@ fn main() {
             ]),
         ),
         (
+            "serve",
+            Json::obj([
+                // One-shot request latencies over TCP loopback: the
+                // first request runs the full cold stage cascade, the
+                // repeat is served from the daemon's shared warm
+                // caches.
+                ("cold_request_s", Json::num(round6(serve_cold_s))),
+                ("warm_request_s", Json::num(round6(serve_warm_s))),
+                (
+                    "warm_requests_per_s",
+                    Json::num(round3(SERVE_BATCH as f64 / median_of("serve/throughput"))),
+                ),
+            ]),
+        ),
+        (
             "speedups",
             Json::obj([
                 ("freq_alloc_compiled_over_reference", Json::num(round3(alloc_speedup))),
                 ("yield_sim_pooled_over_serial", Json::num(round3(yield_speedup))),
                 ("explore_eval_warm_over_cold", Json::num(round3(cache_speedup))),
                 ("yield_batched_over_singletons", Json::num(round3(batch_speedup))),
+                ("serve_warm_over_cold", Json::num(round3(serve_cold_s / serve_warm_s))),
             ]),
         ),
     ]);
@@ -468,6 +527,8 @@ fn main() {
         "freq_alloc speedup vs pre-overhaul reference: {alloc_speedup:.2}x; \
          yield_sim pooled vs serial: {yield_speedup:.2}x; \
          explore cache warm vs cold: {cache_speedup:.2}x; \
-         yield batched vs {BATCH_CANDIDATES} singletons: {batch_speedup:.2}x"
+         yield batched vs {BATCH_CANDIDATES} singletons: {batch_speedup:.2}x; \
+         serve warm vs cold request: {:.2}x",
+        serve_cold_s / serve_warm_s
     );
 }

@@ -15,9 +15,9 @@
 //!               [--steps N] [--out-dir DIR] [--resume FILE] [--overlay]
 //!               [--adaptive] [--screen N] [--epsilon X]
 //!               [--acceptance scalarized|dominance] [--no-recombine]
-//!               [--archive-cap N] [--max-seconds S]
+//!               [--fine-recombine] [--archive-cap N] [--max-seconds S]
 //!               [--hardware fixed|tunable|heavyhex|all] [--hit-rates]
-//!               [names...]
+//!               [--no-warm-start] [names...]
 //!
 //! `--hardware` picks the hardware family the candidates design for;
 //! `all` makes the family a search knob (walks spread across families
@@ -33,10 +33,18 @@
 //!
 //! Alongside every checkpoint the run writes
 //! `EXPLORE_<benchmark>_caches.json`, a sidecar with the routing and
-//! yield stage-cache entries; `--resume` loads the sidecar sitting next
-//! to the checkpoint (when present) so the resumed run starts warm.
-//! Stages are pure functions of their content keys, so warm caches can
-//! never change results — only skip recomputation.
+//! yield stage-cache entries (see [`qpd_explore::sidecar`]); `--resume`
+//! loads the sidecar sitting next to the checkpoint (when present) so
+//! the resumed run starts warm, logging a one-line notice with the
+//! entries restored per stage. `--no-warm-start` skips the load (cold
+//! resume — useful when bisecting cache-related behavior, and the only
+//! effect is recomputation: stages are pure functions of their content
+//! keys, so warm caches can never change results).
+//!
+//! `--fine-recombine` splits the frequency-strategy knob into its own
+//! recombination exchange block (an extra RNG draw per exchanging
+//! pair). The flag is recorded in the checkpoint — it changes the
+//! exchange streams, so it cannot be combined with `--resume`.
 //!
 //! `--archive-cap N` bounds the Pareto archive: at every round barrier
 //! the archive is pruned to `N` points by ε-grid occupancy and crowding
@@ -63,9 +71,10 @@ use std::time::Instant;
 
 use qpd_core::{crowding_distances, dominates_nd};
 use qpd_eval::plot::{svg_front_overlay, OverlayPoint};
+use qpd_explore::sidecar::{self, SidecarLoad};
 use qpd_explore::{
     AcceptanceMode, Checkpoint, ExploreConfig, ExploreSpace, ExploreState, Explorer, HardwareSweep,
-    Json, StageCaches, StageHitRate,
+    StageHitRate,
 };
 
 struct Args {
@@ -82,10 +91,12 @@ struct Args {
     epsilon: Option<f64>,
     acceptance: Option<AcceptanceMode>,
     no_recombine: bool,
+    fine_recombine: bool,
     archive_cap: Option<usize>,
     max_seconds: Option<f64>,
     hardware: Option<HardwareSweep>,
     hit_rates: bool,
+    no_warm_start: bool,
     names: Vec<String>,
 }
 
@@ -104,10 +115,12 @@ fn parse_args() -> Args {
         epsilon: None,
         acceptance: None,
         no_recombine: false,
+        fine_recombine: false,
         archive_cap: None,
         max_seconds: None,
         hardware: None,
         hit_rates: false,
+        no_warm_start: false,
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -134,6 +147,8 @@ fn parse_args() -> Args {
                 );
             }
             "--no-recombine" => args.no_recombine = true,
+            "--fine-recombine" => args.fine_recombine = true,
+            "--no-warm-start" => args.no_warm_start = true,
             "--archive-cap" => {
                 args.archive_cap =
                     Some(value("--archive-cap").parse().expect("numeric archive cap"))
@@ -181,6 +196,9 @@ fn config_from(args: &Args) -> ExploreConfig {
     }
     if args.no_recombine {
         config.recombine = false;
+    }
+    if args.fine_recombine {
+        config.fine_recombine = true;
     }
     if let Some(cap) = args.archive_cap {
         config.archive_cap = (cap > 0).then_some(cap);
@@ -282,76 +300,21 @@ struct RunOptions {
     warm_from: Option<PathBuf>,
 }
 
-/// Sidecar schema tag for the persisted stage-cache entries.
-const CACHES_SCHEMA: &str = "qpd-explore-caches/1";
-
-/// The cache sidecar riding along with `EXPLORE_<run>.json`.
-fn caches_file_name(run: &str) -> String {
-    format!("EXPLORE_{run}_caches.json")
-}
-
-/// Serializes the routing and yield cache entries (key-sorted, keys as
-/// decimal strings — beyond f64-exact range) so a resumed run starts
-/// warm instead of re-simulating everything it already paid for.
-fn render_cache_sidecar(caches: &StageCaches) -> String {
-    let table = |entries: Vec<(u64, (u64, u64))>| {
-        Json::Arr(
-            entries
-                .into_iter()
-                .map(|(key, (a, b))| {
-                    Json::obj([
-                        ("key", Json::str(key.to_string())),
-                        ("value", Json::Arr(vec![Json::int(a), Json::int(b)])),
-                    ])
-                })
-                .collect(),
-        )
-    };
-    Json::obj([
-        ("schema", Json::str(CACHES_SCHEMA)),
-        ("routes", table(caches.routes.entries())),
-        ("yields", table(caches.yields.entries())),
-    ])
-    .render()
-}
-
-/// Loads a cache sidecar into `caches`. Every stage is a pure function
-/// of its content key, so warm entries can only skip recomputation,
-/// never change a result — which is why a missing, stale, or malformed
-/// sidecar is silently skipped rather than an error.
-fn load_cache_sidecar(path: &std::path::Path, caches: &StageCaches) {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let Ok(doc) = Json::parse(&text) else {
-        eprintln!("ignoring unparseable cache sidecar {}", path.display());
-        return;
-    };
-    if doc.get("schema").and_then(Json::as_str) != Some(CACHES_SCHEMA) {
-        eprintln!("ignoring cache sidecar {} with unknown schema", path.display());
-        return;
-    }
-    let mut loaded = 0usize;
-    for (field, cache) in [("routes", &caches.routes), ("yields", &caches.yields)] {
-        let Some(entries) = doc.get(field).and_then(Json::as_arr) else {
-            continue;
-        };
-        for e in entries {
-            let key = e.get("key").and_then(Json::as_str).and_then(|s| s.parse::<u64>().ok());
-            let value = e.get("value").and_then(Json::as_arr).and_then(|pair| {
-                match (pair.first().and_then(Json::as_u64), pair.get(1).and_then(Json::as_u64)) {
-                    (Some(a), Some(b)) => Some((a, b)),
-                    _ => None,
-                }
-            });
-            if let (Some(key), Some(value)) = (key, value) {
-                cache.insert(key, value);
-                loaded += 1;
-            }
+/// Warm-loads a cache sidecar, logging one line saying what happened —
+/// entries restored per stage, or why the file was skipped. A missing
+/// sidecar is the normal cold-start case and stays silent.
+fn warm_load_sidecar(path: &std::path::Path, caches: &qpd_explore::StageCaches) {
+    match sidecar::load(path, caches) {
+        SidecarLoad::Missing => {}
+        SidecarLoad::Ignored(why) => {
+            eprintln!("ignoring cache sidecar {} ({why})", path.display());
         }
-    }
-    if loaded > 0 {
-        eprintln!("warmed {loaded} stage-cache entries from {}", path.display());
+        SidecarLoad::Loaded { routes, yields } => {
+            eprintln!(
+                "warm start: restored {routes} routing + {yields} yield cache entries from {}",
+                path.display()
+            );
+        }
     }
 }
 
@@ -368,7 +331,7 @@ fn run_one(
     let space = ExploreSpace::new(circuit, config.max_aux);
     let explorer = Explorer::new(space, config).expect("baseline design");
     if let Some(dir) = &options.warm_from {
-        load_cache_sidecar(&dir.join(caches_file_name(name)), explorer.caches());
+        warm_load_sidecar(&dir.join(sidecar::file_name(name)), explorer.caches());
     }
     let mut state = match resume_state {
         Some(state) => state,
@@ -398,16 +361,13 @@ fn run_one(
         // Checkpoint after every round: a killed run resumes from here,
         // and the cache sidecar lets it resume *warm*.
         snapshot(&state).write(out_dir).expect("write checkpoint");
-        std::fs::write(
-            out_dir.join(caches_file_name(name)),
-            render_cache_sidecar(explorer.caches()),
-        )
-        .expect("write cache sidecar");
+        std::fs::write(out_dir.join(sidecar::file_name(name)), sidecar::render(explorer.caches()))
+            .expect("write cache sidecar");
     }
     // Always (re)write the final state: never report a stale file that
     // happened to be sitting in the output directory.
     let checkpoint_path = snapshot(&state).write(out_dir).expect("write checkpoint");
-    std::fs::write(out_dir.join(caches_file_name(name)), render_cache_sidecar(explorer.caches()))
+    std::fs::write(out_dir.join(sidecar::file_name(name)), sidecar::render(explorer.caches()))
         .expect("write cache sidecar");
     // The front is an O(archive^2) dominance sweep: compute it once and
     // share it between the report, the spread figure, and the overlay.
@@ -466,6 +426,7 @@ fn main() {
             || args.epsilon.is_some()
             || args.acceptance.is_some()
             || args.no_recombine
+            || args.fine_recombine
             || args.archive_cap.is_some()
             || args.hardware.is_some()
         {
@@ -485,8 +446,11 @@ fn main() {
         if let Some(rounds) = args.rounds {
             checkpoint.config.rounds = rounds;
         }
-        // A sidecar next to the checkpoint warms the resumed caches.
-        options.warm_from = path.parent().map(|p| p.to_path_buf());
+        // A sidecar next to the checkpoint warms the resumed caches
+        // (unless the operator asked for a cold resume).
+        if !args.no_warm_start {
+            options.warm_from = path.parent().map(|p| p.to_path_buf());
+        }
         eprintln!(
             "resuming {} at round {}/{}",
             checkpoint.run, checkpoint.state.rounds_done, checkpoint.config.rounds

@@ -127,6 +127,7 @@ impl Checkpoint {
     /// checkpoints render under the v2 tag with the exact v2 bytes.
     fn has_v3_features(&self) -> bool {
         !self.config.hardware.is_default()
+            || self.config.fine_recombine
             || !self.stage_hit_rates.is_empty()
             || self.state.walks.iter().any(|w| !w.spec.hardware.is_default())
             || self.state.archive.iter().any(|e| !e.spec.hardware.is_default())
@@ -318,6 +319,13 @@ fn config_to_json(c: &ExploreConfig) -> Json {
     if !c.hardware.is_default() {
         pairs.push(("hardware", Json::str(c.hardware.as_str())));
     }
+    // Written only when the finer exchange blocks are on (the flag
+    // changes the recombination RNG streams, so a resumed run must know
+    // about it); a default config renders the exact pre-flag bytes, and
+    // pre-flag documents parse as coarse-block.
+    if c.fine_recombine {
+        pairs.push(("fine_recombine", Json::Bool(true)));
+    }
     // Written only when pruning is on: an uncapped config renders the
     // exact bytes the pre-pruning schema produced, and pre-pruning v2
     // documents parse as uncapped. `Some(0)` means "no pruning" just
@@ -362,9 +370,16 @@ fn config_from_json(json: &Json) -> Option<ExploreConfig> {
         None => HardwareSweep::default(),
         Some(tag) => HardwareSweep::parse(tag.as_str()?)?,
     };
+    // Absent in pre-flag documents and in coarse-block renders: both
+    // mean the coarse exchange blocks.
+    let fine_recombine = match json.get("fine_recombine") {
+        None => false,
+        Some(v) => v.as_bool()?,
+    };
     Some(ExploreConfig {
         acceptance: AcceptanceMode::from_str_tag(json.get("acceptance")?.as_str()?)?,
         recombine: json.get("recombine")?.as_bool()?,
+        fine_recombine,
         screen_divisor: json.get("screen_divisor")?.as_u64()?,
         epsilon: json.get("epsilon")?.as_f64()?,
         hardware,
@@ -507,6 +522,28 @@ mod tests {
         let zero = cp.render();
         assert!(!zero.contains("archive_cap"));
         assert_eq!(Checkpoint::parse(&zero).unwrap().config.archive_cap, None);
+    }
+
+    #[test]
+    fn fine_recombine_round_trips_and_gates_the_v3_tag() {
+        // Off (the default): no field, v2 bytes — existing checkpoints
+        // stay byte-identical.
+        let mut cp = sample_checkpoint();
+        let coarse = cp.render();
+        assert!(!coarse.contains("fine_recombine"));
+        assert!(coarse.contains(SCHEMA));
+        assert!(!Checkpoint::parse(&coarse).unwrap().config.fine_recombine);
+        // On: the field appears, the document upgrades to v3 (the flag
+        // changes RNG streams, so old readers must fail loudly), and it
+        // round-trips.
+        cp.config.fine_recombine = true;
+        let fine = cp.render();
+        assert!(fine.contains("\"fine_recombine\": true"));
+        assert!(fine.contains(SCHEMA_V3));
+        let (back, version) = Checkpoint::parse_versioned(&fine).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(back, cp);
+        assert_eq!(back.render(), fine);
     }
 
     #[test]

@@ -67,6 +67,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -191,6 +192,15 @@ pub struct ExploreConfig {
     pub acceptance: AcceptanceMode,
     /// Whether walks exchange knob blocks at round barriers.
     pub recombine: bool,
+    /// Finer-grained recombination exchange blocks: when set, each
+    /// exchanging pair makes one extra draw deciding whether the
+    /// frequency-strategy knob travels with the **bus** block instead
+    /// of the placement/aux block, so frequency × layout combinations
+    /// recombine independently. Off by default — the extra draw shifts
+    /// every later draw in the pair's `(seed, round, pair)` stream, so
+    /// the flag is opt-in to keep default-config trajectories (and
+    /// their checkpoints) byte-identical to the coarse-block engine.
+    pub fine_recombine: bool,
     /// Adaptive screening: proposals are first simulated at
     /// `yield_trials / screen_divisor` trials; `1` disables screening.
     pub screen_divisor: u64,
@@ -228,6 +238,7 @@ impl Default for ExploreConfig {
             cooling: 0.92,
             acceptance: AcceptanceMode::Dominance,
             recombine: true,
+            fine_recombine: false,
             screen_divisor: 1,
             epsilon: 0.02,
             hardware: HardwareSweep::default(),
@@ -264,6 +275,7 @@ impl ExploreConfig {
         ExploreConfig {
             acceptance: AcceptanceMode::Scalarized,
             recombine: false,
+            fine_recombine: false,
             screen_divisor: 1,
             archive_cap: None,
             ..self
@@ -398,7 +410,12 @@ pub struct Explorer {
     /// stage plan is shared by every per-candidate clone, so the
     /// frequency/assembly cache persists across evaluations.
     flow: DesignFlow,
-    caches: StageCaches,
+    /// The downstream routing/yield tables. `Arc`-shared so a resident
+    /// server can hand every request's engine the same warm caches;
+    /// sharing is observation-free — stages are pure functions of their
+    /// content keys, so shared tables change *when* work happens, never
+    /// what any engine computes.
+    caches: Arc<StageCaches>,
     /// Content fingerprint of the routed program, folded into routing
     /// keys.
     circuit_key: u64,
@@ -423,12 +440,50 @@ impl Explorer {
             .with_allocation_seed(config.seed)
             .with_sigma_ghz(config.sigma_ghz)
             .with_memo_cap(cap);
+        Self::with_flow(space, config, flow, Arc::new(StageCaches::with_cap(cap)))
+    }
+
+    /// Like [`Explorer::new`], but evaluating through a caller-supplied
+    /// stage plan and downstream caches — the resident-server path,
+    /// where every request's engine shares one warm set of tables.
+    ///
+    /// Correctness does not depend on what the shared tables already
+    /// hold: every stage is a pure function of its content key (the
+    /// allocation trials, seed, sigma, and hardware family are all part
+    /// of the keys), so a warm entry is exactly the value this engine
+    /// would have computed. Callers should still share only across
+    /// engines with equal allocation settings if they want the *plan*
+    /// caches to actually hit.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the baseline design cannot be built or routed.
+    pub fn with_shared(
+        space: ExploreSpace,
+        config: ExploreConfig,
+        plan: Arc<qpd_core::StagePlan>,
+        caches: Arc<StageCaches>,
+    ) -> Result<Self, ExploreError> {
+        let flow = DesignFlow::new()
+            .with_allocation_trials(config.alloc_trials)
+            .with_allocation_seed(config.seed)
+            .with_sigma_ghz(config.sigma_ghz)
+            .with_plan(plan);
+        Self::with_flow(space, config, flow, caches)
+    }
+
+    fn with_flow(
+        space: ExploreSpace,
+        config: ExploreConfig,
+        flow: DesignFlow,
+        caches: Arc<StageCaches>,
+    ) -> Result<Self, ExploreError> {
         let program_key = circuit_key(space.circuit());
         let mut explorer = Explorer {
             space,
             config,
             flow,
-            caches: StageCaches::with_cap(cap),
+            caches,
             circuit_key: program_key,
             baseline_gates: 1,
             baseline_depth: 1,
@@ -1067,6 +1122,15 @@ impl Explorer {
     /// frequency knobs. Pinned sweeps make no such draw (both parents
     /// share the family anyway), so their exchange streams — and every
     /// pre-mixed-mode trajectory — are preserved exactly.
+    ///
+    /// With [`ExploreConfig::fine_recombine`] the frequency-strategy
+    /// knob becomes its own exchange block too: one further draw per
+    /// exchanging pair decides whether offspring take the frequency
+    /// strategy from the bus-block parent instead of the placement/aux
+    /// parent. The draw order is gate, family (mixed sweeps only),
+    /// frequency — appended strictly after the existing draws and made
+    /// only when the flag is set, so default-config streams are
+    /// untouched.
     fn recombine_round(
         &self,
         state: &mut ExploreState,
@@ -1083,12 +1147,13 @@ impl Explorer {
             }
             let family_with_bus =
                 self.config.hardware == HardwareSweep::All && rng.gen::<f64>() < 0.5;
+            let freq_with_bus = self.config.fine_recombine && rng.gen::<f64>() < 0.5;
             let (i, j) = (2 * pair, 2 * pair + 1);
             let (a, b) = (&state.walks[i].spec, &state.walks[j].spec);
             let cross = |bus_from: &CandidateSpec, rest_from: &CandidateSpec| {
                 self.space.sanitize(CandidateSpec {
                     bus: bus_from.bus.clone(),
-                    frequency: rest_from.frequency,
+                    frequency: if freq_with_bus { bus_from.frequency } else { rest_from.frequency },
                     aux_qubits: rest_from.aux_qubits,
                     placement: rest_from.placement,
                     hardware: if family_with_bus { bus_from.hardware } else { rest_from.hardware },
@@ -1234,6 +1299,44 @@ mod tests {
         assert_eq!(a, b);
         let c = quick_explorer(8).run().unwrap();
         assert_ne!(a.archive, c.archive, "different seeds should explore differently");
+    }
+
+    #[test]
+    fn fine_recombine_is_deterministic_and_opt_in() {
+        // The finer exchange blocks stay bit-identical run to run…
+        let fine = ExploreConfig { seed: 7, fine_recombine: true, ..ExploreConfig::quick() };
+        let a = explorer_with(fine).run().unwrap();
+        let b = explorer_with(fine).run().unwrap();
+        assert_eq!(a, b);
+        // …and the default config never makes the extra draw: its
+        // trajectory is byte-identical whether or not the build knows
+        // about the flag, which `repeated_runs_are_identical` pins and
+        // this asserts structurally — the flag is off.
+        assert!(!ExploreConfig::default().fine_recombine);
+        assert!(!ExploreConfig::quick().fine_recombine);
+    }
+
+    #[test]
+    fn shared_caches_and_plan_reproduce_the_owned_run() {
+        // The resident-server path: two engines sharing one plan and
+        // one downstream cache set must produce the same state as a
+        // fresh owning engine — warm tables change *when* work happens,
+        // never the result.
+        let config = ExploreConfig { seed: 11, ..ExploreConfig::quick() };
+        let owned = explorer_with(config).run().unwrap();
+        let plan = Arc::new(qpd_core::StagePlan::with_cap(Some(DEFAULT_MEMO_CAP)));
+        let caches = Arc::new(StageCaches::with_cap(Some(DEFAULT_MEMO_CAP)));
+        let space = || ExploreSpace::new(demo_circuit(), config.max_aux);
+        let first = Explorer::with_shared(space(), config, plan.clone(), caches.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(first, owned);
+        // Second engine starts fully warm and still matches.
+        let warm = Explorer::with_shared(space(), config, plan, caches.clone()).unwrap();
+        let second = warm.run().unwrap();
+        assert_eq!(second, owned);
+        assert!(caches.yields.hits() > 0, "the shared tables were not consulted");
     }
 
     #[test]

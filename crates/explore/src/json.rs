@@ -51,6 +51,16 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting [`Json::parse`] accepts.
+///
+/// The parser recurses once per open `[`/`{`, so an adversarial
+/// document of nothing but open brackets could otherwise exhaust the
+/// stack — and the serve protocol feeds this parser raw socket bytes.
+/// Every document the workspace writes (checkpoints, cache sidecars,
+/// bench snapshots, serve requests) nests single digits deep, so 128
+/// is generous headroom, not a tuning knob.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 impl Json {
     /// Builds an object from key/value pairs (insertion order kept).
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
@@ -138,6 +148,55 @@ impl Json {
         out
     }
 
+    /// Renders on one line with no whitespace — the newline-delimited
+    /// wire format of the serve protocol. String contents are escaped
+    /// (`\n` included), so the output never contains a raw newline;
+    /// parsing it back recovers the same tree, and re-rendering the
+    /// parse is byte-identical (the byte-equality the serve tests pin).
+    /// [`Json::Raw`] values are spliced verbatim, so a raw value
+    /// containing a newline would break the one-line guarantee — the
+    /// parser never produces `Raw`, and protocol documents must not.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                debug_assert!(v.is_finite());
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Raw(s) => out.push_str(s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn render_into(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -193,11 +252,14 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a [`JsonError`] with the byte offset of the first problem.
+    /// Returns a [`JsonError`] with the byte offset of the first
+    /// problem. Containers nested deeper than [`MAX_PARSE_DEPTH`] are
+    /// rejected rather than recursed into (stack-safety on untrusted
+    /// input).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(err(pos, "trailing characters after document"));
@@ -249,12 +311,12 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
@@ -348,7 +410,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn check_depth(at: usize, depth: usize) -> Result<(), JsonError> {
+    if depth >= MAX_PARSE_DEPTH {
+        return Err(err(at, format!("nesting exceeds {MAX_PARSE_DEPTH} levels")));
+    }
+    Ok(())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    check_depth(*pos, depth)?;
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -357,7 +427,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -370,7 +440,8 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    check_depth(*pos, depth)?;
     expect(bytes, pos, b'{')?;
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -383,7 +454,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         pairs.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -469,6 +540,24 @@ mod tests {
     }
 
     #[test]
+    fn compact_render_is_one_line_and_round_trips() {
+        let doc = Json::obj([
+            ("name", Json::str("line1\nline2 \"quoted\"")),
+            ("items", Json::Arr(vec![Json::int(1), Json::num(-2.5), Json::Null])),
+            ("nested", Json::obj([("flag", Json::Bool(true))])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "compact render leaked a newline: {line:?}");
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed, doc);
+        // Byte-stable: re-rendering the parse reproduces the line.
+        assert_eq!(parsed.render_compact(), line);
+        assert_eq!(Json::obj([("a", Json::int(1))]).render_compact(), "{\"a\":1}");
+    }
+
+    #[test]
     fn raw_values_splice_verbatim() {
         let doc = Json::obj([("line", Json::Raw("{\"k\": 1}".into()))]);
         assert!(doc.render().contains("\"line\": {\"k\": 1}"));
@@ -478,5 +567,106 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn non_finite_numbers_rejected() {
         let _ = Json::num(f64::NAN);
+    }
+
+    // ---- adversarial input (the serve protocol feeds this parser raw
+    // socket bytes, so every failure must be an `Err`, never a panic or
+    // a stack overflow) ----
+
+    #[test]
+    fn truncated_documents_error_at_the_cut() {
+        let full = Json::obj([
+            ("k", Json::str("v")),
+            ("arr", Json::Arr(vec![Json::int(1), Json::Bool(false)])),
+            ("nested", Json::obj([("x", Json::num(-2.5))])),
+        ])
+        .render();
+        // Drop the trailing newline: `…}` is already complete.
+        let full = full.trim_end();
+        // Every strict prefix must fail cleanly (the document only
+        // parses whole).
+        for cut in 1..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(Json::parse(&full[..cut]).is_err(), "accepted prefix of {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn malformed_documents_rejected_with_offsets() {
+        let cases = [
+            ("{\"a\": 1,}", "expected"),         // trailing comma
+            ("[1, 2,]", "invalid number"),       // trailing comma in array
+            ("{\"a\": }", "invalid number"),     // missing value
+            ("{a: 1}", "expected"),              // unquoted key
+            ("{\"a\": 1 \"b\": 2}", "expected"), // missing comma
+            ("[1 2]", "expected"),               // missing comma in array
+            ("nul", "expected `null`"),
+            ("truefalse", "trailing"),
+            ("\"bad \\x escape\"", "bad escape"),
+            ("\"trunc \\u00", "truncated"),
+            ("01e", "invalid number"),
+            ("-", "invalid number"),
+            (".5e", "invalid number"),
+        ];
+        for (bad, want) in cases {
+            match Json::parse(bad) {
+                Err(e) => {
+                    assert!(
+                        e.message.contains(want),
+                        "{bad:?}: got `{}`, want `{want}`",
+                        e.message
+                    );
+                    assert!(e.at <= bad.len(), "{bad:?}: offset {} out of range", e.at);
+                }
+                Ok(v) => panic!("accepted {bad:?} as {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_spellings_rejected() {
+        // Rust's f64 parser accepts `NaN`/`inf` spellings, so the
+        // number scanner must never hand them through — and the keyword
+        // paths must not be tricked either.
+        for bad in ["NaN", "nan", "inf", "Infinity", "-inf", "-Infinity", "1e999", "-1e999"] {
+            match Json::parse(bad) {
+                Err(_) => {}
+                Ok(v) => {
+                    panic!("accepted {bad:?} as {v:?}");
+                }
+            }
+        }
+        // Embedded in containers too (the realistic attack shape).
+        assert!(Json::parse("{\"v\": 1e999}").is_err());
+        assert!(Json::parse("[NaN]").is_err());
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_stack_bound() {
+        // Just under the cap parses…
+        let deep_ok = "[".repeat(MAX_PARSE_DEPTH) + &"]".repeat(MAX_PARSE_DEPTH);
+        assert!(Json::parse(&deep_ok).is_ok());
+        // …one past it errors…
+        let over = "[".repeat(MAX_PARSE_DEPTH + 1) + &"]".repeat(MAX_PARSE_DEPTH + 1);
+        let e = Json::parse(&over).unwrap_err();
+        assert!(e.message.contains("nesting"), "got `{}`", e.message);
+        // …and a megabyte of open brackets errors instead of
+        // overflowing the stack (objects recurse through values too).
+        for deep in ["[".repeat(1 << 20), "{\"k\":".repeat(1 << 17)] {
+            assert!(Json::parse(&deep).is_err());
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_escapes_and_surrogates_degrade_safely() {
+        // Lone surrogate escapes map to U+FFFD rather than producing
+        // invalid strings.
+        let parsed = Json::parse("\"\\ud800\"").unwrap();
+        assert_eq!(parsed.as_str().unwrap(), "\u{fffd}");
+        // Raw DEL and multi-byte UTF-8 pass through unmangled.
+        let parsed = Json::parse("\"\u{7f}é\"").unwrap();
+        assert_eq!(parsed.as_str().unwrap(), "\u{7f}é");
     }
 }

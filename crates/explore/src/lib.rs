@@ -84,6 +84,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod engine;
 pub mod json;
+pub mod sidecar;
 pub mod space;
 pub mod spec;
 
@@ -93,7 +94,7 @@ pub use engine::{
     pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, Explorer,
     HardwareSweep, WalkState, DEFAULT_MEMO_CAP,
 };
-pub use json::Json;
+pub use json::{Json, JsonError, MAX_PARSE_DEPTH};
 pub use qpd_yield::HardwareFamily;
 pub use space::ExploreSpace;
 pub use spec::{BusSpec, CandidateSpec, Evaluated, Objectives, PlacementVariant};

@@ -1,0 +1,170 @@
+//! Stage-cache sidecar: persisting warm route/yield entries.
+//!
+//! Alongside every `EXPLORE_<run>.json` checkpoint the explorer writes
+//! `EXPLORE_<run>_caches.json`, a sidecar carrying the routing and
+//! yield stage-cache entries. Loading it back warms the caches of a
+//! resumed run — or, since PR 8, of a freshly booted `qpd_serve`
+//! daemon — so work the previous process already paid for is never
+//! recomputed. Stages are pure functions of their content keys, so warm
+//! entries can only skip recomputation, never change a result; that is
+//! why loading is best-effort (a missing, stale, or malformed sidecar
+//! is reported but never an error).
+//!
+//! The format is key-sorted with keys as decimal strings (they exceed
+//! the f64-exact integer range), values as `[a, b]` pairs — byte-stable
+//! for a given cache content, diff-friendly, and shared verbatim
+//! between `explore_run` and the serve daemon.
+
+use std::path::Path;
+
+use crate::cache::StageCaches;
+use crate::json::Json;
+
+/// Sidecar schema tag for the persisted stage-cache entries.
+pub const SCHEMA: &str = "qpd-explore-caches/1";
+
+/// The cache sidecar riding along with `EXPLORE_<run>.json`.
+pub fn file_name(run: &str) -> String {
+    format!("EXPLORE_{run}_caches.json")
+}
+
+/// What [`load`] found — the caller decides how loudly to report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SidecarLoad {
+    /// No file at the path: the cold-start case, not an anomaly.
+    Missing,
+    /// A file existed but was skipped (unparseable, or an unknown
+    /// schema tag); the str says which.
+    Ignored(&'static str),
+    /// Entries restored, counted per stage.
+    Loaded {
+        /// Routing-stage entries inserted.
+        routes: usize,
+        /// Yield-stage entries inserted.
+        yields: usize,
+    },
+}
+
+impl SidecarLoad {
+    /// Total entries restored (zero unless `Loaded`).
+    pub fn total(&self) -> usize {
+        match self {
+            SidecarLoad::Loaded { routes, yields } => routes + yields,
+            _ => 0,
+        }
+    }
+}
+
+/// Serializes the routing and yield cache entries so the next process
+/// starts warm instead of re-simulating everything already paid for.
+pub fn render(caches: &StageCaches) -> String {
+    let table = |entries: Vec<(u64, (u64, u64))>| {
+        Json::Arr(
+            entries
+                .into_iter()
+                .map(|(key, (a, b))| {
+                    Json::obj([
+                        ("key", Json::str(key.to_string())),
+                        ("value", Json::Arr(vec![Json::int(a), Json::int(b)])),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("routes", table(caches.routes.entries())),
+        ("yields", table(caches.yields.entries())),
+    ])
+    .render()
+}
+
+/// Loads a sidecar into `caches`, reporting what happened per stage.
+/// Warm entries can only skip recomputation, never change a result, so
+/// every failure mode degrades to "start cold" instead of erroring.
+pub fn load(path: &Path, caches: &StageCaches) -> SidecarLoad {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return SidecarLoad::Missing;
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return SidecarLoad::Ignored("unparseable document");
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return SidecarLoad::Ignored("unknown schema");
+    }
+    let mut counts = [0usize; 2];
+    for (slot, (field, cache)) in
+        [("routes", &caches.routes), ("yields", &caches.yields)].into_iter().enumerate()
+    {
+        let Some(entries) = doc.get(field).and_then(Json::as_arr) else {
+            continue;
+        };
+        for e in entries {
+            let key = e.get("key").and_then(Json::as_str).and_then(|s| s.parse::<u64>().ok());
+            let value = e.get("value").and_then(Json::as_arr).and_then(|pair| {
+                match (pair.first().and_then(Json::as_u64), pair.get(1).and_then(Json::as_u64)) {
+                    (Some(a), Some(b)) => Some((a, b)),
+                    _ => None,
+                }
+            });
+            if let (Some(key), Some(value)) = (key, value) {
+                cache.insert(key, value);
+                counts[slot] += 1;
+            }
+        }
+    }
+    SidecarLoad::Loaded { routes: counts[0], yields: counts[1] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_load_round_trips_per_stage() {
+        let caches = StageCaches::default();
+        caches.routes.insert(1, (10, 20));
+        caches.routes.insert(2, (30, 40));
+        caches.yields.insert(99, (7, 8));
+        let text = render(&caches);
+        assert!(text.contains(SCHEMA));
+
+        let dir = std::env::temp_dir().join("qpd_sidecar_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(file_name("unit"));
+        std::fs::write(&path, &text).unwrap();
+
+        let fresh = StageCaches::default();
+        assert_eq!(load(&path, &fresh), SidecarLoad::Loaded { routes: 2, yields: 1 });
+        assert_eq!(fresh.routes.get(2), Some((30, 40)));
+        assert_eq!(fresh.yields.get(99), Some((7, 8)));
+        // Warm caches render the same bytes back (entries are key-sorted).
+        assert_eq!(render(&fresh), text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_and_malformed_sidecars_degrade_to_cold() {
+        let caches = StageCaches::default();
+        let dir = std::env::temp_dir().join("qpd_sidecar_test_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(load(&dir.join("absent.json"), &caches), SidecarLoad::Missing);
+
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "not json").unwrap();
+        assert_eq!(load(&garbled, &caches), SidecarLoad::Ignored("unparseable document"));
+
+        let alien = dir.join("alien.json");
+        std::fs::write(&alien, "{\"schema\": \"other/1\"}").unwrap();
+        assert_eq!(load(&alien, &caches), SidecarLoad::Ignored("unknown schema"));
+
+        assert_eq!(caches.routes.len() + caches.yields.len(), 0, "nothing leaked in");
+        std::fs::remove_file(&garbled).ok();
+        std::fs::remove_file(&alien).ok();
+    }
+
+    #[test]
+    fn file_name_convention() {
+        assert_eq!(file_name("sym6_145"), "EXPLORE_sym6_145_caches.json");
+    }
+}

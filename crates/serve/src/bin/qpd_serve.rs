@@ -1,0 +1,88 @@
+//! The resident design-service daemon.
+//!
+//! ```text
+//! qpd_serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!           [--out-dir DIR] [--warm-start PATH] [--memo-cap N]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7878`; port `0` picks an
+//! ephemeral one, printed at boot), optionally warm-starts the shared
+//! route/yield caches from an `EXPLORE_*_caches.json` sidecar, and
+//! serves the newline-delimited JSON protocol documented on
+//! [`qpd_serve`] until a `shutdown` request. Evaluation fans out on
+//! the `qpd-par` pool (`QPD_THREADS` to override); `--workers` bounds
+//! concurrent *requests*, not threads.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qpd_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qpd_serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+         [--out-dir DIR] [--warm-start PATH] [--memo-cap N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig { addr: "127.0.0.1:7878".into(), ..ServerConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_missing(flag));
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => {
+                config.workers = parse_num(&value("--workers"), "--workers").max(1);
+            }
+            "--queue-cap" => config.queue_cap = parse_num(&value("--queue-cap"), "--queue-cap"),
+            "--out-dir" => config.out_dir = PathBuf::from(value("--out-dir")),
+            "--warm-start" => config.warm_start = Some(PathBuf::from(value("--warm-start"))),
+            "--memo-cap" => {
+                let cap: usize = parse_num(&value("--memo-cap"), "--memo-cap");
+                config.memo_cap = (cap != 0).then_some(cap);
+            }
+            _ => usage(),
+        }
+    }
+    config
+}
+
+fn usage_missing(flag: &str) -> ! {
+    eprintln!("qpd_serve: {flag} needs a value");
+    usage()
+}
+
+fn parse_num(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("qpd_serve: {flag} expects a number, got {text:?}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let workers = config.workers;
+    let queue_cap = config.queue_cap;
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qpd_serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "qpd_serve: listening on {} — {workers} request worker(s), queue cap {queue_cap}, \
+         {} evaluation thread(s)",
+        server.local_addr(),
+        qpd_par::threads(),
+    );
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qpd_serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

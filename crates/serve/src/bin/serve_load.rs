@@ -1,0 +1,252 @@
+//! Deterministic load generator for `qpd_serve`.
+//!
+//! ```text
+//! serve_load --addr HOST:PORT [--seed N] [--requests N] [--check]
+//! serve_load --addr HOST:PORT --shutdown-test DIR
+//! serve_load --addr HOST:PORT --shutdown
+//! ```
+//!
+//! The default mode drives a seeded mix of requests drawn from a fixed
+//! menu — cold designs, warm repeats, duplicate ids, small explores
+//! (streamed and not) — and asserts that every repeat of a request
+//! line gets back byte-identical lines. With `--check` it additionally
+//! recomputes each design response in-process (a fresh cold engine, no
+//! daemon) and asserts the daemon's bytes match: the shared warm caches
+//! changed how fast the answer came, not what it was.
+//!
+//! `--shutdown-test DIR` starts a long explore, shuts the daemon down
+//! mid-run, and asserts the cut run reports `"reason":"shutdown"` with
+//! a checkpoint under `DIR` that the v3 checkpoint parser accepts.
+//! `--shutdown` just asks the daemon to stop.
+
+use std::process::ExitCode;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use qpd_explore::{CandidateSpec, Checkpoint, ExploreSpace, Explorer, Json};
+use qpd_serve::protocol::{self, Request};
+use qpd_serve::{Client, Exchange};
+
+struct Args {
+    addr: String,
+    seed: u64,
+    requests: usize,
+    check: bool,
+    shutdown: bool,
+    shutdown_test: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_load --addr HOST:PORT [--seed N] [--requests N] [--check] \
+         [--shutdown | --shutdown-test DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: String::new(),
+        seed: 7,
+        requests: 12,
+        check: false,
+        shutdown: false,
+        shutdown_test: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => out.addr = value(),
+            "--seed" => out.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => out.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--check" => out.check = true,
+            "--shutdown" => out.shutdown = true,
+            "--shutdown-test" => out.shutdown_test = Some(value()),
+            _ => usage(),
+        }
+    }
+    if out.addr.is_empty() {
+        usage()
+    }
+    out
+}
+
+/// The fixed request menu. Ids are menu positions, so a repeated draw
+/// reproduces the request line byte for byte — which is exactly what
+/// lets the generator assert response byte-identity.
+fn menu() -> Vec<String> {
+    let small_config = Json::obj([
+        ("walks", Json::int(2)),
+        ("rounds", Json::int(1)),
+        ("steps", Json::int(1)),
+        ("alloc_trials", Json::int(40)),
+        ("yield_trials", Json::int(200)),
+    ]);
+    let entries = vec![
+        Json::obj([("op", Json::str("design")), ("benchmark", Json::str("cm152a_212"))]),
+        Json::obj([("op", Json::str("design")), ("benchmark", Json::str("sym6_145"))]),
+        Json::obj([("op", Json::str("design")), ("benchmark", Json::str("z4_268"))]),
+        Json::obj([
+            ("op", Json::str("design")),
+            ("benchmark", Json::str("cm152a_212")),
+            ("settings", Json::obj([("seed", Json::int(11))])),
+        ]),
+        Json::obj([
+            ("op", Json::str("explore")),
+            ("benchmark", Json::str("cm152a_212")),
+            ("label", Json::str("load-a")),
+            ("config", small_config.clone()),
+        ]),
+        Json::obj([
+            ("op", Json::str("explore")),
+            ("benchmark", Json::str("sym6_145")),
+            ("label", Json::str("load-b")),
+            ("config", small_config),
+            ("stream", Json::Bool(true)),
+        ]),
+    ];
+    entries
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let mut pairs = vec![("id".to_string(), Json::str(format!("m{i}")))];
+            let Json::Obj(rest) = body else { unreachable!() };
+            pairs.extend(rest);
+            Json::Obj(pairs).render_compact()
+        })
+        .collect()
+}
+
+/// Recomputes a design response with a fresh in-process engine — no
+/// daemon, no shared caches — for the `--check` cross-validation.
+fn expected_design_line(line: &str) -> String {
+    let req = protocol::parse_request(line).expect("menu line parses");
+    let Request::Design { source, spec, settings } = req.body else {
+        panic!("expected a design line, got {line}");
+    };
+    let protocol::Source::Benchmark(name) = source else {
+        panic!("menu designs are benchmark-sourced");
+    };
+    assert_eq!(spec, None, "menu designs use the default spec");
+    let circuit = qpd_benchmarks::build(&name).expect("menu benchmark exists");
+    let config = settings.to_config();
+    let explorer =
+        Explorer::new(ExploreSpace::new(circuit, config.max_aux), config).expect("engine builds");
+    let spec = CandidateSpec::eff_full(explorer.space().full_weighted_len());
+    let evaluated = explorer.evaluate(&spec).expect("design evaluates");
+    let with_newline = protocol::ok_line(&req.id, evaluated.to_json());
+    with_newline.trim_end().to_string()
+}
+
+fn run_mix(args: &Args) -> std::io::Result<()> {
+    let menu = menu();
+    let mut client = Client::connect(&args.addr)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let mut first: Vec<Option<Exchange>> = vec![None; menu.len()];
+    let mut repeats = 0usize;
+    for n in 0..args.requests {
+        let idx = rng.gen_range(0..menu.len());
+        let exchange = client.request(&Json::parse(&menu[idx]).expect("menu renders valid"))?;
+        let response = Json::parse(&exchange.response).expect("response parses");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {n} (menu {idx}) failed: {}",
+            exchange.response
+        );
+        match &first[idx] {
+            None => first[idx] = Some(exchange),
+            Some(seen) => {
+                repeats += 1;
+                assert_eq!(
+                    seen, &exchange,
+                    "menu {idx}: repeat served different bytes than the first serving"
+                );
+            }
+        }
+    }
+    if args.check {
+        for (idx, exchange) in first.iter().enumerate() {
+            let Some(exchange) = exchange else { continue };
+            if !menu[idx].contains("\"design\"") {
+                continue;
+            }
+            assert_eq!(
+                exchange.response,
+                expected_design_line(&menu[idx]),
+                "menu {idx}: daemon bytes differ from a cold in-process engine"
+            );
+        }
+    }
+    let stats = client.request_raw(r#"{"id":"load-stats","op":"stats"}"#)?;
+    println!(
+        "serve_load: {} requests ({repeats} byte-identical repeats{}) — stats: {}",
+        args.requests,
+        if args.check { ", designs cross-checked in-process" } else { "" },
+        stats.response
+    );
+    Ok(())
+}
+
+/// Cuts a long explore with a shutdown and verifies the daemon left a
+/// parseable, resumable checkpoint behind.
+fn run_shutdown_test(addr: &str, out_dir: &str) -> std::io::Result<()> {
+    // A round budget no machine clears before the shutdown lands (the
+    // run must still be in flight so the cut truncates it mid-run), and
+    // no explicit label so the checkpoint keeps the benchmark-named
+    // default — the form `explore_run --resume` can pick back up.
+    let line = r#"{"id":"cut","op":"explore","benchmark":"cm152a_212","config":{"walks":2,"rounds":200000,"steps":1,"alloc_trials":40,"yield_trials":200}}"#;
+    let addr_owned = addr.to_string();
+    let explorer = std::thread::spawn(move || -> std::io::Result<Exchange> {
+        Client::connect(&addr_owned)?.request_raw(line)
+    });
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let shutdown = Client::connect(addr)?.request_raw(r#"{"id":"stop","op":"shutdown"}"#)?;
+    println!("serve_load: shutdown acknowledged: {}", shutdown.response);
+    let exchange = explorer.join().expect("explore thread")?;
+    let response = Json::parse(&exchange.response).expect("explore response parses");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true), "{}", exchange.response);
+    let result = response.get("result").expect("result");
+    assert_eq!(result.get("truncated").and_then(Json::as_bool), Some(true), "not truncated");
+    assert_eq!(
+        result.get("reason").and_then(Json::as_str),
+        Some("shutdown"),
+        "wrong truncation reason: {}",
+        exchange.response
+    );
+    let path = result.get("checkpoint").and_then(Json::as_str).expect("checkpoint path");
+    let text = std::fs::read_to_string(path)?;
+    let checkpoint = Checkpoint::parse(&text).expect("checkpoint parses");
+    assert_eq!(checkpoint.run, "cm152a_212", "default label keeps the checkpoint resumable");
+    assert!(checkpoint.state.rounds_done < 200_000, "run was not actually cut");
+    let sidecar = std::path::Path::new(out_dir).join(qpd_explore::sidecar::file_name("serve"));
+    println!(
+        "serve_load: shutdown checkpoint OK ({path}, {} rounds, {} archived); sidecar at {}",
+        checkpoint.state.rounds_done,
+        checkpoint.state.archive.len(),
+        sidecar.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let outcome = if let Some(dir) = &args.shutdown_test {
+        run_shutdown_test(&args.addr, dir)
+    } else if args.shutdown {
+        Client::connect(&args.addr)
+            .and_then(|mut c| c.request_raw(r#"{"id":"stop","op":"shutdown"}"#))
+            .map(|ex| println!("serve_load: {}", ex.response))
+    } else {
+        run_mix(&args)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

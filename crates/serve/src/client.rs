@@ -1,0 +1,123 @@
+//! A minimal blocking client for the daemon's line protocol, used by
+//! the load generator, the benches, and the integration tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use qpd_explore::Json;
+
+use crate::protocol::MAX_LINE_BYTES;
+
+/// Everything the server emitted for one request: zero or more
+/// streamed event lines, then the final response line. All lines keep
+/// their exact wire bytes minus the trailing newline, so callers can
+/// assert byte-identity directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exchange {
+    /// `"event"` lines, arrival order.
+    pub events: Vec<String>,
+    /// The single `"ok"` response line.
+    pub response: String,
+}
+
+/// One blocking connection to a daemon.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // One-line request/response traffic stalls ~40 ms per turn
+        // under Nagle + delayed ACK; this protocol always writes whole
+        // lines, so there is nothing for Nagle to coalesce.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Sends one already-rendered request line (the trailing newline is
+    /// added here) without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        debug_assert!(!line.contains('\n'), "protocol lines must be single-line");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads the next protocol line (without its newline), or `None`
+    /// at EOF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; an over-long line from the server is
+    /// reported as [`std::io::ErrorKind::InvalidData`].
+    pub fn read_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = (&mut self.reader).take(MAX_LINE_BYTES as u64 + 1).read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if n > MAX_LINE_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "server line exceeds the protocol size limit",
+            ));
+        }
+        while line.ends_with(['\r', '\n']) {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Sends one request and collects its event lines until the final
+    /// response arrives. Suitable for the one-request-at-a-time clients
+    /// in this workspace; interleaving multiple ids on one connection
+    /// needs a demultiplexing reader instead.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, an unparsable server line, or EOF before the
+    /// response all surface as [`std::io::Error`].
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<Exchange> {
+        self.send_raw(line)?;
+        let mut events = Vec::new();
+        loop {
+            let Some(line) = self.read_line()? else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before the response line",
+                ));
+            };
+            let doc = Json::parse(&line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unparsable server line: {e}"),
+                )
+            })?;
+            if doc.get("ok").is_some() {
+                return Ok(Exchange { events, response: line });
+            }
+            events.push(line);
+        }
+    }
+
+    /// Renders `doc` compactly and performs [`Client::request_raw`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn request(&mut self, doc: &Json) -> std::io::Result<Exchange> {
+        self.request_raw(&doc.render_compact())
+    }
+}

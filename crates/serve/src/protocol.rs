@@ -1,0 +1,486 @@
+//! Request/response grammar: parsing untrusted request lines into typed
+//! requests, and rendering the deterministic response/event lines.
+//!
+//! See the crate docs for the full wire grammar. Everything here is
+//! pure — no sockets — so the grammar is unit-testable and the server
+//! and the load generator share one implementation.
+
+use qpd_explore::{AcceptanceMode, ExploreConfig, HardwareSweep, Json};
+
+/// Upper bound on one request line, in bytes. A line longer than this
+/// is rejected (`bad_request`) and the connection closed: the parser
+/// behind it is depth-bounded but a multi-gigabyte single line would
+/// still have to be buffered before parsing.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Where the circuit of a request comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// A named benchmark (`qpd_benchmarks::build`).
+    Benchmark(String),
+    /// Inline OpenQASM 2.0 program text.
+    Qasm(String),
+}
+
+/// Engine knobs of a `design` request (the explore-config subset that
+/// affects a single evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineSettings {
+    /// Monte Carlo trials inside frequency allocation.
+    pub alloc_trials: usize,
+    /// Monte Carlo trials per yield estimate.
+    pub yield_trials: u64,
+    /// Fabrication precision in GHz.
+    pub sigma_ghz: f64,
+    /// Allocation and yield simulation seed.
+    pub seed: u64,
+    /// Largest auxiliary-qubit count in scope.
+    pub max_aux: usize,
+}
+
+impl Default for EngineSettings {
+    fn default() -> Self {
+        let c = ExploreConfig::default();
+        EngineSettings {
+            alloc_trials: c.alloc_trials,
+            yield_trials: c.yield_trials,
+            sigma_ghz: c.sigma_ghz,
+            seed: c.seed,
+            max_aux: c.max_aux,
+        }
+    }
+}
+
+impl EngineSettings {
+    /// The explore config a one-shot design evaluation runs under.
+    pub fn to_config(self) -> ExploreConfig {
+        ExploreConfig {
+            alloc_trials: self.alloc_trials,
+            yield_trials: self.yield_trials,
+            sigma_ghz: self.sigma_ghz,
+            seed: self.seed,
+            max_aux: self.max_aux,
+            ..ExploreConfig::default()
+        }
+    }
+}
+
+/// Per-request bounds of an `explore` request, all optional.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Clamp on the configured round budget (applied before the run).
+    pub max_rounds: Option<usize>,
+    /// Stop at the next round barrier once the archive holds this many
+    /// evaluated candidates.
+    pub max_candidates: Option<usize>,
+    /// Wall-clock deadline, honored at round barriers.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRequest {
+    /// Client-chosen correlation id, echoed on every emitted line.
+    pub id: String,
+    /// What the client asked for.
+    pub body: Request,
+}
+
+/// The operations the daemon serves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate one candidate spec end to end.
+    Design {
+        /// The circuit to design for.
+        source: Source,
+        /// The candidate's five knobs, checkpoint encoding; `None`
+        /// designs the paper's eff-full configuration.
+        spec: Option<Json>,
+        /// Engine knobs.
+        settings: EngineSettings,
+    },
+    /// Run a (budgeted) exploration.
+    Explore {
+        /// The circuit to explore for.
+        source: Source,
+        /// Checkpoint label (`EXPLORE_<label>.json` on shutdown).
+        label: String,
+        /// Full engine configuration.
+        config: ExploreConfig,
+        /// Request bounds.
+        budget: Budget,
+        /// Emit one `round` event line per completed round.
+        stream: bool,
+    },
+    /// Per-stage cache counters.
+    Stats,
+    /// Graceful shutdown: checkpoint in-flight explores, persist the
+    /// cache sidecar, exit.
+    Shutdown,
+}
+
+/// A request that failed to parse: the error body to send back, plus
+/// the request id when one was recoverable from the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The id to echo (`None` renders as JSON `null`).
+    pub id: Option<String>,
+    /// Machine-readable code (`bad_request` here).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn bad(id: Option<String>, message: impl Into<String>) -> RequestError {
+    RequestError { id, code: "bad_request", message: message.into() }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns the deterministic error body to send back when the line is
+/// not a valid request.
+pub fn parse_request(line: &str) -> Result<ParsedRequest, RequestError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(bad(None, format!("request line exceeds {MAX_LINE_BYTES} bytes")));
+    }
+    let doc = Json::parse(line).map_err(|e| bad(None, format!("malformed JSON: {e}")))?;
+    let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
+    let Some(id) = id else {
+        return Err(bad(None, "missing string `id`"));
+    };
+    let with_id = |message: String| bad(Some(id.clone()), message);
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| with_id("missing string `op`".into()))?;
+    let body = match op {
+        "design" => Request::Design {
+            source: parse_source(&doc).map_err(&with_id)?,
+            spec: doc.get("spec").cloned(),
+            settings: parse_settings(doc.get("settings")).map_err(&with_id)?,
+        },
+        "explore" => {
+            let source = parse_source(&doc).map_err(&with_id)?;
+            let label = match doc.get("label") {
+                None => default_label(&source),
+                Some(v) => {
+                    let l = v.as_str().ok_or_else(|| with_id("`label` must be a string".into()))?;
+                    if l.is_empty()
+                        || !l.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+                    {
+                        return Err(with_id(
+                            "`label` must be non-empty [A-Za-z0-9_-] (it names a file)".into(),
+                        ));
+                    }
+                    l.to_string()
+                }
+            };
+            Request::Explore {
+                source,
+                label,
+                config: parse_config(doc.get("config")).map_err(&with_id)?,
+                budget: parse_budget(doc.get("budget")).map_err(&with_id)?,
+                stream: match doc.get("stream") {
+                    None => false,
+                    Some(v) => {
+                        v.as_bool().ok_or_else(|| with_id("`stream` must be a boolean".into()))?
+                    }
+                },
+            }
+        }
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(with_id(format!("unknown op `{other}`"))),
+    };
+    Ok(ParsedRequest { id, body })
+}
+
+/// The checkpoint label an unlabeled explore gets: the benchmark name
+/// when the source is a named benchmark, `"qasm"` otherwise (both are
+/// filesystem-safe by construction).
+fn default_label(source: &Source) -> String {
+    match source {
+        Source::Benchmark(name) => name.clone(),
+        Source::Qasm(_) => "qasm".to_string(),
+    }
+}
+
+fn parse_source(doc: &Json) -> Result<Source, String> {
+    match (doc.get("benchmark"), doc.get("qasm")) {
+        (Some(name), None) => {
+            Ok(Source::Benchmark(name.as_str().ok_or("`benchmark` must be a string")?.to_string()))
+        }
+        (None, Some(text)) => {
+            Ok(Source::Qasm(text.as_str().ok_or("`qasm` must be a string")?.to_string()))
+        }
+        (Some(_), Some(_)) => Err("give `benchmark` or `qasm`, not both".into()),
+        (None, None) => Err("missing circuit source: `benchmark` or `qasm`".into()),
+    }
+}
+
+fn get_usize(doc: &Json, key: &str, into: &mut usize) -> Result<(), String> {
+    if let Some(v) = doc.get(key) {
+        *into =
+            v.as_u64().ok_or_else(|| format!("`{key}` must be a non-negative integer"))? as usize;
+    }
+    Ok(())
+}
+
+fn get_u64(doc: &Json, key: &str, into: &mut u64) -> Result<(), String> {
+    if let Some(v) = doc.get(key) {
+        *into = v.as_u64().ok_or_else(|| format!("`{key}` must be a non-negative integer"))?;
+    }
+    Ok(())
+}
+
+fn get_f64(doc: &Json, key: &str, into: &mut f64) -> Result<(), String> {
+    if let Some(v) = doc.get(key) {
+        *into = v.as_f64().ok_or_else(|| format!("`{key}` must be a number"))?;
+    }
+    Ok(())
+}
+
+fn get_bool(doc: &Json, key: &str, into: &mut bool) -> Result<(), String> {
+    if let Some(v) = doc.get(key) {
+        *into = v.as_bool().ok_or_else(|| format!("`{key}` must be a boolean"))?;
+    }
+    Ok(())
+}
+
+fn parse_settings(json: Option<&Json>) -> Result<EngineSettings, String> {
+    let mut s = EngineSettings::default();
+    let Some(doc) = json else {
+        return Ok(s);
+    };
+    get_usize(doc, "alloc_trials", &mut s.alloc_trials)?;
+    get_u64(doc, "yield_trials", &mut s.yield_trials)?;
+    get_f64(doc, "sigma_ghz", &mut s.sigma_ghz)?;
+    get_u64(doc, "seed", &mut s.seed)?;
+    get_usize(doc, "max_aux", &mut s.max_aux)?;
+    if s.alloc_trials == 0 || s.yield_trials == 0 {
+        return Err("`alloc_trials` and `yield_trials` must be positive".into());
+    }
+    Ok(s)
+}
+
+/// Parses an explore config over [`ExploreConfig::quick`] defaults
+/// (small budgets suit a shared daemon; every field can be raised
+/// explicitly). Keys match the checkpoint config encoding, plus
+/// `steps` as an alias for `steps_per_round`.
+fn parse_config(json: Option<&Json>) -> Result<ExploreConfig, String> {
+    let mut c = ExploreConfig::quick();
+    let Some(doc) = json else {
+        return Ok(c);
+    };
+    get_usize(doc, "walks", &mut c.walks)?;
+    get_usize(doc, "rounds", &mut c.rounds)?;
+    get_usize(doc, "steps", &mut c.steps_per_round)?;
+    get_usize(doc, "steps_per_round", &mut c.steps_per_round)?;
+    get_u64(doc, "seed", &mut c.seed)?;
+    get_usize(doc, "max_aux", &mut c.max_aux)?;
+    get_usize(doc, "alloc_trials", &mut c.alloc_trials)?;
+    get_u64(doc, "yield_trials", &mut c.yield_trials)?;
+    get_f64(doc, "sigma_ghz", &mut c.sigma_ghz)?;
+    get_f64(doc, "initial_temperature", &mut c.initial_temperature)?;
+    get_f64(doc, "cooling", &mut c.cooling)?;
+    get_bool(doc, "recombine", &mut c.recombine)?;
+    get_bool(doc, "fine_recombine", &mut c.fine_recombine)?;
+    get_u64(doc, "screen_divisor", &mut c.screen_divisor)?;
+    get_f64(doc, "epsilon", &mut c.epsilon)?;
+    if let Some(tag) = doc.get("acceptance") {
+        let tag = tag.as_str().ok_or("`acceptance` must be a string")?;
+        c.acceptance = AcceptanceMode::from_str_tag(tag)
+            .ok_or_else(|| format!("unknown acceptance mode `{tag}`"))?;
+    }
+    if let Some(tag) = doc.get("hardware") {
+        let tag = tag.as_str().ok_or("`hardware` must be a string")?;
+        c.hardware =
+            HardwareSweep::parse(tag).ok_or_else(|| format!("unknown hardware family `{tag}`"))?;
+    }
+    if let Some(v) = doc.get("archive_cap") {
+        let cap = v.as_u64().ok_or("`archive_cap` must be a non-negative integer")? as usize;
+        c.archive_cap = (cap > 0).then_some(cap);
+    }
+    if c.walks == 0 || c.alloc_trials == 0 || c.yield_trials == 0 || c.screen_divisor == 0 {
+        return Err(
+            "`walks`, `alloc_trials`, `yield_trials`, `screen_divisor` must be positive".into()
+        );
+    }
+    Ok(c)
+}
+
+fn parse_budget(json: Option<&Json>) -> Result<Budget, String> {
+    let mut b = Budget::default();
+    let Some(doc) = json else {
+        return Ok(b);
+    };
+    for (key, slot) in
+        [("max_rounds", &mut b.max_rounds), ("max_candidates", &mut b.max_candidates)]
+    {
+        if let Some(v) = doc.get(key) {
+            *slot =
+                Some(v.as_u64().ok_or_else(|| format!("`{key}` must be a non-negative integer"))?
+                    as usize);
+        }
+    }
+    if let Some(v) = doc.get("deadline_ms") {
+        b.deadline_ms = Some(v.as_u64().ok_or("`deadline_ms` must be a non-negative integer")?);
+    }
+    Ok(b)
+}
+
+// ---- emission ----
+
+/// Renders a success response line (newline included).
+pub fn ok_line(id: &str, result: Json) -> String {
+    let mut line = Json::obj([("id", Json::str(id)), ("ok", Json::Bool(true)), ("result", result)])
+        .render_compact();
+    line.push('\n');
+    line
+}
+
+/// Renders an error response line (newline included). `id` of `None`
+/// renders as JSON `null` (the line that failed to parse far enough to
+/// recover one).
+pub fn err_line(id: Option<&str>, code: &str, message: &str) -> String {
+    let id_value = match id {
+        Some(id) => Json::str(id),
+        None => Json::Null,
+    };
+    let mut line = Json::obj([
+        ("id", id_value),
+        ("ok", Json::Bool(false)),
+        ("error", Json::obj([("code", Json::str(code)), ("message", Json::str(message))])),
+    ])
+    .render_compact();
+    line.push('\n');
+    line
+}
+
+/// The deterministic admission-control reject line for request `id`.
+pub fn overloaded_line(id: &str) -> String {
+    err_line(Some(id), "overloaded", "request queue full; retry later")
+}
+
+/// Renders a per-round progress event line (newline included).
+pub fn round_event_line(id: &str, round: usize, archive: usize, front: usize) -> String {
+    let mut line = Json::obj([
+        ("id", Json::str(id)),
+        ("event", Json::str("round")),
+        ("round", Json::int(round as u64)),
+        ("archive", Json::int(archive as u64)),
+        ("front", Json::int(front as u64)),
+    ])
+    .render_compact();
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_request_parses_with_defaults() {
+        let line = r#"{"id":"r1","op":"design","benchmark":"sym6_145"}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(req.id, "r1");
+        match req.body {
+            Request::Design { source, spec, settings } => {
+                assert_eq!(source, Source::Benchmark("sym6_145".into()));
+                assert!(spec.is_none());
+                assert_eq!(settings, EngineSettings::default());
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explore_request_parses_config_and_budget() {
+        let line = r#"{"id":"e1","op":"explore","benchmark":"sym6_145","label":"smoke",
+            "config":{"rounds":5,"seed":9,"hardware":"all","fine_recombine":true},
+            "budget":{"max_rounds":2,"deadline_ms":1000},"stream":true}"#;
+        let req = parse_request(line).unwrap();
+        match req.body {
+            Request::Explore { label, config, budget, stream, .. } => {
+                assert_eq!(label, "smoke");
+                assert_eq!(config.rounds, 5);
+                assert_eq!(config.seed, 9);
+                assert_eq!(config.hardware, HardwareSweep::All);
+                assert!(config.fine_recombine);
+                assert_eq!(config.walks, ExploreConfig::quick().walks, "quick defaults");
+                assert_eq!(budget.max_rounds, Some(2));
+                assert_eq!(budget.deadline_ms, Some(1000));
+                assert!(stream);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explore_label_defaults_to_the_benchmark_and_rejects_path_chars() {
+        let req = parse_request(r#"{"id":"e","op":"explore","benchmark":"sym6_145"}"#).unwrap();
+        match req.body {
+            Request::Explore { label, .. } => assert_eq!(label, "sym6_145"),
+            other => panic!("wrong body: {other:?}"),
+        }
+        let err = parse_request(r#"{"id":"e","op":"explore","benchmark":"x","label":"../x"}"#)
+            .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert_eq!(err.id.as_deref(), Some("e"));
+    }
+
+    #[test]
+    fn bad_lines_produce_deterministic_rejects() {
+        // Unparseable: no id recoverable.
+        let err = parse_request("{nope").unwrap_err();
+        assert_eq!(err.id, None);
+        // Parseable but wrong: id echoed.
+        for (line, needle) in [
+            (r#"{"id":"x"}"#, "op"),
+            (r#"{"id":"x","op":"launch"}"#, "unknown op"),
+            (r#"{"id":"x","op":"design"}"#, "missing circuit source"),
+            (r#"{"id":"x","op":"design","benchmark":"a","qasm":"b"}"#, "not both"),
+            (
+                r#"{"id":"x","op":"design","benchmark":"a","settings":{"alloc_trials":0}}"#,
+                "positive",
+            ),
+            (r#"{"id":"x","op":"explore","benchmark":"a","config":{"walks":0}}"#, "positive"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.id.as_deref(), Some("x"), "{line}");
+            assert!(err.message.contains(needle), "{line}: {}", err.message);
+        }
+        // Missing id entirely.
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap_err().id, None);
+    }
+
+    #[test]
+    fn emitted_lines_are_single_line_and_parse_back() {
+        for line in [
+            ok_line("a", Json::obj([("n", Json::int(1))])),
+            err_line(Some("a"), "bad_request", "broken\nnewline"),
+            err_line(None, "bad_request", "no id"),
+            overloaded_line("b"),
+            round_event_line("c", 2, 10, 3),
+        ] {
+            assert!(line.ends_with('\n'));
+            let body = &line[..line.len() - 1];
+            assert!(!body.contains('\n'), "embedded newline in {body:?}");
+            Json::parse(body).unwrap();
+        }
+        assert_eq!(
+            overloaded_line("b"),
+            "{\"id\":\"b\",\"ok\":false,\"error\":{\"code\":\"overloaded\",\"message\":\"request queue full; retry later\"}}\n"
+        );
+    }
+
+    #[test]
+    fn oversized_lines_rejected_before_parsing() {
+        let huge = format!("{{\"id\":\"x\",\"pad\":\"{}\"}}", "a".repeat(MAX_LINE_BYTES));
+        let err = parse_request(&huge).unwrap_err();
+        assert!(err.message.contains("exceeds"));
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`design`] | `qpd-core` | the three-subroutine design flow |
 //! | [`explore`] | `qpd-explore` | multi-objective design-space search over the flow's knobs |
 //! | [`eval`] | `qpd-eval` | the §5 experiment harness |
+//! | [`serve`] | `qpd-serve` | resident design-service daemon over one shared warm stage graph |
 //! | [`par`] | `qpd-par` | deterministic worker pool for the hot kernels |
 //!
 //! # The stage graph
@@ -37,6 +38,17 @@
 //! [`design::StageKind::invalidates`]). Because routing reads the
 //! coupling topology but never the frequencies, a frequency-only move
 //! skips placement, bus insertion, *and* routing entirely.
+//!
+//! # Serving
+//!
+//! The stage graph is `Arc`-shared and content-keyed, so it also runs
+//! resident: [`serve`] wraps it in a TCP daemon (`qpd_serve` binary,
+//! `serve_load` load generator) speaking newline-delimited JSON, with
+//! every request multiplexed onto one shared warm
+//! [`design::StagePlan`] + [`explore::StageCaches`]. The wire grammar,
+//! budget fields, admission-control semantics, and shutdown/warm-start
+//! story are documented on [`serve`]; responses are byte-reproducible
+//! functions of request content.
 //!
 //! # Environment variables
 //!
@@ -81,6 +93,7 @@ pub use qpd_explore as explore;
 pub use qpd_mapping as mapping;
 pub use qpd_par as par;
 pub use qpd_profile as profile;
+pub use qpd_serve as serve;
 pub use qpd_topology as topology;
 pub use qpd_yield as yield_sim;
 
