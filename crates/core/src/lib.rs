@@ -61,8 +61,8 @@ pub use bus::{
 pub use error::DesignError;
 pub use freq::FrequencyAllocator;
 pub use pareto::{
-    crowding_distances, dominates_nd, epsilon_dominates_nd, epsilon_weakly_dominates_nd,
-    pareto_front, pareto_front_nd,
+    crowding_distances, dominates_nd, epsilon_cell, epsilon_dominates_nd,
+    epsilon_weakly_dominates_nd, pareto_front, pareto_front_nd,
 };
 pub use pipeline::{BusStrategy, DesignFlow, FrequencyStrategy};
 pub use placement::{place_auxiliary, place_qubits};

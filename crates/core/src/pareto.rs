@@ -70,6 +70,41 @@ fn epsilon_grid(p: &[f64], eps: f64) -> Vec<f64> {
     p.iter().map(|&x| (x / eps).floor()).collect()
 }
 
+/// The integer ε-grid cell of a point: each coordinate mapped to the
+/// index of its `eps`-wide box, as an `i64`. Two points share a cell
+/// exactly when every coordinate floors to the same box, which makes the
+/// cell a **merge-order-invariant dedup key**: any party that computes
+/// cells over the same points gets the same partition regardless of the
+/// order the points arrived in. This is the key the explorer's ε-archive
+/// pruning and the shard-merge path both use, so shard + merge keeps the
+/// single-run partition bit-for-bit.
+///
+/// `eps <= 0` collapses the grid to the raw bit pattern of each
+/// coordinate (every distinct value its own cell; `-0.0` and `+0.0`
+/// share one).
+///
+/// # Panics
+///
+/// Panics if a cell index overflows `i64` (coordinates are normalized
+/// objectives in practice, many orders of magnitude below that).
+pub fn epsilon_cell(p: &[f64], eps: f64) -> Vec<i64> {
+    p.iter()
+        .map(|&x| {
+            if eps <= 0.0 {
+                let bits = if x == 0.0 { 0.0f64.to_bits() } else { x.to_bits() };
+                bits as i64
+            } else {
+                let cell = (x / eps).floor();
+                assert!(
+                    cell >= i64::MIN as f64 && cell <= i64::MAX as f64,
+                    "epsilon cell overflows i64"
+                );
+                cell as i64
+            }
+        })
+        .collect()
+}
+
 /// Whether `a` ε-dominates `b` (strictly, larger is better on every
 /// axis): `a`'s ε-grid cell Pareto-dominates `b`'s — at least as good
 /// on every axis and strictly better on one, at grid resolution `eps`.
@@ -264,6 +299,21 @@ mod tests {
         let worse = [0.5, -130.0];
         assert!(epsilon_dominates_nd(&better, &worse, 10.0));
         assert!(!epsilon_dominates_nd(&worse, &better, 10.0));
+    }
+
+    #[test]
+    fn epsilon_cell_is_order_invariant_dedup_key() {
+        // Same cell <=> weak ε-dominance both ways at the same grid.
+        let a = [0.501, -3.0];
+        let b = [0.509, -3.0];
+        let c = [0.52, -3.0];
+        assert_eq!(epsilon_cell(&a, 0.01), epsilon_cell(&b, 0.01));
+        assert_ne!(epsilon_cell(&a, 0.01), epsilon_cell(&c, 0.01));
+        // Cells match the f64 grid the dominance helpers floor to.
+        assert_eq!(epsilon_cell(&[-100.0, 0.5], 10.0), vec![-10, 0]);
+        // eps <= 0: every distinct value its own cell, zeros unified.
+        assert_eq!(epsilon_cell(&[0.0], 0.0), epsilon_cell(&[-0.0], 0.0));
+        assert_ne!(epsilon_cell(&[1.0], 0.0), epsilon_cell(&[1.0 + f64::EPSILON], 0.0));
     }
 
     #[test]

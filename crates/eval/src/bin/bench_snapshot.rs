@@ -48,13 +48,20 @@
 //!   shared warm stage graph), so the resident-service round-trip cost
 //!   is on the trajectory (PR 8's kernel; the snapshot's `serve` block
 //!   also records the one-shot cold-vs-warm request latencies the
-//!   shared caches buy).
+//!   shared caches buy);
+//! - `explore/shard_merge` — the provenance-sorted merge of four
+//!   in-process shard states back into the whole-run checkpoint
+//!   (PR 9's kernel: the fleet-scale reassembly cost — sorting the
+//!   archive union by `[block, walk, step]` provenance and re-inserting
+//!   through the content-key dedup — measured apart from the shard
+//!   walks themselves, which are priced by the existing explore
+//!   kernels).
 //!
 //! Environment: `QPD_BENCH_SAMPLES` caps timed samples per kernel (shim
 //! default 3), `QPD_BENCH_QUICK=1` shrinks trial counts for CI smoke
 //! runs, `QPD_THREADS` sizes the worker pool.
 //!
-//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_8.json`), or
+//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_9.json`), or
 //! `bench_snapshot --check-schema FRESH.json COMMITTED.json...` to
 //! validate snapshot *schemas* without timing anything: every file must
 //! carry the snapshot fields and well-formed kernel entries, and the
@@ -67,7 +74,8 @@ use qpd_core::{place_qubits, FrequencyAllocator, FrequencyStrategy};
 use qpd_eval::runner::run_benchmark;
 use qpd_eval::EvalSettings;
 use qpd_explore::{
-    BusSpec, CandidateSpec, ExploreConfig, ExploreSpace, Explorer, Json, PlacementVariant,
+    merge_shard_states, BusSpec, CandidateSpec, ExploreConfig, ExploreSpace, Explorer, Json,
+    PlacementVariant, ShardSpec,
 };
 use qpd_profile::CouplingProfile;
 use qpd_serve::{Client, Server, ServerConfig};
@@ -76,7 +84,7 @@ use qpd_yield::{BatchRequest, HardwareFamily, YieldSimulator};
 
 /// The current perf-trajectory point; bump alongside the default
 /// `--out` path when a later PR appends a snapshot.
-const PR: u64 = 8;
+const PR: u64 = 9;
 
 fn designed_topology(name: &str) -> Architecture {
     let circuit = qpd_benchmarks::build(name).expect("benchmark");
@@ -412,6 +420,32 @@ fn main() {
     serve_client.request_raw(r#"{"id":"stop","op":"shutdown"}"#).expect("shutdown");
     server_thread.join().expect("server thread").expect("clean shutdown");
     let _ = std::fs::remove_dir_all(&serve_dir);
+
+    // Shard-merge kernel: four shard states of one shardable run
+    // (built once, outside the timed region — the walks themselves are
+    // priced by the explore kernels above), merged back into the
+    // whole-run checkpoint per iteration. This times the fleet-scale
+    // reassembly path alone: provenance sort of the archive union plus
+    // content-key dedup re-insertion.
+    const SHARDS: usize = 4;
+    let shard_config = ExploreConfig {
+        walks: SHARDS,
+        rounds: 2,
+        steps_per_round: 2,
+        alloc_trials: if quick { 60 } else { 100 },
+        yield_trials: if quick { 400 } else { 1_000 },
+        ..ExploreConfig::quick()
+    }
+    .v1_compat();
+    let shard_space = ExploreSpace::new(qpd_benchmarks::build("sym6_145").expect("sym6"), 1);
+    let shard_explorer = Explorer::new(shard_space, shard_config).expect("shardable");
+    let shard_states: Vec<_> = (0..SHARDS)
+        .map(|index| shard_explorer.run_shard(ShardSpec { index, of: SHARDS }).expect("shard runs"))
+        .collect();
+    group.bench_function("explore/shard_merge", |b| {
+        b.iter(|| merge_shard_states("sym6_145", shard_config, &shard_states).expect("merges"))
+    });
+    let merged = merge_shard_states("sym6_145", shard_config, &shard_states).expect("merge");
     group.finish();
 
     let results = criterion.take_results();
@@ -491,6 +525,17 @@ fn main() {
                     "singleton_candidates_per_s",
                     Json::num(round3(BATCH_CANDIDATES as f64 / median_of("yield/singletons"))),
                 ),
+            ]),
+        ),
+        (
+            "shard",
+            Json::obj([
+                ("shards", Json::int(SHARDS as u64)),
+                ("archive_entries", Json::int(merged.state.archive.len() as u64)),
+                ("front_entries", Json::int(merged.state.front_indices().len() as u64)),
+                // Whole-run reassemblies per second from the four shard
+                // states (provenance sort + dedup re-insertion).
+                ("merges_per_s", Json::num(round3(1.0 / median_of("explore/shard_merge")))),
             ]),
         ),
         (

@@ -1,0 +1,222 @@
+//! docs_check: the CI linter keeping the prose docs honest.
+//!
+//! Usage:
+//!   docs_check [--root DIR] [files...]
+//!
+//! Checks, per markdown file (default: `README.md`,
+//! `docs/OPERATIONS.md`, `docs/CHECKPOINTS.md` under the root):
+//!
+//! 1. **Fences** — every ``` code fence is closed.
+//! 2. **Links** — every relative markdown link target exists on disk
+//!    (absolute URLs and `#fragment` links are skipped).
+//! 3. **Flags** — every `--flag` token the docs mention is actually
+//!    defined by one of the workspace binaries (a quoted `"--flag"`
+//!    literal somewhere under `crates/*/src/bin/*.rs`), or is on the
+//!    small allowlist of cargo's own flags. Docs drifting ahead of —
+//!    or behind — the shipped CLI fail CI with the file, line, and
+//!    offending token.
+//!
+//! Exit code 1 on any finding, 2 on usage errors, 0 when clean.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Flags legitimately mentioned in docs that are not defined by a
+/// workspace binary (cargo's own surface).
+const ALLOWED: &[&str] = &["--release", "--no-deps", "--open", "--no-run", "--all-targets"];
+
+/// Extracts every quoted `"--flag"` literal from one source file.
+fn quoted_flags(source: &str, into: &mut BTreeSet<String>) {
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while let Some(at) = source[i..].find("\"--") {
+        let start = i + at + 1;
+        let mut end = start;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'-')
+        {
+            end += 1;
+        }
+        if bytes.get(end) == Some(&b'"') && end > start + 2 {
+            into.insert(source[start..end].to_string());
+        }
+        i = end;
+    }
+}
+
+/// Every flag the workspace binaries define: quoted literals in
+/// `crates/*/src/bin/*.rs`.
+fn binary_flags(root: &Path) -> BTreeSet<String> {
+    let mut flags = BTreeSet::new();
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        fail(format!("no crates/ directory under {}", root.display()));
+    };
+    for krate in entries.flatten() {
+        let bin_dir = krate.path().join("src").join("bin");
+        let Ok(bins) = std::fs::read_dir(&bin_dir) else { continue };
+        for bin in bins.flatten() {
+            let path = bin.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                let source = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", path.display())));
+                quoted_flags(&source, &mut flags);
+            }
+        }
+    }
+    if flags.is_empty() {
+        fail("found no CLI flags under crates/*/src/bin — wrong --root?");
+    }
+    flags
+}
+
+/// `--flag` tokens mentioned in one line of documentation.
+fn doc_flags(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(at) = line[i..].find("--") {
+        let start = i + at;
+        // A real flag token starts at a word boundary (not `a--b`, not
+        // a `---` rule) and continues with [a-z0-9-].
+        let boundary = start == 0
+            || bytes[start - 1].is_ascii_whitespace()
+            || matches!(bytes[start - 1], b'`' | b'(' | b'[' | b'"' | b'\'');
+        let mut end = start + 2;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'-')
+        {
+            end += 1;
+        }
+        if boundary && end > start + 2 {
+            out.push(line[start..end].to_string());
+        }
+        i = end.max(start + 2);
+    }
+    out
+}
+
+/// Relative link targets of one line: `](target)` with URLs and pure
+/// fragments skipped.
+fn doc_links(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(at) = line[i..].find("](") {
+        let start = i + at + 2;
+        let Some(len) = line[start..].find(')') else { break };
+        let target = &line[start..start + len];
+        i = start + len;
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with('#')
+            || target.is_empty()
+        {
+            continue;
+        }
+        // Drop a trailing fragment: FILE.md#section checks FILE.md.
+        let path = target.split('#').next().unwrap_or(target);
+        out.push(path.to_string());
+    }
+    out
+}
+
+fn check_file(path: &Path, known: &BTreeSet<String>, findings: &mut Vec<String>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", path.display())));
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let mut fence_open: Option<usize> = None;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.trim_start().starts_with("```") {
+            fence_open = match fence_open {
+                None => Some(ln),
+                Some(_) => None,
+            };
+            continue;
+        }
+        for link in doc_links(line) {
+            if !dir.join(&link).exists() {
+                findings.push(format!("{}:{ln}: broken link `{link}`", path.display()));
+            }
+        }
+        for flag in doc_flags(line) {
+            if !known.contains(&flag) && !ALLOWED.contains(&flag.as_str()) {
+                findings.push(format!(
+                    "{}:{ln}: `{flag}` is not a flag of any workspace binary",
+                    path.display()
+                ));
+            }
+        }
+    }
+    if let Some(open) = fence_open {
+        findings.push(format!("{}:{open}: unclosed code fence", path.display()));
+    }
+}
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().unwrap_or_else(|| fail("--root needs a value")))
+            }
+            other if !other.starts_with("--") => files.push(PathBuf::from(other)),
+            other => fail(format!("unknown argument {other:?}")),
+        }
+    }
+    if files.is_empty() {
+        files = ["README.md", "docs/OPERATIONS.md", "docs/CHECKPOINTS.md"]
+            .iter()
+            .map(|f| root.join(f))
+            .collect();
+    }
+    let known = binary_flags(&root);
+    let mut findings = Vec::new();
+    for file in &files {
+        check_file(file, &known, &mut findings);
+    }
+    if findings.is_empty() {
+        println!("docs_check: {} file(s) clean ({} known flags)", files.len(), known.len());
+    } else {
+        for f in &findings {
+            eprintln!("docs_check: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_flags_find_real_tokens_and_skip_rules() {
+        assert_eq!(doc_flags("use `--shard i/N` and --merge."), vec!["--shard", "--merge"]);
+        assert!(doc_flags("a---rule and em—dash and a--b").is_empty());
+    }
+
+    #[test]
+    fn doc_links_skip_urls_and_fragments() {
+        let line = "[a](docs/X.md) [b](https://x.y) [c](#frag) [d](F.md#sec)";
+        assert_eq!(doc_links(line), vec!["docs/X.md", "F.md"]);
+    }
+
+    #[test]
+    fn quoted_flag_extraction_matches_match_arms() {
+        let mut flags = BTreeSet::new();
+        quoted_flags(r#"match a { "--seed" => x, "--out-dir" => y, "--" => z }"#, &mut flags);
+        assert!(flags.contains("--seed") && flags.contains("--out-dir"));
+        assert!(!flags.contains("--"));
+    }
+}

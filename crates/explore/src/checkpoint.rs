@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 
 use crate::engine::{
     pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, HardwareSweep,
-    WalkState,
+    Provenance, ShardSpec, ShardState, WalkState,
 };
 use crate::json::Json;
 use crate::spec::{CandidateSpec, Evaluated, Objectives};
@@ -102,6 +102,19 @@ impl StageHitRate {
     }
 }
 
+/// The shard block of a shard-tagged checkpoint (schema v3): which
+/// slice of the run the document holds, plus per-archive-entry
+/// [`Provenance`] so [`crate::merge`] can interleave shard archives in
+/// single-run insertion order. A document without this block is a whole
+/// run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Which slice of the run this document is.
+    pub spec: ShardSpec,
+    /// `prov[i]` is where `state.archive[i]` came from; lengths match.
+    pub prov: Vec<Provenance>,
+}
+
 /// A complete, resumable snapshot of one exploration run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -115,6 +128,10 @@ pub struct Checkpoint {
     /// Display-only stage-cache counters (schema v3). Empty means
     /// "not recorded" and keeps the document on the v2 byte layout.
     pub stage_hit_rates: Vec<StageHitRate>,
+    /// Present iff this document is one shard of a sharded run (schema
+    /// v3): `state.walks` then holds only the shard's walks (ascending
+    /// global index) and `state.archive` only its evaluations.
+    pub shard: Option<ShardMeta>,
 }
 
 impl Checkpoint {
@@ -123,12 +140,54 @@ impl Checkpoint {
         format!("EXPLORE_{run}.json")
     }
 
+    /// The conventional file name of one shard of a run:
+    /// `EXPLORE_<run>_shard<i>of<N>.json` — distinct per shard, so N
+    /// shard processes sharing an output directory never collide, and
+    /// distinct from the whole-run name, so a merge written next to its
+    /// inputs never overwrites one.
+    pub fn shard_file_name(run: &str, spec: ShardSpec) -> String {
+        format!("EXPLORE_{run}_shard{}of{}.json", spec.index, spec.of)
+    }
+
+    /// This document's conventional file name: the shard form when
+    /// shard-tagged, the whole-run form otherwise.
+    pub fn file_label(&self) -> String {
+        match &self.shard {
+            Some(meta) => Self::shard_file_name(&self.run, meta.spec),
+            None => Self::file_name(&self.run),
+        }
+    }
+
+    /// Packages one shard's state as a shard-tagged checkpoint.
+    pub fn from_shard(
+        run: &str,
+        config: ExploreConfig,
+        shard: &ShardState,
+        stage_hit_rates: Vec<StageHitRate>,
+    ) -> Checkpoint {
+        Checkpoint {
+            run: run.to_string(),
+            config,
+            state: shard.state.clone(),
+            stage_hit_rates,
+            shard: Some(ShardMeta { spec: shard.spec, prov: shard.prov.clone() }),
+        }
+    }
+
+    /// Reassembles the [`ShardState`] of a shard-tagged document;
+    /// `None` for whole-run documents.
+    pub fn to_shard_state(&self) -> Option<ShardState> {
+        let meta = self.shard.as_ref()?;
+        Some(ShardState { spec: meta.spec, state: self.state.clone(), prov: meta.prov.clone() })
+    }
+
     /// Whether the document carries any schema-v3 feature. Feature-less
     /// checkpoints render under the v2 tag with the exact v2 bytes.
     fn has_v3_features(&self) -> bool {
         !self.config.hardware.is_default()
             || self.config.fine_recombine
             || !self.stage_hit_rates.is_empty()
+            || self.shard.is_some()
             || self.state.walks.iter().any(|w| !w.spec.hardware.is_default())
             || self.state.archive.iter().any(|e| !e.spec.hardware.is_default())
     }
@@ -141,9 +200,25 @@ impl Checkpoint {
             .map(|i| Json::str(self.state.archive[i].key.to_string()))
             .collect();
         let schema = if self.has_v3_features() { SCHEMA_V3 } else { SCHEMA };
-        let mut fields = vec![
-            ("schema", Json::str(schema)),
-            ("run", Json::str(&self.run)),
+        let mut fields = vec![("schema", Json::str(schema)), ("run", Json::str(&self.run))];
+        if let Some(meta) = &self.shard {
+            // Provenance triples render as compact `[block, walk, step]`
+            // rows — all three are small counters, exact in f64.
+            let prov: Vec<Json> = meta
+                .prov
+                .iter()
+                .map(|p| Json::Raw(format!("[{}, {}, {}]", p.block, p.walk, p.step)))
+                .collect();
+            fields.push((
+                "shard",
+                Json::obj([
+                    ("index", Json::int(meta.spec.index as u64)),
+                    ("of", Json::int(meta.spec.of as u64)),
+                    ("prov", Json::Arr(prov)),
+                ]),
+            ));
+        }
+        fields.extend([
             ("config", config_to_json(&self.config)),
             ("rounds_done", Json::int(self.state.rounds_done as u64)),
             (
@@ -165,7 +240,7 @@ impl Checkpoint {
             // recomputed (not trusted) on load.
             ("front", Json::Arr(front_keys)),
             ("archive", Json::Arr(self.state.archive.iter().map(Evaluated::to_json).collect())),
-        ];
+        ]);
         if !self.stage_hit_rates.is_empty() {
             fields.push((
                 "stage_hit_rates",
@@ -187,13 +262,14 @@ impl Checkpoint {
         Json::obj(fields).render()
     }
 
-    /// Writes `EXPLORE_<run>.json` under `dir`, returning the path.
+    /// Writes the document under `dir` at its conventional file name
+    /// ([`Self::file_label`]), returning the path.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
-        let path = dir.join(Self::file_name(&self.run));
+        let path = dir.join(self.file_label());
         std::fs::write(&path, self.render())?;
         Ok(path)
     }
@@ -257,7 +333,48 @@ impl Checkpoint {
         for e in doc.get("archive").and_then(Json::as_arr).ok_or_else(|| bad("missing archive"))? {
             archive.push(Evaluated::from_json(e).ok_or_else(|| bad("malformed archive entry"))?);
         }
-        if walks.len() != config.walks {
+        let shard = match doc.get("shard") {
+            None => None,
+            Some(block) => {
+                let index = block
+                    .get("index")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("malformed shard index"))?
+                    as usize;
+                let of = block
+                    .get("of")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("malformed shard count"))? as usize;
+                let spec = ShardSpec::new(index, of).map_err(ExploreError::Checkpoint)?;
+                let mut prov = Vec::new();
+                for row in block
+                    .get("prov")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing shard provenance"))?
+                {
+                    let row = row.as_arr().ok_or_else(|| bad("malformed provenance row"))?;
+                    let [block, walk, step] = row else {
+                        return Err(bad("provenance row is not a triple"));
+                    };
+                    prov.push(Provenance {
+                        block: block.as_u64().ok_or_else(|| bad("malformed provenance row"))?,
+                        walk: walk.as_u64().ok_or_else(|| bad("malformed provenance row"))?,
+                        step: step.as_u64().ok_or_else(|| bad("malformed provenance row"))?,
+                    });
+                }
+                if prov.len() != archive.len() {
+                    return Err(bad("shard provenance does not match archive length"));
+                }
+                Some(ShardMeta { spec, prov })
+            }
+        };
+        // A whole-run document holds every walk; a shard document holds
+        // exactly the walks its slice owns.
+        let expected_walks = match &shard {
+            None => config.walks,
+            Some(meta) => meta.spec.walk_ids(config.walks).len(),
+        };
+        if walks.len() != expected_walks {
             return Err(bad("walk count does not match config"));
         }
         // Optional in every version (pre-v3 documents simply lack it).
@@ -290,6 +407,7 @@ impl Checkpoint {
                 config,
                 state: ExploreState { rounds_done, walks, archive },
                 stage_hit_rates,
+                shard,
             },
             version,
         ))
@@ -426,6 +544,7 @@ mod tests {
                 }],
             },
             stage_hit_rates: Vec::new(),
+            shard: None,
         }
     }
 
@@ -631,6 +750,69 @@ mod tests {
         let clean = cp.render();
         assert!(!clean.contains("stage_hit_rates"));
         assert!(Checkpoint::parse(&clean).unwrap().stage_hit_rates.is_empty());
+    }
+
+    /// A 1-walk shard of a 2-shard run around the sample state: walk 0
+    /// belongs to shard 0/2, so the sample's single walk fits.
+    fn sample_shard_checkpoint() -> Checkpoint {
+        let mut cp = sample_checkpoint();
+        cp.shard = Some(ShardMeta {
+            spec: ShardSpec { index: 0, of: 2 },
+            prov: vec![Provenance { block: 0, walk: 0, step: 0 }],
+        });
+        cp.config.walks = 2;
+        cp
+    }
+
+    #[test]
+    fn shard_checkpoints_round_trip_under_the_v3_tag() {
+        let cp = sample_shard_checkpoint();
+        let text = cp.render();
+        assert!(text.contains(SCHEMA_V3), "shard metadata is a v3 feature");
+        assert!(text.contains("\"shard\""));
+        assert!(text.contains("[0, 0, 0]"), "provenance rows render compactly: {text}");
+        let (back, version) = Checkpoint::parse_versioned(&text).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(back, cp);
+        assert_eq!(back.render(), text);
+        // The shard state reassembles.
+        let shard = back.to_shard_state().unwrap();
+        assert_eq!(shard.spec, ShardSpec { index: 0, of: 2 });
+        assert_eq!(shard.prov.len(), shard.state.archive.len());
+        // Whole-run documents carry no shard block and reassemble none.
+        let whole = sample_checkpoint();
+        assert!(!whole.render().contains("\"shard\""));
+        assert!(whole.to_shard_state().is_none());
+    }
+
+    #[test]
+    fn shard_documents_validate_walk_and_provenance_counts() {
+        // A shard of a 2-walk run owning walk 0 must hold exactly one
+        // walk; claiming the whole run's walk count fails.
+        let mut cp = sample_shard_checkpoint();
+        cp.config.walks = 1; // shard 0/2 of 1 walk still owns walk 0 — ok
+        assert!(Checkpoint::parse(&cp.render()).is_ok());
+        let text = sample_shard_checkpoint().render().replace("\"walks\": 2,", "\"walks\": 4,");
+        assert!(matches!(
+            Checkpoint::parse(&text),
+            Err(ExploreError::Checkpoint(m)) if m.contains("walk count")
+        ));
+        // Provenance must stay parallel to the archive.
+        let dropped = sample_shard_checkpoint().render().replace("[0, 0, 0]", "");
+        assert!(Checkpoint::parse(&dropped).is_err());
+        // An out-of-range shard index is rejected.
+        let bad_index =
+            sample_shard_checkpoint().render().replace("\"index\": 0,", "\"index\": 2,");
+        assert!(Checkpoint::parse(&bad_index).is_err());
+    }
+
+    #[test]
+    fn shard_file_names_are_distinct_per_shard_and_from_the_run() {
+        let spec = ShardSpec { index: 1, of: 4 };
+        assert_eq!(Checkpoint::shard_file_name("qft_16", spec), "EXPLORE_qft_16_shard1of4.json");
+        let cp = sample_shard_checkpoint();
+        assert_eq!(cp.file_label(), "EXPLORE_sym6_145_shard0of2.json");
+        assert_eq!(sample_checkpoint().file_label(), "EXPLORE_sym6_145.json");
     }
 
     #[test]

@@ -281,6 +281,143 @@ impl ExploreConfig {
             ..self
         }
     }
+
+    /// Whether this configuration can be **sharded**: split across
+    /// independent processes that each run a subset of the walks and
+    /// later merge bit-for-bit into the single-process result.
+    ///
+    /// Sharding is sound exactly when no walk ever observes another
+    /// walk's work mid-run. Three knobs break that:
+    ///
+    /// - the **dominance acceptor** compares every proposal against a
+    ///   cross-walk front snapshot taken at the round barrier;
+    /// - **recombination** exchanges knob blocks between walk pairs;
+    /// - **`archive_cap`** prunes against the global archive, so which
+    ///   points survive a round depends on every walk's output.
+    ///
+    /// Scalarized acceptance with those three off is the PR 3
+    /// independent-walk engine: each walk touches only its own
+    /// `(seed, walk, round)` stream, its own weights, and its own
+    /// current position, so any partition of the walk set runs
+    /// unchanged. Screening (`screen_divisor`) is inert under
+    /// scalarized acceptance and does not block sharding.
+    ///
+    /// # Errors
+    ///
+    /// Returns every blocking knob, comma-joined, for CLI messages.
+    pub fn shardable(&self) -> Result<(), String> {
+        let mut blockers: Vec<&str> = Vec::new();
+        if self.acceptance != AcceptanceMode::Scalarized {
+            blockers.push("acceptance must be `scalarized` (the dominance acceptor reads a cross-walk front snapshot)");
+        }
+        if self.recombine {
+            blockers.push("`recombine` must be off (recombination exchanges knobs across walks)");
+        }
+        if self.archive_cap.unwrap_or(0) > 0 {
+            blockers.push("`archive_cap` must be unset (pruning depends on the global archive)");
+        }
+        if blockers.is_empty() {
+            Ok(())
+        } else {
+            Err(blockers.join("; "))
+        }
+    }
+}
+
+/// Which slice of a run one process owns: the walks `w ≡ index (mod
+/// of)` of the global walk set, keeping their **global** walk indices —
+/// so every `(seed, walk, round)` RNG stream, every weight vector, and
+/// every starting spec is exactly what the single-process run draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index, `< of`.
+    pub index: usize,
+    /// The total shard count of the run.
+    pub of: usize,
+}
+
+impl ShardSpec {
+    /// Validates `index < of` (and `of >= 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a CLI-ready message for an out-of-range pair.
+    pub fn new(index: usize, of: usize) -> Result<Self, String> {
+        if of == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= of {
+            return Err(format!("shard index {index} out of range for {of} shard(s)"));
+        }
+        Ok(ShardSpec { index, of })
+    }
+
+    /// Parses the CLI form `i/N` (e.g. `0/4`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a CLI-ready message for malformed or out-of-range input.
+    pub fn parse(tag: &str) -> Result<Self, String> {
+        let (index, of) = tag
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec `{tag}` is not of the form i/N"))?;
+        let index = index
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("shard index `{index}` is not a number"))?;
+        let of = of
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("shard count `{of}` is not a number"))?;
+        ShardSpec::new(index, of)
+    }
+
+    /// The global walk indices this shard owns, ascending: the walks
+    /// `w ≡ index (mod of)` among `0..walks`. A shard of a run with
+    /// fewer walks than shards can legitimately own none.
+    pub fn walk_ids(self, walks: usize) -> Vec<usize> {
+        (0..walks).filter(|w| w % self.of == self.index).collect()
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.of)
+    }
+}
+
+/// Where one archive entry came from: the insertion block (0 for the
+/// initial evaluations, round `r`'s merge is block `r + 1`), the
+/// **global** walk index that produced it, and the step within the
+/// round. The derived lexicographic order `(block, walk, step)` is
+/// exactly the single-process archive's insertion order — the initial
+/// state pushes walk-major, and every round's merge loop iterates walks
+/// outer, steps inner — which is what lets a merge re-create the
+/// single-run archive bit-for-bit from any partition of its entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Provenance {
+    /// Insertion block: 0 = initial evaluations, block `r + 1` = the
+    /// merge barrier of round `r`.
+    pub block: u64,
+    /// Global walk index that first evaluated the entry.
+    pub walk: u64,
+    /// Step within the round (0 in block 0).
+    pub step: u64,
+}
+
+/// One shard's resumable state: the walks it owns (ascending global
+/// index), plus per-entry [`Provenance`] parallel to
+/// [`ExploreState::archive`] so a merge can interleave shard archives
+/// in single-run insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardState {
+    /// Which slice of the run this is.
+    pub spec: ShardSpec,
+    /// The shard's walks and archive. `walks` holds only this shard's
+    /// walks; `archive` holds only points this shard evaluated.
+    pub state: ExploreState,
+    /// `prov[i]` is where `state.archive[i]` came from.
+    pub prov: Vec<Provenance>,
 }
 
 /// Error from the exploration engine.
@@ -295,6 +432,10 @@ pub enum ExploreError {
     Yield(YieldError),
     /// A checkpoint could not be parsed.
     Checkpoint(String),
+    /// A shard run or checkpoint merge was asked for something its
+    /// independence guarantees cannot deliver (non-shardable config,
+    /// out-of-range shard spec, inconsistent merge inputs).
+    Shard(String),
 }
 
 impl fmt::Display for ExploreError {
@@ -304,6 +445,7 @@ impl fmt::Display for ExploreError {
             ExploreError::Mapping(e) => write!(f, "candidate routing failed: {e}"),
             ExploreError::Yield(e) => write!(f, "candidate yield simulation failed: {e}"),
             ExploreError::Checkpoint(m) => write!(f, "checkpoint invalid: {m}"),
+            ExploreError::Shard(m) => write!(f, "shard invalid: {m}"),
         }
     }
 }
@@ -933,6 +1075,21 @@ impl Explorer {
         let Some(cap) = self.config.archive_cap.filter(|&cap| cap > 0) else {
             return;
         };
+        self.prune_archive_to(state, cap);
+    }
+
+    /// Bounds `state`'s archive to `cap` entries by the archive-cap
+    /// rule, regardless of [`ExploreConfig::archive_cap`] — the same
+    /// keep-priority (front > ε-cell novelty > rest, crowding distance
+    /// then recency breaking ties; see the round-barrier pruner) applied
+    /// at an explicit cap. This is the re-prune step of a checkpoint
+    /// **merge**: the union of shard archives can exceed any bound a
+    /// capped run would have maintained, and because the keep decision
+    /// is a pure function of the archive contents (via
+    /// [`qpd_core::epsilon_cell`] and [`crowding_distances`]), pruning
+    /// the merged archive is deterministic and independent of merge
+    /// input order. A no-op when the archive already fits.
+    pub fn prune_archive_to(&self, state: &mut ExploreState, cap: usize) {
         if state.archive.len() <= cap {
             return;
         }
@@ -945,8 +1102,7 @@ impl Explorer {
             .iter()
             .map(|p| {
                 // ε = 0 degenerates to every point being its own cell.
-                eps <= 0.0
-                    || seen_cells.insert(p.iter().map(|x| (x / eps).floor() as i64).collect())
+                eps <= 0.0 || seen_cells.insert(qpd_core::epsilon_cell(p, eps))
             })
             .collect();
         let crowd = crowding_distances(&points);
@@ -1224,13 +1380,142 @@ impl Explorer {
     pub fn run(&self) -> Result<ExploreState, ExploreError> {
         self.resume(self.initial_state()?)
     }
+
+    /// Validates that this engine's configuration supports sharding
+    /// ([`ExploreConfig::shardable`]) and that `spec` is in range.
+    fn check_shard(&self, spec: ShardSpec) -> Result<(), ExploreError> {
+        ShardSpec::new(spec.index, spec.of)
+            .map_err(|m| ExploreError::Shard(format!("invalid shard spec: {m}")))?;
+        self.config
+            .shardable()
+            .map_err(|m| ExploreError::Shard(format!("config is not shardable: {m}")))
+    }
+
+    /// Evaluates the starting specs of the walks `spec` owns — the
+    /// shard half of [`Self::initial_state`]. Walks keep their global
+    /// indices (streams, weights, starting specs are bit-identical to
+    /// the single-process run); the archive records per-entry
+    /// [`Provenance`] so a later merge can restore single-run insertion
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-[`shardable`](ExploreConfig::shardable) configs and
+    /// out-of-range shard specs; propagates evaluation failures.
+    pub fn initial_shard_state(&self, spec: ShardSpec) -> Result<ShardState, ExploreError> {
+        self.check_shard(spec)?;
+        let ids = spec.walk_ids(self.config.walks);
+        let specs: Vec<CandidateSpec> = ids.iter().map(|&w| self.initial_spec(w)).collect();
+        let evals = self.evaluate_batch_at(&specs, self.config.yield_trials)?;
+        let mut archive = Vec::new();
+        let mut prov = Vec::new();
+        let mut seen = HashMap::new();
+        let mut walks = Vec::with_capacity(specs.len());
+        for ((&walk, spec), eval) in ids.iter().zip(specs).zip(evals) {
+            walks.push(WalkState { spec, objectives: eval.objectives });
+            if push_dedup(&mut archive, &mut seen, eval) {
+                prov.push(Provenance { block: 0, walk: walk as u64, step: 0 });
+            }
+        }
+        Ok(ShardState { spec, state: ExploreState { rounds_done: 0, walks, archive }, prov })
+    }
+
+    /// Runs one round of the shard's walks: the same synchronized
+    /// [`step_scalarized`](Self::advance_round) steps the full run
+    /// takes, over this shard's subset. Because scalarized walks never
+    /// read each other (which the shard-spec validation enforces), every
+    /// walk draws and observes exactly what it does in the
+    /// single-process run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::initial_shard_state`]; on evaluation failure `shard`
+    /// is left unmodified.
+    pub fn advance_shard_round(&self, shard: &mut ShardState) -> Result<(), ExploreError> {
+        self.check_shard(shard.spec)?;
+        let round = shard.state.rounds_done;
+        let ids = shard.spec.walk_ids(self.config.walks);
+        if ids.len() != shard.state.walks.len() {
+            return Err(ExploreError::Shard(format!(
+                "shard {} of a {}-walk run must hold {} walk(s), found {}",
+                shard.spec,
+                self.config.walks,
+                ids.len(),
+                shard.state.walks.len()
+            )));
+        }
+        let mut rngs: Vec<ChaCha8Rng> = ids.iter().map(|&w| self.walk_rng(w, round)).collect();
+        let weights: Vec<[f64; 4]> = ids.iter().map(|&w| self.walk_weights(w)).collect();
+        let mut currents: Vec<WalkState> = shard.state.walks.clone();
+        let mut round_evals: Vec<Vec<Evaluated>> = vec![Vec::new(); ids.len()];
+        for step in 0..self.config.steps_per_round {
+            self.step_scalarized(
+                round,
+                step,
+                &mut rngs,
+                &weights,
+                &mut currents,
+                &mut round_evals,
+            )?;
+        }
+        let mut seen: HashMap<u64, usize> =
+            shard.state.archive.iter().enumerate().map(|(i, e)| (e.key, i)).collect();
+        for (local, (end, evals)) in currents.into_iter().zip(round_evals).enumerate() {
+            shard.state.walks[local] = end;
+            // Scalarized steps archive exactly one evaluation per walk
+            // per step, so the position in the walk's round list *is*
+            // the step index.
+            for (step, eval) in evals.into_iter().enumerate() {
+                if push_dedup(&mut shard.state.archive, &mut seen, eval) {
+                    shard.prov.push(Provenance {
+                        block: round as u64 + 1,
+                        walk: ids[local] as u64,
+                        step: step as u64,
+                    });
+                }
+            }
+        }
+        shard.state.rounds_done = round + 1;
+        Ok(())
+    }
+
+    /// Continues a shard until the configured round budget is spent —
+    /// the shard half of [`Self::resume`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::advance_shard_round`].
+    pub fn resume_shard(&self, mut shard: ShardState) -> Result<ShardState, ExploreError> {
+        while shard.state.rounds_done < self.config.rounds {
+            self.advance_shard_round(&mut shard)?;
+        }
+        Ok(shard)
+    }
+
+    /// A full shard run: initial evaluations of the owned walks plus
+    /// every configured round.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::advance_shard_round`].
+    pub fn run_shard(&self, spec: ShardSpec) -> Result<ShardState, ExploreError> {
+        self.resume_shard(self.initial_shard_state(spec)?)
+    }
 }
 
-/// Appends `eval` unless its content key is already archived.
-fn push_dedup(archive: &mut Vec<Evaluated>, seen: &mut HashMap<u64, usize>, eval: Evaluated) {
+/// Appends `eval` unless its content key is already archived; true when
+/// it was appended.
+pub(crate) fn push_dedup(
+    archive: &mut Vec<Evaluated>,
+    seen: &mut HashMap<u64, usize>,
+    eval: Evaluated,
+) -> bool {
     if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(eval.key) {
         slot.insert(archive.len());
         archive.push(eval);
+        true
+    } else {
+        false
     }
 }
 
@@ -1616,6 +1901,73 @@ mod tests {
         assert_eq!(HardwareSweep::parse("warp-core"), None);
         assert!(HardwareSweep::default().is_default());
         assert!(!HardwareSweep::All.is_default());
+    }
+
+    #[test]
+    fn shard_spec_parse_and_walk_ids() {
+        assert_eq!(ShardSpec::parse("0/1"), Ok(ShardSpec { index: 0, of: 1 }));
+        assert_eq!(ShardSpec::parse("3/4"), Ok(ShardSpec { index: 3, of: 4 }));
+        assert!(ShardSpec::parse("4/4").is_err());
+        assert!(ShardSpec::parse("1/0").is_err());
+        assert!(ShardSpec::parse("2").is_err());
+        assert!(ShardSpec::parse("a/b").is_err());
+        assert_eq!(ShardSpec { index: 1, of: 3 }.walk_ids(7), vec![1, 4]);
+        assert_eq!(ShardSpec { index: 0, of: 1 }.walk_ids(3), vec![0, 1, 2]);
+        // More shards than walks: trailing shards legitimately own none.
+        assert!(ShardSpec { index: 5, of: 8 }.walk_ids(3).is_empty());
+        // Every walk lands in exactly one shard.
+        let mut owned: Vec<usize> =
+            (0..4).flat_map(|i| ShardSpec { index: i, of: 4 }.walk_ids(10)).collect();
+        owned.sort_unstable();
+        assert_eq!(owned, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shardable_rejects_cross_walk_knobs() {
+        let good = ExploreConfig::quick().v1_compat();
+        assert!(good.shardable().is_ok());
+        let dominance = ExploreConfig::quick();
+        let err = dominance.shardable().unwrap_err();
+        assert!(err.contains("scalarized"), "{err}");
+        assert!(err.contains("recombin"), "{err}");
+        let capped = ExploreConfig { archive_cap: Some(8), ..good };
+        assert!(capped.shardable().unwrap_err().contains("archive_cap"));
+        // `Some(0)` is normalized no-pruning: shardable.
+        assert!(ExploreConfig { archive_cap: Some(0), ..good }.shardable().is_ok());
+        // Screening is inert under scalarized acceptance: shardable.
+        assert!(ExploreConfig { screen_divisor: 4, ..good }.shardable().is_ok());
+    }
+
+    #[test]
+    fn shard_runs_reject_unshardable_configs() {
+        let explorer = quick_explorer(0); // dominance + recombine
+        let spec = ShardSpec { index: 0, of: 2 };
+        let err = explorer.initial_shard_state(spec).unwrap_err();
+        assert!(matches!(err, ExploreError::Shard(_)), "{err}");
+    }
+
+    #[test]
+    fn single_shard_run_matches_the_full_run_with_provenance() {
+        let config = ExploreConfig { seed: 7, ..ExploreConfig::quick() }.v1_compat();
+        let full = explorer_with(config).run().unwrap();
+        let shard = explorer_with(config).run_shard(ShardSpec { index: 0, of: 1 }).unwrap();
+        assert_eq!(shard.state, full);
+        assert_eq!(shard.prov.len(), shard.state.archive.len());
+        // Provenance is strictly increasing in single-run insertion
+        // order — the invariant the merge sort relies on.
+        assert!(shard.prov.windows(2).all(|w| w[0] < w[1]), "{:?}", shard.prov);
+    }
+
+    #[test]
+    fn shard_kill_resume_matches_uninterrupted() {
+        let config = ExploreConfig { seed: 9, ..ExploreConfig::quick() }.v1_compat();
+        let spec = ShardSpec { index: 1, of: 2 };
+        let uninterrupted = explorer_with(config).run_shard(spec).unwrap();
+        let cutter = explorer_with(config);
+        let mut partial = cutter.initial_shard_state(spec).unwrap();
+        cutter.advance_shard_round(&mut partial).unwrap();
+        let resumed = explorer_with(config).resume_shard(partial).unwrap();
+        assert_eq!(uninterrupted, resumed);
     }
 
     #[test]

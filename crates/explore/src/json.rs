@@ -501,6 +501,43 @@ mod tests {
         }
     }
 
+    /// Checkpoints cross process boundaries under `--shard`/`--merge`,
+    /// so the f64 edge cases must round-trip bit-exactly through both
+    /// renderers and the parser: negative zero (sign bit preserved),
+    /// subnormals down to the smallest (5e-324), and values at the
+    /// 1e308 scale up to `f64::MAX`.
+    #[test]
+    fn f64_edge_cases_round_trip_bit_exactly() {
+        let cases = [
+            -0.0,
+            5e-324, // smallest positive subnormal
+            -5e-324,
+            2.225_073_858_507_201e-308, // largest subnormal
+            f64::MIN_POSITIVE,          // smallest normal
+            1e308,
+            -1e308,
+            f64::MAX,
+            f64::MIN,
+        ];
+        for v in cases {
+            for text in [Json::num(v).render(), Json::num(v).render_compact()] {
+                let back = Json::parse(&text).unwrap().as_f64().unwrap();
+                assert_eq!(back.to_bits(), v.to_bits(), "value {v:e} via {text:?}");
+            }
+        }
+        // The sign of zero survives in the rendered text itself, not
+        // just in memory: "-0" parses back to the negative-zero bits.
+        assert_eq!(Json::num(-0.0).render_compact(), "-0");
+        assert_eq!(Json::parse("-0").unwrap().as_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        // Scientific-notation input is accepted and maps to the same
+        // bits as the decimal expansion the renderer emits.
+        assert_eq!(Json::parse("5e-324").unwrap().as_f64().unwrap().to_bits(), 5e-324f64.to_bits());
+        assert_eq!(Json::parse("1E308").unwrap().as_f64().unwrap().to_bits(), 1e308f64.to_bits());
+        // Just past the finite range is a parse error, not an Inf that
+        // would poison a later render.
+        assert!(Json::parse("1e309").is_err());
+    }
+
     #[test]
     fn integral_numbers_render_without_decimal_point() {
         assert_eq!(Json::int(10_000).render(), "10000\n");

@@ -57,7 +57,11 @@
 //! [`Checkpoint`] persists the state as hand-rolled JSON
 //! (`EXPLORE_<run>.json`, schema [`SCHEMA`]) from which a killed run
 //! resumes exactly; schema-v1 files from the PR 3 engine are migrated
-//! on parse, keeping their scalarized-era semantics.
+//! on parse, keeping their scalarized-era semantics. Shardable runs
+//! ([`ExploreConfig::shardable`]) can additionally split their walk set
+//! across independent processes ([`Explorer::run_shard`]) whose
+//! shard-tagged checkpoints [`merge`](mod@merge) back into the
+//! single-process bytes exactly.
 //!
 //! ```
 //! use qpd_circuit::Circuit;
@@ -84,17 +88,19 @@ pub mod cache;
 pub mod checkpoint;
 pub mod engine;
 pub mod json;
+pub mod merge;
 pub mod sidecar;
 pub mod space;
 pub mod spec;
 
 pub use cache::{circuit_key, topology_key, RouteStage, StageCaches, YieldStage};
-pub use checkpoint::{Checkpoint, StageHitRate, SCHEMA, SCHEMA_V1, SCHEMA_V3};
+pub use checkpoint::{Checkpoint, ShardMeta, StageHitRate, SCHEMA, SCHEMA_V1, SCHEMA_V3};
 pub use engine::{
     pareto_indices, AcceptanceMode, ExploreConfig, ExploreError, ExploreState, Explorer,
-    HardwareSweep, WalkState, DEFAULT_MEMO_CAP,
+    HardwareSweep, Provenance, ShardSpec, ShardState, WalkState, DEFAULT_MEMO_CAP,
 };
 pub use json::{Json, JsonError, MAX_PARSE_DEPTH};
+pub use merge::{merge_checkpoints, merge_shard_states};
 pub use qpd_yield::HardwareFamily;
 pub use space::ExploreSpace;
 pub use spec::{BusSpec, CandidateSpec, Evaluated, Objectives, PlacementVariant};

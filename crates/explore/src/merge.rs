@@ -1,0 +1,294 @@
+//! Deterministic, order-independent merge of shard checkpoints — the
+//! reduce half of fleet-scale sharded exploration.
+//!
+//! A shardable run (see [`ExploreConfig::shardable`]) split as
+//! `--shard 0/N … --shard N-1/N` produces N shard-tagged checkpoints.
+//! Because every walk keeps its global index and its own
+//! `(seed, walk, round)` streams, the union of the shards' work is
+//! *exactly* the single-process run's work — the only thing sharding
+//! changes is the order archive entries were appended in. Each entry
+//! therefore carries its [`Provenance`] `(block, walk, step)`, which is
+//! precisely the single-run insertion order; the merge:
+//!
+//! 1. validates the shards agree (same run, same config, same round
+//!    count, one complete cover of `0..N`);
+//! 2. reassembles the walk vector by global index (walk `w` lives in
+//!    shard `w mod N`);
+//! 3. sorts the union of the archives by provenance and re-inserts in
+//!    that order with the engine's own content-key dedup — re-creating
+//!    the single-run archive **bit-for-bit**.
+//!
+//! Sorting on provenance (a pure function of each entry's content and
+//! origin, never of arrival order) is what makes the merge
+//! order-independent: any permutation of the input checkpoints, and any
+//! interleaving of shard execution, merges to the same bytes.
+//! `tests/shard_merge.rs` proves `shard(N) + merge ≡ single-run` at the
+//! checkpoint-byte level.
+//!
+//! The merged document drops the shard tag (it *is* the whole run) and
+//! carries no stage hit rates: those counters describe one process's
+//! cache traffic and have no meaningful union.
+
+use crate::checkpoint::Checkpoint;
+use crate::engine::{
+    push_dedup, ExploreConfig, ExploreError, ExploreState, Provenance, ShardState, WalkState,
+};
+use crate::spec::Evaluated;
+use std::collections::HashMap;
+
+/// Merges a complete set of shard-tagged checkpoints of one run into
+/// the whole-run checkpoint, byte-identical to the checkpoint the
+/// single-process run writes. Input order is irrelevant.
+///
+/// # Errors
+///
+/// [`ExploreError::Shard`] when the inputs are not a complete,
+/// consistent shard set: a whole-run document among them, mismatched
+/// run labels / configs / round counts, duplicate or missing shard
+/// indices, or disagreeing shard counts.
+pub fn merge_checkpoints(checkpoints: &[Checkpoint]) -> Result<Checkpoint, ExploreError> {
+    let bad = |m: String| ExploreError::Shard(m);
+    let first = checkpoints
+        .first()
+        .ok_or_else(|| bad("merge needs at least one shard checkpoint".into()))?;
+    let of = match &first.shard {
+        Some(meta) => meta.spec.of,
+        None => return Err(bad(format!("`{}` is not a shard checkpoint", first.run))),
+    };
+    if checkpoints.len() != of {
+        return Err(bad(format!(
+            "run `{}` was split {of} ways but {} checkpoint(s) were given",
+            first.run,
+            checkpoints.len()
+        )));
+    }
+    // Index the shards 0..of, rejecting duplicates and inconsistencies;
+    // after this loop the merge no longer depends on input order.
+    let mut by_index: Vec<Option<&Checkpoint>> = vec![None; of];
+    for cp in checkpoints {
+        let meta = cp
+            .shard
+            .as_ref()
+            .ok_or_else(|| bad(format!("`{}` is not a shard checkpoint", cp.run)))?;
+        if cp.run != first.run {
+            return Err(bad(format!("run labels differ: `{}` vs `{}`", first.run, cp.run)));
+        }
+        if meta.spec.of != of {
+            return Err(bad(format!(
+                "shard counts differ: {} vs {} (run `{}`)",
+                of, meta.spec.of, cp.run
+            )));
+        }
+        if cp.config != first.config {
+            return Err(bad(format!(
+                "shard {} of run `{}` was produced under a different config",
+                meta.spec, cp.run
+            )));
+        }
+        if cp.state.rounds_done != first.state.rounds_done {
+            return Err(bad(format!(
+                "shard {} finished {} round(s), shard {} finished {}: resume the stragglers \
+                 before merging",
+                first.shard.as_ref().expect("checked").spec,
+                first.state.rounds_done,
+                meta.spec,
+                cp.state.rounds_done
+            )));
+        }
+        let slot = &mut by_index[meta.spec.index];
+        if slot.is_some() {
+            return Err(bad(format!("shard {} appears twice", meta.spec)));
+        }
+        *slot = Some(cp);
+    }
+    let config = first.config;
+    let shards: Vec<&Checkpoint> =
+        by_index.into_iter().map(|s| s.expect("complete cover")).collect();
+
+    // Reassemble the walk vector by global index: shard i's walks are
+    // the global walks `w ≡ i (mod of)`, ascending, so the w-th global
+    // walk is the (w / of)-th walk of shard (w % of).
+    let mut walks: Vec<WalkState> = Vec::with_capacity(config.walks);
+    for w in 0..config.walks {
+        let shard = shards[w % of];
+        let local = w / of;
+        let walk = shard.state.walks.get(local).ok_or_else(|| {
+            bad(format!("shard {}/{of} holds no walk {w} (malformed shard state)", w % of))
+        })?;
+        walks.push(walk.clone());
+    }
+
+    // Union the archives in provenance order. Provenance is unique
+    // across shards (a walk lives in exactly one shard; a shard's
+    // entries carry distinct (block, walk, step)), so the sort is a
+    // total order and the merge is input-order-independent. Content-key
+    // dedup in that order reproduces the single-run archive: a key's
+    // first evaluation in provenance order is exactly the occurrence
+    // the single-process run archived.
+    let mut entries: Vec<(Provenance, &Evaluated)> = Vec::new();
+    for cp in &shards {
+        let meta = cp.shard.as_ref().expect("checked");
+        debug_assert_eq!(meta.prov.len(), cp.state.archive.len());
+        entries.extend(meta.prov.iter().copied().zip(&cp.state.archive));
+    }
+    entries.sort_by_key(|&(prov, _)| prov);
+    let mut archive: Vec<Evaluated> = Vec::with_capacity(entries.len());
+    let mut seen: HashMap<u64, usize> = HashMap::with_capacity(entries.len());
+    for (_, eval) in entries {
+        push_dedup(&mut archive, &mut seen, eval.clone());
+    }
+
+    Ok(Checkpoint {
+        run: first.run.clone(),
+        config,
+        state: ExploreState { rounds_done: first.state.rounds_done, walks, archive },
+        stage_hit_rates: Vec::new(),
+        shard: None,
+    })
+}
+
+/// Convenience for drivers holding live shard states rather than
+/// parsed checkpoints: packages each [`ShardState`] as a shard
+/// checkpoint of `run` under `config` and merges.
+///
+/// # Errors
+///
+/// As [`merge_checkpoints`].
+pub fn merge_shard_states(
+    run: &str,
+    config: ExploreConfig,
+    shards: &[ShardState],
+) -> Result<Checkpoint, ExploreError> {
+    let checkpoints: Vec<Checkpoint> =
+        shards.iter().map(|s| Checkpoint::from_shard(run, config, s, Vec::new())).collect();
+    merge_checkpoints(&checkpoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ExploreConfig, Explorer, ShardSpec};
+    use crate::space::ExploreSpace;
+    use qpd_circuit::Circuit;
+
+    fn demo_circuit() -> Circuit {
+        let mut c = Circuit::new(6);
+        for _ in 0..3 {
+            c.cx(0, 1).cx(1, 2).cx(3, 4).cx(4, 5).cx(0, 3).cx(1, 4).cx(2, 5);
+        }
+        c.cx(0, 4).cx(1, 3).cx(1, 5).cx(2, 4);
+        c
+    }
+
+    fn explorer(config: ExploreConfig) -> Explorer {
+        Explorer::new(ExploreSpace::new(demo_circuit(), config.max_aux), config).unwrap()
+    }
+
+    fn shardable_config(seed: u64) -> ExploreConfig {
+        ExploreConfig { seed, ..ExploreConfig::quick() }.v1_compat()
+    }
+
+    fn shard_checkpoints(config: ExploreConfig, of: usize) -> Vec<Checkpoint> {
+        (0..of)
+            .map(|index| {
+                let shard = explorer(config).run_shard(ShardSpec { index, of }).unwrap();
+                Checkpoint::from_shard("demo", config, &shard, Vec::new())
+            })
+            .collect()
+    }
+
+    fn single_run_checkpoint(config: ExploreConfig) -> Checkpoint {
+        Checkpoint {
+            run: "demo".into(),
+            config,
+            state: explorer(config).run().unwrap(),
+            stage_hit_rates: Vec::new(),
+            shard: None,
+        }
+    }
+
+    #[test]
+    fn merge_reproduces_the_single_run_bytes() {
+        let config = shardable_config(7);
+        let reference = single_run_checkpoint(config).render();
+        for of in [1usize, 2, 4] {
+            let shards = shard_checkpoints(config, of);
+            let merged = merge_checkpoints(&shards).unwrap();
+            assert_eq!(merged.render(), reference, "merge of {of} shard(s) diverged");
+        }
+    }
+
+    #[test]
+    fn merge_is_input_order_independent() {
+        let config = shardable_config(3);
+        let mut shards = shard_checkpoints(config, 4);
+        let reference = merge_checkpoints(&shards).unwrap().render();
+        // A full permutation sweep lives in tests/shard_merge.rs; spot
+        // reversal and a rotation here.
+        shards.reverse();
+        assert_eq!(merge_checkpoints(&shards).unwrap().render(), reference);
+        shards.rotate_left(1);
+        assert_eq!(merge_checkpoints(&shards).unwrap().render(), reference);
+    }
+
+    #[test]
+    fn merge_shard_states_matches_checkpoint_merge() {
+        let config = shardable_config(5);
+        let of = 2;
+        let states: Vec<_> = (0..of)
+            .map(|index| explorer(config).run_shard(ShardSpec { index, of }).unwrap())
+            .collect();
+        let via_states = merge_shard_states("demo", config, &states).unwrap();
+        let via_checkpoints = merge_checkpoints(&shard_checkpoints(config, of)).unwrap();
+        assert_eq!(via_states, via_checkpoints);
+        assert_eq!(via_states.render(), single_run_checkpoint(config).render());
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_inputs() {
+        let config = shardable_config(1);
+        let shards = shard_checkpoints(config, 2);
+        // Incomplete set.
+        let err = merge_checkpoints(&shards[..1]).unwrap_err();
+        assert!(err.to_string().contains("2 ways"), "{err}");
+        // Duplicate shard.
+        let dup = vec![shards[0].clone(), shards[0].clone()];
+        assert!(merge_checkpoints(&dup).unwrap_err().to_string().contains("twice"));
+        // A whole-run document is not a shard.
+        let whole = single_run_checkpoint(config);
+        assert!(merge_checkpoints(&[whole]).unwrap_err().to_string().contains("not a shard"));
+        // Mismatched round counts are called out (a killed shard must be
+        // resumed before merging).
+        let mut uneven = shard_checkpoints(config, 2);
+        uneven[1].state.rounds_done -= 1;
+        assert!(merge_checkpoints(&uneven).unwrap_err().to_string().contains("resume"));
+        // Mismatched configs.
+        let mut mixed = shard_checkpoints(config, 2);
+        mixed[1].config.seed += 1;
+        assert!(merge_checkpoints(&mixed).unwrap_err().to_string().contains("config"));
+        // Mismatched run labels.
+        let mut renamed = shard_checkpoints(config, 2);
+        renamed[1].run = "other".into();
+        assert!(merge_checkpoints(&renamed).unwrap_err().to_string().contains("labels differ"));
+        // Empty input.
+        assert!(merge_checkpoints(&[]).is_err());
+    }
+
+    #[test]
+    fn killed_and_resumed_shard_merges_identically() {
+        let config = shardable_config(9);
+        let of = 2;
+        // Shard 1 is cut after one round, round-tripped through its
+        // checkpoint bytes, and resumed on a fresh engine — the merge
+        // must not notice.
+        let s0 = explorer(config).run_shard(ShardSpec { index: 0, of }).unwrap();
+        let cutter = explorer(config);
+        let mut partial = cutter.initial_shard_state(ShardSpec { index: 1, of }).unwrap();
+        cutter.advance_shard_round(&mut partial).unwrap();
+        let bytes = Checkpoint::from_shard("demo", config, &partial, Vec::new()).render();
+        let revived = Checkpoint::parse(&bytes).unwrap().to_shard_state().unwrap();
+        let s1 = explorer(config).resume_shard(revived).unwrap();
+        let merged = merge_shard_states("demo", config, &[s0, s1]).unwrap();
+        assert_eq!(merged.render(), single_run_checkpoint(config).render());
+    }
+}

@@ -33,6 +33,7 @@
 //! {"id":ID, "op":"design",  SOURCE, "spec":SPEC?, "settings":SETTINGS?}
 //! {"id":ID, "op":"explore", SOURCE, "label":NAME?, "config":CONFIG?,
 //!                           "budget":BUDGET?, "stream":BOOL?}
+//! {"id":ID, "op":"merge",   "checkpoints":[PATH, ...]}
 //! {"id":ID, "op":"stats"}
 //! {"id":ID, "op":"shutdown"}
 //! ```
@@ -48,6 +49,18 @@
 //! takes the same keys as a checkpoint config (`walks`, `rounds`,
 //! `steps`, `acceptance`, `hardware`, `fine_recombine`, …) over
 //! [`qpd_explore::ExploreConfig::quick`] defaults.
+//!
+//! `merge` adopts shard results produced by `explore_run --shard`
+//! (see [`qpd_explore::merge`]): the named shard checkpoint files are
+//! merged into the whole-run checkpoint — byte-identical to a
+//! single-process run — written to the daemon's output directory, and
+//! any shard cache sidecars sitting next to the inputs are loaded into
+//! the shared warm caches (content-keyed, so adoption can only turn
+//! future misses into hits). The result reports `{"run", "shards",
+//! "rounds_done", "archive_len", "front_len", "warmed_routes",
+//! "warmed_yields", "checkpoint"}`. Like `stats`/`shutdown` it runs
+//! inline, bypassing the work queue, so adopting finished shard work
+//! stays possible under full evaluation load.
 //!
 //! ## Budgets
 //!

@@ -112,6 +112,15 @@ pub enum Request {
         /// Emit one `round` event line per completed round.
         stream: bool,
     },
+    /// Adopt shard results: merge a complete set of shard-tagged
+    /// checkpoint files into the whole-run checkpoint (written to the
+    /// daemon's output directory) and warm the shared caches from any
+    /// shard sidecars sitting next to the inputs.
+    Merge {
+        /// Paths of the shard checkpoint files, as the operator's
+        /// filesystem sees them (the daemon is a localhost tool).
+        checkpoints: Vec<String>,
+    },
     /// Per-stage cache counters.
     Stats,
     /// Graceful shutdown: checkpoint in-flight explores, persist the
@@ -189,6 +198,23 @@ pub fn parse_request(line: &str) -> Result<ParsedRequest, RequestError> {
                     }
                 },
             }
+        }
+        "merge" => {
+            let arr = doc
+                .get("checkpoints")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| with_id("`checkpoints` must be an array of file paths".into()))?;
+            if arr.is_empty() {
+                return Err(with_id("`checkpoints` must name at least one shard file".into()));
+            }
+            let mut checkpoints = Vec::with_capacity(arr.len());
+            for v in arr {
+                let path = v
+                    .as_str()
+                    .ok_or_else(|| with_id("`checkpoints` entries must be strings".into()))?;
+                checkpoints.push(path.to_string());
+            }
+            Request::Merge { checkpoints }
         }
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
@@ -430,6 +456,25 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.code, "bad_request");
         assert_eq!(err.id.as_deref(), Some("e"));
+    }
+
+    #[test]
+    fn merge_request_parses_paths_and_rejects_junk() {
+        let req =
+            parse_request(r#"{"id":"m","op":"merge","checkpoints":["a.json","b.json"]}"#).unwrap();
+        assert_eq!(
+            req.body,
+            Request::Merge { checkpoints: vec!["a.json".into(), "b.json".into()] }
+        );
+        for (line, needle) in [
+            (r#"{"id":"m","op":"merge"}"#, "array"),
+            (r#"{"id":"m","op":"merge","checkpoints":[]}"#, "at least one"),
+            (r#"{"id":"m","op":"merge","checkpoints":[7]}"#, "strings"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.id.as_deref(), Some("m"), "{line}");
+            assert!(err.message.contains(needle), "{line}: {}", err.message);
+        }
     }
 
     #[test]

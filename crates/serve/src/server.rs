@@ -12,8 +12,8 @@ use std::time::Instant;
 
 use qpd_core::StagePlan;
 use qpd_explore::{
-    circuit_key, sidecar, CandidateSpec, Checkpoint, ExploreConfig, ExploreSpace, ExploreState,
-    Explorer, Json, StageCaches, DEFAULT_MEMO_CAP,
+    circuit_key, merge_checkpoints, sidecar, CandidateSpec, Checkpoint, ExploreConfig,
+    ExploreSpace, ExploreState, Explorer, Json, StageCaches, DEFAULT_MEMO_CAP,
 };
 
 use crate::protocol::{
@@ -237,6 +237,10 @@ fn dispatch(shared: &Arc<Shared>, id: String, body: Request, out: &Arc<Mutex<Tcp
             let line = ok_line(&id, stats_result(shared));
             let _ = out.lock().expect("writer").write_all(line.as_bytes());
         }
+        Request::Merge { checkpoints } => {
+            let line = handle_merge(shared, &id, &checkpoints);
+            let _ = out.lock().expect("writer").write_all(line.as_bytes());
+        }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.available.notify_all();
@@ -295,7 +299,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             Request::Explore { source, label, config, budget, stream } => {
                 handle_explore(shared, &id, &source, &label, config, budget, stream, &out)
             }
-            Request::Stats | Request::Shutdown => unreachable!("handled inline"),
+            Request::Merge { .. } | Request::Stats | Request::Shutdown => {
+                unreachable!("handled inline")
+            }
         };
         // A panicking evaluation (pathological QASM, degenerate spec)
         // must cost one error response, not one worker.
@@ -309,6 +315,75 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let _ = out.lock().expect("writer").write_all(line.as_bytes());
     }
+}
+
+/// The inline `merge` control op: merges a complete set of shard
+/// checkpoint files into the whole-run checkpoint in the daemon's
+/// output directory, and adopts any shard cache sidecars sitting next
+/// to the inputs into the shared warm caches (content-keyed, so
+/// adoption can only turn future misses into hits, never change
+/// results). Runs on the reader thread like `stats`: it is file IO
+/// plus an archive re-insertion, never a design evaluation.
+fn handle_merge(shared: &Shared, id: &str, files: &[String]) -> String {
+    let mut inputs = Vec::with_capacity(files.len());
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                return err_line(Some(id), "bad_request", &format!("cannot read {file}: {e}"))
+            }
+        };
+        match Checkpoint::parse(&text) {
+            Ok(cp) => inputs.push((PathBuf::from(file), cp)),
+            Err(e) => return err_line(Some(id), "bad_request", &format!("{file}: {e}")),
+        }
+    }
+    let checkpoints: Vec<Checkpoint> = inputs.iter().map(|(_, cp)| cp.clone()).collect();
+    let merged = match merge_checkpoints(&checkpoints) {
+        Ok(m) => m,
+        Err(e) => return err_line(Some(id), "bad_request", &e.to_string()),
+    };
+    // Warm adoption: each shard process persisted its route/yield
+    // caches as a sidecar next to its checkpoint; load whatever is
+    // there into the daemon's shared tables.
+    let (mut routes, mut yields) = (0u64, 0u64);
+    for (path, cp) in &inputs {
+        let Some(meta) = &cp.shard else { continue };
+        let label = format!("{}_shard{}of{}", cp.run, meta.spec.index, meta.spec.of);
+        let side = path
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join(sidecar::file_name(&label));
+        if let sidecar::SidecarLoad::Loaded { routes: r, yields: y } =
+            sidecar::load(&side, &shared.caches)
+        {
+            routes += r as u64;
+            yields += y as u64;
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&shared.config.out_dir) {
+        return err_line(Some(id), "internal", &format!("cannot create output directory: {e}"));
+    }
+    let path = match merged.write(&shared.config.out_dir) {
+        Ok(p) => p,
+        Err(e) => {
+            return err_line(Some(id), "internal", &format!("cannot write merged checkpoint: {e}"))
+        }
+    };
+    ok_line(
+        id,
+        Json::obj([
+            ("run", Json::str(&merged.run)),
+            ("shards", Json::int(files.len() as u64)),
+            ("rounds_done", Json::int(merged.state.rounds_done as u64)),
+            ("archive_len", Json::int(merged.state.archive.len() as u64)),
+            ("front_len", Json::int(merged.state.front_indices().len() as u64)),
+            ("warmed_routes", Json::int(routes)),
+            ("warmed_yields", Json::int(yields)),
+            ("checkpoint", Json::str(path.display().to_string())),
+        ]),
+    )
 }
 
 fn stats_result(shared: &Shared) -> Json {
@@ -482,6 +557,7 @@ fn handle_explore(
             config,
             state: state.clone(),
             stage_hit_rates: Vec::new(),
+            shard: None,
         };
         if std::fs::create_dir_all(&shared.config.out_dir).is_ok() {
             if let Ok(path) = cp.write(&shared.config.out_dir) {

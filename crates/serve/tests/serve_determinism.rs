@@ -222,3 +222,84 @@ fn budgets_truncate_at_round_barriers() {
     assert_eq!(result.get("rounds_done").and_then(Json::as_u64), Some(0));
     shut_down(addr, handle);
 }
+
+#[test]
+fn merge_op_adopts_shards_into_the_whole_run_checkpoint() {
+    use qpd_explore::{ExploreConfig, ShardSpec};
+    let dir = tmp_dir("merge_op");
+    // Produce a 2-way sharded run in-process (the shardable config
+    // shape: scalarized, no recombination, no cap) plus the whole-run
+    // reference, and persist each shard with its cache sidecar exactly
+    // as `explore_run --shard` does.
+    let config = ExploreConfig {
+        walks: 2,
+        rounds: 2,
+        steps_per_round: 1,
+        alloc_trials: 40,
+        yield_trials: 200,
+        ..ExploreConfig::quick()
+    }
+    .v1_compat();
+    let build = || {
+        let circuit = qpd_benchmarks::build("cm152a_212").unwrap();
+        Explorer::new(ExploreSpace::new(circuit, config.max_aux), config).unwrap()
+    };
+    let reference = Checkpoint {
+        run: "cm152a_212".into(),
+        config,
+        state: build().run().unwrap(),
+        stage_hit_rates: Vec::new(),
+        shard: None,
+    }
+    .render();
+    let mut shard_paths = Vec::new();
+    for index in 0..2 {
+        let engine = build();
+        let shard = engine.run_shard(ShardSpec { index, of: 2 }).unwrap();
+        let cp = Checkpoint::from_shard("cm152a_212", config, &shard, Vec::new());
+        let path = cp.write(&dir).unwrap();
+        let label = format!("cm152a_212_shard{index}of2");
+        std::fs::write(dir.join(sidecar::file_name(&label)), sidecar::render(engine.caches()))
+            .unwrap();
+        shard_paths.push(path);
+    }
+
+    let out = tmp_dir("merge_op_out");
+    let (addr, handle) = start(&out, None, Some(1), 16);
+    let mut client = Client::connect(addr).unwrap();
+    let line = format!(
+        r#"{{"id":"m1","op":"merge","checkpoints":["{}","{}"]}}"#,
+        shard_paths[0].display(),
+        shard_paths[1].display()
+    );
+    let exchange = client.request_raw(&line).unwrap();
+    let doc = Json::parse(&exchange.response).unwrap();
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{}", exchange.response);
+    let result = doc.get("result").expect("merge result");
+    assert_eq!(result.get("run").and_then(Json::as_str), Some("cm152a_212"));
+    assert_eq!(result.get("shards").and_then(Json::as_u64), Some(2));
+    assert!(
+        result.get("warmed_routes").and_then(Json::as_u64).unwrap() > 0,
+        "shard sidecars were not adopted: {}",
+        exchange.response
+    );
+    let merged_path = result.get("checkpoint").and_then(Json::as_str).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(merged_path).unwrap(),
+        reference,
+        "daemon merge diverged from the single-process run"
+    );
+
+    // An incomplete shard set is a bad_request, and the connection
+    // stays usable.
+    let partial =
+        format!(r#"{{"id":"m2","op":"merge","checkpoints":["{}"]}}"#, shard_paths[0].display());
+    let err = client.request_raw(&partial).unwrap();
+    let doc = Json::parse(&err.response).unwrap();
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("bad_request")
+    );
+    shut_down(addr, handle);
+}

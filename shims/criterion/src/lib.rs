@@ -332,8 +332,11 @@ mod tests {
         assert_eq!(results[1].id, "grp/b");
         for r in &results {
             assert_eq!(r.samples, 3);
-            assert!(r.min_s <= r.median_s && r.median_s <= r.mean_s.max(r.median_s));
-            assert!(r.mean_s >= r.min_s);
+            assert!(r.min_s <= r.median_s);
+            // The mean is sum/len: with tied samples (common on a
+            // coarse timer) the two roundings can land it an ulp below
+            // the min, so compare with that much slack.
+            assert!(r.mean_s >= r.min_s - 4.0 * f64::EPSILON * r.min_s);
         }
         assert!(c.take_results().is_empty(), "drained");
     }

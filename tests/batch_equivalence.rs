@@ -101,6 +101,7 @@ fn batched_bytes(seed: u64, state: &ExploreState) -> String {
         config: batched_config(seed),
         state: state.clone(),
         stage_hit_rates: Vec::new(),
+        shard: None,
     }
     .render()
 }

@@ -44,6 +44,7 @@ fn checkpoint_bytes(seed: u64, state: &qpd::explore::ExploreState) -> String {
         config: tiny_config(seed),
         state: state.clone(),
         stage_hit_rates: Vec::new(),
+        shard: None,
     }
     .render()
 }
@@ -110,6 +111,7 @@ fn capped_checkpoint_bytes(seed: u64, state: &qpd::explore::ExploreState) -> Str
         config: capped_config(seed),
         state: state.clone(),
         stage_hit_rates: Vec::new(),
+        shard: None,
     }
     .render()
 }
@@ -167,6 +169,7 @@ fn mixed_checkpoint_bytes(seed: u64, state: &qpd::explore::ExploreState) -> Stri
         config: mixed_config(seed),
         state: state.clone(),
         stage_hit_rates: Vec::new(),
+        shard: None,
     }
     .render()
 }

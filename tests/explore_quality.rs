@@ -129,6 +129,7 @@ fn quality_run_is_thread_invariant_and_resumable() {
             config,
             state: state.clone(),
             stage_hit_rates: Vec::new(),
+            shard: None,
         }
         .render()
     };

@@ -1,0 +1,179 @@
+//! The PR 9 tentpole proof: `shard(N) + merge ≡ single-run`,
+//! **bit-for-bit at the checkpoint-byte level**, for N ∈ {1, 2, 4},
+//! for `QPD_THREADS` ∈ {1, 2, 8} (including shards run at *different*
+//! thread counts), under kill/resume of an individual shard across a
+//! process boundary, and for every permutation of merge-input order.
+//!
+//! The soundness argument: a shardable config
+//! ([`ExploreConfig::shardable`](qpd::explore::ExploreConfig::shardable))
+//! has no cross-walk reads, every walk keeps its global index and its
+//! own `(seed, walk, round)` RNG streams, and every archive entry
+//! carries its provenance `(block, walk, step)` — exactly the single-run
+//! insertion order — so the merge can replay the union of the shards'
+//! work in the order one process would have produced it.
+
+use proptest::prelude::*;
+
+use qpd::explore::{
+    merge_checkpoints, Checkpoint, ExploreConfig, ExploreSpace, Explorer, ShardSpec,
+};
+use qpd::prelude::*;
+
+/// A small program with enough diagonal demand for square moves.
+fn demo_circuit() -> Circuit {
+    let mut c = Circuit::new(6);
+    for _ in 0..2 {
+        c.cx(0, 1).cx(1, 2).cx(3, 4).cx(4, 5).cx(0, 3).cx(1, 4).cx(2, 5);
+    }
+    c.cx(0, 4).cx(1, 3).cx(1, 5).cx(2, 4);
+    c
+}
+
+/// An independent-walk (shardable) config: scalarized acceptance, no
+/// recombination, no archive cap — `v1_compat` is exactly that shape.
+fn shardable_config(seed: u64) -> ExploreConfig {
+    ExploreConfig {
+        walks: 4,
+        rounds: 2,
+        steps_per_round: 2,
+        seed,
+        max_aux: 1,
+        alloc_trials: 60,
+        yield_trials: 400,
+        ..ExploreConfig::quick()
+    }
+    .v1_compat()
+}
+
+fn explorer(seed: u64) -> Explorer {
+    let config = shardable_config(seed);
+    Explorer::new(ExploreSpace::new(demo_circuit(), config.max_aux), config).unwrap()
+}
+
+fn single_run_bytes(seed: u64) -> String {
+    let state = explorer(seed).run().unwrap();
+    Checkpoint {
+        run: "prop".into(),
+        config: shardable_config(seed),
+        state,
+        stage_hit_rates: Vec::new(),
+        shard: None,
+    }
+    .render()
+}
+
+fn shard_checkpoint(seed: u64, index: usize, of: usize, threads: usize) -> Checkpoint {
+    let shard =
+        qpd::par::with_threads(threads, || explorer(seed).run_shard(ShardSpec { index, of }))
+            .unwrap();
+    Checkpoint::from_shard("prop", shardable_config(seed), &shard, Vec::new())
+}
+
+/// Every permutation of `0..n` (n ≤ 4 here, so at most 24).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for rest in permutations(n - 1) {
+        for slot in 0..n {
+            let mut p = rest.clone();
+            p.insert(slot, n - 1);
+            out.push(p);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The headline equivalence: for N ∈ {1, 2, 4}, running the N
+    /// shards (each at a different thread count) and merging them — in
+    /// every input order — reproduces the single-process checkpoint
+    /// bytes exactly.
+    #[test]
+    fn shard_and_merge_reproduce_single_run_bytes_for_every_order(seed in 0u64..1_000) {
+        let reference = qpd::par::with_threads(1, || single_run_bytes(seed));
+        for of in [1usize, 2, 4] {
+            // Thread counts rotate over {1, 2, 8} per shard: the merge
+            // must not care how each shard's process was scheduled.
+            let shards: Vec<Checkpoint> = (0..of)
+                .map(|i| shard_checkpoint(seed, i, of, [1usize, 2, 8][i % 3]))
+                .collect();
+            for perm in permutations(of) {
+                let ordered: Vec<Checkpoint> =
+                    perm.iter().map(|&i| shards[i].clone()).collect();
+                let merged = merge_checkpoints(&ordered).unwrap();
+                prop_assert_eq!(
+                    &merged.render(),
+                    &reference,
+                    "merge of {} shard(s) in order {:?} diverged",
+                    of,
+                    perm
+                );
+            }
+        }
+    }
+
+    /// Kill/resume of an individual shard: one shard is cut after its
+    /// first round, persisted to checkpoint *bytes*, revived in a fresh
+    /// cold engine (a process boundary in all but the exec), finished,
+    /// and merged. Byte-identical to the uninterrupted single run.
+    #[test]
+    fn a_killed_and_resumed_shard_merges_bit_identically(seed in 0u64..1_000) {
+        let reference = single_run_bytes(seed);
+        let of = 2;
+        let config = shardable_config(seed);
+        let whole = shard_checkpoint(seed, 0, of, 2);
+        // Shard 1: run one round, checkpoint, "crash".
+        let cut = explorer(seed);
+        let mut partial = cut.initial_shard_state(ShardSpec { index: 1, of }).unwrap();
+        cut.advance_shard_round(&mut partial).unwrap();
+        let bytes = Checkpoint::from_shard("prop", config, &partial, Vec::new()).render();
+        drop(cut);
+        // Revive from bytes on a fresh engine and finish the budget.
+        let revived = Checkpoint::parse(&bytes).unwrap().to_shard_state().unwrap();
+        let finished = explorer(seed).resume_shard(revived).unwrap();
+        let resumed = Checkpoint::from_shard("prop", config, &finished, Vec::new());
+        let merged = merge_checkpoints(&[resumed, whole]).unwrap();
+        prop_assert_eq!(merged.render(), reference);
+    }
+}
+
+/// The merged document is a parse/render fixpoint and carries no shard
+/// tag — it *is* the whole run, immediately resumable as one.
+#[test]
+fn merged_checkpoints_are_whole_run_fixpoints() {
+    let seed = 17;
+    let shards: Vec<Checkpoint> = (0..2).map(|i| shard_checkpoint(seed, i, 2, 1)).collect();
+    let merged = merge_checkpoints(&shards).unwrap();
+    assert!(merged.shard.is_none());
+    let bytes = merged.render();
+    let parsed = Checkpoint::parse(&bytes).unwrap();
+    assert_eq!(parsed.render(), bytes);
+    assert!(parsed.shard.is_none());
+    // And the shard files themselves round-trip with their tags intact.
+    for cp in &shards {
+        let reparsed = Checkpoint::parse(&cp.render()).unwrap();
+        assert_eq!(&reparsed, cp);
+        assert!(reparsed.shard.is_some());
+    }
+}
+
+/// Sharding is refused — loudly, not wrongly — for configs whose walks
+/// observe each other (dominance acceptance, recombination, archive
+/// caps). The refusal names every blocker.
+#[test]
+fn unshardable_configs_are_rejected_with_reasons() {
+    let mut config = shardable_config(1);
+    config.recombine = true;
+    config.archive_cap = Some(8);
+    let why = config.shardable().unwrap_err();
+    assert!(why.contains("recombin"), "{why}");
+    assert!(why.contains("archive_cap"), "{why}");
+    let space = ExploreSpace::new(demo_circuit(), config.max_aux);
+    let err =
+        Explorer::new(space, config).unwrap().run_shard(ShardSpec { index: 0, of: 2 }).unwrap_err();
+    assert!(err.to_string().contains("shard"), "{err}");
+}
