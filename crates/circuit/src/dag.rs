@@ -136,17 +136,29 @@ impl<'a> DagCursor<'a> {
     /// Panics if `idx` is not ready (unexecuted with zero remaining
     /// predecessors); executing out of order would corrupt the traversal.
     pub fn execute(&mut self, idx: usize) -> Vec<usize> {
+        let mut released = Vec::new();
+        self.execute_into(idx, &mut released);
+        released
+    }
+
+    /// [`Self::execute`] into a caller-owned buffer: newly released
+    /// successors are *appended* to `released` (the buffer is not
+    /// cleared), so a traversal loop can retire every instruction of a
+    /// front layer without allocating per gate.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::execute`].
+    pub fn execute_into(&mut self, idx: usize, released: &mut Vec<usize>) {
         assert!(self.is_ready(idx), "instruction {idx} executed out of order");
         self.executed[idx] = true;
         self.executed_count += 1;
-        let mut released = Vec::new();
         for &succ in self.dag.successors(idx) {
             self.remaining_preds[succ] -= 1;
             if self.remaining_preds[succ] == 0 {
                 released.push(succ);
             }
         }
-        released
     }
 }
 

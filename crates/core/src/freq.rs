@@ -4,7 +4,8 @@ use std::collections::VecDeque;
 
 use qpd_topology::{Architecture, FrequencyPlan, ALLOWED_BAND_GHZ};
 use qpd_yield::{
-    CollisionParams, CompiledRegions, FabricationModel, HardwareFamily, LocalYieldEvaluator,
+    AllocScratch, CollisionParams, CompiledRegions, FabricationModel, HardwareFamily,
+    LocalYieldEvaluator,
 };
 
 /// Center-out breadth-first frequency allocator.
@@ -155,19 +156,76 @@ impl FrequencyAllocator {
     /// pass and all refinement sweeps; candidate evaluation fans out
     /// over the `qpd-par` worker pool. The result is deterministic in
     /// the seed and independent of the thread count.
+    ///
+    /// Callers allocating repeatedly (or for several proposals at once)
+    /// should prefer [`Self::allocate_with`] or
+    /// [`Self::allocate_batch`], which reuse compiled regions and
+    /// cached noise planes across calls; the emitted plans are
+    /// bit-identical either way.
     pub fn allocate(&self, arch: &Architecture) -> FrequencyPlan {
+        let regions = CompiledRegions::new(arch);
+        let mut scratch = AllocScratch::new();
+        self.allocate_with(arch, &regions, &mut scratch)
+    }
+
+    /// Allocates frequencies for every proposal in `archs`, sharing one
+    /// allocation scratch — and therefore the cached noise planes —
+    /// across the whole batch.
+    ///
+    /// The common-random-numbers streams depend only on the allocator
+    /// seed, the qubit index, and the noise sigma, never on the
+    /// topology, so proposals after the first skip stream generation
+    /// entirely. Each plan is bit-identical to `allocate` on that
+    /// architecture alone; the test suite proves it.
+    pub fn allocate_batch(&self, archs: &[&Architecture]) -> Vec<FrequencyPlan> {
+        let mut scratch = AllocScratch::new();
+        archs
+            .iter()
+            .map(|arch| {
+                let regions = CompiledRegions::new(arch);
+                self.allocate_with(arch, &regions, &mut scratch)
+            })
+            .collect()
+    }
+
+    /// [`Self::allocate`] against a prebuilt [`CompiledRegions`] table
+    /// and a caller-held [`AllocScratch`] — the batched hot path.
+    ///
+    /// `regions` must have been compiled from `arch`; the scratch may
+    /// be shared freely across calls, architectures, and allocator
+    /// configurations without affecting any plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` was compiled from an architecture with a
+    /// different qubit count.
+    pub fn allocate_with(
+        &self,
+        arch: &Architecture,
+        regions: &CompiledRegions,
+        scratch: &mut AllocScratch,
+    ) -> FrequencyPlan {
+        assert_eq!(regions.num_qubits(), arch.num_qubits(), "regions/architecture mismatch");
         let n = arch.num_qubits();
         let (lo, hi) = self.band;
         let mid = (lo + hi) / 2.0;
-        let regions = CompiledRegions::new(arch);
-        let evaluate =
-            |evaluator: &LocalYieldEvaluator, assigned: &[Option<f64>], q: usize| -> Vec<u64> {
-                if self.reference_path {
-                    evaluator.evaluate_candidates_reference(arch, assigned, q, &self.candidates)
-                } else {
-                    evaluator.evaluate_candidates_compiled(&regions, assigned, q, &self.candidates)
-                }
-            };
+        let evaluate = |evaluator: &LocalYieldEvaluator,
+                        assigned: &[Option<f64>],
+                        q: usize,
+                        scratch: &mut AllocScratch|
+         -> Vec<u64> {
+            if self.reference_path {
+                evaluator.evaluate_candidates_reference(arch, assigned, q, &self.candidates)
+            } else {
+                evaluator.evaluate_candidates_compiled_with(
+                    regions,
+                    assigned,
+                    q,
+                    &self.candidates,
+                    scratch,
+                )
+            }
+        };
         let evaluator = self.evaluator(self.seed);
         let mut assigned: Vec<Option<f64>> = vec![None; n];
 
@@ -194,7 +252,7 @@ impl FrequencyAllocator {
         order.extend((0..n).filter(|&q| !enqueued[q]));
 
         for &q in order.iter().skip(1) {
-            let counts = evaluate(&evaluator, &assigned, q);
+            let counts = evaluate(&evaluator, &assigned, q, scratch);
             assigned[q] = Some(self.candidates[self.argmax(&counts)]);
         }
 
@@ -205,7 +263,7 @@ impl FrequencyAllocator {
             let mut changed = false;
             for &q in &order {
                 let current = assigned[q].take().expect("assigned in first pass");
-                let counts = evaluate(&sweep_evaluator, &assigned, q);
+                let counts = evaluate(&sweep_evaluator, &assigned, q, scratch);
                 let best = self.candidates[self.argmax(&counts)];
                 if (best - current).abs() > 1e-12 {
                     changed = true;
@@ -407,6 +465,48 @@ mod tests {
             let mid = (lo + hi) / 2.0;
             let single = allocator.with_refinement_sweeps(0).allocate(&line(1));
             assert!((single.ghz(0) - mid).abs() < 0.011, "{family:?} center seed");
+        }
+    }
+
+    #[test]
+    fn batch_matches_singleton_allocations() {
+        // The load-bearing batching contract: sharing noise planes
+        // across proposals never changes a plan.
+        let archs = [line(4), line(6), line(4), line(9)];
+        let refs: Vec<&Architecture> = archs.iter().collect();
+        let allocator = fast_allocator();
+        let batched = allocator.allocate_batch(&refs);
+        for (arch, plan) in archs.iter().zip(&batched) {
+            assert_eq!(*plan, allocator.allocate(arch), "arch {}", arch.name());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_calls_is_transparent() {
+        let arch = line(7);
+        let allocator = fast_allocator();
+        let fresh = allocator.allocate(&arch);
+        let regions = CompiledRegions::new(&arch);
+        let mut scratch = qpd_yield::AllocScratch::new();
+        // Warm the scratch on a different topology and config first.
+        let other = line(5);
+        let other_regions = CompiledRegions::new(&other);
+        allocator.clone().with_trials(200).allocate_with(&other, &other_regions, &mut scratch);
+        for _ in 0..2 {
+            assert_eq!(allocator.allocate_with(&arch, &regions, &mut scratch), fresh);
+        }
+    }
+
+    #[test]
+    fn batch_reference_path_matches_too() {
+        // The retained pre-overhaul path ignores the scratch but must
+        // flow through the batched entry points unchanged.
+        let archs = [line(3), line(4)];
+        let refs: Vec<&Architecture> = archs.iter().collect();
+        let allocator = fast_allocator().with_reference_path();
+        let batched = allocator.allocate_batch(&refs);
+        for (arch, plan) in archs.iter().zip(&batched) {
+            assert_eq!(*plan, allocator.allocate(arch));
         }
     }
 

@@ -64,9 +64,9 @@ pub use pareto::{
     crowding_distances, dominates_nd, epsilon_cell, epsilon_dominates_nd,
     epsilon_weakly_dominates_nd, pareto_front, pareto_front_nd,
 };
-pub use pipeline::{BusStrategy, DesignFlow, FrequencyStrategy};
+pub use pipeline::{BusStrategy, DesignFlow, FrequencyStrategy, LayoutJob};
 pub use placement::{place_auxiliary, place_qubits};
 pub use stage::{
-    profile_key, AssembleStage, BusOrderStage, PlacementStage, Stage, StageCache, StageCacheStats,
-    StageKind, StagePlan, StageSet, MEMO_CAP_ENV,
+    profile_key, AssembleJob, AssembleStage, BusOrderStage, PlacementStage, Stage, StageCache,
+    StageCacheStats, StageKind, StagePlan, StageSet, MEMO_CAP_ENV,
 };

@@ -19,7 +19,7 @@ use crate::bus::{select_buses_random, select_buses_weighted};
 use crate::error::DesignError;
 use crate::freq::FrequencyAllocator;
 use crate::placement::place_qubits;
-use crate::stage::{AssembleStage, BusOrderStage, PlacementStage, StagePlan};
+use crate::stage::{AssembleJob, AssembleStage, BusOrderStage, PlacementStage, StagePlan};
 
 /// How the flow assigns qubit frequencies (paper §5.2's configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,22 @@ pub enum BusStrategy {
         /// Seed for the random square choice.
         seed: u64,
     },
+}
+
+/// One layout of a batched back-half submission
+/// ([`DesignFlow::design_with_layout_batch`]): an explicit layout plus
+/// the per-candidate knobs (frequency strategy, hardware family) that
+/// override the base flow's for this job.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutJob<'a> {
+    /// Qubit coordinates.
+    pub coords: &'a [qpd_topology::Coord],
+    /// Four-qubit bus squares.
+    pub squares: &'a [Square],
+    /// Frequency strategy for this job.
+    pub frequency: FrequencyStrategy,
+    /// Hardware family for this job.
+    pub hardware: HardwareFamily,
 }
 
 /// The composed design flow: profile in, architecture (series) out.
@@ -303,6 +319,45 @@ impl DesignFlow {
             return Err(DesignError::EmptyProgram);
         }
         self.assemble(coords, squares)
+    }
+
+    /// [`Self::design_with_layout`] for a whole batch of layouts at
+    /// once, submitted through [`StagePlan::assemble_batch`] so every
+    /// stage-cache miss in the batch shares one allocation scratch
+    /// (compiled regions, noise planes, decision buffers).
+    ///
+    /// Each job may override the flow's frequency strategy and hardware
+    /// family — the two knobs the explorer varies per candidate — while
+    /// inheriting every other allocation knob from this flow. Results
+    /// are bit-identical to per-job [`Self::design_with_layout`] calls
+    /// on correspondingly configured flow clones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::EmptyProgram`] if any job has no qubits
+    /// and propagates builder errors for invalid squares.
+    pub fn design_with_layout_batch(
+        &self,
+        jobs: &[LayoutJob<'_>],
+    ) -> Result<Vec<Architecture>, DesignError> {
+        if jobs.iter().any(|j| j.coords.is_empty()) {
+            return Err(DesignError::EmptyProgram);
+        }
+        let stages: Vec<AssembleStage> = jobs
+            .iter()
+            .map(|j| {
+                let mut stage = self.assemble_stage();
+                stage.frequency = j.frequency;
+                stage.hardware = j.hardware;
+                stage
+            })
+            .collect();
+        let batch: Vec<AssembleJob<'_>> = stages
+            .iter()
+            .zip(jobs)
+            .map(|(stage, j)| AssembleJob { stage, coords: j.coords, squares: j.squares })
+            .collect();
+        self.plan.assemble_batch(&batch)
     }
 
     /// The qubit placement only (exposed for the `eff-layout-only`

@@ -35,11 +35,11 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use qpd_profile::CouplingProfile;
 use qpd_topology::{pattern_frequency_plan, Architecture, Coord, FrequencyPlan, Square};
-use qpd_yield::{Fnv64, HardwareFamily};
+use qpd_yield::{AllocScratch, CompiledRegions, Fnv64, HardwareFamily};
 
 use crate::bus::{select_buses_random, select_buses_weighted};
 use crate::error::DesignError;
@@ -647,7 +647,18 @@ impl Stage for AssembleStage {
 
     fn run(&self, input: &Self::Input<'_>) -> Result<Architecture, DesignError> {
         let (coords, squares) = input;
-        let model = self.hardware.model();
+        self.run_with(coords, squares, &mut AssembleScratch::default())
+    }
+}
+
+impl AssembleStage {
+    /// Builds the bare (frequency-less) architecture this stage
+    /// assembles from the layout.
+    fn build_architecture(
+        &self,
+        coords: &[Coord],
+        squares: &[Square],
+    ) -> Result<Architecture, DesignError> {
         let name = format!(
             "{}{}-{}q-b{}{}",
             self.name_prefix,
@@ -661,24 +672,102 @@ impl Stage for AssembleStage {
         );
         let mut builder = Architecture::builder(name);
         builder.qubits(coords.iter().copied());
-        for &s in *squares {
+        for &s in squares {
             builder.four_qubit_bus_at(s);
         }
-        let arch = builder.build()?;
+        Ok(builder.build()?)
+    }
+
+    /// The frequency allocator this stage configures for
+    /// [`FrequencyStrategy::Optimized`].
+    fn allocator(&self) -> FrequencyAllocator {
+        FrequencyAllocator::new()
+            .with_hardware(self.hardware)
+            .with_trials(self.allocation_trials)
+            .with_refinement_sweeps(self.allocation_sweeps)
+            .with_sigma_ghz(self.sigma_ghz)
+            .with_seed(self.allocation_seed)
+    }
+
+    /// [`Stage::run`] against a caller-held [`AssembleScratch`]: the
+    /// compiled local regions come from the scratch's topology-keyed
+    /// cache and the allocation reuses its noise planes. The output is
+    /// bit-identical to a scratch-free run.
+    fn run_with(
+        &self,
+        coords: &[Coord],
+        squares: &[Square],
+        scratch: &mut AssembleScratch,
+    ) -> Result<Architecture, DesignError> {
+        let model = self.hardware.model();
+        let arch = self.build_architecture(coords, squares)?;
         let plan: FrequencyPlan = match self.frequency {
             FrequencyStrategy::FiveFrequency => {
                 pattern_frequency_plan(&arch, model.pattern_frequencies_ghz())
             }
-            FrequencyStrategy::Optimized => FrequencyAllocator::new()
-                .with_hardware(self.hardware)
-                .with_trials(self.allocation_trials)
-                .with_refinement_sweeps(self.allocation_sweeps)
-                .with_sigma_ghz(self.sigma_ghz)
-                .with_seed(self.allocation_seed)
-                .allocate(&arch),
+            FrequencyStrategy::Optimized => {
+                let regions = scratch.regions_for(coords, squares, &arch);
+                self.allocator().allocate_with(&arch, &regions, &mut scratch.alloc)
+            }
         };
         Ok(arch.with_frequencies_in_band(plan, model.allowed_band_ghz())?)
     }
+}
+
+/// Reusable state shared across assemble-stage runs: compiled local
+/// regions keyed by topology, plus the frequency allocator's
+/// [`AllocScratch`] (noise planes and decision buffers).
+///
+/// Everything in here is *derived pure data* — regenerating it yields
+/// bit-identical values — so sharing it across runs, configurations, or
+/// cache clears never changes an output, only when work happens.
+#[derive(Debug, Default)]
+struct AssembleScratch {
+    /// Compiled local regions keyed by the layout's topology hash
+    /// (coords + squares — the region tables do not depend on any stage
+    /// knob), so a stage-cache miss on a revisited topology skips the
+    /// rebuild.
+    regions: HashMap<u64, Arc<CompiledRegions>>,
+    /// Noise planes and per-decision buffers for the allocator.
+    alloc: AllocScratch,
+}
+
+impl AssembleScratch {
+    /// Retained topologies before the region cache resets.
+    const REGION_CACHE_CAP: usize = 128;
+
+    /// The compiled regions of `arch`, from cache when the topology was
+    /// seen before.
+    fn regions_for(
+        &mut self,
+        coords: &[Coord],
+        squares: &[Square],
+        arch: &Architecture,
+    ) -> Arc<CompiledRegions> {
+        let mut h = Fnv64::new();
+        push_coords(&mut h, coords);
+        push_squares(&mut h, squares);
+        let key = h.finish();
+        if self.regions.len() >= Self::REGION_CACHE_CAP && !self.regions.contains_key(&key) {
+            self.regions.clear();
+        }
+        Arc::clone(self.regions.entry(key).or_insert_with(|| Arc::new(CompiledRegions::new(arch))))
+    }
+}
+
+/// One frequency/assembly request of a batched submission
+/// ([`StagePlan::assemble_batch`]): a stage configuration plus the
+/// layout it assembles. Jobs in one batch may differ in any knob —
+/// frequency strategy, hardware family, layout — and still share the
+/// scratch.
+#[derive(Debug, Clone, Copy)]
+pub struct AssembleJob<'a> {
+    /// Stage configuration for this job.
+    pub stage: &'a AssembleStage,
+    /// Qubit layout.
+    pub coords: &'a [Coord],
+    /// Four-qubit bus squares.
+    pub squares: &'a [Square],
 }
 
 /// The assembled in-crate stage graph: one content-keyed cache per
@@ -694,6 +783,12 @@ pub struct StagePlan {
     placement: StageCache<Vec<Coord>>,
     bus: StageCache<Vec<Square>>,
     assemble: StageCache<Architecture>,
+    /// Shared assemble scratch (compiled regions + noise planes),
+    /// parked here between runs. Takers swap it out so concurrent
+    /// assembles never serialize on it: a racing taker finds the slot
+    /// empty, runs with a fresh scratch (identical results by
+    /// construction), and the last finisher parks its scratch back.
+    assemble_scratch: Mutex<Option<AssembleScratch>>,
 }
 
 impl StagePlan {
@@ -708,6 +803,7 @@ impl StagePlan {
             placement: StageCache::with_cap(cap),
             bus: StageCache::with_cap(cap),
             assemble: StageCache::with_cap(cap),
+            assemble_scratch: Mutex::new(None),
         }
     }
 
@@ -749,7 +845,78 @@ impl StagePlan {
         coords: &[Coord],
         squares: &[Square],
     ) -> Result<Architecture, DesignError> {
-        self.assemble.run_stage(stage, &(coords, squares)).map(|(_, v)| v)
+        let mut out = self.assemble_batch(&[AssembleJob { stage, coords, squares }])?;
+        Ok(out.pop().expect("one job in, one architecture out"))
+    }
+
+    /// Runs a whole batch of frequency/assembly jobs through the cache,
+    /// sharing one [`AllocScratch`] — compiled regions, noise planes,
+    /// decision buffers — across every cache miss in the batch.
+    ///
+    /// Cache accounting matches the per-job path: every job counts one
+    /// hit or one miss, and `unique_misses` grows once per distinct
+    /// key. Each returned architecture is bit-identical to
+    /// [`StagePlan::assemble`] on that job alone; only *when* shared
+    /// work happens changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing job's error (later jobs are not
+    /// run; nothing is cached for a failed job).
+    pub fn assemble_batch(
+        &self,
+        jobs: &[AssembleJob<'_>],
+    ) -> Result<Vec<Architecture>, DesignError> {
+        // Pass 1 — probe the cache in submission order (hit accounting
+        // identical to per-job calls).
+        let keys: Vec<u64> =
+            jobs.iter().map(|j| j.stage.content_key(&(j.coords, j.squares))).collect();
+        let mut out: Vec<Option<Architecture>> =
+            keys.iter().map(|&k| self.assemble.get(k)).collect();
+
+        if out.iter().any(Option::is_none) {
+            // Pass 2 — run each distinct missed key once, in first-
+            // occurrence order, against the shared scratch. The scratch
+            // is swapped out of its slot (not locked across the runs) so
+            // concurrent batches never serialize; see the field docs.
+            let mut scratch = self
+                .assemble_scratch
+                .lock()
+                .expect("assemble scratch poisoned")
+                .take()
+                .unwrap_or_default();
+            let mut computed: HashMap<u64, Architecture> = HashMap::new();
+            for ((slot, &key), job) in out.iter().zip(&keys).zip(jobs) {
+                if slot.is_some() || computed.contains_key(&key) {
+                    continue;
+                }
+                let arch = job.stage.run_with(job.coords, job.squares, &mut scratch);
+                let arch = match arch {
+                    Ok(arch) => arch,
+                    Err(e) => {
+                        // Park the scratch before propagating: the work
+                        // done so far stays reusable.
+                        *self.assemble_scratch.lock().expect("assemble scratch poisoned") =
+                            Some(scratch);
+                        return Err(e);
+                    }
+                };
+                computed.insert(key, arch);
+            }
+            *self.assemble_scratch.lock().expect("assemble scratch poisoned") = Some(scratch);
+
+            // Pass 3 — fill and cache every missed occurrence (each one
+            // counts a miss, exactly as sequential per-job calls that
+            // raced would).
+            for (slot, &key) in out.iter_mut().zip(&keys) {
+                if slot.is_none() {
+                    let arch = computed.get(&key).expect("computed every missed key").clone();
+                    self.assemble.insert(key, arch.clone());
+                    *slot = Some(arch);
+                }
+            }
+        }
+        Ok(out.into_iter().map(|a| a.expect("every job resolved")).collect())
     }
 
     /// The placement-stage cache.
@@ -777,6 +944,12 @@ impl StagePlan {
     }
 
     /// Drops every cached value (counters keep accumulating).
+    ///
+    /// The assemble scratch — compiled regions and noise planes — is
+    /// *kept*: it holds derived pure data a fresh process would
+    /// regenerate bit-identically, not memoized stage results, so
+    /// clearing caches changes when allocation work happens but never
+    /// what is computed.
     pub fn clear(&self) {
         self.placement.clear();
         self.bus.clear();

@@ -55,13 +55,31 @@
 //!   archive union by `[block, walk, step]` provenance and re-inserting
 //!   through the content-key dedup — measured apart from the shard
 //!   walks themselves, which are priced by the existing explore
-//!   kernels).
+//!   kernels);
+//! - `alloc/decision` — one frequency-allocation decision (the full
+//!   candidate menu for one qubit with every other qubit assigned, the
+//!   refinement-sweep shape) through the compiled-regions kernel with a
+//!   persistent `AllocScratch`, so fabrication-noise planes are sliced
+//!   from the scratch's cache instead of regenerated (PR 10's decision
+//!   kernel);
+//! - `alloc/singletons` and `alloc/batched` — the same mixed-topology
+//!   allocation workload as independent `allocate` calls vs one
+//!   `allocate_batch` (PR 10's kernel: the batch carries one scratch —
+//!   noise planes keyed by stream, decision buffers — across every
+//!   allocation, where each singleton regenerates its noise from
+//!   scratch; plans are bit-identical either way).
+//!
+//! Since PR 10 the `explore/eval_cold` / `explore/eval_warm` sweep runs
+//! through `Explorer::evaluate_all` — the batched round path (one
+//! assemble batch sharing the allocation scratch, grouped yield
+//! simulation) — so those figures price the path the engine's rounds
+//! actually take.
 //!
 //! Environment: `QPD_BENCH_SAMPLES` caps timed samples per kernel (shim
 //! default 3), `QPD_BENCH_QUICK=1` shrinks trial counts for CI smoke
 //! runs, `QPD_THREADS` sizes the worker pool.
 //!
-//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_9.json`), or
+//! Usage: `bench_snapshot [--out PATH]` (default `BENCH_10.json`), or
 //! `bench_snapshot --check-schema FRESH.json COMMITTED.json...` to
 //! validate snapshot *schemas* without timing anything: every file must
 //! carry the snapshot fields and well-formed kernel entries, and the
@@ -80,11 +98,14 @@ use qpd_explore::{
 use qpd_profile::CouplingProfile;
 use qpd_serve::{Client, Server, ServerConfig};
 use qpd_topology::{ibm, Architecture, BusMode, FrequencyPlan};
-use qpd_yield::{BatchRequest, HardwareFamily, YieldSimulator};
+use qpd_yield::{
+    AllocScratch, BatchRequest, CompiledRegions, FabricationModel, HardwareFamily,
+    LocalYieldEvaluator, YieldSimulator,
+};
 
 /// The current perf-trajectory point; bump alongside the default
 /// `--out` path when a later PR appends a snapshot.
-const PR: u64 = 9;
+const PR: u64 = 10;
 
 fn designed_topology(name: &str) -> Architecture {
     let circuit = qpd_benchmarks::build(name).expect("benchmark");
@@ -154,8 +175,16 @@ fn check_snapshot_schema(path: &str, failures: &mut Vec<String>) -> Option<(u64,
     if doc.get("quick").and_then(Json::as_bool).is_none() {
         return fail(failures, "missing boolean `quick`");
     }
-    if !matches!(doc.get("speedups"), Some(Json::Obj(pairs)) if !pairs.is_empty()) {
+    let Some(Json::Obj(speedups)) = doc.get("speedups") else {
         return fail(failures, "missing `speedups` object");
+    };
+    if speedups.is_empty() {
+        return fail(failures, "missing `speedups` object");
+    }
+    // PR 10 added the batched-allocation kernel pair; later snapshots
+    // must keep reporting its speedup.
+    if pr >= 10 && !speedups.iter().any(|(k, _)| k == "alloc_batched_over_singletons") {
+        return fail(failures, "missing `speedups.alloc_batched_over_singletons` (PR >= 10)");
     }
     let Some(kernels) = doc.get("kernels").and_then(Json::as_arr) else {
         return fail(failures, "missing `kernels` array");
@@ -253,6 +282,51 @@ fn main() {
     let compiled = FrequencyAllocator::new().with_trials(alloc_trials);
     group.bench_function("freq_alloc/compiled", |b| b.iter(|| compiled.allocate(&arch)));
 
+    // One allocation decision at refinement-sweep shape — the full
+    // candidate menu for qubit 0 with every other qubit assigned —
+    // through the compiled kernel with a persistent scratch, so from
+    // the second sample on the noise planes are sliced, not sampled.
+    let decision_eval = LocalYieldEvaluator::new(
+        alloc_trials,
+        FabricationModel::new(FabricationModel::PAPER_SIGMA_GHZ),
+        HardwareFamily::FixedFrequencyTransmon.model().collision_params(),
+        0,
+    );
+    let decision_regions = CompiledRegions::new(&arch);
+    let decision_menu = compiled.candidates().to_vec();
+    let decision_assigned: Vec<Option<f64>> = (0..arch.num_qubits())
+        .map(|q| (q != 0).then(|| 5.0 + 0.01 * ((q * 7) % 35) as f64))
+        .collect();
+    let mut decision_scratch = AllocScratch::new();
+    group.bench_function("alloc/decision", |b| {
+        b.iter(|| {
+            decision_eval.evaluate_candidates_compiled_with(
+                &decision_regions,
+                &decision_assigned,
+                0,
+                &decision_menu,
+                &mut decision_scratch,
+            )
+        })
+    });
+
+    // Batched cross-proposal allocation: the same mixed-topology
+    // workload as independent `allocate` calls (each regenerates its
+    // noise and decision state) vs one `allocate_batch` carrying one
+    // scratch across the batch. Same seed and sigma throughout, so the
+    // batch re-slices every noise plane after the first allocation.
+    let alloc_batch_archs: Vec<Architecture> = vec![
+        arch.clone(),
+        ibm::ibm_16q_2x8(BusMode::TwoQubitOnly),
+        ibm::ibm_16q_2x8(BusMode::MaxFourQubit),
+        ibm::ibm_20q_4x5(BusMode::TwoQubitOnly),
+    ];
+    let alloc_batch: Vec<&Architecture> = alloc_batch_archs.iter().collect();
+    group.bench_function("alloc/singletons", |b| {
+        b.iter(|| alloc_batch.iter().map(|a| compiled.allocate(a)).collect::<Vec<_>>())
+    });
+    group.bench_function("alloc/batched", |b| b.iter(|| compiled.allocate_batch(&alloc_batch)));
+
     // Yield-simulation kernel: §5.1's Monte Carlo on the densest IBM
     // baseline.
     let chip = ibm::ibm_16q_2x8(BusMode::MaxFourQubit);
@@ -268,8 +342,13 @@ fn main() {
     // Explore-throughput kernel: the same candidate sweep with the memo
     // cache cleared per iteration (cold: every design, routing, and
     // yield simulation runs) vs. left warm (evaluations are two hash
-    // lookups). The engine and space are built once outside the timed
-    // region, so both numbers measure candidate evaluation alone.
+    // lookups). Since PR 10 the sweep goes through `evaluate_all` — the
+    // batched round path (one assemble batch over the shared allocation
+    // scratch, grouped yield simulation) — which is what the engine's
+    // rounds actually run; `clear_stage_caches` drops memoized results
+    // but not the derived scratch, exactly like a long-running sweep.
+    // The engine and space are built once outside the timed region, so
+    // both numbers measure candidate evaluation alone.
     let explore_config = ExploreConfig {
         alloc_trials: if quick { 100 } else { 400 },
         yield_trials: if quick { 1_000 } else { 2_000 },
@@ -281,18 +360,12 @@ fn main() {
     group.bench_function("explore/eval_cold", |b| {
         b.iter(|| {
             explorer.clear_stage_caches();
-            for spec in &candidates {
-                explorer.evaluate(spec).expect("candidate evaluates");
-            }
+            explorer.evaluate_all(&candidates).expect("candidates evaluate")
         })
     });
     // The last cold iteration left the cache warm.
     group.bench_function("explore/eval_warm", |b| {
-        b.iter(|| {
-            for spec in &candidates {
-                explorer.evaluate(spec).expect("candidate evaluates");
-            }
-        })
+        b.iter(|| explorer.evaluate_all(&candidates).expect("candidates evaluate"))
     });
 
     // The v2 engine's per-round orchestration: dominance acceptance
@@ -456,6 +529,7 @@ fn main() {
     let yield_speedup = median_of("yield_sim/serial") / median_of("yield_sim/pooled");
     let cache_speedup = median_of("explore/eval_cold") / median_of("explore/eval_warm");
     let batch_speedup = median_of("yield/singletons") / median_of("yield/batched");
+    let alloc_batch_speedup = median_of("alloc/singletons") / median_of("alloc/batched");
     let evals_per_s = |id: &str| candidates.len() as f64 / median_of(id);
 
     let threads = qpd_par::threads();
@@ -560,6 +634,7 @@ fn main() {
                 ("yield_sim_pooled_over_serial", Json::num(round3(yield_speedup))),
                 ("explore_eval_warm_over_cold", Json::num(round3(cache_speedup))),
                 ("yield_batched_over_singletons", Json::num(round3(batch_speedup))),
+                ("alloc_batched_over_singletons", Json::num(round3(alloc_batch_speedup))),
                 ("serve_warm_over_cold", Json::num(round3(serve_cold_s / serve_warm_s))),
             ]),
         ),
@@ -573,7 +648,9 @@ fn main() {
          yield_sim pooled vs serial: {yield_speedup:.2}x; \
          explore cache warm vs cold: {cache_speedup:.2}x; \
          yield batched vs {BATCH_CANDIDATES} singletons: {batch_speedup:.2}x; \
+         alloc batched vs {} singletons: {alloc_batch_speedup:.2}x; \
          serve warm vs cold request: {:.2}x",
+        alloc_batch.len(),
         serve_cold_s / serve_warm_s
     );
 }

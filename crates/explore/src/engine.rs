@@ -75,7 +75,7 @@ use rand_chacha::ChaCha8Rng;
 
 use qpd_core::{
     crowding_distances, dominates_nd, epsilon_weakly_dominates_nd, DesignError, DesignFlow,
-    FrequencyStrategy, Stage, StageCacheStats,
+    FrequencyStrategy, LayoutJob, Stage, StageCacheStats,
 };
 use qpd_mapping::MappingError;
 use qpd_topology::Architecture;
@@ -726,6 +726,21 @@ impl Explorer {
         self.evaluate_at(spec, self.config.yield_trials)
     }
 
+    /// Evaluates many candidates at full fidelity as **one batch**: the
+    /// public face of the batched round path (`evaluate_batch_at` at
+    /// the configured yield-trial budget). Results are bit-identical
+    /// to per-spec [`Self::evaluate`] calls, in input order; the batch
+    /// only shares work — assemble-stage misses share one allocation
+    /// scratch, and yield-cache misses group into SoA simulation runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (in input order) design, routing, or yield
+    /// failure.
+    pub fn evaluate_all(&self, specs: &[CandidateSpec]) -> Result<Vec<Evaluated>, ExploreError> {
+        self.evaluate_batch_at(specs, self.config.yield_trials)
+    }
+
     /// Evaluates one candidate at an explicit yield-trial budget (the
     /// screening path); the simulator settings are part of the content
     /// key, so screened and full-fidelity results never collide in the
@@ -757,10 +772,16 @@ impl Explorer {
     /// Evaluates a round's worth of candidates as **one batch** — the
     /// engine half of the batched-yield path.
     ///
-    /// Materialization and routing fan out per candidate on the worker
-    /// pool (each job runs the exact stage calls a singleton
-    /// [`Self::evaluate`] would, so upstream cache totals are
-    /// unchanged). The yield stage then runs in three passes that
+    /// Layout resolution fans out per candidate on the worker pool,
+    /// then the whole round assembles as one
+    /// [`DesignFlow::design_with_layout_batch`] submission: the
+    /// assemble-stage misses of the round share one compiled-region
+    /// cache and one set of fabrication-noise planes instead of
+    /// rebuilding them per candidate, while cache accounting stays
+    /// per-job (every candidate still contributes exactly one assemble
+    /// hit or miss, and each plan is bit-identical to its singleton
+    /// [`Self::evaluate`] result). Routing then fans out per
+    /// architecture. The yield stage runs in three passes that
     /// together preserve the singleton cache accounting exactly — every
     /// candidate contributes precisely one hit or one miss:
     ///
@@ -787,15 +808,23 @@ impl Explorer {
         if specs.is_empty() {
             return Ok(Vec::new());
         }
-        let routed =
-            qpd_par::par_map(specs, |spec| -> Result<(Architecture, u64, u64), ExploreError> {
-                let arch = self.materialize(spec)?;
-                let (gates, depth) = self.route(&arch)?;
-                Ok((arch, gates, depth))
-            });
+        let layouts = qpd_par::par_map(specs, |spec| self.space.resolve(spec));
+        let jobs: Vec<LayoutJob<'_>> = specs
+            .iter()
+            .zip(&layouts)
+            .map(|(spec, (coords, squares))| LayoutJob {
+                coords,
+                squares,
+                frequency: spec.frequency,
+                hardware: spec.hardware,
+            })
+            .collect();
+        let assembled = self.flow.design_with_layout_batch(&jobs)?;
+        let routed = qpd_par::par_map(&assembled, |arch| self.route(arch));
         let mut archs = Vec::with_capacity(specs.len());
-        for r in routed {
-            archs.push(r?);
+        for (arch, r) in assembled.into_iter().zip(routed) {
+            let (gates, depth) = r?;
+            archs.push((arch, gates, depth));
         }
         let stages: Vec<YieldStage> =
             specs.iter().map(|spec| self.yield_stage(spec, trials)).collect();

@@ -1,6 +1,6 @@
 //! The SABRE routing algorithm (Li, Ding, Xie, ASPLOS 2019).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use qpd_circuit::dag::DagCursor;
 use qpd_circuit::{Circuit, Gate, GateDag, Instruction, Qubit};
@@ -111,7 +111,10 @@ impl MappedCircuit {
 #[derive(Debug, Clone)]
 pub struct SabreRouter<'a> {
     arch: &'a Architecture,
-    dist: Vec<Vec<u32>>,
+    /// Row-major flattened all-pairs distance matrix (stride
+    /// `arch.num_qubits()`): one indexed load per lookup on the swap
+    /// scoring path instead of two.
+    dist: Vec<u32>,
     config: SabreConfig,
 }
 
@@ -123,7 +126,14 @@ impl<'a> SabreRouter<'a> {
 
     /// Creates a router with an explicit configuration.
     pub fn with_config(arch: &'a Architecture, config: SabreConfig) -> Self {
-        SabreRouter { arch, dist: arch.distance_matrix(), config }
+        let dist = arch.distance_matrix().into_iter().flatten().collect();
+        SabreRouter { arch, dist, config }
+    }
+
+    /// Physical distance between `a` and `b` in coupling-graph hops.
+    #[inline]
+    fn dist(&self, a: usize, b: usize) -> u32 {
+        self.dist[a * self.arch.num_qubits() + b]
     }
 
     /// The architecture this router targets.
@@ -143,12 +153,19 @@ impl<'a> SabreRouter<'a> {
         self.validate(circuit)?;
         let mut layout = self.config.initial_mapping.build(circuit, self.arch);
         let reversed = circuit.reversed();
+        // The dependency DAGs are layout-independent: build each once and
+        // share it across every refinement round. Refinement passes only
+        // feed the next pass's initial layout, so they skip building the
+        // physical circuit entirely — the swap decisions (layout, front,
+        // decay, distances) are unaffected and the final pass emits the
+        // exact circuit the unshared per-pass construction would.
+        let dag = GateDag::new(circuit);
+        let reversed_dag = GateDag::new(&reversed);
         for _ in 0..self.config.reverse_traversal_rounds {
-            let forward = self.route_once(circuit, layout);
-            let backward = self.route_once(&reversed, forward.final_layout);
-            layout = backward.final_layout;
+            layout = self.route_pass(circuit, &dag, layout, None).0;
+            layout = self.route_pass(&reversed, &reversed_dag, layout, None).0;
         }
-        Ok(self.route_once(circuit, layout))
+        Ok(self.route_once(circuit, &dag, layout))
     }
 
     /// Routes a circuit from an explicit initial layout, without
@@ -174,7 +191,7 @@ impl<'a> SabreRouter<'a> {
                 ),
             });
         }
-        Ok(self.route_once(circuit, initial))
+        Ok(self.route_once(circuit, &GateDag::new(circuit), initial))
     }
 
     fn validate(&self, circuit: &Circuit) -> Result<(), MappingError> {
@@ -195,17 +212,54 @@ impl<'a> SabreRouter<'a> {
         Ok(())
     }
 
-    /// One full routing pass (the core SABRE loop).
-    fn route_once(&self, circuit: &Circuit, initial: Layout) -> MappedCircuit {
+    /// One full recorded routing pass (the core SABRE loop), emitting
+    /// the physical circuit.
+    fn route_once(&self, circuit: &Circuit, dag: &GateDag, initial: Layout) -> MappedCircuit {
+        let mut physical = Circuit::new(self.arch.num_qubits());
+        let (final_layout, swaps) =
+            self.route_pass(circuit, dag, initial.clone(), Some(&mut physical));
+        MappedCircuit {
+            physical,
+            initial_layout: initial,
+            final_layout,
+            original_gates: circuit.gate_count(),
+            swaps,
+        }
+    }
+
+    /// The SABRE loop over a prebuilt dependency DAG. With
+    /// `record: None` (the refinement rounds) no physical circuit is
+    /// built — only the final layout and swap count are produced; the
+    /// swap decisions are identical either way because they read only
+    /// the layout, the front layer, the decay table, and the distance
+    /// matrix.
+    fn route_pass(
+        &self,
+        circuit: &Circuit,
+        dag: &GateDag,
+        initial: Layout,
+        mut record: Option<&mut Circuit>,
+    ) -> (Layout, usize) {
         let n_phys = self.arch.num_qubits();
-        let dag = GateDag::new(circuit);
         let mut cursor = dag.cursor();
-        let mut layout = initial.clone();
+        let mut layout = initial;
         let mut front: Vec<usize> = dag.initial_front().to_vec();
-        let mut physical = Circuit::new(n_phys);
+        let mut next_front: Vec<usize> = Vec::with_capacity(front.len() + 8);
         let mut swaps = 0usize;
         let mut decay = vec![1.0f64; n_phys];
         let mut swaps_since_reset = 0usize;
+
+        // Reused per-blocked-step buffers: the mapped-operand scratch,
+        // the front pair list, the front-occupancy flags, and the
+        // extended-set BFS state (epoch-marked visited array instead of
+        // a rehashed set per step).
+        let mut mapped_buf: Vec<Qubit> = Vec::with_capacity(4);
+        let mut front_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut front_phys = vec![false; n_phys];
+        let mut extended: Vec<(usize, usize)> = Vec::with_capacity(self.config.extended_set_size);
+        let mut ext_queue: VecDeque<usize> = VecDeque::new();
+        let mut ext_seen: Vec<u32> = vec![0; dag.len()];
+        let mut ext_epoch: u32 = 0;
 
         let instructions = circuit.instructions();
 
@@ -214,19 +268,22 @@ impl<'a> SabreRouter<'a> {
             let mut progressed = true;
             while progressed {
                 progressed = false;
-                let mut next_front = Vec::with_capacity(front.len());
+                next_front.clear();
                 for &idx in &front {
                     if self.is_executable(&instructions[idx], &layout) {
-                        let inst = &instructions[idx];
-                        let mapped: Vec<Qubit> = inst
-                            .qubits()
-                            .iter()
-                            .map(|q| Qubit::from(layout.phys_of_log(q.index())))
-                            .collect();
-                        physical
-                            .push(inst.gate().clone(), &mapped)
-                            .expect("mapped instruction is valid");
-                        next_front.extend(cursor.execute(idx));
+                        if let Some(physical) = record.as_deref_mut() {
+                            let inst = &instructions[idx];
+                            mapped_buf.clear();
+                            mapped_buf.extend(
+                                inst.qubits()
+                                    .iter()
+                                    .map(|q| Qubit::from(layout.phys_of_log(q.index()))),
+                            );
+                            physical
+                                .push(inst.gate().clone(), &mapped_buf)
+                                .expect("mapped instruction is valid");
+                        }
+                        cursor.execute_into(idx, &mut next_front);
                         progressed = true;
                         // A gate was executed: reset decay, per SABRE.
                         decay.fill(1.0);
@@ -235,7 +292,7 @@ impl<'a> SabreRouter<'a> {
                         next_front.push(idx);
                     }
                 }
-                front = next_front;
+                std::mem::swap(&mut front, &mut next_front);
             }
             if front.is_empty() {
                 debug_assert!(cursor.is_done(), "empty front with unexecuted gates");
@@ -243,14 +300,26 @@ impl<'a> SabreRouter<'a> {
             }
 
             // Phase 2: pick the best SWAP for the blocked front layer.
-            let front_pairs: Vec<(usize, usize)> = front
-                .iter()
-                .filter_map(|&idx| instructions[idx].qubit_pair())
-                .map(|(a, b)| (a.index(), b.index()))
-                .collect();
-            let extended = self.extended_set(instructions, &dag, &cursor, &front);
+            front_pairs.clear();
+            front_pairs.extend(
+                front
+                    .iter()
+                    .filter_map(|&idx| instructions[idx].qubit_pair())
+                    .map(|(a, b)| (a.index(), b.index())),
+            );
+            ext_epoch += 1;
+            self.extended_set(
+                instructions,
+                dag,
+                &cursor,
+                &front,
+                &mut extended,
+                &mut ext_queue,
+                &mut ext_seen,
+                ext_epoch,
+            );
 
-            let mut front_phys = vec![false; n_phys];
+            front_phys.fill(false);
             for &(a, b) in &front_pairs {
                 front_phys[layout.phys_of_log(a)] = true;
                 front_phys[layout.phys_of_log(b)] = true;
@@ -264,13 +333,13 @@ impl<'a> SabreRouter<'a> {
                 layout.swap_physical(p1, p2);
                 let mut h = 0.0f64;
                 for &(a, b) in &front_pairs {
-                    h += self.dist[layout.phys_of_log(a)][layout.phys_of_log(b)] as f64;
+                    h += self.dist(layout.phys_of_log(a), layout.phys_of_log(b)) as f64;
                 }
                 h /= front_pairs.len() as f64;
                 if !extended.is_empty() {
                     let mut e = 0.0f64;
                     for &(a, b) in &extended {
-                        e += self.dist[layout.phys_of_log(a)][layout.phys_of_log(b)] as f64;
+                        e += self.dist(layout.phys_of_log(a), layout.phys_of_log(b)) as f64;
                     }
                     h += self.config.extended_set_weight * e / extended.len() as f64;
                 }
@@ -286,9 +355,11 @@ impl<'a> SabreRouter<'a> {
             }
             let ((p1, p2), _) = best.expect("connected architecture always offers a swap");
 
-            physical
-                .push(Gate::Swap, &[Qubit::from(p1), Qubit::from(p2)])
-                .expect("swap on valid physical qubits");
+            if let Some(physical) = record.as_deref_mut() {
+                physical
+                    .push(Gate::Swap, &[Qubit::from(p1), Qubit::from(p2)])
+                    .expect("swap on valid physical qubits");
+            }
             layout.swap_physical(p1, p2);
             swaps += 1;
             decay[p1] += self.config.decay_delta;
@@ -300,13 +371,7 @@ impl<'a> SabreRouter<'a> {
             }
         }
 
-        MappedCircuit {
-            physical,
-            initial_layout: initial,
-            final_layout: layout,
-            original_gates: circuit.gate_count(),
-            swaps,
-        }
+        (layout, swaps)
     }
 
     fn is_executable(&self, inst: &Instruction, layout: &Layout) -> bool {
@@ -314,25 +379,38 @@ impl<'a> SabreRouter<'a> {
             return true;
         }
         let (a, b) = inst.qubit_pair().expect("two-qubit gate");
-        self.dist[layout.phys_of_log(a.index())][layout.phys_of_log(b.index())] == 1
+        self.dist(layout.phys_of_log(a.index()), layout.phys_of_log(b.index())) == 1
     }
 
     /// The lookahead extended set: the nearest unexecuted two-qubit
     /// successors of the front layer in BFS order, capped at
     /// `extended_set_size` gates.
+    ///
+    /// Writes into caller-owned buffers: `pairs` receives the result;
+    /// `queue` and `seen`/`epoch` replace a per-call hash set with an
+    /// epoch-marked visited array (a node is "seen" iff its slot holds
+    /// the current epoch), so nothing is reallocated per blocked step.
+    #[allow(clippy::too_many_arguments)]
     fn extended_set(
         &self,
         instructions: &[Instruction],
         dag: &GateDag,
         cursor: &DagCursor<'_>,
         front: &[usize],
-    ) -> Vec<(usize, usize)> {
-        let mut pairs = Vec::new();
-        let mut queue: VecDeque<usize> = VecDeque::new();
-        let mut seen: HashSet<usize> = front.iter().copied().collect();
+        pairs: &mut Vec<(usize, usize)>,
+        queue: &mut VecDeque<usize>,
+        seen: &mut [u32],
+        epoch: u32,
+    ) {
+        pairs.clear();
+        queue.clear();
+        for &f in front {
+            seen[f] = epoch;
+        }
         for &f in front {
             for &succ in dag.successors(f) {
-                if !cursor.is_executed(succ) && seen.insert(succ) {
+                if !cursor.is_executed(succ) && seen[succ] != epoch {
+                    seen[succ] = epoch;
                     queue.push_back(succ);
                 }
             }
@@ -347,12 +425,12 @@ impl<'a> SabreRouter<'a> {
                 }
             }
             for &succ in dag.successors(idx) {
-                if !cursor.is_executed(succ) && seen.insert(succ) {
+                if !cursor.is_executed(succ) && seen[succ] != epoch {
+                    seen[succ] = epoch;
                     queue.push_back(succ);
                 }
             }
         }
-        pairs
     }
 }
 

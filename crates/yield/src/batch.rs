@@ -52,7 +52,7 @@ use rand_chacha::ChaCha8Rng;
 use qpd_topology::Architecture;
 
 use crate::collision::{CollisionChecker, CollisionParams};
-use crate::local::{pass2_simd_tier, SimdTier};
+use crate::local::{simd_tier, SimdTier};
 use crate::model::FabricationModel;
 use crate::simulator::{
     YieldError, YieldEstimate, YieldSimulator, BULK_NOISE_SAMPLES, CHUNKS, CHUNK_SEED_MUL,
@@ -134,7 +134,7 @@ impl YieldSimulator {
     /// Panics if any request's frequency plan length disagrees with its
     /// architecture's qubit count (as `estimate_with_frequencies` does).
     pub fn evaluate_batch(requests: &[BatchRequest<'_>]) -> Vec<Result<YieldEstimate, YieldError>> {
-        let tier = pass2_simd_tier();
+        let tier = simd_tier();
         let lanes = tier.lanes();
         let mut results: Vec<Option<Result<YieldEstimate, YieldError>>> =
             vec![None; requests.len()];
@@ -300,7 +300,7 @@ fn run_unit(g: &StreamGroup, chunk: u64, tier: SimdTier) -> Vec<i64> {
 fn run_rows(tier: SimdTier, noise: &[f64], n: usize, lg: &LaneGroup, tallies: &mut [i64]) {
     #[cfg(target_arch = "x86_64")]
     match tier {
-        // SAFETY: the tier was runtime-detected in `pass2_simd_tier`.
+        // SAFETY: the tier was runtime-detected in `simd_tier`.
         SimdTier::Avx512 => return unsafe { batch_avx512::run_rows(noise, n, lg, tallies) },
         SimdTier::Avx2 => return unsafe { batch_avx2::run_rows(noise, n, lg, tallies) },
         SimdTier::Scalar => {}

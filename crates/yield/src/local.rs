@@ -30,6 +30,8 @@
 //! [`LocalYieldEvaluator::evaluate_candidates_reference`]; the test suite
 //! proves count-equality between the two on every architecture it tries.
 
+use std::collections::HashMap;
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -342,9 +344,10 @@ mod pass2_avx512 {
     }
 }
 
-/// SIMD tier for the candidate-lane kernels, detected once per process.
-/// Shared with the batch evaluator ([`crate::batch`]), whose kernels use
-/// the same lanes-are-candidates layout.
+/// SIMD tier for the vectorized kernels, detected once per process.
+/// Shared by the pass-1 context filter, the pass-2 candidate kernels,
+/// and the batch evaluator ([`crate::batch`]) — one detection serves
+/// every dispatch site instead of per-call `is_x86_feature_detected!`.
 #[derive(Clone, Copy, PartialEq)]
 pub(crate) enum SimdTier {
     Scalar,
@@ -367,7 +370,7 @@ impl SimdTier {
     }
 }
 
-pub(crate) fn pass2_simd_tier() -> SimdTier {
+pub(crate) fn simd_tier() -> SimdTier {
     #[cfg(target_arch = "x86_64")]
     {
         use std::sync::atomic::{AtomicU8, Ordering};
@@ -407,7 +410,7 @@ fn pass2_block(
     candidates: &[f64],
     p: &CollisionParams,
 ) -> Vec<u64> {
-    let tier = pass2_simd_tier();
+    let tier = simd_tier();
     #[cfg(target_arch = "x86_64")]
     if tier != SimdTier::Scalar {
         let lanes = if tier == SimdTier::Avx512 { pass2_avx512::LANES } else { pass2_avx2::LANES };
@@ -504,14 +507,25 @@ impl Pass1Ctx<'_> {
     fn filter_rows(&self, noise: &[f64], block: &mut Vec<f64>) {
         #[cfg(target_arch = "x86_64")]
         {
-            // The vector kernel pays a per-row-block transpose; with
+            // The vector kernels pay a per-row-block transpose; with
             // only a couple of context constraints the scalar kernel's
-            // early exit wins, so dispatch on the constraint count.
+            // early exit wins, so dispatch on the constraint count. The
+            // tier itself comes from the process-wide cached detection
+            // shared with pass 2 ([`simd_tier`]).
             let constraints = self.ctx_pairs.len() + self.ctx_triples.len() + self.triples_j.len();
-            if constraints >= 3 && std::arch::is_x86_feature_detected!("avx2") {
-                // SAFETY: AVX2 was just detected.
-                unsafe { self.filter_rows_avx2(noise, block) };
-                return;
+            if constraints >= 3 {
+                // SAFETY: each tier was runtime-detected in `simd_tier`.
+                match simd_tier() {
+                    SimdTier::Avx512 => {
+                        unsafe { self.filter_rows_avx512(noise, block) };
+                        return;
+                    }
+                    SimdTier::Avx2 => {
+                        unsafe { self.filter_rows_avx2(noise, block) };
+                        return;
+                    }
+                    SimdTier::Scalar => {}
+                }
             }
         }
         self.filter_rows_scalar(noise, block);
@@ -629,6 +643,88 @@ impl Pass1Ctx<'_> {
             coll = _mm256_or_pd(coll, m);
         }
         _mm256_movemask_pd(coll) as u32
+    }
+
+    /// Eight trials per vector on AVX-512F; otherwise exactly
+    /// [`Self::filter_rows_avx2`] — transpose, lane-parallel context
+    /// checks, survivors emitted in row order, scalar ragged tail.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn filter_rows_avx512(&self, noise: &[f64], block: &mut Vec<f64>) {
+        const LANES: usize = 8;
+        let m = self.m;
+        let rows = noise.len() / m;
+        let full_blocks = rows / LANES;
+        let mut tf = vec![0.0f64; m * LANES];
+        for blk in 0..full_blocks {
+            let oct = &noise[blk * LANES * m..(blk + 1) * LANES * m];
+            // Transpose: tf[c * LANES + lane] = base[c] + noise[lane][c]
+            // — the same addition the scalar kernel performs.
+            for (lane, row) in oct.chunks_exact(m).enumerate() {
+                for ((c, &b), &n) in self.base.iter().enumerate().zip(row) {
+                    tf[c * LANES + lane] = b + n;
+                }
+            }
+            let collided = self.context_collided_avx512(&tf);
+            for lane in 0..LANES {
+                if collided & (1 << lane) == 0 {
+                    self.emit_record(|i| tf[i * LANES + lane], block);
+                }
+            }
+        }
+        self.filter_rows_scalar(&noise[full_blocks * LANES * m..], block);
+    }
+
+    /// Lane mask (bit set = collided) of the eight transposed trials in
+    /// `tf`; the IEEE-exact AVX-512 counterpart of
+    /// [`Self::context_collided_avx2`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn context_collided_avx512(&self, tf: &[f64]) -> u32 {
+        use std::arch::x86_64::*;
+        const LANES: usize = 8;
+        const ALL: u32 = 0xFF;
+        let p = self.params;
+        let gap = -p.anharmonicity_ghz;
+        let v_gap = _mm512_set1_pd(gap);
+        let v_g2 = _mm512_set1_pd(gap / 2.0);
+        let v_deg = _mm512_set1_pd(p.t_degenerate_ghz);
+        let v_half = _mm512_set1_pd(p.t_half_ghz);
+        let v_full = _mm512_set1_pd(p.t_full_ghz);
+        let v_two = _mm512_set1_pd(p.t_two_photon_ghz);
+        let v_2 = _mm512_set1_pd(2.0);
+        let col = |i: u32| _mm512_loadu_pd(tf.as_ptr().add(i as usize * LANES));
+
+        let mut coll: __mmask8 = 0;
+        for &(a, b) in self.ctx_pairs {
+            let d = _mm512_abs_pd(_mm512_sub_pd(col(a), col(b)));
+            coll |= _mm512_cmp_pd_mask::<_CMP_LT_OQ>(d, v_deg)
+                | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(_mm512_abs_pd(_mm512_sub_pd(d, v_g2)), v_half)
+                | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(_mm512_abs_pd(_mm512_sub_pd(d, v_gap)), v_full)
+                | _mm512_cmp_pd_mask::<_CMP_GT_OQ>(d, v_gap);
+        }
+        if u32::from(coll) == ALL {
+            return ALL;
+        }
+        for &(j, i, k) in self.ctx_triples {
+            let (fj, fi, fk) = (col(j), col(i), col(k));
+            let d = _mm512_abs_pd(_mm512_sub_pd(fi, fk));
+            // ((2 f_j - gap) - f_i) - f_k: the scalar association.
+            let term =
+                _mm512_sub_pd(_mm512_sub_pd(_mm512_sub_pd(_mm512_mul_pd(v_2, fj), v_gap), fi), fk);
+            coll |= _mm512_cmp_pd_mask::<_CMP_LT_OQ>(d, v_deg)
+                | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(_mm512_abs_pd(_mm512_sub_pd(d, v_gap)), v_full)
+                | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(_mm512_abs_pd(term), v_two);
+        }
+        if u32::from(coll) == ALL {
+            return ALL;
+        }
+        for &(i, k) in self.triples_j {
+            let d = _mm512_abs_pd(_mm512_sub_pd(col(i), col(k)));
+            coll |= _mm512_cmp_pd_mask::<_CMP_LT_OQ>(d, v_deg)
+                | _mm512_cmp_pd_mask::<_CMP_LT_OQ>(_mm512_abs_pd(_mm512_sub_pd(d, v_gap)), v_full);
+        }
+        u32::from(coll)
     }
 }
 
@@ -762,6 +858,80 @@ impl CompiledRegions {
     }
 }
 
+/// Reusable state for a run of allocation decisions: cached noise
+/// planes plus every per-decision buffer, so adjacent decisions (and
+/// whole batches of allocations) stop paying per-call allocations and
+/// stream regeneration.
+///
+/// # Noise planes
+///
+/// The common-random-numbers block of a decision for qubit `q` is a
+/// prefix of one flat stream that depends **only** on the evaluator
+/// seed, `q`, and the noise sigma — not on the architecture, the
+/// partial assignment, or the trial count. The scratch therefore keeps
+/// each stream it has generated as a *plane* keyed by the stream seed:
+/// a later decision against the same stream (another proposal in a
+/// batch, a re-allocation after caches were dropped) slices the plane
+/// instead of re-deriving the samples. Planes grow in place when a
+/// longer prefix is needed; growth restarts at the last
+/// fixed-size-chunk boundary, so the bytes are identical to a direct
+/// fill of the longer buffer.
+///
+/// Total plane storage is capped (64 MiB); exceeding the cap drops all
+/// planes and regenerates on demand. Planes are derived pure data —
+/// regenerating them from scratch yields bit-identical values — so
+/// holding them across cache clears never changes any result.
+///
+/// The cache is bypassed for the legacy noise scheme and for
+/// odd-length blocks (whose tail samples are drawn differently by
+/// [`FabricationModel::sample_into`], breaking prefix reuse).
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    /// Noise planes keyed by stream base seed (a pure function of the
+    /// evaluator seed and the decided qubit's index).
+    planes: HashMap<u64, Vec<f64>>,
+    /// Total samples across all planes, for the storage cap.
+    plane_samples: usize,
+    /// Sigma identity of the cached planes; a different sigma draws
+    /// different values from the same uniform stream, so it clears them.
+    sigma_bits: u64,
+    /// Direct-fill buffer for the legacy / odd-length paths.
+    noise: Vec<f64>,
+    /// Packed-column map of the decision's region slots.
+    active: Vec<u32>,
+    /// Designed frequencies of the active columns.
+    base: Vec<f64>,
+    q_pair_others: Vec<u32>,
+    ctx_pairs: Vec<(u32, u32)>,
+    triples_j: Vec<(u32, u32)>,
+    triples_i: Vec<(u32, u32)>,
+    triples_k: Vec<(u32, u32)>,
+    ctx_triples: Vec<(u32, u32, u32)>,
+    /// Concatenated surviving pass-1 records.
+    live: Vec<f64>,
+}
+
+impl AllocScratch {
+    /// Total plane samples retained before the cache resets: 8 Mi
+    /// `f64`s = 64 MiB.
+    const PLANE_CAP_SAMPLES: usize = 8 << 20;
+
+    /// An empty scratch; buffers and planes are built on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached noise planes (diagnostics and tests).
+    pub fn cached_planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Total cached noise samples across planes (diagnostics and tests).
+    pub fn cached_samples(&self) -> usize {
+        self.plane_samples
+    }
+}
+
 /// Evaluates candidate frequencies for one qubit against the already
 /// assigned part of its local region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -830,7 +1000,15 @@ impl LocalYieldEvaluator {
             num_qubits: arch.num_qubits(),
             regions: vec![CompiledRegions::compile_region(arch, q, &mut slot_of)],
         };
-        self.evaluate_region(&region.regions[0], region.num_qubits, assigned, q, candidates)
+        let mut scratch = AllocScratch::new();
+        self.evaluate_region(
+            &region.regions[0],
+            region.num_qubits,
+            assigned,
+            q,
+            candidates,
+            &mut scratch,
+        )
     }
 
     /// [`Self::evaluate_candidates`] against a prebuilt
@@ -847,8 +1025,36 @@ impl LocalYieldEvaluator {
         q: usize,
         candidates: &[f64],
     ) -> Vec<u64> {
+        let mut scratch = AllocScratch::new();
+        self.evaluate_candidates_compiled_with(regions, assigned, q, candidates, &mut scratch)
+    }
+
+    /// [`Self::evaluate_candidates_compiled`] with a caller-held
+    /// [`AllocScratch`]: decision buffers are reused and noise planes
+    /// are sliced from the scratch's cache instead of re-derived. The
+    /// counts are bit-identical to the scratch-free entry point for any
+    /// sequence of calls, scratch sharing, and thread count.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::evaluate_candidates_compiled`].
+    pub fn evaluate_candidates_compiled_with(
+        &self,
+        regions: &CompiledRegions,
+        assigned: &[Option<f64>],
+        q: usize,
+        candidates: &[f64],
+        scratch: &mut AllocScratch,
+    ) -> Vec<u64> {
         assert!(q < regions.num_qubits, "qubit out of range");
-        self.evaluate_region(&regions.regions[q], regions.num_qubits, assigned, q, candidates)
+        self.evaluate_region(
+            &regions.regions[q],
+            regions.num_qubits,
+            assigned,
+            q,
+            candidates,
+            scratch,
+        )
     }
 
     /// Samples per independent noise stream in the modern fill: the
@@ -858,23 +1064,46 @@ impl LocalYieldEvaluator {
     /// depend on the worker count).
     const NOISE_STREAM_SAMPLES: usize = 4_096;
 
+    /// The base seed of qubit `q`'s noise stream family — a pure
+    /// function of the evaluator seed and `q`, which is what makes the
+    /// [`AllocScratch`] plane cache valid across architectures.
+    fn stream_seed(&self, q: usize) -> u64 {
+        self.seed ^ (0xd134_2543_de82_ef95u64.wrapping_mul(q as u64 + 1))
+    }
+
     /// Draws the common-random-numbers noise block for qubit `q`'s
     /// decision: `trials x m` samples from the per-qubit stream family.
     fn fill_noise(&self, q: usize, noise: &mut [f64]) {
-        let base_seed = self.seed ^ (0xd134_2543_de82_ef95u64.wrapping_mul(q as u64 + 1));
+        let base_seed = self.stream_seed(q);
         if self.legacy_noise {
             // The historical scheme: one serial stream of single-draw
             // Box–Muller samples.
             let mut rng = ChaCha8Rng::seed_from_u64(base_seed);
             self.model.sample_into_unpaired(&mut rng, noise);
         } else {
-            qpd_par::par_chunks_mut(noise, Self::NOISE_STREAM_SAMPLES, |chunk_idx, chunk| {
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    base_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk_idx as u64 + 1)),
-                );
-                self.model.sample_into(&mut rng, chunk);
-            });
+            let model = self.model;
+            Self::fill_stream_chunks(base_seed, 0, &model, noise);
         }
+    }
+
+    /// Fills `noise` with the modern stream starting at absolute chunk
+    /// index `first_chunk` (the slice must start on a chunk boundary of
+    /// the flat stream). Chunk contents depend only on the base seed and
+    /// the absolute chunk index, so suffix fills splice bit-identically
+    /// into a longer buffer.
+    fn fill_stream_chunks(
+        base_seed: u64,
+        first_chunk: usize,
+        model: &FabricationModel,
+        noise: &mut [f64],
+    ) {
+        qpd_par::par_chunks_mut(noise, Self::NOISE_STREAM_SAMPLES, |chunk_idx, chunk| {
+            let absolute = (first_chunk + chunk_idx) as u64;
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                base_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(absolute + 1)),
+            );
+            model.sample_into(&mut rng, chunk);
+        });
     }
 
     fn evaluate_region(
@@ -884,14 +1113,31 @@ impl LocalYieldEvaluator {
         assigned: &[Option<f64>],
         q: usize,
         candidates: &[f64],
+        scratch: &mut AllocScratch,
     ) -> Vec<u64> {
         assert_eq!(assigned.len(), num_qubits, "assignment length mismatch");
         assert!(assigned[q].is_none(), "qubit {q} already assigned");
+        let AllocScratch {
+            planes,
+            plane_samples,
+            sigma_bits,
+            noise: noise_buf,
+            active,
+            base,
+            q_pair_others,
+            ctx_pairs,
+            triples_j,
+            triples_i,
+            triples_k,
+            ctx_triples,
+            live,
+        } = scratch;
 
         // Activate the assigned members (plus q) in ascending-qubit
         // order; `active` maps full-region slots to packed noise columns.
-        let mut active = vec![INACTIVE; tpl.members.len()];
-        let mut base: Vec<f64> = Vec::with_capacity(tpl.members.len());
+        active.clear();
+        active.resize(tpl.members.len(), INACTIVE);
+        base.clear();
         for (slot, &r) in tpl.members.iter().enumerate() {
             let r = r as usize;
             if r == q {
@@ -907,40 +1153,76 @@ impl LocalYieldEvaluator {
 
         // Remap the precompiled constraints onto the active columns,
         // dropping any constraint touching an unassigned member.
-        let remap2 = |list: &[(u32, u32)]| -> Vec<(u32, u32)> {
-            list.iter()
-                .filter_map(|&(a, b)| {
-                    let (a, b) = (active[a as usize], active[b as usize]);
-                    (a != INACTIVE && b != INACTIVE).then_some((a, b))
-                })
-                .collect()
+        let remap2 = |list: &[(u32, u32)], out: &mut Vec<(u32, u32)>| {
+            out.clear();
+            out.extend(list.iter().filter_map(|&(a, b)| {
+                let (a, b) = (active[a as usize], active[b as usize]);
+                (a != INACTIVE && b != INACTIVE).then_some((a, b))
+            }));
         };
-        let q_pair_others: Vec<u32> = tpl
-            .q_pair_others
-            .iter()
-            .filter_map(|&o| {
-                let o = active[o as usize];
-                (o != INACTIVE).then_some(o)
-            })
-            .collect();
-        let ctx_pairs = remap2(&tpl.ctx_pairs);
-        let triples_j = remap2(&tpl.q_triples_j);
-        let triples_i = remap2(&tpl.q_triples_i);
-        let triples_k = remap2(&tpl.q_triples_k);
-        let ctx_triples: Vec<(u32, u32, u32)> = tpl
-            .ctx_triples
-            .iter()
-            .filter_map(|&(j, i, k)| {
-                let (j, i, k) = (active[j as usize], active[i as usize], active[k as usize]);
-                (j != INACTIVE && i != INACTIVE && k != INACTIVE).then_some((j, i, k))
-            })
-            .collect();
+        q_pair_others.clear();
+        q_pair_others.extend(tpl.q_pair_others.iter().filter_map(|&o| {
+            let o = active[o as usize];
+            (o != INACTIVE).then_some(o)
+        }));
+        remap2(&tpl.ctx_pairs, ctx_pairs);
+        remap2(&tpl.q_triples_j, triples_j);
+        remap2(&tpl.q_triples_i, triples_i);
+        remap2(&tpl.q_triples_k, triples_k);
+        ctx_triples.clear();
+        ctx_triples.extend(tpl.ctx_triples.iter().filter_map(|&(j, i, k)| {
+            let (j, i, k) = (active[j as usize], active[i as usize], active[k as usize]);
+            (j != INACTIVE && i != INACTIVE && k != INACTIVE).then_some((j, i, k))
+        }));
 
         // Common random numbers: one noise block shared by every
         // candidate, drawn from fixed counter-derived streams so the
-        // values never depend on the thread count.
-        let mut noise = vec![0.0f64; self.trials * m];
-        self.fill_noise(q, &mut noise);
+        // values never depend on the thread count. Even-length blocks
+        // are served from the scratch's plane cache — a prefix slice of
+        // the flat per-(seed, q) stream, generated at most once and
+        // shared by later decisions against the same stream.
+        let needed = self.trials * m;
+        let noise: &[f64] = if self.legacy_noise || !needed.is_multiple_of(2) {
+            // Legacy stream, or an odd block whose tail sample is drawn
+            // by the non-prefix-stable single-draw path: fill directly.
+            noise_buf.clear();
+            noise_buf.resize(needed, 0.0);
+            self.fill_noise(q, noise_buf);
+            noise_buf
+        } else {
+            let bits = self.model.sigma_ghz().to_bits();
+            if *sigma_bits != bits {
+                planes.clear();
+                *plane_samples = 0;
+                *sigma_bits = bits;
+            }
+            let base_seed = self.stream_seed(q);
+            let cached = planes.get(&base_seed).map_or(0, Vec::len);
+            if needed > cached
+                && *plane_samples + (needed - cached) > AllocScratch::PLANE_CAP_SAMPLES
+            {
+                planes.clear();
+                *plane_samples = 0;
+            }
+            let plane = planes.entry(base_seed).or_default();
+            if needed > plane.len() {
+                // Grow from the last chunk boundary: chunk contents
+                // depend only on (seed, chunk index) and even prefixes
+                // of a chunk are bit-identical to shorter fills, so the
+                // grown plane equals a direct fill of `needed` samples.
+                let start = (plane.len() / Self::NOISE_STREAM_SAMPLES) * Self::NOISE_STREAM_SAMPLES;
+                *plane_samples += needed - plane.len();
+                plane.resize(needed, 0.0);
+                let model = self.model;
+                Self::fill_stream_chunks(
+                    base_seed,
+                    start / Self::NOISE_STREAM_SAMPLES,
+                    &model,
+                    &mut plane[start..],
+                );
+            }
+            &plane[..needed]
+        };
 
         let p = self.params;
 
@@ -963,25 +1245,29 @@ impl LocalYieldEvaluator {
             1 + q_pair_others.len() + 2 * (triples_j.len() + triples_i.len() + triples_k.len());
         let ctx = Pass1Ctx {
             params: &p,
-            base: &base,
+            base,
             m,
             qi,
             stride,
-            q_pair_others: &q_pair_others,
-            ctx_pairs: &ctx_pairs,
-            triples_j: &triples_j,
-            triples_i: &triples_i,
-            triples_k: &triples_k,
-            ctx_triples: &ctx_triples,
+            q_pair_others,
+            ctx_pairs,
+            triples_j,
+            triples_i,
+            triples_k,
+            ctx_triples,
         };
         let chunk_rows =
             self.trials.div_ceil(4 * qpd_par::threads()).max(64).min(self.trials.max(1));
-        let blocks: Vec<Vec<f64>> = qpd_par::par_chunks(&noise, chunk_rows * m, |_, slice| {
+        let blocks: Vec<Vec<f64>> = qpd_par::par_chunks(noise, chunk_rows * m, |_, slice| {
             let mut block = Vec::with_capacity((slice.len() / m) * ctx.stride);
             ctx.filter_rows(slice, &mut block);
             block
         });
-        let live = blocks.concat();
+        live.clear();
+        live.reserve(blocks.iter().map(Vec::len).sum());
+        for block in &blocks {
+            live.extend_from_slice(block);
+        }
 
         // Pass 2 — every candidate against only the q-involving
         // constraints of the surviving records, row-major (each record is
@@ -1000,7 +1286,7 @@ impl LocalYieldEvaluator {
         let live_rows = live.len() / stride;
         let rows_per_block = live_rows.div_ceil(4 * qpd_par::threads()).max(128);
         let partials: Vec<Vec<u64>> =
-            qpd_par::par_chunks(&live, rows_per_block * stride, |_, rows| {
+            qpd_par::par_chunks(live.as_slice(), rows_per_block * stride, |_, rows| {
                 pass2_block(rows, layout, candidates, &p)
             });
         let mut out = vec![0u64; candidates.len()];
@@ -1369,9 +1655,138 @@ mod tests {
             scalar.iter().zip(&simd).all(|(a, b)| a.to_bits() == b.to_bits()),
             "record bytes differ"
         );
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            let mut wide = Vec::new();
+            unsafe { ctx.filter_rows_avx512(&noise, &mut wide) };
+            assert_eq!(scalar.len(), wide.len(), "avx512 survivor counts");
+            assert!(
+                scalar.iter().zip(&wide).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "avx512 record bytes differ"
+            );
+        }
         // The filter is doing real work: some survive, some do not.
         let survivors = scalar.len() / ctx.stride;
         assert!(survivors > 0 && survivors < 1_003, "survivors {survivors}");
+    }
+
+    /// Scratch sharing — across qubits, partial assignments, and even
+    /// different evaluators — must never change a single count: planes
+    /// are pure stream prefixes and buffers are fully reinitialized.
+    #[test]
+    fn shared_scratch_is_bit_identical_to_fresh() {
+        let arch = ibm::ibm_16q_2x8(BusMode::MaxFourQubit);
+        let compiled = CompiledRegions::new(&arch);
+        let candidates: Vec<f64> = (0..35).map(|i| 5.00 + 0.01 * i as f64).collect();
+        let mut assigned: Vec<Option<f64>> = vec![None; arch.num_qubits()];
+        for (i, slot) in assigned.iter_mut().enumerate().take(10) {
+            *slot = Some(5.00 + 0.03 * (i % 12) as f64);
+        }
+        let mut scratch = AllocScratch::new();
+        for trials in [600, 1_000] {
+            for seed in [42, 7] {
+                let e = LocalYieldEvaluator::new(
+                    trials,
+                    FabricationModel::new(0.030),
+                    CollisionParams::default(),
+                    seed,
+                );
+                for q in 10..arch.num_qubits() {
+                    let shared = e.evaluate_candidates_compiled_with(
+                        &compiled,
+                        &assigned,
+                        q,
+                        &candidates,
+                        &mut scratch,
+                    );
+                    let fresh =
+                        e.evaluate_candidates_compiled(&compiled, &assigned, q, &candidates);
+                    assert_eq!(shared, fresh, "trials {trials} seed {seed} qubit {q}");
+                }
+            }
+        }
+        assert!(scratch.cached_planes() > 0, "planes should be retained");
+    }
+
+    /// Growing a plane (same stream, longer prefix) must splice in
+    /// bit-identically: a short-trials decision followed by a
+    /// long-trials decision equals the long decision alone.
+    #[test]
+    fn plane_growth_matches_direct_fill() {
+        let arch = ibm::ibm_16q_2x8(BusMode::TwoQubitOnly);
+        let compiled = CompiledRegions::new(&arch);
+        let candidates = [5.00, 5.08, 5.17, 5.26, 5.34];
+        let mut assigned: Vec<Option<f64>> = vec![None; arch.num_qubits()];
+        for (i, slot) in assigned.iter_mut().enumerate().take(8) {
+            *slot = Some(5.02 + 0.04 * (i % 8) as f64);
+        }
+        let model = FabricationModel::new(0.030);
+        let params = CollisionParams::default();
+        let mut scratch = AllocScratch::new();
+        // 700 trials x m crosses a 4096-sample chunk boundary for every
+        // region size here; 2_000 then grows the same plane.
+        for trials in [700, 2_000, 900] {
+            let e = LocalYieldEvaluator::new(trials, model, params, 42);
+            for q in [9, 12] {
+                let grown = e.evaluate_candidates_compiled_with(
+                    &compiled,
+                    &assigned,
+                    q,
+                    &candidates,
+                    &mut scratch,
+                );
+                let direct = e.evaluate_candidates_compiled(&compiled, &assigned, q, &candidates);
+                assert_eq!(grown, direct, "trials {trials} qubit {q}");
+            }
+        }
+    }
+
+    /// Odd-length noise blocks bypass the plane cache (their tail is
+    /// drawn by the non-prefix-stable single-draw path) yet still match
+    /// the scratch-free entry point.
+    #[test]
+    fn odd_trial_blocks_fall_back_and_match() {
+        let arch = path3();
+        let assigned = vec![Some(5.00), None, Some(5.23)];
+        let compiled = CompiledRegions::new(&arch);
+        let e = evaluator(333); // odd trials x odd m = odd block
+        let mut scratch = AllocScratch::new();
+        let with = e.evaluate_candidates_compiled_with(
+            &compiled,
+            &assigned,
+            1,
+            &[5.08, 5.12],
+            &mut scratch,
+        );
+        let without = e.evaluate_candidates_compiled(&compiled, &assigned, 1, &[5.08, 5.12]);
+        assert_eq!(with, without);
+        assert_eq!(scratch.cached_planes(), 0, "odd blocks must not populate planes");
+    }
+
+    /// Changing sigma invalidates cached planes (same uniform stream,
+    /// different values) and the evaluations still match fresh ones.
+    #[test]
+    fn sigma_change_resets_planes() {
+        let arch = path3();
+        let assigned = vec![Some(5.00), None, Some(5.23)];
+        let compiled = CompiledRegions::new(&arch);
+        let mut scratch = AllocScratch::new();
+        for sigma in [0.030, 0.050, 0.030] {
+            let e = LocalYieldEvaluator::new(
+                1_000,
+                FabricationModel::new(sigma),
+                CollisionParams::default(),
+                42,
+            );
+            let shared = e.evaluate_candidates_compiled_with(
+                &compiled,
+                &assigned,
+                1,
+                &[5.08, 5.12],
+                &mut scratch,
+            );
+            let fresh = e.evaluate_candidates_compiled(&compiled, &assigned, 1, &[5.08, 5.12]);
+            assert_eq!(shared, fresh, "sigma {sigma}");
+        }
     }
 
     #[test]

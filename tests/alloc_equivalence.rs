@@ -1,0 +1,172 @@
+//! The cold-eval allocator contract (PR 10 tentpole): the overhauled
+//! allocation path — shared fabrication-noise planes, reusable decision
+//! scratch, and batched cross-proposal allocation — produces
+//! **bit-identical** `FrequencyPlan`s to the retained reference path
+//! and to fresh singleton calls, for every hardware family, with
+//! refinement sweeps on, across scratch reuse, and for every
+//! `QPD_THREADS` value.
+
+use proptest::prelude::*;
+
+use std::sync::Arc;
+
+use qpd::design::{LayoutJob, StagePlan};
+use qpd::prelude::*;
+use qpd::yield_sim::{
+    AllocScratch, CompiledRegions, FabricationModel, HardwareFamily, LocalYieldEvaluator,
+};
+
+/// Small mixed-topology pool: both IBM baselines, trimmed trial budget
+/// so three-family sweeps stay fast.
+fn arches() -> [Architecture; 2] {
+    [
+        qpd::topology::ibm::ibm_16q_2x8(BusMode::TwoQubitOnly),
+        qpd::topology::ibm::ibm_20q_4x5(BusMode::TwoQubitOnly),
+    ]
+}
+
+fn allocator(family: HardwareFamily, seed: u64) -> FrequencyAllocator {
+    FrequencyAllocator::new()
+        .with_hardware(family)
+        .with_trials(250)
+        .with_refinement_sweeps(2)
+        .with_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The new compiled + shared-scratch decision kernel counts exactly
+    /// what the retained per-decision path
+    /// ([`LocalYieldEvaluator::evaluate_candidates`], which compiles the
+    /// region on the fly with a fresh scratch) counts — per qubit, per
+    /// candidate, for every hardware family, with one scratch carried
+    /// across every decision.
+    #[test]
+    fn scratch_decision_kernel_matches_retained_path(seed in 0u64..1_000) {
+        for family in HardwareFamily::ALL {
+            let model = family.model();
+            let evaluator = LocalYieldEvaluator::new(
+                240,
+                FabricationModel::new(model.effective_sigma_ghz(
+                    FabricationModel::PAPER_SIGMA_GHZ,
+                )),
+                model.collision_params(),
+                seed,
+            );
+            let candidates = [5.05, 5.12, 5.19, 5.26, 5.33];
+            for arch in &arches() {
+                let regions = CompiledRegions::new(arch);
+                let mut scratch = AllocScratch::new();
+                // A deterministic partial assignment: every third qubit
+                // still undecided, the rest staggered over the band.
+                let assigned: Vec<Option<f64>> = (0..arch.num_qubits())
+                    .map(|q| (q % 3 != 0).then(|| 5.0 + 0.01 * ((q * 7) % 35) as f64))
+                    .collect();
+                for q in (0..arch.num_qubits()).filter(|q| q % 3 == 0) {
+                    let retained =
+                        evaluator.evaluate_candidates(arch, &assigned, q, &candidates);
+                    let shared = evaluator.evaluate_candidates_compiled_with(
+                        &regions, &assigned, q, &candidates, &mut scratch,
+                    );
+                    prop_assert_eq!(retained, shared,
+                        "decision kernel divergence for {:?}, qubit {}", family, q);
+                }
+            }
+        }
+    }
+
+    /// One `allocate_batch` over a mixed-family, mixed-topology batch
+    /// (with a duplicate entry) equals per-arch singleton `allocate`
+    /// calls, at every worker count — the planes and decision buffers
+    /// shared across the batch never leak between entries.
+    #[test]
+    fn batch_equals_singletons_across_thread_counts(seed in 0u64..1_000) {
+        for family in HardwareFamily::ALL {
+            let pool = arches();
+            let batch = [&pool[0], &pool[1], &pool[0]];
+            let alloc = allocator(family, seed);
+            let singles: Vec<FrequencyPlan> =
+                batch.iter().map(|arch| alloc.allocate(arch)).collect();
+            for threads in [1usize, 2, 8] {
+                let batched =
+                    qpd::par::with_threads(threads, || alloc.allocate_batch(&batch));
+                prop_assert_eq!(&batched, &singles,
+                    "batch/singleton divergence for {:?} at {} threads", family, threads);
+            }
+        }
+    }
+
+    /// A scratch warmed by allocations for *other* topologies, trial
+    /// budgets, and families is transparent: `allocate_with` on it
+    /// reproduces a fresh `allocate` bit-for-bit.
+    #[test]
+    fn warmed_scratch_is_transparent(seed in 0u64..1_000) {
+        let pool = arches();
+        let mut scratch = AllocScratch::new();
+        // Warm with a different family, budget, and topology mix.
+        let warmer = allocator(HardwareFamily::TunableCoupler, seed ^ 0x5a5a)
+            .with_trials(120);
+        let regions = CompiledRegions::new(&pool[1]);
+        warmer.allocate_with(&pool[1], &regions, &mut scratch);
+        for family in HardwareFamily::ALL {
+            let alloc = allocator(family, seed);
+            for arch in &pool {
+                let regions = CompiledRegions::new(arch);
+                let reused = alloc.allocate_with(arch, &regions, &mut scratch);
+                prop_assert_eq!(reused, alloc.allocate(arch),
+                    "warmed scratch diverges for {:?}", family);
+            }
+        }
+    }
+}
+
+/// The stage-graph face of the batch path: `design_with_layout_batch`
+/// over mixed frequency/hardware jobs equals per-job
+/// `design_with_layout` calls on correspondingly configured flows, and
+/// the shared assemble scratch surviving `StagePlan::clear` (the
+/// cold-eval lever) never changes a result.
+#[test]
+fn layout_batch_matches_singleton_flows_and_survives_clear() {
+    let mut c = Circuit::new(6);
+    c.cx(0, 1).cx(1, 2).cx(3, 4).cx(4, 5).cx(0, 3).cx(2, 5);
+    let profile = CouplingProfile::of(&c);
+    let base = DesignFlow::new().with_allocation_trials(150).with_allocation_seed(17);
+    let (coords, squares) = {
+        let arch = base.design(&profile).unwrap();
+        (arch.coords().to_vec(), arch.four_qubit_buses().to_vec())
+    };
+    let jobs: Vec<LayoutJob<'_>> = HardwareFamily::ALL
+        .iter()
+        .map(|&hardware| LayoutJob {
+            coords: &coords,
+            squares: &squares,
+            frequency: FrequencyStrategy::Optimized,
+            hardware,
+        })
+        .collect();
+    let singles: Vec<Architecture> = jobs
+        .iter()
+        .map(|j| {
+            // A fresh plan per job: no cache or scratch sharing at all.
+            let flow = DesignFlow::new()
+                .with_allocation_trials(150)
+                .with_allocation_seed(17)
+                .with_plan(Arc::new(StagePlan::new()))
+                .with_frequency_strategy(j.frequency)
+                .with_hardware(j.hardware);
+            flow.design_with_layout(&coords, &squares).unwrap()
+        })
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let batched =
+            qpd::par::with_threads(threads, || base.design_with_layout_batch(&jobs).unwrap());
+        assert_eq!(batched, singles, "layout batch diverges at {threads} threads");
+        // Cold caches, warm scratch — the bench_snapshot cold-eval
+        // shape. The surviving scratch must be invisible in results.
+        base.plan().clear();
+        let after_clear =
+            qpd::par::with_threads(threads, || base.design_with_layout_batch(&jobs).unwrap());
+        assert_eq!(after_clear, singles, "post-clear batch diverges at {threads} threads");
+    }
+}
